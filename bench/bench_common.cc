@@ -1,0 +1,101 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace topkdup::bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback
+                             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool Flags::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1";
+}
+
+std::vector<int> Flags::GetIntList(const std::string& key,
+                                   const std::vector<int>& fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::vector<int> out;
+  for (const std::string& piece : Split(it->second, ',')) {
+    if (!piece.empty()) {
+      out.push_back(static_cast<int>(std::strtol(piece.c_str(), nullptr, 10)));
+    }
+  }
+  return out.empty() ? fallback : out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {}
+
+void TablePrinter::PrintHeader() const {
+  PrintRule();
+  std::string line = "|";
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    line += StrFormat(" %*s |", widths_[i], headers_[i].c_str());
+  }
+  std::printf("%s\n", line.c_str());
+  PrintRule();
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  std::string line = "|";
+  for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    line += StrFormat(" %*s |", widths_[i], cells[i].c_str());
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+void TablePrinter::PrintRule() const {
+  std::string line = "+";
+  for (int w : widths_) {
+    line.append(static_cast<size_t>(w) + 2, '-');
+    line += "+";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+std::string Pct(double numerator, double denominator) {
+  if (denominator == 0.0) return "n/a";
+  return StrFormat("%.2f", 100.0 * numerator / denominator);
+}
+
+std::string Num(double v, int decimals) {
+  return StrFormat("%.*f", decimals, v);
+}
+
+}  // namespace topkdup::bench

@@ -1,0 +1,50 @@
+#ifndef TOPKDUP_BENCH_BENCH_COMMON_H_
+#define TOPKDUP_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace topkdup::bench {
+
+/// Minimal --key=value flag parser shared by the figure harnesses.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated integer list.
+  std::vector<int> GetIntList(const std::string& key,
+                              const std::vector<int>& fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Fixed-width table printer producing paper-style rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths);
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+  void PrintRule() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+/// "12.34" style helpers.
+std::string Pct(double numerator, double denominator);
+std::string Num(double v, int decimals = 2);
+
+}  // namespace topkdup::bench
+
+#endif  // TOPKDUP_BENCH_BENCH_COMMON_H_

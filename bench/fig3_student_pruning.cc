@@ -1,0 +1,99 @@
+// Reproduces Figure 3 of the paper: pruning performance on the Students
+// dataset (two predicate levels), reporting n, m, M, n' per level for
+// K in {1,5,10,50,100,500,1000}. See fig2_citation_pruning.cc for the
+// column semantics. Flags: --records --students --seed --ks --passes
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "datagen/student_gen.h"
+#include "dedup/pruned_dedup.h"
+#include "predicates/corpus.h"
+#include "predicates/student.h"
+
+namespace topkdup {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  datagen::StudentGenOptions gen;
+  gen.num_records = static_cast<size_t>(flags.GetInt("records", 50000));
+  gen.num_students = static_cast<size_t>(
+      flags.GetInt("students", static_cast<int64_t>(gen.num_records / 4)));
+  gen.seed = static_cast<uint64_t>(flags.GetInt("seed", 169221));
+  const std::vector<int> ks =
+      flags.GetIntList("ks", {1, 5, 10, 50, 100, 500, 1000});
+  const int passes = static_cast<int>(flags.GetInt("passes", 2));
+
+  std::printf("Figure 3: Student dataset pruning (records=%zu students=%zu "
+              "seed=%llu passes=%d)\n",
+              gen.num_records, gen.num_students,
+              static_cast<unsigned long long>(gen.seed), passes);
+
+  Timer timer;
+  auto data_or = datagen::GenerateStudents(gen);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 data_or.status().ToString().c_str());
+    return 1;
+  }
+  const record::Dataset& data = data_or.value();
+  auto corpus_or = predicates::Corpus::Build(&data, {});
+  if (!corpus_or.ok()) {
+    std::fprintf(stderr, "corpus: %s\n",
+                 corpus_or.status().ToString().c_str());
+    return 1;
+  }
+  const predicates::Corpus& corpus = corpus_or.value();
+  std::printf("generated %zu records + corpus in %.1fs\n\n", data.size(),
+              timer.ElapsedSeconds());
+
+  predicates::StudentFields fields;
+  predicates::StudentS1 s1(&corpus, fields);
+  predicates::StudentS2 s2(&corpus, fields);
+  predicates::StudentN1 n1(&corpus, fields);
+  predicates::StudentN2 n2(&corpus, fields);
+
+  bench::TablePrinter table(
+      {"K", "n%", "m", "M", "n'%", "n%", "m", "M", "n'%", "sec"},
+      {5, 7, 7, 10, 7, 7, 7, 10, 7, 7});
+  std::printf("%43s  |  %24s\n", "Iteration-1 (S1,N1)",
+              "Iteration-2 (S2,N2)");
+  table.PrintHeader();
+
+  const double d = static_cast<double>(data.size());
+  for (int k : ks) {
+    dedup::PrunedDedupOptions options;
+    options.k = k;
+    options.prune_passes = passes;
+    Timer run_timer;
+    auto result_or =
+        dedup::PrunedDedup(data, {{&s1, &n1}, {&s2, &n2}}, options);
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "K=%d: %s\n", k,
+                   result_or.status().ToString().c_str());
+      continue;
+    }
+    const auto& levels = result_or.value().levels;
+    std::vector<std::string> row = {std::to_string(k)};
+    for (size_t l = 0; l < 2; ++l) {
+      if (l < levels.size()) {
+        row.push_back(bench::Pct(levels[l].n_after_collapse, d));
+        row.push_back(std::to_string(levels[l].m));
+        row.push_back(bench::Num(levels[l].M, 0));
+        row.push_back(bench::Pct(levels[l].n_after_prune, d));
+      } else {
+        row.insert(row.end(), {"-", "-", "-", "-"});
+      }
+    }
+    row.push_back(bench::Num(run_timer.ElapsedSeconds(), 2));
+    table.PrintRow(row);
+  }
+  table.PrintRule();
+  return 0;
+}
+
+}  // namespace
+}  // namespace topkdup
+
+int main(int argc, char** argv) { return topkdup::Run(argc, argv); }

@@ -1,0 +1,89 @@
+// Reproduces Figure 4 of the paper: pruning performance on the Address
+// dataset (a single predicate level S1/N1), reporting n, m, M, n' for
+// K in {1,5,10,50,100,500,1000}.
+// Flags: --records --entities --seed --ks --passes
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "datagen/address_gen.h"
+#include "datagen/lexicon.h"
+#include "dedup/pruned_dedup.h"
+#include "predicates/address.h"
+#include "predicates/corpus.h"
+
+namespace topkdup {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  datagen::AddressGenOptions gen;
+  gen.num_records = static_cast<size_t>(flags.GetInt("records", 50000));
+  gen.num_entities = static_cast<size_t>(
+      flags.GetInt("entities", static_cast<int64_t>(gen.num_records / 4)));
+  gen.seed = static_cast<uint64_t>(flags.GetInt("seed", 245260));
+  const std::vector<int> ks =
+      flags.GetIntList("ks", {1, 5, 10, 50, 100, 500, 1000});
+  const int passes = static_cast<int>(flags.GetInt("passes", 2));
+
+  std::printf("Figure 4: Address dataset pruning (records=%zu entities=%zu "
+              "seed=%llu passes=%d)\n",
+              gen.num_records, gen.num_entities,
+              static_cast<unsigned long long>(gen.seed), passes);
+
+  Timer timer;
+  auto data_or = datagen::GenerateAddresses(gen);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 data_or.status().ToString().c_str());
+    return 1;
+  }
+  const record::Dataset& data = data_or.value();
+  predicates::Corpus::Options corpus_options;
+  corpus_options.stop_words = datagen::AddressStopWords();
+  auto corpus_or = predicates::Corpus::Build(&data, corpus_options);
+  if (!corpus_or.ok()) {
+    std::fprintf(stderr, "corpus: %s\n",
+                 corpus_or.status().ToString().c_str());
+    return 1;
+  }
+  const predicates::Corpus& corpus = corpus_or.value();
+  std::printf("generated %zu records + corpus in %.1fs\n\n", data.size(),
+              timer.ElapsedSeconds());
+
+  predicates::AddressFields fields;
+  predicates::AddressS1 s1(&corpus, fields);
+  predicates::AddressN1 n1(&corpus, fields);
+
+  bench::TablePrinter table({"K", "n%", "m", "M", "n'%", "sec"},
+                            {5, 7, 7, 12, 7, 7});
+  std::printf("%31s\n", "Iteration-1 (S1,N1)");
+  table.PrintHeader();
+
+  const double d = static_cast<double>(data.size());
+  for (int k : ks) {
+    dedup::PrunedDedupOptions options;
+    options.k = k;
+    options.prune_passes = passes;
+    Timer run_timer;
+    auto result_or = dedup::PrunedDedup(data, {{&s1, &n1}}, options);
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "K=%d: %s\n", k,
+                   result_or.status().ToString().c_str());
+      continue;
+    }
+    const auto& level = result_or.value().levels[0];
+    table.PrintRow({std::to_string(k),
+                    bench::Pct(level.n_after_collapse, d),
+                    std::to_string(level.m), bench::Num(level.M, 0),
+                    bench::Pct(level.n_after_prune, d),
+                    bench::Num(run_timer.ElapsedSeconds(), 2)});
+  }
+  table.PrintRule();
+  return 0;
+}
+
+}  // namespace
+}  // namespace topkdup
+
+int main(int argc, char** argv) { return topkdup::Run(argc, argv); }

@@ -1,0 +1,46 @@
+// Micro benchmark: union-find collapse throughput (the inner loop of the
+// sufficient-predicate collapse step).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "dedup/union_find.h"
+
+namespace topkdup {
+namespace {
+
+void BM_UnionFindRandomUnions(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(rng.Uniform(n), rng.Uniform(n));
+  }
+  for (auto _ : state) {
+    dedup::UnionFind uf(n);
+    for (const auto& [a, b] : pairs) uf.Union(a, b);
+    benchmark::DoNotOptimize(uf.set_count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_UnionFindRandomUnions)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_UnionFindFindAfterCollapse(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  dedup::UnionFind uf(n);
+  for (size_t i = 0; i < n / 2; ++i) {
+    uf.Union(rng.Uniform(n), rng.Uniform(n));
+  }
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uf.Find(q % n));
+    ++q;
+  }
+}
+BENCHMARK(BM_UnionFindFindAfterCollapse)->Arg(16384)->Arg(131072);
+
+}  // namespace
+}  // namespace topkdup
+
+BENCHMARK_MAIN();

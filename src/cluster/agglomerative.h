@@ -1,0 +1,50 @@
+#ifndef TOPKDUP_CLUSTER_AGGLOMERATIVE_H_
+#define TOPKDUP_CLUSTER_AGGLOMERATIVE_H_
+
+#include <vector>
+
+#include "cluster/pair_scores.h"
+#include "common/status.h"
+
+namespace topkdup::cluster {
+
+enum class Linkage {
+  kSingle,   // linkage(A, B) = max pair score
+  kAverage,  // linkage(A, B) = mean pair score
+};
+
+/// One merge of the agglomeration, in execution order. Cluster ids: leaves
+/// are 0..n-1, internal nodes n, n+1, ... in merge order; `result` is the
+/// id of the merged cluster.
+struct Merge {
+  int left = 0;
+  int right = 0;
+  int result = 0;
+  double linkage = 0.0;
+};
+
+/// Result of hierarchical agglomerative clustering (paper §5.2's initial
+/// hierarchy). The flat clustering stops merging when the best available
+/// linkage drops below `stop_threshold`; the full dendrogram keeps merging
+/// to a single root so that frontier-based groupings remain available.
+struct AgglomerativeResult {
+  Labels labels;              // Flat clustering at the stop threshold.
+  std::vector<Merge> merges;  // Full dendrogram (n-1 merges).
+};
+
+/// Runs bottom-up agglomeration over the score matrix. O(n^2) memory;
+/// rejects inputs larger than `max_items`.
+StatusOr<AgglomerativeResult> Agglomerate(const PairScores& scores,
+                                          Linkage linkage,
+                                          double stop_threshold = 0.0,
+                                          size_t max_items = 4096);
+
+/// Reads a linear order of the leaves off the dendrogram (left-to-right
+/// leaf order of the merge tree). Used as the hierarchy-induced embedding
+/// that §5.3 generalizes.
+std::vector<size_t> DendrogramLeafOrder(const std::vector<Merge>& merges,
+                                        size_t n);
+
+}  // namespace topkdup::cluster
+
+#endif  // TOPKDUP_CLUSTER_AGGLOMERATIVE_H_

@@ -1,0 +1,58 @@
+#include "cluster/baselines.h"
+
+#include <numeric>
+
+#include "cluster/correlation.h"
+#include "dedup/union_find.h"
+
+namespace topkdup::cluster {
+
+Labels TransitiveClosurePositive(const PairScores& scores) {
+  const size_t n = scores.item_count();
+  dedup::UnionFind uf(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& [j, s] : scores.Neighbors(i)) {
+      if (j > i && s > 0.0) uf.Union(i, j);
+    }
+  }
+  Labels labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(uf.Find(i));
+  }
+  return Canonicalize(labels);
+}
+
+Labels GreedyPivot(const PairScores& scores, Rng* rng) {
+  const size_t n = scores.item_count();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng->Shuffle(&order);
+
+  Labels labels(n, -1);
+  int next_cluster = 0;
+  for (size_t pivot : order) {
+    if (labels[pivot] != -1) continue;
+    const int c = next_cluster++;
+    labels[pivot] = c;
+    for (const auto& [j, s] : scores.Neighbors(pivot)) {
+      if (labels[j] == -1 && s > 0.0) labels[j] = c;
+    }
+  }
+  return labels;
+}
+
+Labels GreedyPivotBestOf(const PairScores& scores, Rng* rng, int trials) {
+  Labels best;
+  double best_score = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Labels candidate = GreedyPivot(scores, rng);
+    const double score = CorrelationScore(candidate, scores);
+    if (best.empty() || score > best_score) {
+      best = std::move(candidate);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace topkdup::cluster

@@ -1,0 +1,24 @@
+#ifndef TOPKDUP_CLUSTER_BASELINES_H_
+#define TOPKDUP_CLUSTER_BASELINES_H_
+
+#include "cluster/pair_scores.h"
+#include "common/rng.h"
+
+namespace topkdup::cluster {
+
+/// The transitive-closure baseline of paper §6.4: groups are connected
+/// components of the graph of pairs with strictly positive score.
+Labels TransitiveClosurePositive(const PairScores& scores);
+
+/// Randomized pivot correlation clustering (Ailon-Charikar-Newman style):
+/// repeatedly pick a random unassigned pivot and group it with every
+/// unassigned item having positive score with the pivot. A standard
+/// 3-approximation scheme for correlation clustering on +/- graphs.
+Labels GreedyPivot(const PairScores& scores, Rng* rng);
+
+/// Best of `trials` GreedyPivot runs under CorrelationScore.
+Labels GreedyPivotBestOf(const PairScores& scores, Rng* rng, int trials);
+
+}  // namespace topkdup::cluster
+
+#endif  // TOPKDUP_CLUSTER_BASELINES_H_

@@ -1,0 +1,51 @@
+#include "cluster/correlation.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace topkdup::cluster {
+
+double GroupScore(const std::vector<size_t>& group,
+                  const PairScores& scores) {
+  const size_t n = scores.item_count();
+  std::vector<bool> in_group(n, false);
+  for (size_t t : group) {
+    TOPKDUP_CHECK(t < n);
+    in_group[t] = true;
+  }
+
+  double inside_pos = 0.0;
+  double crossing_neg = 0.0;
+  for (size_t t : group) {
+    size_t stored_outside = 0;
+    for (const auto& [other, s] : scores.Neighbors(t)) {
+      if (in_group[other]) {
+        // Each inside pair visited from both endpoints: halve below.
+        if (s > 0.0) inside_pos += s;
+      } else {
+        ++stored_outside;
+        if (s < 0.0) crossing_neg += s;
+      }
+    }
+    // Unstored crossing pairs take the default score.
+    const size_t outside_total = n - group.size();
+    const size_t unstored_outside = outside_total - stored_outside;
+    crossing_neg +=
+        scores.default_score() * static_cast<double>(unstored_outside);
+  }
+  return inside_pos / 2.0 - crossing_neg;
+}
+
+double CorrelationScore(const std::vector<std::vector<size_t>>& partition,
+                        const PairScores& scores) {
+  double total = 0.0;
+  for (const auto& group : partition) total += GroupScore(group, scores);
+  return total;
+}
+
+double CorrelationScore(const Labels& labels, const PairScores& scores) {
+  return CorrelationScore(LabelsToGroups(labels), scores);
+}
+
+}  // namespace topkdup::cluster

@@ -1,0 +1,34 @@
+#ifndef TOPKDUP_CLUSTER_CORRELATION_H_
+#define TOPKDUP_CLUSTER_CORRELATION_H_
+
+#include <vector>
+
+#include "cluster/pair_scores.h"
+
+namespace topkdup::cluster {
+
+/// The decomposable correlation-clustering group score of paper Eq. (2):
+///
+///   Group_Score(c, D - c) =  sum of positive P over pairs inside c
+///                          - sum of negative P over pairs (t in c, t' not
+///                            in c)
+///
+/// so splitting apart a negative pair is rewarded and keeping a positive
+/// pair together is rewarded. Unstored pairs contribute default_score()
+/// when crossing (and nothing inside, since default <= 0 is not positive).
+double GroupScore(const std::vector<size_t>& group, const PairScores& scores);
+
+/// The correlation-clustering objective of paper Eq. (1): the sum of
+/// GroupScore over the partition's groups. Each inside positive pair is
+/// counted once and each crossing negative pair twice (once per side),
+/// matching Eq. (1) up to the paper's own double counting of inside pairs;
+/// rankings of partitions are unaffected by such constant factors.
+double CorrelationScore(const std::vector<std::vector<size_t>>& partition,
+                        const PairScores& scores);
+
+/// Labels overload.
+double CorrelationScore(const Labels& labels, const PairScores& scores);
+
+}  // namespace topkdup::cluster
+
+#endif  // TOPKDUP_CLUSTER_CORRELATION_H_

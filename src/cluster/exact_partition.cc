@@ -1,0 +1,125 @@
+#include "cluster/exact_partition.h"
+
+#include <bit>
+#include <limits>
+
+#include "cluster/correlation.h"
+#include "common/strings.h"
+#include "dedup/union_find.h"
+
+namespace topkdup::cluster {
+
+StatusOr<ExactPartitionResult> ExactPartition(const PairScores& scores,
+                                              size_t max_items) {
+  const size_t n = scores.item_count();
+  if (n > max_items) {
+    return Status::ResourceExhausted(
+        StrFormat("ExactPartition: %zu items exceeds max_items=%zu", n,
+                  max_items));
+  }
+  ExactPartitionResult result;
+  if (n == 0) return result;
+
+  const uint32_t full = n == 32 ? 0xffffffffu : ((1u << n) - 1);
+
+  // group_score[S] = GroupScore of the item subset S against the full
+  // universe. Built incrementally: adding item t to subset S adjusts the
+  // inside-positive and crossing-negative sums by t's stored pairs.
+  std::vector<double> group_score(static_cast<size_t>(full) + 1, 0.0);
+  // neg_total[t] = sum of negative stored scores incident to t, plus the
+  // default-score mass of t's unstored pairs.
+  std::vector<double> neg_total(n, 0.0);
+  for (size_t t = 0; t < n; ++t) {
+    neg_total[t] =
+        scores.StoredNegativeIncident(t) +
+        scores.default_score() *
+            static_cast<double>(n - 1 - scores.Neighbors(t).size());
+  }
+
+  for (uint32_t s = 1; s <= full; ++s) {
+    const int t = std::countr_zero(s);  // Newest item: lowest set bit.
+    const uint32_t rest = s & (s - 1);
+    // Start from the subset without t; t begins with all its negative
+    // pairs crossing.
+    double value = group_score[rest] - neg_total[t];
+    for (const auto& [other, p] : scores.Neighbors(static_cast<size_t>(t))) {
+      if (other >= n) continue;
+      if (rest & (1u << other)) {
+        // Pair (t, other) is now inside: gain positives, un-cross
+        // negatives from *both* endpoints' crossing terms.
+        if (p > 0.0) value += p;
+        if (p < 0.0) value += 2.0 * p;  // Remove -p twice.
+      }
+    }
+    // Unstored pairs between t and rest switch from crossing to inside
+    // for both endpoints as well.
+    const int inside_stored = [&] {
+      int cnt = 0;
+      for (const auto& [other, p] : scores.Neighbors(static_cast<size_t>(t))) {
+        (void)p;
+        if (rest & (1u << other)) ++cnt;
+      }
+      return cnt;
+    }();
+    const int inside_total = std::popcount(rest);
+    value += 2.0 * scores.default_score() *
+             static_cast<double>(inside_total - inside_stored);
+    group_score[s] = value;
+    if (s == full) break;  // Avoid overflow when n == 32.
+  }
+
+  // Partition DP: best[S] = max over subsets T of S containing S's lowest
+  // bit of group_score[T] + best[S \ T].
+  std::vector<double> best(static_cast<size_t>(full) + 1, 0.0);
+  std::vector<uint32_t> choice(static_cast<size_t>(full) + 1, 0);
+  for (uint32_t s = 1; s <= full; ++s) {
+    const uint32_t low = s & (~s + 1);
+    double best_value = -std::numeric_limits<double>::infinity();
+    uint32_t best_t = 0;
+    // Enumerate submasks of s containing `low`.
+    const uint32_t rest_mask = s ^ low;
+    uint32_t sub = rest_mask;
+    while (true) {
+      const uint32_t t = sub | low;
+      const double value = group_score[t] + best[s ^ t];
+      if (value > best_value) {
+        best_value = value;
+        best_t = t;
+      }
+      if (sub == 0) break;
+      sub = (sub - 1) & rest_mask;
+    }
+    best[s] = best_value;
+    choice[s] = best_t;
+    if (s == full) break;
+  }
+
+  // Reconstruct.
+  result.labels.assign(n, -1);
+  int cluster = 0;
+  uint32_t s = full;
+  while (s != 0) {
+    const uint32_t t = choice[s];
+    for (size_t i = 0; i < n; ++i) {
+      if (t & (1u << i)) result.labels[i] = cluster;
+    }
+    ++cluster;
+    s ^= t;
+  }
+  result.score = best[full];
+  return result;
+}
+
+std::vector<std::vector<size_t>> ScoreComponents(const PairScores& scores) {
+  const size_t n = scores.item_count();
+  dedup::UnionFind uf(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& [j, s] : scores.Neighbors(i)) {
+      (void)s;
+      if (j > i) uf.Union(i, j);
+    }
+  }
+  return uf.Groups();
+}
+
+}  // namespace topkdup::cluster

@@ -1,0 +1,32 @@
+#ifndef TOPKDUP_CLUSTER_EXACT_PARTITION_H_
+#define TOPKDUP_CLUSTER_EXACT_PARTITION_H_
+
+#include <vector>
+
+#include "cluster/pair_scores.h"
+#include "common/status.h"
+
+namespace topkdup::cluster {
+
+struct ExactPartitionResult {
+  Labels labels;
+  double score = 0.0;
+};
+
+/// Exact maximizer of CorrelationScore by dynamic programming over subsets
+/// (O(3^n) time, O(2^n) memory). Usable up to ~18 items; rejects larger
+/// inputs. Serves as ground truth for the approximate algorithms and as the
+/// small-component exact solver in the fig7 harness.
+StatusOr<ExactPartitionResult> ExactPartition(const PairScores& scores,
+                                              size_t max_items = 18);
+
+/// Connected components of the stored-pair graph (any stored pair links its
+/// endpoints, regardless of sign). Exact solvers run per component: items
+/// of different components interact only through the default score, which
+/// never favors merging, so the global optimum is the union of per-component
+/// optima when the default score is 0.
+std::vector<std::vector<size_t>> ScoreComponents(const PairScores& scores);
+
+}  // namespace topkdup::cluster
+
+#endif  // TOPKDUP_CLUSTER_EXACT_PARTITION_H_

@@ -1,0 +1,176 @@
+#include "cluster/hierarchy_dp.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "cluster/correlation.h"
+#include "common/strings.h"
+
+namespace topkdup::cluster {
+
+namespace {
+
+struct Entry {
+  double score = 0.0;
+  bool cut = false;      // True: this node's leaves form one group.
+  uint8_t left_rank = 0;   // Child entry ranks when not cut.
+  uint8_t right_rank = 0;
+};
+
+/// Top-r descending cross-sum of two descending entry lists.
+std::vector<Entry> Combine(const std::vector<Entry>& left,
+                           const std::vector<Entry>& right, int r) {
+  std::vector<Entry> out;
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      Entry e;
+      e.score = left[i].score + right[j].score;
+      e.cut = false;
+      e.left_rank = static_cast<uint8_t>(i);
+      e.right_rank = static_cast<uint8_t>(j);
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.score > b.score; });
+  if (out.size() > static_cast<size_t>(r)) out.resize(r);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<HierarchyGrouping>> BestHierarchyGroupings(
+    const PairScores& scores, const std::vector<Merge>& merges, int r) {
+  if (r < 1) {
+    return Status::InvalidArgument("BestHierarchyGroupings: r must be >= 1");
+  }
+  if (r > 255) {
+    return Status::InvalidArgument(
+        "BestHierarchyGroupings: r > 255 unsupported");
+  }
+  const size_t n = scores.item_count();
+  const size_t node_count = n + merges.size();
+  std::vector<std::pair<int, int>> children(node_count, {-1, -1});
+  std::vector<bool> is_child(node_count, false);
+  for (const Merge& m : merges) {
+    if (m.result < 0 || static_cast<size_t>(m.result) >= node_count ||
+        m.left < 0 || m.right < 0 || m.left >= m.result ||
+        m.right >= m.result) {
+      return Status::InvalidArgument(
+          "BestHierarchyGroupings: malformed merge list");
+    }
+    if (is_child[m.left] || is_child[m.right]) {
+      return Status::InvalidArgument(
+          "BestHierarchyGroupings: node used as child twice");
+    }
+    children[m.result] = {m.left, m.right};
+    is_child[m.left] = true;
+    is_child[m.right] = true;
+  }
+
+  // Leaf sets and per-node whole-group scores, bottom-up (children always
+  // precede parents by construction of merge ids).
+  std::vector<std::vector<size_t>> leaves(node_count);
+  std::vector<double> cut_score(node_count, 0.0);
+  for (size_t node = 0; node < node_count; ++node) {
+    if (node < n) {
+      leaves[node] = {node};
+    } else {
+      const auto& [l, rgt] = children[node];
+      if (l < 0) {
+        return Status::InvalidArgument(
+            "BestHierarchyGroupings: internal node without children");
+      }
+      leaves[node] = leaves[l];
+      leaves[node].insert(leaves[node].end(), leaves[rgt].begin(),
+                          leaves[rgt].end());
+    }
+    cut_score[node] = GroupScore(leaves[node], scores);
+  }
+
+  // Bottom-up top-r DP.
+  std::vector<std::vector<Entry>> best(node_count);
+  for (size_t node = 0; node < node_count; ++node) {
+    Entry cut;
+    cut.score = cut_score[node];
+    cut.cut = true;
+    if (node < n) {
+      best[node] = {cut};
+      continue;
+    }
+    const auto& [l, rgt] = children[node];
+    std::vector<Entry> combined = Combine(best[l], best[rgt], r);
+    combined.push_back(cut);
+    std::sort(combined.begin(), combined.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.score > b.score;
+              });
+    if (combined.size() > static_cast<size_t>(r)) combined.resize(r);
+    best[node] = std::move(combined);
+  }
+
+  // Multiple roots (a forest) combine like children of a virtual root.
+  std::vector<int> roots;
+  for (size_t node = 0; node < node_count; ++node) {
+    if (!is_child[node]) roots.push_back(static_cast<int>(node));
+  }
+  if (roots.empty()) {
+    return Status::InvalidArgument("BestHierarchyGroupings: cyclic merges");
+  }
+
+  // Fold roots left-to-right, tracking per-root chosen ranks for
+  // reconstruction: combo[rank] = ranks chosen per root.
+  std::vector<std::vector<uint8_t>> combo_ranks = {{}};
+  std::vector<double> combo_scores = {0.0};
+  for (int root : roots) {
+    std::vector<std::vector<uint8_t>> next_ranks;
+    std::vector<double> next_scores;
+    for (size_t c = 0; c < combo_ranks.size(); ++c) {
+      for (size_t rank = 0; rank < best[root].size(); ++rank) {
+        std::vector<uint8_t> ranks = combo_ranks[c];
+        ranks.push_back(static_cast<uint8_t>(rank));
+        next_ranks.push_back(std::move(ranks));
+        next_scores.push_back(combo_scores[c] + best[root][rank].score);
+      }
+    }
+    // Keep top r combos.
+    std::vector<size_t> idx(next_scores.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      return next_scores[a] > next_scores[b];
+    });
+    if (idx.size() > static_cast<size_t>(r)) idx.resize(r);
+    combo_ranks.clear();
+    combo_scores.clear();
+    for (size_t i : idx) {
+      combo_ranks.push_back(next_ranks[i]);
+      combo_scores.push_back(next_scores[i]);
+    }
+  }
+
+  // Reconstruct labels.
+  std::vector<HierarchyGrouping> out;
+  for (size_t c = 0; c < combo_ranks.size(); ++c) {
+    HierarchyGrouping grouping;
+    grouping.score = combo_scores[c];
+    grouping.labels.assign(n, -1);
+    int next_label = 0;
+    std::function<void(int, size_t)> assign = [&](int node, size_t rank) {
+      const Entry& e = best[node][rank];
+      if (e.cut) {
+        const int label = next_label++;
+        for (size_t leaf : leaves[node]) grouping.labels[leaf] = label;
+        return;
+      }
+      assign(children[node].first, e.left_rank);
+      assign(children[node].second, e.right_rank);
+    };
+    for (size_t root_idx = 0; root_idx < roots.size(); ++root_idx) {
+      assign(roots[root_idx], combo_ranks[c][root_idx]);
+    }
+    out.push_back(std::move(grouping));
+  }
+  return out;
+}
+
+}  // namespace topkdup::cluster

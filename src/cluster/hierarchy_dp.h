@@ -1,0 +1,39 @@
+#ifndef TOPKDUP_CLUSTER_HIERARCHY_DP_H_
+#define TOPKDUP_CLUSTER_HIERARCHY_DP_H_
+
+#include <vector>
+
+#include "cluster/agglomerative.h"
+#include "cluster/pair_scores.h"
+#include "common/status.h"
+
+namespace topkdup::cluster {
+
+/// §5.2 of the paper: arrange records in a cluster hierarchy, then read
+/// candidate groupings off *frontiers* of the tree — every antichain that
+/// covers all leaves is one disjoint grouping. The paper mentions (but
+/// does not present) "a dynamic programming algorithm to find a ranked
+/// list of most likely groupings using leaf to root propagation"; this is
+/// that algorithm.
+///
+/// For each node the DP keeps the R best scores of grouping the node's
+/// leaves, either as one whole group ("cut here") or as any combination of
+/// its children's best groupings; parents combine children by a top-R
+/// cross sum. Scores are the decomposable GroupScore of
+/// cluster/correlation.h, so results are directly comparable with the
+/// segmentation method that generalizes this one (see the
+/// HierarchyVsSegmentation property test).
+struct HierarchyGrouping {
+  double score = 0.0;
+  Labels labels;
+};
+
+/// Returns up to `r` highest-scoring frontier groupings of the dendrogram
+/// over `scores`' items, best first. `merges` must be a full dendrogram
+/// over items 0..n-1 (e.g. from Agglomerate). Errors on malformed trees.
+StatusOr<std::vector<HierarchyGrouping>> BestHierarchyGroupings(
+    const PairScores& scores, const std::vector<Merge>& merges, int r);
+
+}  // namespace topkdup::cluster
+
+#endif  // TOPKDUP_CLUSTER_HIERARCHY_DP_H_

@@ -1,0 +1,44 @@
+#ifndef TOPKDUP_CLUSTER_LP_CLUSTER_H_
+#define TOPKDUP_CLUSTER_LP_CLUSTER_H_
+
+#include "cluster/pair_scores.h"
+#include "common/status.h"
+
+namespace topkdup::cluster {
+
+struct LpClusterOptions {
+  /// Refuse inputs with more items (the LP has O(n^2) variables).
+  size_t max_items = 48;
+  /// Violated triangle inequalities added per round (most violated first).
+  size_t constraints_per_round = 512;
+  int max_rounds = 64;
+  double integrality_epsilon = 1e-6;
+};
+
+struct LpClusterResult {
+  Labels labels;
+  /// Optimal value of the relaxation (an upper bound on the best
+  /// correlation score up to the constant sum of negative weights).
+  double lp_objective = 0.0;
+  /// True when the relaxation solved integrally, in which case `labels`
+  /// is a provably optimal correlation clustering (paper §5.1: "when the
+  /// LP returns integral answers, the solution is guaranteed to be exact").
+  bool integral = false;
+  int rounds = 0;
+  size_t constraints_added = 0;
+};
+
+/// Solves the correlation-clustering LP relaxation of paper §5.1
+/// (maximize sum P_ij x_ij with triangle consistency x_ij + x_jk - x_ik <= 1
+/// and 0 <= x <= 1) by cutting planes: triangle inequalities are added
+/// lazily, most-violated first, until none are violated.
+///
+/// When the final solution is integral, the labels are the exact optimum.
+/// Otherwise labels come from thresholding x >= 0.5 followed by transitive
+/// closure, and `integral` is false.
+StatusOr<LpClusterResult> LpCluster(const PairScores& scores,
+                                    const LpClusterOptions& options = {});
+
+}  // namespace topkdup::cluster
+
+#endif  // TOPKDUP_CLUSTER_LP_CLUSTER_H_

@@ -1,0 +1,93 @@
+#include "cluster/pair_scores.h"
+
+#include "common/check.h"
+
+namespace topkdup::cluster {
+
+PairScores::PairScores(size_t n, double default_score)
+    : n_(n),
+      default_score_(default_score),
+      adj_(n),
+      neg_incident_(n, 0.0) {
+  TOPKDUP_CHECK(default_score <= 0.0);
+}
+
+void PairScores::Set(size_t i, size_t j, double score) {
+  TOPKDUP_CHECK(i < n_ && j < n_ && i != j);
+  auto [it, inserted] = store_.emplace(Key(i, j), score);
+  if (inserted) {
+    adj_[i].emplace_back(static_cast<uint32_t>(j), score);
+    adj_[j].emplace_back(static_cast<uint32_t>(i), score);
+    if (score < 0.0) {
+      neg_incident_[i] += score;
+      neg_incident_[j] += score;
+    }
+    return;
+  }
+  // Overwrite: fix adjacency copies and the negative-incident cache.
+  const double old = it->second;
+  it->second = score;
+  for (auto& [other, s] : adj_[i]) {
+    if (other == j) s = score;
+  }
+  for (auto& [other, s] : adj_[j]) {
+    if (other == i) s = score;
+  }
+  if (old < 0.0) {
+    neg_incident_[i] -= old;
+    neg_incident_[j] -= old;
+  }
+  if (score < 0.0) {
+    neg_incident_[i] += score;
+    neg_incident_[j] += score;
+  }
+}
+
+double PairScores::Get(size_t i, size_t j) const {
+  TOPKDUP_CHECK(i < n_ && j < n_);
+  if (i == j) return 0.0;
+  auto it = store_.find(Key(i, j));
+  return it == store_.end() ? default_score_ : it->second;
+}
+
+bool PairScores::Has(size_t i, size_t j) const {
+  if (i >= n_ || j >= n_ || i == j) return false;
+  return store_.count(Key(i, j)) > 0;
+}
+
+Labels Canonicalize(const Labels& labels) {
+  Labels out(labels.size(), -1);
+  std::unordered_map<int, int> remap;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    auto [it, inserted] =
+        remap.emplace(labels[i], static_cast<int>(remap.size()));
+    out[i] = it->second;
+  }
+  return out;
+}
+
+std::vector<std::vector<size_t>> LabelsToGroups(const Labels& labels) {
+  const Labels canon = Canonicalize(labels);
+  int max_label = -1;
+  for (int l : canon) max_label = std::max(max_label, l);
+  std::vector<std::vector<size_t>> groups(max_label + 1);
+  for (size_t i = 0; i < canon.size(); ++i) {
+    groups[canon[i]].push_back(i);
+  }
+  return groups;
+}
+
+Labels GroupsToLabels(const std::vector<std::vector<size_t>>& groups,
+                      size_t n) {
+  Labels labels(n, -1);
+  for (size_t c = 0; c < groups.size(); ++c) {
+    for (size_t item : groups[c]) {
+      TOPKDUP_CHECK(item < n && labels[item] == -1);
+      labels[item] = static_cast<int>(c);
+    }
+  }
+  for (int l : labels) TOPKDUP_CHECK(l >= 0);
+  return labels;
+}
+
+}  // namespace topkdup::cluster

@@ -1,0 +1,76 @@
+#ifndef TOPKDUP_CLUSTER_PAIR_SCORES_H_
+#define TOPKDUP_CLUSTER_PAIR_SCORES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace topkdup::cluster {
+
+/// Sparse symmetric matrix of signed pairwise duplicate scores P(i, j) over
+/// items 0..n-1 (paper §5.1): positive means "likely duplicates", negative
+/// "likely distinct", magnitude is confidence.
+///
+/// Pairs that were never stored (typically: pairs failing the necessary
+/// predicate) take `default_score()`, which must be <= 0 — an unstored pair
+/// can never be evidence *for* merging.
+class PairScores {
+ public:
+  explicit PairScores(size_t n, double default_score = 0.0);
+
+  size_t item_count() const { return n_; }
+
+  /// Sets P(i, j) (and P(j, i)). Overwrites an existing entry. i != j.
+  void Set(size_t i, size_t j, double score);
+
+  /// Stored score, or default_score() when the pair was never set.
+  double Get(size_t i, size_t j) const;
+
+  bool Has(size_t i, size_t j) const;
+
+  double default_score() const { return default_score_; }
+
+  /// Stored neighbors of item i as (other, score) pairs, unordered.
+  const std::vector<std::pair<uint32_t, double>>& Neighbors(size_t i) const {
+    return adj_[i];
+  }
+
+  /// Number of stored (unordered) pairs.
+  size_t stored_pair_count() const { return store_.size(); }
+
+  /// Sum over stored pairs (t, j) with negative score of that score
+  /// (a non-positive number). Used by group scoring.
+  double StoredNegativeIncident(size_t i) const { return neg_incident_[i]; }
+
+ private:
+  static uint64_t Key(size_t i, size_t j) {
+    if (i > j) std::swap(i, j);
+    return (static_cast<uint64_t>(i) << 32) | static_cast<uint64_t>(j);
+  }
+
+  size_t n_;
+  double default_score_;
+  std::unordered_map<uint64_t, double> store_;
+  std::vector<std::vector<std::pair<uint32_t, double>>> adj_;
+  std::vector<double> neg_incident_;
+};
+
+/// A partition of items: labels[i] is the cluster id of item i; ids are
+/// dense 0..num_clusters-1 after Canonicalize.
+using Labels = std::vector<int>;
+
+/// Renumbers labels to dense ids in first-appearance order.
+Labels Canonicalize(const Labels& labels);
+
+/// Converts labels into member lists (cluster id -> items, ascending).
+std::vector<std::vector<size_t>> LabelsToGroups(const Labels& labels);
+
+/// Converts member lists into labels. Members must cover 0..n-1 disjointly.
+Labels GroupsToLabels(const std::vector<std::vector<size_t>>& groups,
+                      size_t n);
+
+}  // namespace topkdup::cluster
+
+#endif  // TOPKDUP_CLUSTER_PAIR_SCORES_H_

@@ -1,0 +1,20 @@
+#ifndef TOPKDUP_COMMON_CHECK_H_
+#define TOPKDUP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts the process when `cond` is false. Reserved for programmer errors
+/// (broken invariants); user-facing failures return Status instead.
+#define TOPKDUP_CHECK(cond)                                             \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                    \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#define TOPKDUP_DCHECK(cond) TOPKDUP_CHECK(cond)
+
+#endif  // TOPKDUP_COMMON_CHECK_H_

@@ -1,0 +1,151 @@
+#ifndef TOPKDUP_COMMON_STATUS_H_
+#define TOPKDUP_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace topkdup {
+
+/// Error codes for all fallible operations in the library.
+///
+/// The library does not use C++ exceptions; every operation that can fail
+/// returns a Status (or a StatusOr<T> when it also produces a value).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kResourceExhausted = 7,
+  kIOError = 8,
+};
+
+/// Lightweight status object carrying an error code and a human-readable
+/// message. The OK status carries no message and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A value-or-error union in the spirit of absl::StatusOr.
+///
+/// Accessing value() on an errored StatusOr aborts the process; callers must
+/// test ok() first (or use value_or()).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}
+
+  /// Implicit construction from an error status.
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  /// Returns the contained value, or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadStatusAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!value_.has_value()) internal::DieOnBadStatusAccess(status_);
+}
+
+/// Propagates a non-OK Status to the caller.
+#define TOPKDUP_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::topkdup::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, else binding `lhs`.
+#define TOPKDUP_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto TOPKDUP_CONCAT_(_sor_, __LINE__) = (expr);            \
+  if (!TOPKDUP_CONCAT_(_sor_, __LINE__).ok())                \
+    return TOPKDUP_CONCAT_(_sor_, __LINE__).status();        \
+  lhs = std::move(TOPKDUP_CONCAT_(_sor_, __LINE__)).value()
+
+#define TOPKDUP_CONCAT_IMPL_(a, b) a##b
+#define TOPKDUP_CONCAT_(a, b) TOPKDUP_CONCAT_IMPL_(a, b)
+
+}  // namespace topkdup
+
+#endif  // TOPKDUP_COMMON_STATUS_H_

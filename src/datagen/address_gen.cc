@@ -1,0 +1,142 @@
+#include "datagen/address_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "datagen/lexicon.h"
+#include "datagen/noise.h"
+#include "text/tokenize.h"
+
+namespace topkdup::datagen {
+
+namespace {
+
+struct Entity {
+  std::string first;
+  std::string last;
+  std::string street;
+  std::string street2;
+  std::string locality;
+  std::string house;
+  std::string pin;
+  std::vector<std::pair<std::string, std::string>> variants;  // name, addr
+};
+
+std::string CanonicalAddress(const Entity& e) {
+  return StrFormat("house no %s %s %s road near %s %s pune", e.house.c_str(),
+                   e.street.c_str(), e.street2.c_str(), e.street.c_str(),
+                   e.locality.c_str());
+}
+
+}  // namespace
+
+StatusOr<record::Dataset> GenerateAddresses(const AddressGenOptions& options) {
+  if (options.num_entities == 0 || options.num_records == 0) {
+    return Status::InvalidArgument("GenerateAddresses: empty sizes");
+  }
+  Rng rng(options.seed);
+  const std::vector<std::string>& stops = AddressStopWords();
+
+  // S1 sufficiency guard: (name initials, last name, street, locality) is
+  // globally unique, so two entities that could pass S1's address-overlap
+  // test (same street and locality) never pass its initials+name test.
+  std::unordered_map<std::string, size_t> s1_keys;
+
+  std::vector<Entity> entities;
+  entities.reserve(options.num_entities);
+  while (entities.size() < options.num_entities) {
+    Entity e;
+    e.first = rng.Bernoulli(0.4)
+                  ? SyntheticGivenName(&rng)
+                  : FirstNames()[rng.Uniform(FirstNames().size())];
+    e.last = rng.Bernoulli(0.4)
+                 ? SyntheticSurname(&rng)
+                 : LastNames()[rng.Uniform(LastNames().size())];
+    e.street = StreetWords()[rng.Uniform(StreetWords().size())];
+    e.street2 = StreetWords()[rng.Uniform(StreetWords().size())];
+    e.locality = LocalityNames()[rng.Uniform(LocalityNames().size())];
+    e.house = StrFormat("%d%c", static_cast<int>(1 + rng.Uniform(400)),
+                        static_cast<char>('a' + rng.Uniform(6)));
+    e.pin = StrFormat("411%03d", static_cast<int>(rng.Uniform(60)));
+    const std::string name = e.first + " " + e.last;
+    const std::string key = text::Initials(name) + "|" + e.last + "|" +
+                            e.street + "|" + e.locality;
+    const size_t id = entities.size();
+    auto [it, inserted] = s1_keys.emplace(key, id);
+    if (!inserted) continue;  // Redraw: would collide under S1.
+    e.variants.emplace_back(name, CanonicalAddress(e));
+    entities.push_back(std::move(e));
+  }
+
+  // Mention variants, certified to keep N1 (>= n1_min_common common
+  // non-stop words over name+address) across all pairs of the entity.
+  for (Entity& e : entities) {
+    const std::string canonical_concat =
+        e.variants[0].first + " " + e.variants[0].second;
+    const int target =
+        1 + static_cast<int>(rng.Uniform(
+                static_cast<uint64_t>(options.max_variants)));
+    for (int attempt = 0;
+         attempt < 4 * options.max_variants &&
+         static_cast<int>(e.variants.size()) < target;
+         ++attempt) {
+      std::string name = e.first;
+      if (rng.Bernoulli(options.initial_form_prob)) {
+        name = name.substr(0, 1);
+      } else if (name.size() > 2 && rng.Bernoulli(options.typo_prob)) {
+        name = ApplyTypo(name, &rng);
+      }
+      name += ' ';
+      name += e.last;
+
+      std::string addr = StrFormat("%s %s", e.house.c_str(),
+                                   e.street.c_str());
+      if (!rng.Bernoulli(options.drop_word_prob)) {
+        addr += ' ';
+        addr += e.street2;
+      }
+      addr += rng.Bernoulli(0.5) ? " road " : " street ";
+      addr += e.locality;
+      if (rng.Bernoulli(0.5)) addr += " pune";
+
+      bool ok = true;
+      const std::string concat = name + " " + addr;
+      for (const auto& [vn, va] : e.variants) {
+        if (CommonWordCount(concat, vn + " " + va, stops) <
+            options.n1_min_common) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      if (std::find(e.variants.begin(), e.variants.end(),
+                    std::make_pair(name, addr)) != e.variants.end()) {
+        continue;
+      }
+      e.variants.emplace_back(name, addr);
+    }
+  }
+
+  // Asset mentions with heavy-tailed worth.
+  record::Dataset data{record::Schema({"name", "address", "pin"})};
+  ZipfSampler zipf(options.num_entities, options.zipf_s);
+  while (data.size() < options.num_records) {
+    const size_t id = zipf.Sample(&rng);
+    const Entity& e = entities[id];
+    const auto& [name, addr] = e.variants[rng.Uniform(e.variants.size())];
+    record::Record rec;
+    rec.fields = {name, addr, e.pin};
+    rec.weight = std::exp(options.log_worth_mu +
+                          options.log_worth_sigma * rng.NextGaussian());
+    rec.entity_id = static_cast<int64_t>(id);
+    data.Add(std::move(rec));
+  }
+  return data;
+}
+
+}  // namespace topkdup::datagen

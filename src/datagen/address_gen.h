@@ -1,0 +1,43 @@
+#ifndef TOPKDUP_DATAGEN_ADDRESS_GEN_H_
+#define TOPKDUP_DATAGEN_ADDRESS_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "record/record.h"
+
+namespace topkdup::datagen {
+
+/// Generator reproducing the paper's Address dataset (§6.1.3): a union of
+/// asset-provider rolls with fields {name, address, pin}, one entity per
+/// (person, address); record weight is a synthetic asset worth (the paper
+/// likewise assigned synthetic scores). Mentions vary in name initialisms,
+/// typos, and address word subsets.
+///
+/// Certification mirrors the other generators: every variant pair within
+/// an entity keeps >= n1_min_common common non-stop words across
+/// name+address (necessary predicate N1), and across entities the
+/// sufficient predicate S1 (same initials, >70% common name words, >=60%
+/// common address words) is made unfirable by keeping (initials, last
+/// name) unique per locality.
+struct AddressGenOptions {
+  size_t num_records = 60000;
+  size_t num_entities = 15000;
+  double zipf_s = 1.05;
+  int max_variants = 5;
+  double typo_prob = 0.2;
+  double initial_form_prob = 0.25;
+  double drop_word_prob = 0.35;
+  int n1_min_common = 4;
+  /// Asset worth = exp(mu + sigma * N(0,1)) — heavy-tailed like wealth.
+  double log_worth_mu = 1.0;
+  double log_worth_sigma = 0.8;
+  uint64_t seed = 245260;
+};
+
+/// Schema: {name, address, pin}; weight = asset worth; entity_id = person.
+StatusOr<record::Dataset> GenerateAddresses(const AddressGenOptions& options);
+
+}  // namespace topkdup::datagen
+
+#endif  // TOPKDUP_DATAGEN_ADDRESS_GEN_H_

@@ -1,0 +1,210 @@
+#include "datagen/citation_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/lexicon.h"
+#include "datagen/noise.h"
+#include "text/tokenize.h"
+
+namespace topkdup::datagen {
+
+namespace {
+
+struct Author {
+  std::string first;
+  std::string middle;  // Possibly empty.
+  std::string last;
+  std::vector<std::string> variants;
+};
+
+std::string CanonicalName(const Author& a) {
+  std::string name = a.first;
+  if (!a.middle.empty()) {
+    name += ' ';
+    name += a.middle;
+  }
+  name += ' ';
+  name += a.last;
+  return name;
+}
+
+/// Key under which the S2 predicate would match two mentions: the exact
+/// initials string plus the last name.
+std::string InitialsLastKey(const std::string& mention) {
+  return text::Initials(mention) + "|" +
+         text::WordTokens(mention).back();
+}
+
+/// Key under which the S1 predicate would match: the sorted set of
+/// non-initial words.
+std::string WordSetKey(const std::string& mention) {
+  std::vector<std::string> words;
+  for (const std::string& w : text::WordTokens(mention)) {
+    if (w.size() > 1) words.push_back(w);
+  }
+  std::sort(words.begin(), words.end());
+  std::string key;
+  for (const std::string& w : words) {
+    key += w;
+    key += '|';
+  }
+  return key;
+}
+
+}  // namespace
+
+StatusOr<record::Dataset> GenerateCitations(
+    const CitationGenOptions& options) {
+  if (options.num_authors == 0 || options.num_records == 0) {
+    return Status::InvalidArgument("GenerateCitations: empty sizes");
+  }
+  Rng rng(options.seed);
+
+  // ---- Entities ----------------------------------------------------
+  // Ownership maps guaranteeing sufficiency of S1/S2 across entities.
+  std::unordered_map<std::string, size_t> owner_initials_last;
+  std::unordered_map<std::string, size_t> owner_word_set;
+
+  auto claim = [&](std::unordered_map<std::string, size_t>* owners,
+                   const std::string& key, size_t author) {
+    auto [it, inserted] = owners->emplace(key, author);
+    return it->second == author;
+  };
+
+  std::vector<Author> authors;
+  authors.reserve(options.num_authors);
+  while (authors.size() < options.num_authors) {
+    Author a;
+    const bool rare = rng.Bernoulli(options.rare_name_fraction);
+    a.first = rare ? SyntheticGivenName(&rng)
+                   : FirstNames()[rng.Uniform(FirstNames().size())];
+    a.last = rare ? SyntheticSurname(&rng)
+                  : LastNames()[rng.Uniform(LastNames().size())];
+    if (rng.Bernoulli(0.3)) {
+      a.middle = FirstNames()[rng.Uniform(FirstNames().size())];
+    }
+    const std::string canonical = CanonicalName(a);
+    const size_t id = authors.size();
+    // The canonical mention must own both sufficient-predicate keys.
+    if (!claim(&owner_initials_last, InitialsLastKey(canonical), id)) {
+      continue;  // Collision with an existing author: redraw.
+    }
+    if (!claim(&owner_word_set, WordSetKey(canonical), id)) continue;
+    a.variants.push_back(canonical);
+    authors.push_back(std::move(a));
+  }
+
+  // ---- Mention variants --------------------------------------------
+  auto make_variant = [&](const Author& a) -> std::string {
+    std::string first = a.first;
+    std::string middle = a.middle;
+    if (rng.Bernoulli(options.initial_form_prob)) {
+      first = first.substr(0, 1);
+      if (!middle.empty()) middle = middle.substr(0, 1);
+    } else if (!middle.empty() && rng.Bernoulli(0.5)) {
+      middle.clear();  // Drop the middle name.
+    }
+    if (first.size() > 2 && rng.Bernoulli(options.typo_prob)) {
+      first = ApplyTypo(first, &rng);
+    }
+    std::string name = first;
+    if (!middle.empty()) {
+      name += ' ';
+      name += middle;
+    }
+    name += ' ';
+    name += a.last;
+    return name;
+  };
+
+  for (size_t id = 0; id < authors.size(); ++id) {
+    Author& a = authors[id];
+    const int target =
+        1 + static_cast<int>(rng.Uniform(
+                static_cast<uint64_t>(options.max_variants)));
+    for (int attempt = 0;
+         attempt < 4 * options.max_variants &&
+         static_cast<int>(a.variants.size()) < target;
+         ++attempt) {
+      const std::string v = make_variant(a);
+      if (std::find(a.variants.begin(), a.variants.end(), v) !=
+          a.variants.end()) {
+        continue;
+      }
+      // Certify the necessary predicates pairwise within the entity.
+      bool ok = true;
+      for (const std::string& existing : a.variants) {
+        if (QGramOverlapFraction(v, existing, options.qgram_q) <
+                options.n_overlap_fraction ||
+            !ShareInitial(v, existing)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      // Certify the sufficient predicates across entities.
+      if (!claim(&owner_initials_last, InitialsLastKey(v), id)) continue;
+      if (!claim(&owner_word_set, WordSetKey(v), id)) continue;
+      a.variants.push_back(v);
+    }
+  }
+
+  // ---- Papers and author-mention records ----------------------------
+  record::Dataset data{
+      record::Schema({"author", "coauthors", "title"})};
+  ZipfSampler zipf(options.num_authors, options.zipf_s);
+
+  while (data.size() < options.num_records) {
+    // One paper: 1-4 distinct authors, Zipf-popular ones more often.
+    const size_t coauthor_count = 1 + rng.Uniform(4);
+    std::vector<size_t> paper_authors;
+    for (size_t tries = 0;
+         paper_authors.size() < coauthor_count && tries < 16; ++tries) {
+      const size_t author = zipf.Sample(&rng);
+      if (std::find(paper_authors.begin(), paper_authors.end(), author) ==
+          paper_authors.end()) {
+        paper_authors.push_back(author);
+      }
+    }
+    std::string title;
+    const size_t title_len = 4 + rng.Uniform(5);
+    for (size_t w = 0; w < title_len; ++w) {
+      if (w > 0) title += ' ';
+      title += TitleWords()[rng.Uniform(TitleWords().size())];
+    }
+    // Pareto-tailed citation count, shared by the paper's mentions.
+    const double u = std::max(rng.NextDouble(), 1e-9);
+    const double count = std::min(
+        options.max_count,
+        std::floor(std::pow(u, -1.0 / options.count_pareto_alpha)));
+    for (size_t author : paper_authors) {
+      const Author& a = authors[author];
+      record::Record rec;
+      rec.fields.resize(3);
+      rec.fields[0] = rng.Bernoulli(options.canonical_mention_prob)
+                          ? a.variants[0]
+                          : a.variants[rng.Uniform(a.variants.size())];
+      std::string coauthors;
+      for (size_t other : paper_authors) {
+        if (other == author) continue;
+        if (!coauthors.empty()) coauthors += ' ';
+        coauthors += CanonicalName(authors[other]);
+      }
+      rec.fields[1] = coauthors;
+      rec.fields[2] = title;
+      rec.weight = count;
+      rec.entity_id = static_cast<int64_t>(author);
+      data.Add(std::move(rec));
+      if (data.size() >= options.num_records) break;
+    }
+  }
+  return data;
+}
+
+}  // namespace topkdup::datagen

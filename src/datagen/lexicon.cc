@@ -1,0 +1,154 @@
+#include "datagen/lexicon.h"
+
+namespace topkdup::datagen {
+
+namespace {
+
+const std::vector<std::string>* MakeFirstNames() {
+  return new std::vector<std::string>{
+      "anil",    "sunita",  "vinay",   "sourabh", "rahul",   "priya",
+      "amit",    "deepa",   "rajesh",  "kavita",  "suresh",  "meena",
+      "john",    "mary",    "james",   "susan",   "robert",  "linda",
+      "michael", "karen",   "david",   "nancy",   "richard", "lisa",
+      "thomas",  "betty",   "charles", "helen",   "daniel",  "sandra",
+      "arjun",   "lakshmi", "kiran",   "asha",    "manoj",   "rekha",
+      "sanjay",  "geeta",   "vijay",   "usha",    "ramesh",  "shanti",
+      "peter",   "anna",    "paul",    "laura",   "mark",    "julia",
+      "steven",  "emma",    "kevin",   "alice",   "brian",   "diana",
+      "george",  "fiona",   "henry",   "grace",   "walter",  "irene",
+      "nikhil",  "pooja",   "gaurav",  "neha",    "rohit",   "swati",
+      "ashok",   "leela",   "prakash", "radha",   "dinesh",  "seema",
+      "oliver",  "sophie",  "victor",  "teresa",  "arthur",  "claire",
+      "edward",  "martha",  "francis", "nora",    "gerald",  "olivia",
+      "harold",  "pamela",  "isaac",   "ruth",    "jacob",   "sylvia",
+      "mohan",   "tara",    "naveen",  "uma",     "pranav",  "vidya",
+  };
+}
+
+const std::vector<std::string>* MakeLastNames() {
+  return new std::vector<std::string>{
+      "sarawagi",   "deshpande", "kasliwal",  "agarwal",   "sharma",
+      "gupta",      "verma",     "singh",     "kumar",     "patel",
+      "joshi",      "kulkarni",  "nair",      "menon",     "iyer",
+      "reddy",      "rao",       "naidu",     "choudhary", "malhotra",
+      "smith",      "johnson",   "williams",  "brown",     "jones",
+      "miller",     "davis",     "garcia",    "wilson",    "anderson",
+      "taylor",     "thomas",    "moore",     "jackson",   "martin",
+      "thompson",   "white",     "harris",    "clark",     "lewis",
+      "stonebraker","dewitt",    "gray",      "codd",      "ullman",
+      "widom",      "halevy",    "motwani",   "raghavan",  "bhattacharya",
+      "chakrabarti","mukherjee", "banerjee",  "sengupta",  "ghosh",
+      "bose",       "dutta",     "chatterjee","mehta",     "shah",
+      "trivedi",    "pandey",    "mishra",    "tiwari",    "dubey",
+      "saxena",     "srivastava","bhatnagar", "kapoor",    "khanna",
+      "tendulkar",  "gavaskar",  "mangeshkar","phadke",    "gokhale",
+      "ranade",     "apte",      "bhave",     "karve",     "sathe",
+  };
+}
+
+const std::vector<std::string>* MakeTitleWords() {
+  return new std::vector<std::string>{
+      "efficient",  "scalable",  "adaptive",   "distributed", "parallel",
+      "incremental","robust",    "approximate","online",      "streaming",
+      "query",      "queries",   "processing", "optimization","indexing",
+      "mining",     "learning",  "clustering", "classification","ranking",
+      "duplicate",  "elimination","detection", "resolution",  "matching",
+      "records",    "data",      "databases",  "warehouses",  "graphs",
+      "networks",   "systems",   "algorithms", "models",      "methods",
+      "joins",      "aggregation","sampling",  "estimation",  "evaluation",
+      "topk",       "count",     "similarity", "uncertain",   "imprecise",
+      "entity",     "schema",    "integration","extraction",  "cleaning",
+  };
+}
+
+const std::vector<std::string>* MakeStreetWords() {
+  return new std::vector<std::string>{
+      "shivaji",   "gandhi",   "nehru",     "tilak",     "patel",
+      "station",   "market",   "temple",    "college",   "garden",
+      "laxmi",     "ganesh",   "saraswati", "hanuman",   "krishna",
+      "park",      "hill",     "river",     "lake",      "bridge",
+      "fergusson", "karve",    "senapati",  "bajirao",   "sinhagad",
+      "university","airport",  "industrial","commercial","residency",
+  };
+}
+
+const std::vector<std::string>* MakeLocalityNames() {
+  return new std::vector<std::string>{
+      "kothrud",   "aundh",     "baner",     "hadapsar",  "kondhwa",
+      "wakad",     "hinjewadi", "karvenagar","erandwane", "shivajinagar",
+      "deccan",    "kalyaninagar","viman",   "kharadi",   "bibwewadi",
+      "dhankawadi","katraj",    "warje",     "pashan",    "bavdhan",
+      "yerawada",  "mundhwa",   "wanowrie",  "sahakarnagar","parvati",
+  };
+}
+
+const std::vector<std::string>* MakeAddressStopWords() {
+  return new std::vector<std::string>{
+      "road",  "street", "lane",   "house",  "flat",  "plot",  "near",
+      "opp",   "behind", "floor",  "block",  "wing",  "no",    "apt",
+      "society","nagar", "colony", "pune",   "city",  "main",  "cross",
+  };
+}
+
+const char* const kOnsets[] = {"b",  "ch", "d",  "dh", "g",  "gh", "h",
+                               "j",  "k",  "kh", "l",  "m",  "n",  "p",
+                               "ph", "r",  "s",  "sh", "t",  "th", "v",
+                               "w",  "y",  "z",  "bh", "tr", "kr", "pr"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "aa", "ee", "ai",
+                               "oo", "au"};
+const char* const kCodas[] = {"", "n", "r", "l", "k", "t", "m", "sh", "nd",
+                              "nt"};
+
+std::string Syllable(Rng* rng) {
+  std::string s = kOnsets[rng->Uniform(sizeof(kOnsets) / sizeof(char*))];
+  s += kVowels[rng->Uniform(sizeof(kVowels) / sizeof(char*))];
+  s += kCodas[rng->Uniform(sizeof(kCodas) / sizeof(char*))];
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string>* names = MakeFirstNames();
+  return *names;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string>* names = MakeLastNames();
+  return *names;
+}
+
+const std::vector<std::string>& TitleWords() {
+  static const std::vector<std::string>* words = MakeTitleWords();
+  return *words;
+}
+
+const std::vector<std::string>& StreetWords() {
+  static const std::vector<std::string>* words = MakeStreetWords();
+  return *words;
+}
+
+const std::vector<std::string>& LocalityNames() {
+  static const std::vector<std::string>* words = MakeLocalityNames();
+  return *words;
+}
+
+const std::vector<std::string>& AddressStopWords() {
+  static const std::vector<std::string>* words = MakeAddressStopWords();
+  return *words;
+}
+
+std::string SyntheticSurname(Rng* rng) {
+  std::string s = Syllable(rng);
+  s += Syllable(rng);
+  if (rng->Bernoulli(0.5)) s += Syllable(rng);
+  return s;
+}
+
+std::string SyntheticGivenName(Rng* rng) {
+  std::string s = Syllable(rng);
+  if (rng->Bernoulli(0.4)) s += Syllable(rng);
+  return s;
+}
+
+}  // namespace topkdup::datagen

@@ -1,0 +1,30 @@
+#ifndef TOPKDUP_DATAGEN_LEXICON_H_
+#define TOPKDUP_DATAGEN_LEXICON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace topkdup::datagen {
+
+/// Word pools used by the synthetic dataset generators. Fixed, seedless —
+/// all randomness comes from the callers' Rng.
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& TitleWords();
+const std::vector<std::string>& StreetWords();
+const std::vector<std::string>& LocalityNames();
+const std::vector<std::string>& AddressStopWords();
+
+/// A pronounceable synthetic surname built from syllables; the space of
+/// outputs is large enough that entity-unique rare names are cheap to
+/// draw (rejection in the callers keeps them unique).
+std::string SyntheticSurname(Rng* rng);
+
+/// A synthetic given name (shorter than a surname).
+std::string SyntheticGivenName(Rng* rng);
+
+}  // namespace topkdup::datagen
+
+#endif  // TOPKDUP_DATAGEN_LEXICON_H_

@@ -1,0 +1,113 @@
+#include "datagen/noise.h"
+
+#include <algorithm>
+
+#include "text/tokenize.h"
+
+namespace topkdup::datagen {
+
+std::string ApplyTypo(std::string_view word, Rng* rng) {
+  std::string out(word);
+  if (out.size() < 3) return out;
+  // Positions 1..size-1 only: the first character (the initial) is stable.
+  const size_t pos = 1 + rng->Uniform(out.size() - 1);
+  switch (rng->Uniform(3)) {
+    case 0: {  // Substitution.
+      const char c = static_cast<char>('a' + rng->Uniform(26));
+      out[pos] = c;
+      break;
+    }
+    case 1:  // Deletion.
+      out.erase(pos, 1);
+      break;
+    default:  // Adjacent transposition (never moves position 0).
+      if (pos + 1 < out.size()) {
+        std::swap(out[pos], out[pos + 1]);
+      } else if (pos >= 2) {
+        std::swap(out[pos], out[pos - 1]);
+      }
+      break;
+  }
+  return out;
+}
+
+std::string DropRandomSpace(std::string_view text, Rng* rng) {
+  std::vector<size_t> spaces;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == ' ') spaces.push_back(i);
+  }
+  if (spaces.empty()) return std::string(text);
+  std::string out(text);
+  out.erase(spaces[rng->Uniform(spaces.size())], 1);
+  return out;
+}
+
+double QGramOverlapFraction(std::string_view a, std::string_view b, int q) {
+  const std::vector<std::string> ga = text::QGrams(a, q);
+  const std::vector<std::string> gb = text::QGrams(b, q);
+  if (ga.empty() || gb.empty()) return 1.0;
+  std::vector<std::string> sa = ga;
+  std::vector<std::string> sb = gb;
+  std::sort(sa.begin(), sa.end());
+  sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+  std::sort(sb.begin(), sb.end());
+  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
+  std::vector<std::string> common;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) /
+         static_cast<double>(std::min(sa.size(), sb.size()));
+}
+
+bool ShareInitial(std::string_view a, std::string_view b) {
+  const std::string ia = text::Initials(a);
+  const std::string ib = text::Initials(b);
+  for (char c : ia) {
+    if (ib.find(c) != std::string::npos) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::vector<std::string> WordSetMinusStops(
+    std::string_view s, const std::vector<std::string>& stop_words) {
+  std::vector<std::string> words = text::WordTokens(s);
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  if (!stop_words.empty()) {
+    std::vector<std::string> stops = stop_words;
+    std::sort(stops.begin(), stops.end());
+    std::vector<std::string> kept;
+    std::set_difference(words.begin(), words.end(), stops.begin(),
+                        stops.end(), std::back_inserter(kept));
+    words = std::move(kept);
+  }
+  return words;
+}
+
+}  // namespace
+
+int CommonWordCount(std::string_view a, std::string_view b,
+                    const std::vector<std::string>& stop_words) {
+  const std::vector<std::string> wa = WordSetMinusStops(a, stop_words);
+  const std::vector<std::string> wb = WordSetMinusStops(b, stop_words);
+  std::vector<std::string> common;
+  std::set_intersection(wa.begin(), wa.end(), wb.begin(), wb.end(),
+                        std::back_inserter(common));
+  return static_cast<int>(common.size());
+}
+
+double WordOverlapFraction(std::string_view a, std::string_view b,
+                           const std::vector<std::string>& stop_words) {
+  const std::vector<std::string> wa = WordSetMinusStops(a, stop_words);
+  const std::vector<std::string> wb = WordSetMinusStops(b, stop_words);
+  if (wa.empty() || wb.empty()) return 0.0;
+  std::vector<std::string> common;
+  std::set_intersection(wa.begin(), wa.end(), wb.begin(), wb.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) /
+         static_cast<double>(std::min(wa.size(), wb.size()));
+}
+
+}  // namespace topkdup::datagen

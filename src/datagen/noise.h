@@ -1,0 +1,46 @@
+#ifndef TOPKDUP_DATAGEN_NOISE_H_
+#define TOPKDUP_DATAGEN_NOISE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace topkdup::datagen {
+
+/// Applies one random character edit (substitution, deletion, or adjacent
+/// transposition) to `word`, never touching the first character so that
+/// initials-based predicates stay valid. Words of length < 3 are returned
+/// unchanged.
+std::string ApplyTypo(std::string_view word, Rng* rng);
+
+/// Removes the space between two random adjacent words ("anil kumar" ->
+/// "anilkumar"), the common data-entry error of the student dataset.
+std::string DropRandomSpace(std::string_view text, Rng* rng);
+
+/// Validation helpers used by generators to *certify* that the noise they
+/// emitted keeps the paper's necessary predicates true on all duplicate
+/// pairs (rejection sampling). These work directly on strings, mirroring
+/// the corpus-backed predicate implementations.
+
+/// Fraction of common q-grams relative to the smaller gram set (1.0 when
+/// either is empty mirrors OverlapFraction's convention).
+double QGramOverlapFraction(std::string_view a, std::string_view b, int q);
+
+/// True when the word-initials of the two strings share a character.
+bool ShareInitial(std::string_view a, std::string_view b);
+
+/// Number of common distinct lowercased words, optionally ignoring
+/// `stop_words`.
+int CommonWordCount(std::string_view a, std::string_view b,
+                    const std::vector<std::string>& stop_words = {});
+
+/// Fraction of common distinct words relative to the smaller word set
+/// after stop-word removal; 0 when either set is empty.
+double WordOverlapFraction(std::string_view a, std::string_view b,
+                           const std::vector<std::string>& stop_words = {});
+
+}  // namespace topkdup::datagen
+
+#endif  // TOPKDUP_DATAGEN_NOISE_H_

@@ -1,0 +1,289 @@
+#include "datagen/small_bench.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "datagen/lexicon.h"
+#include "datagen/noise.h"
+
+namespace topkdup::datagen {
+
+namespace {
+
+struct Defaults {
+  size_t records;
+  size_t groups;
+};
+
+Defaults DefaultsFor(SmallBenchKind kind) {
+  switch (kind) {
+    case SmallBenchKind::kAuthors:
+      return {1822, 1466};
+    case SmallBenchKind::kRestaurant:
+      return {860, 734};
+    case SmallBenchKind::kAddress:
+      return {306, 218};
+    case SmallBenchKind::kGetoor:
+      return {1716, 1172};
+  }
+  return {0, 0};
+}
+
+const char* const kCuisines[] = {"punjabi", "chinese", "udupi",  "italian",
+                                 "mughlai", "seafood", "garden", "royal",
+                                 "golden",  "spice"};
+const char* const kVenues[] = {"restaurant", "cafe", "bhavan", "darbar",
+                               "corner", "palace", "kitchen", "house"};
+
+std::string PersonName(Rng* rng, bool rare) {
+  std::string name = rare ? SyntheticGivenName(rng)
+                          : FirstNames()[rng->Uniform(FirstNames().size())];
+  name += ' ';
+  name += rare ? SyntheticSurname(rng)
+               : LastNames()[rng->Uniform(LastNames().size())];
+  return name;
+}
+
+/// A person name sharing `other`'s surname and first initial — the
+/// ambiguous neighbor that initial-form mentions cannot distinguish.
+std::string ConfusablePersonName(const std::string& other, Rng* rng) {
+  const std::vector<std::string> words = SplitWhitespace(other);
+  if (words.size() < 2) return other + "x";
+  const char initial = words[0][0];
+  // Find a pool first name with the same initial; fall back to a mutated
+  // copy of the original first name.
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    const std::string& candidate =
+        FirstNames()[rng->Uniform(FirstNames().size())];
+    if (candidate[0] == initial && candidate != words[0]) {
+      return candidate + " " + words[1];
+    }
+  }
+  return words[0] + "u " + words[1];
+}
+
+std::string NoisyPersonName(const std::string& canonical, Rng* rng,
+                            const SmallBenchOptions& options) {
+  std::vector<std::string> words = SplitWhitespace(canonical);
+  if (rng->Bernoulli(options.initial_form_prob) && words.size() >= 2) {
+    words[0] = words[0].substr(0, 1);
+  } else if (rng->Bernoulli(options.typo_prob)) {
+    const size_t w = rng->Uniform(words.size());
+    words[w] = ApplyTypo(words[w], rng);
+  }
+  return Join(words, " ");
+}
+
+}  // namespace
+
+const char* SmallBenchName(SmallBenchKind kind) {
+  switch (kind) {
+    case SmallBenchKind::kAuthors:
+      return "Authors";
+    case SmallBenchKind::kRestaurant:
+      return "Restaurant";
+    case SmallBenchKind::kAddress:
+      return "Address";
+    case SmallBenchKind::kGetoor:
+      return "Getoor";
+  }
+  return "?";
+}
+
+StatusOr<record::Dataset> GenerateSmallBench(
+    const SmallBenchOptions& options) {
+  Defaults d = DefaultsFor(options.kind);
+  const size_t num_records =
+      options.num_records == 0 ? d.records : options.num_records;
+  const size_t num_groups =
+      options.num_groups == 0 ? d.groups : options.num_groups;
+  if (num_groups == 0 || num_records < num_groups) {
+    return Status::InvalidArgument(
+        "GenerateSmallBench: need records >= groups >= 1");
+  }
+  Rng rng(options.seed);
+
+  // ---- Canonical entities (unique keys per kind) --------------------
+  struct Entity {
+    std::vector<std::string> fields;
+  };
+  std::unordered_set<std::string> seen;
+  std::vector<Entity> entities;
+  entities.reserve(num_groups);
+  std::vector<std::string> field_names;
+
+  switch (options.kind) {
+    case SmallBenchKind::kAuthors:
+      field_names = {"name"};
+      break;
+    case SmallBenchKind::kRestaurant:
+      field_names = {"name", "address"};
+      break;
+    case SmallBenchKind::kAddress:
+      field_names = {"name", "address", "pin"};
+      break;
+    case SmallBenchKind::kGetoor:
+      field_names = {"author", "coauthors", "title"};
+      break;
+  }
+
+  while (entities.size() < num_groups) {
+    Entity e;
+    // Confusable entities share field-0 surname + initial with an earlier
+    // entity, seeding the genuine ambiguity the paper targets. They also
+    // tend to share context fields (coauthors, street) — the same-lab /
+    // same-family / chain-branch phenomenon that makes real duplicates
+    // hard to resolve.
+    const bool confusable =
+        !entities.empty() && rng.Bernoulli(options.confusable_prob);
+    const Entity* source =
+        confusable ? &entities[rng.Uniform(entities.size())] : nullptr;
+    const std::string* confuse_with =
+        confusable ? &source->fields[0] : nullptr;
+    switch (options.kind) {
+      case SmallBenchKind::kAuthors: {
+        e.fields = {confusable
+                        ? ConfusablePersonName(*confuse_with, &rng)
+                        : PersonName(&rng, rng.Bernoulli(0.5))};
+        break;
+      }
+      case SmallBenchKind::kRestaurant: {
+        // A synthetic proper name keeps restaurants distinguishable (and
+        // canopy components small), like real restaurant names are. A
+        // confusable restaurant is another branch of the same chain: same
+        // proper name and venue, different cuisine and street.
+        std::string name;
+        std::string locality =
+            LocalityNames()[rng.Uniform(LocalityNames().size())];
+        if (confusable) {
+          std::vector<std::string> words =
+              SplitWhitespace(source->fields[0]);
+          name = StrFormat("%s %s %s", words[0].c_str(),
+                           kCuisines[rng.Uniform(10)],
+                           words.back().c_str());
+          // Same plaza, different unit: branches share the locality.
+          if (rng.Bernoulli(0.6)) {
+            locality = SplitWhitespace(source->fields[1]).back();
+          }
+        } else if (rng.Bernoulli(0.4)) {
+          name = StrFormat("%s %s %s", SyntheticSurname(&rng).c_str(),
+                           kCuisines[rng.Uniform(10)],
+                           kVenues[rng.Uniform(8)]);
+        } else {
+          // Most real restaurant names are just a proper name + venue.
+          name = StrFormat("%s %s %s", SyntheticSurname(&rng).c_str(),
+                           SyntheticGivenName(&rng).c_str(),
+                           kVenues[rng.Uniform(8)]);
+        }
+        std::string addr = StrFormat(
+            "%d %s road %s", static_cast<int>(1 + rng.Uniform(300)),
+            StreetWords()[rng.Uniform(StreetWords().size())].c_str(),
+            locality.c_str());
+        e.fields = {std::move(name), std::move(addr)};
+        break;
+      }
+      case SmallBenchKind::kAddress: {
+        // A confusable person is a same-initial relative at the same
+        // address (family members on different utility rolls).
+        std::string addr;
+        std::string pin;
+        if (confusable && rng.Bernoulli(0.6)) {
+          addr = source->fields[1];
+          pin = source->fields[2];
+        } else {
+          addr = StrFormat(
+              "%d%c %s %s %s", static_cast<int>(1 + rng.Uniform(400)),
+              static_cast<char>('a' + rng.Uniform(6)),
+              StreetWords()[rng.Uniform(StreetWords().size())].c_str(),
+              rng.Bernoulli(0.5) ? "road" : "street",
+              LocalityNames()[rng.Uniform(LocalityNames().size())].c_str());
+          pin = StrFormat("411%03d", static_cast<int>(rng.Uniform(60)));
+        }
+        e.fields = {confusable ? ConfusablePersonName(*confuse_with, &rng)
+                               : PersonName(&rng, rng.Bernoulli(0.4)),
+                    std::move(addr), std::move(pin)};
+        break;
+      }
+      case SmallBenchKind::kGetoor: {
+        // Confusable authors often share a lab: reuse the source entity's
+        // coauthor list most of the time.
+        std::string coauthors;
+        if (confusable && rng.Bernoulli(0.85)) {
+          coauthors = source->fields[1];
+        } else {
+          coauthors = PersonName(&rng, rng.Bernoulli(0.5));
+          if (rng.Bernoulli(0.6)) {
+            coauthors += ' ';
+            coauthors += PersonName(&rng, rng.Bernoulli(0.5));
+          }
+        }
+        std::string title;
+        const size_t len = 4 + rng.Uniform(4);
+        for (size_t w = 0; w < len; ++w) {
+          if (w > 0) title += ' ';
+          title += TitleWords()[rng.Uniform(TitleWords().size())];
+        }
+        e.fields = {confusable ? ConfusablePersonName(*confuse_with, &rng)
+                               : PersonName(&rng, rng.Bernoulli(0.5)),
+                    std::move(coauthors), std::move(title)};
+        break;
+      }
+    }
+    const std::string key = Join(e.fields, "|");
+    if (!seen.insert(key).second) continue;
+    entities.push_back(std::move(e));
+  }
+
+  // ---- Mentions: every entity once, extras mildly skewed. Groups are
+  // capped at 8 mentions: the paper's Table-1 benchmarks average ~1.2
+  // mentions per entity, with no giant groups.
+  std::vector<size_t> assignment;
+  std::vector<int> per_entity(num_groups, 0);
+  assignment.reserve(num_records);
+  for (size_t g = 0; g < num_groups; ++g) {
+    assignment.push_back(g);
+    per_entity[g] = 1;
+  }
+  ZipfSampler zipf(num_groups, 0.7);
+  while (assignment.size() < num_records) {
+    const size_t g = zipf.Sample(&rng);
+    if (per_entity[g] >= 8) continue;
+    ++per_entity[g];
+    assignment.push_back(g);
+  }
+  rng.Shuffle(&assignment);
+
+  record::Dataset data{record::Schema(field_names)};
+  std::vector<int> mention_counts(num_groups, 0);
+  for (size_t entity : assignment) {
+    const Entity& e = entities[entity];
+    record::Record rec;
+    rec.fields = e.fields;
+    // First mention stays canonical; later mentions get noise in the
+    // "name-like" field (field 0) and occasionally elsewhere.
+    if (mention_counts[entity]++ > 0) {
+      rec.fields[0] = NoisyPersonName(rec.fields[0], &rng, options);
+      if (rec.fields.size() >= 2 && rng.Bernoulli(0.3)) {
+        rec.fields[1] = DropRandomSpace(rec.fields[1], &rng);
+      }
+      // Sloppy data entry sometimes loses the leading token of the
+      // context field (house number, first coauthor given name).
+      if (rec.fields.size() >= 2 && rng.Bernoulli(0.35)) {
+        std::vector<std::string> words = SplitWhitespace(rec.fields[1]);
+        if (words.size() > 2) {
+          words.erase(words.begin());
+          rec.fields[1] = Join(words, " ");
+        }
+      }
+    }
+    rec.weight = 1.0;
+    rec.entity_id = static_cast<int64_t>(entity);
+    data.Add(std::move(rec));
+  }
+  return data;
+}
+
+}  // namespace topkdup::datagen

@@ -1,0 +1,162 @@
+#include "datagen/student_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "datagen/lexicon.h"
+#include "datagen/noise.h"
+
+namespace topkdup::datagen {
+
+namespace {
+
+struct Student {
+  std::string name;        // Canonical "first last".
+  std::string birth;       // Canonical birth date, "dd-mm-yyyy".
+  std::string class_code;  // "C1".."C7".
+  std::string school;      // "S000".."S119".
+  double proficiency = 0.0;
+  std::vector<std::string> name_variants;
+  std::vector<std::string> birth_variants;
+};
+
+std::string RandomBirth(Rng* rng) {
+  return StrFormat("%02d-%02d-%04d", static_cast<int>(1 + rng->Uniform(28)),
+                   static_cast<int>(1 + rng->Uniform(12)),
+                   static_cast<int>(1994 + rng->Uniform(8)));
+}
+
+}  // namespace
+
+StatusOr<record::Dataset> GenerateStudents(const StudentGenOptions& options) {
+  if (options.num_students == 0 || options.num_records == 0) {
+    return Status::InvalidArgument("GenerateStudents: empty sizes");
+  }
+  Rng rng(options.seed);
+
+  // S2 merges mentions in the same (class, school, birth) whose names have
+  // >= 90% 3-gram overlap, so different students sharing a class and school
+  // must keep every pair of their name variants strictly below that overlap
+  // (S1's exact-match sufficiency then follows a fortiori). We enforce it
+  // with a per-(class, school) registry of all accepted name variants.
+  struct BucketEntry {
+    std::string name;
+    size_t student;
+  };
+  std::unordered_map<std::string, std::vector<BucketEntry>> buckets;
+
+  auto bucket_key = [](const Student& s) {
+    return s.class_code + "|" + s.school;
+  };
+  auto name_admissible = [&](const std::string& name, size_t student,
+                             const std::string& key) {
+    auto it = buckets.find(key);
+    if (it == buckets.end()) return true;
+    for (const BucketEntry& e : it->second) {
+      if (e.student == student) continue;
+      if (QGramOverlapFraction(name, e.name, options.qgram_q) >= 0.9) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<Student> students;
+  students.reserve(options.num_students);
+  while (students.size() < options.num_students) {
+    Student s;
+    s.name = FirstNames()[rng.Uniform(FirstNames().size())];
+    s.name += ' ';
+    // Mostly common surnames; a slice of synthetic rare ones.
+    s.name += rng.Bernoulli(0.3)
+                  ? SyntheticSurname(&rng)
+                  : LastNames()[rng.Uniform(LastNames().size())];
+    s.class_code = StrFormat("C%d", static_cast<int>(
+                                        1 + rng.Uniform(options.num_classes)));
+    s.school =
+        StrFormat("S%03d", static_cast<int>(rng.Uniform(options.num_schools)));
+    const std::string key = bucket_key(s);
+    const size_t id = students.size();
+    if (!name_admissible(s.name, id, key)) continue;  // Redraw.
+    buckets[key].push_back({s.name, id});
+    s.birth = RandomBirth(&rng);
+    s.proficiency = rng.NextGaussian();
+    s.name_variants.push_back(s.name);
+    s.birth_variants.push_back(s.birth);
+    students.push_back(std::move(s));
+  }
+
+  // Noisy variants, certified against N1/N2 within the entity and against
+  // S2 across entities of the same class and school.
+  const std::string entry_date = "15-06-2008";  // "Current date" mistake.
+  for (size_t id = 0; id < students.size(); ++id) {
+    Student& s = students[id];
+    const int extra = static_cast<int>(rng.Uniform(3));
+    for (int attempt = 0;
+         attempt < 8 && static_cast<int>(s.name_variants.size()) < 1 + extra;
+         ++attempt) {
+      std::string v = s.name;
+      if (rng.Bernoulli(options.drop_space_prob)) {
+        v = DropRandomSpace(v, &rng);
+      }
+      if (rng.Bernoulli(options.typo_prob)) v = ApplyTypo(v, &rng);
+      if (v == s.name) continue;
+      bool ok = true;
+      for (const std::string& existing : s.name_variants) {
+        if (!ShareInitial(v, existing) ||
+            QGramOverlapFraction(v, existing, options.qgram_q) <
+                options.n2_gram_fraction) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      const std::string key = bucket_key(s);
+      if (!name_admissible(v, id, key)) continue;
+      buckets[key].push_back({v, id});
+      s.name_variants.push_back(v);
+    }
+    if (rng.Bernoulli(options.wrong_birth_prob)) {
+      s.birth_variants.push_back(entry_date);
+    }
+  }
+
+  // Exam-paper records. Papers per student are skewed so that group sizes
+  // vary; marks derive from the student's proficiency as in the paper.
+  record::Dataset data{record::Schema(
+      {"name", "birth_date", "class", "school", "paper"})};
+  ZipfSampler zipf(options.num_students, 0.8);
+  std::vector<int> papers_taken(options.num_students, 0);
+
+  while (data.size() < options.num_records) {
+    const size_t id = zipf.Sample(&rng);
+    Student& s = students[id];
+    if (papers_taken[id] >= options.max_papers) continue;
+    ++papers_taken[id];
+
+    record::Record rec;
+    rec.fields.resize(5);
+    rec.fields[0] =
+        s.name_variants[rng.Uniform(s.name_variants.size())];
+    rec.fields[1] =
+        s.birth_variants[rng.Uniform(s.birth_variants.size())];
+    rec.fields[2] = s.class_code;
+    rec.fields[3] = s.school;
+    rec.fields[4] = StrFormat("P%02d", papers_taken[id]);
+    const double mark = std::clamp(
+        options.mark_mean + options.mark_sd * s.proficiency +
+            3.0 * rng.NextGaussian(),
+        0.0, 100.0);
+    rec.weight = mark;
+    rec.entity_id = static_cast<int64_t>(id);
+    data.Add(std::move(rec));
+  }
+  return data;
+}
+
+}  // namespace topkdup::datagen

@@ -1,0 +1,47 @@
+#ifndef TOPKDUP_DATAGEN_STUDENT_GEN_H_
+#define TOPKDUP_DATAGEN_STUDENT_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "record/record.h"
+
+namespace topkdup::datagen {
+
+/// Generator reproducing the paper's Students dataset (§6.1.2): one record
+/// per exam paper with fields {name, birth_date, class, school, paper};
+/// record weight is the paper's mark (the paper synthesized marks from a
+/// Gaussian proficiency per student; we do the same).
+///
+/// Noise model (as described in the paper): names sometimes lose a space
+/// between parts or carry a typo; birth dates are sometimes replaced by
+/// the (wrong) entry date; school and class codes are always correct.
+/// Variants are certified against N1 (common initial + class/school match)
+/// and N2 (50% common name 3-grams + class/school match) by construction
+/// and rejection; (name, class, school, birth) is kept globally unique per
+/// student so S1/S2 stay sufficient.
+struct StudentGenOptions {
+  size_t num_records = 50000;
+  size_t num_students = 14000;
+  int num_schools = 120;
+  int num_classes = 7;
+  /// Exams per student are 1 + Zipf-ish skewed up to this cap.
+  int max_papers = 12;
+  double drop_space_prob = 0.25;
+  double typo_prob = 0.15;
+  double wrong_birth_prob = 0.2;
+  /// Gaussian proficiency -> marks scale (mean 52, sd 18, clamped 0-100).
+  double mark_mean = 52.0;
+  double mark_sd = 18.0;
+  double n2_gram_fraction = 0.5;
+  int qgram_q = 3;
+  uint64_t seed = 169221;
+};
+
+/// Schema: {name, birth_date, class, school, paper}; weight = mark;
+/// entity_id = student id.
+StatusOr<record::Dataset> GenerateStudents(const StudentGenOptions& options);
+
+}  // namespace topkdup::datagen
+
+#endif  // TOPKDUP_DATAGEN_STUDENT_GEN_H_

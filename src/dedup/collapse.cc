@@ -1,0 +1,44 @@
+#include "dedup/collapse.h"
+
+#include <algorithm>
+
+#include "dedup/union_find.h"
+#include "predicates/blocked_index.h"
+
+namespace topkdup::dedup {
+
+std::vector<Group> Collapse(const std::vector<Group>& groups,
+                            const predicates::PairPredicate& sufficient) {
+  const size_t n = groups.size();
+  std::vector<size_t> reps(n);
+  for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
+
+  predicates::BlockedIndex index(sufficient, reps);
+  UnionFind uf(n);
+  index.ForEachCandidatePair([&](size_t p, size_t q) {
+    if (uf.Find(p) == uf.Find(q)) return;  // Already merged transitively.
+    if (sufficient.Evaluate(reps[p], reps[q])) uf.Union(p, q);
+  });
+
+  std::vector<Group> out;
+  out.reserve(uf.set_count());
+  for (const std::vector<size_t>& positions : uf.Groups()) {
+    Group merged;
+    double best_weight = -1.0;
+    for (size_t pos : positions) {
+      const Group& g = groups[pos];
+      merged.weight += g.weight;
+      merged.members.insert(merged.members.end(), g.members.begin(),
+                            g.members.end());
+      if (g.weight > best_weight) {
+        best_weight = g.weight;
+        merged.rep = g.rep;
+      }
+    }
+    out.push_back(std::move(merged));
+  }
+  SortGroupsByWeightDesc(&out);
+  return out;
+}
+
+}  // namespace topkdup::dedup

@@ -1,0 +1,23 @@
+#ifndef TOPKDUP_DEDUP_COLLAPSE_H_
+#define TOPKDUP_DEDUP_COLLAPSE_H_
+
+#include <vector>
+
+#include "dedup/group.h"
+#include "predicates/pair_predicate.h"
+
+namespace topkdup::dedup {
+
+/// Collapses `groups` by the transitive closure of the sufficient predicate
+/// evaluated on group representatives (paper §4.1). Candidate pairs come
+/// from the predicate's blocking signatures, never a Cartesian product.
+///
+/// The merged group's representative is the representative of its heaviest
+/// constituent; weights and member lists are unioned. The result is sorted
+/// by decreasing weight.
+std::vector<Group> Collapse(const std::vector<Group>& groups,
+                            const predicates::PairPredicate& sufficient);
+
+}  // namespace topkdup::dedup
+
+#endif  // TOPKDUP_DEDUP_COLLAPSE_H_

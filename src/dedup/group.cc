@@ -1,0 +1,29 @@
+#include "dedup/group.h"
+
+#include <algorithm>
+
+namespace topkdup::dedup {
+
+std::vector<Group> MakeSingletonGroups(const record::Dataset& data) {
+  std::vector<Group> groups;
+  groups.reserve(data.size());
+  for (size_t r = 0; r < data.size(); ++r) {
+    Group g;
+    g.rep = r;
+    g.weight = data[r].weight;
+    g.members = {r};
+    groups.push_back(std::move(g));
+  }
+  SortGroupsByWeightDesc(&groups);
+  return groups;
+}
+
+void SortGroupsByWeightDesc(std::vector<Group>* groups) {
+  std::sort(groups->begin(), groups->end(),
+            [](const Group& a, const Group& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.rep < b.rep;
+            });
+}
+
+}  // namespace topkdup::dedup

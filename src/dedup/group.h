@@ -1,0 +1,35 @@
+#ifndef TOPKDUP_DEDUP_GROUP_H_
+#define TOPKDUP_DEDUP_GROUP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "record/record.h"
+
+namespace topkdup::dedup {
+
+/// A collapsed group of records (the c_i of paper §4): records merged by
+/// the transitive closure of sufficient-predicate matches, represented for
+/// further predicate evaluation by one member record.
+struct Group {
+  /// Record id of the representative member. Predicate correctness does not
+  /// depend on which member is chosen (§4.1); we use the member with the
+  /// largest weight as a centroid proxy.
+  size_t rep = 0;
+  /// Total weight of the members (the group's "size" in the paper; equals
+  /// the member count when all record weights are 1).
+  double weight = 0.0;
+  /// Original record ids collapsed into this group.
+  std::vector<size_t> members;
+};
+
+/// One singleton group per record, sorted by decreasing weight.
+std::vector<Group> MakeSingletonGroups(const record::Dataset& data);
+
+/// Sorts by decreasing weight, breaking ties by representative id so that
+/// runs are deterministic.
+void SortGroupsByWeightDesc(std::vector<Group>* groups);
+
+}  // namespace topkdup::dedup
+
+#endif  // TOPKDUP_DEDUP_GROUP_H_

@@ -1,0 +1,151 @@
+#include "dedup/lower_bound.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "graph/clique_partition.h"
+#include "graph/graph.h"
+#include "predicates/blocked_index.h"
+
+namespace topkdup::dedup {
+
+namespace {
+
+/// Incrementally grows the necessary-predicate graph over a prefix of the
+/// weight-sorted groups and evaluates the CPN lower bound on demand.
+class PrefixCpn {
+ public:
+  PrefixCpn(const std::vector<Group>& groups,
+            const predicates::PairPredicate& necessary)
+      : groups_(groups), necessary_(necessary), reps_(groups.size()) {
+    for (size_t i = 0; i < groups.size(); ++i) reps_[i] = groups[i].rep;
+    index_.emplace(necessary, reps_);
+  }
+
+  /// CPN lower bound of the graph on groups[0..m), early-stopped at `k`.
+  int CpnAt(size_t m, int k, LowerBoundOptions::Bound bound) {
+    GrowTo(m);
+    graph::Graph g(m);
+    // Edges are appended with increasing second endpoint, so the edges of
+    // the prefix form a prefix of the edge list.
+    for (const auto& [a, b] : edges_) {
+      if (b >= m) break;
+      g.AddEdge(a, b);
+    }
+    switch (bound) {
+      case LowerBoundOptions::Bound::kMinFill:
+        return graph::CliquePartitionLowerBound(g, k);
+      case LowerBoundOptions::Bound::kGreedyIs:
+        return graph::GreedyIndependentSetBound(g, k);
+      case LowerBoundOptions::Bound::kAuto: {
+        const int cheap = graph::GreedyIndependentSetBound(g, k);
+        if (cheap >= k) return cheap;
+        // Min-fill triangulation is only worth its O(n * deg^2) cost on
+        // prefixes small enough for the tighter bound to matter; on large
+        // prefixes the greedy independent set is already near alpha(G).
+        if (m > 1024) return cheap;
+        return std::max(cheap, graph::CliquePartitionLowerBound(g, k));
+      }
+    }
+    return 0;
+  }
+
+  size_t edges_examined() const { return edges_examined_; }
+
+ private:
+  void GrowTo(size_t m) {
+    for (; grown_ < m; ++grown_) {
+      index_->ForEachCandidate(grown_, [&](size_t j) {
+        if (j < grown_) {
+          ++edges_examined_;
+          if (necessary_.Evaluate(reps_[grown_], reps_[j])) {
+            edges_.emplace_back(static_cast<uint32_t>(j),
+                                static_cast<uint32_t>(grown_));
+          }
+        }
+        return true;
+      });
+    }
+  }
+
+  const std::vector<Group>& groups_;
+  const predicates::PairPredicate& necessary_;
+  std::vector<size_t> reps_;
+  std::optional<predicates::BlockedIndex> index_;
+  std::vector<std::pair<uint32_t, uint32_t>> edges_;
+  size_t grown_ = 0;
+  size_t edges_examined_ = 0;
+};
+
+}  // namespace
+
+LowerBoundResult EstimateLowerBound(
+    const std::vector<Group>& groups,
+    const predicates::PairPredicate& necessary, int k,
+    const LowerBoundOptions& options) {
+  TOPKDUP_CHECK(k >= 1);
+  LowerBoundResult result;
+  const size_t n = groups.size();
+  if (n == 0) return result;
+  if (n <= static_cast<size_t>(k)) {
+    result.m = n;
+    result.M = groups.back().weight;
+    result.certified = false;
+    return result;
+  }
+
+  PrefixCpn cpn(groups, necessary);
+
+  size_t found = 0;  // Smallest prefix found with CPN >= k; 0 = none yet.
+  if (options.galloping) {
+    // Geometric growth followed by binary search for the smallest prefix
+    // whose CPN bound reaches k. The bound is valid at any prefix, so even
+    // if the heuristic is not perfectly monotone the returned m is safe.
+    size_t lo = static_cast<size_t>(k) - 1;  // CPN of k-1 vertices < k.
+    size_t hi = static_cast<size_t>(k);
+    while (true) {
+      if (cpn.CpnAt(hi, k, options.bound) >= k) {
+        found = hi;
+        break;
+      }
+      if (hi == n) break;
+      lo = hi;
+      hi = std::min(n, hi * 2);
+    }
+    if (found != 0) {
+      // Invariant: CpnAt(found) >= k; search (lo, found] for minimality.
+      while (lo + 1 < found) {
+        const size_t mid = lo + (found - lo) / 2;
+        if (cpn.CpnAt(mid, k, options.bound) >= k) {
+          found = mid;
+        } else {
+          lo = mid;
+        }
+      }
+    }
+  } else {
+    for (size_t m = static_cast<size_t>(k); m <= n; ++m) {
+      if (cpn.CpnAt(m, k, options.bound) >= k) {
+        found = m;
+        break;
+      }
+    }
+  }
+
+  if (found == 0) {
+    result.m = n;
+    result.M = groups.back().weight;
+    result.certified = false;
+  } else {
+    result.m = found;
+    result.M = groups[found - 1].weight;
+    result.certified = true;
+  }
+  result.edges_examined = cpn.edges_examined();
+  return result;
+}
+
+}  // namespace topkdup::dedup

@@ -1,0 +1,60 @@
+#ifndef TOPKDUP_DEDUP_LOWER_BOUND_H_
+#define TOPKDUP_DEDUP_LOWER_BOUND_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dedup/group.h"
+#include "predicates/pair_predicate.h"
+
+namespace topkdup::dedup {
+
+/// Result of the lower-bound estimation of paper §4.2.
+struct LowerBoundResult {
+  /// Smallest prefix length m of the weight-sorted groups whose
+  /// necessary-predicate graph has clique-partition number >= k (so K
+  /// distinct entities are guaranteed among c_1..c_m). Equals the number
+  /// of groups when no prefix certifies K distinct entities.
+  size_t m = 0;
+  /// Lower bound on the weight of the K-th largest answer group:
+  /// the weight of group c_m (0 when there are no groups).
+  double M = 0.0;
+  /// True when a prefix with CPN >= k was found (K distinct entities are
+  /// certified); false means the dataset may hold fewer than K entities.
+  bool certified = false;
+  /// Necessary-predicate edges enumerated while growing the prefix
+  /// (diagnostic).
+  size_t edges_examined = 0;
+};
+
+/// Options for EstimateLowerBound.
+struct LowerBoundOptions {
+  /// When true (default), prefix sizes are grown geometrically and the
+  /// minimal m is then located by binary search, re-running the CPN bound
+  /// on O(log n) prefixes. When false, the CPN is recomputed after every
+  /// single vertex addition (the literal incremental scheme; used by the
+  /// ablation bench).
+  bool galloping = true;
+
+  /// Which CPN lower bound to evaluate on each prefix. Both are valid
+  /// lower bounds, so any choice preserves correctness of M.
+  enum class Bound {
+    kMinFill,   // Algorithm 1: min-fill triangulation + greedy cover.
+    kGreedyIs,  // Direct greedy independent set (cheaper).
+    kAuto,      // Greedy IS first; fall back to min-fill when it fails.
+  };
+  Bound bound = Bound::kAuto;
+};
+
+/// Estimates m and M for `groups` (sorted by decreasing weight) under the
+/// given necessary predicate, per paper §4.2: the CPN lower bound of the
+/// graph induced by N on a prefix certifies that many distinct entities,
+/// and any prefix with CPN >= k yields the bound M = weight(c_m).
+LowerBoundResult EstimateLowerBound(
+    const std::vector<Group>& groups,
+    const predicates::PairPredicate& necessary, int k,
+    const LowerBoundOptions& options = {});
+
+}  // namespace topkdup::dedup
+
+#endif  // TOPKDUP_DEDUP_LOWER_BOUND_H_

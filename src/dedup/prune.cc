@@ -1,0 +1,56 @@
+#include "dedup/prune.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "predicates/blocked_index.h"
+
+namespace topkdup::dedup {
+
+PruneResult PruneGroups(const std::vector<Group>& groups,
+                        const predicates::PairPredicate& necessary, double M,
+                        const PruneOptions& options, bool exact_bounds) {
+  TOPKDUP_CHECK(options.passes >= 1);
+  const size_t n = groups.size();
+  std::vector<size_t> reps(n);
+  for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
+  predicates::BlockedIndex index(necessary, reps);
+
+  std::vector<bool> alive(n, true);
+  std::vector<double> ub(n, 0.0);
+
+  for (int pass = 0; pass < options.passes; ++pass) {
+    std::vector<bool> next_alive(n, false);
+    for (size_t i = 0; i < n; ++i) {
+      if (!alive[i]) {
+        ub[i] = 0.0;
+        continue;
+      }
+      double sum = groups[i].weight;
+      index.ForEachCandidate(i, [&](size_t j) {
+        // In pass p only neighbors whose previous-pass bound exceeded M
+        // (i.e. still alive) can be co-members of a group larger than M.
+        if (alive[j] && necessary.Evaluate(reps[i], reps[j])) {
+          sum += groups[j].weight;
+          if (!exact_bounds && sum > M) return false;  // Early exit.
+        }
+        return true;
+      });
+      ub[i] = sum;
+      // A group at least as heavy as M can itself be an answer group and
+      // is never pruned (§4.3).
+      next_alive[i] = groups[i].weight >= M || sum > M;
+    }
+    alive.swap(next_alive);
+  }
+
+  PruneResult result;
+  for (size_t i = 0; i < n; ++i) {
+    if (!alive[i]) continue;
+    result.groups.push_back(groups[i]);
+    result.upper_bounds.push_back(ub[i]);
+  }
+  return result;
+}
+
+}  // namespace topkdup::dedup

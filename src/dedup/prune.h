@@ -1,0 +1,42 @@
+#ifndef TOPKDUP_DEDUP_PRUNE_H_
+#define TOPKDUP_DEDUP_PRUNE_H_
+
+#include <vector>
+
+#include "dedup/group.h"
+#include "predicates/pair_predicate.h"
+
+namespace topkdup::dedup {
+
+struct PruneOptions {
+  /// Number of passes of the iterative recursive upper bound of §4.3.
+  /// The paper observed two passes give ~2x more pruning than one, with
+  /// little gain beyond two.
+  int passes = 2;
+};
+
+struct PruneResult {
+  /// Surviving groups, still in decreasing weight order.
+  std::vector<Group> groups;
+  /// Upper bounds computed in the final pass for the survivors, aligned
+  /// with `groups`. A group with weight >= M gets an upper bound computed
+  /// the same way (its neighbors' weights still matter for rank queries).
+  std::vector<double> upper_bounds;
+};
+
+/// Prunes every group whose recursively tightened upper bound on the
+/// largest group it can belong to is <= M (paper §4.3).
+///
+/// Pass 1 bounds u_i = w_i + sum of weights of all N-neighbors; pass p
+/// restricts the sum to neighbors that survived pass p-1. Groups with
+/// w_i >= M are never pruned. The scan over a group's candidates stops
+/// early once its bound provably exceeds M, unless `exact_bounds` — needed
+/// by the rank queries that compare bounds across groups — is requested.
+PruneResult PruneGroups(const std::vector<Group>& groups,
+                        const predicates::PairPredicate& necessary, double M,
+                        const PruneOptions& options = {},
+                        bool exact_bounds = false);
+
+}  // namespace topkdup::dedup
+
+#endif  // TOPKDUP_DEDUP_PRUNE_H_

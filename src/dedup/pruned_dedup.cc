@@ -1,0 +1,74 @@
+#include "dedup/pruned_dedup.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "dedup/collapse.h"
+
+namespace topkdup::dedup {
+
+StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
+    std::vector<Group> groups, const std::vector<PredicateLevel>& levels,
+    const PrunedDedupOptions& options) {
+  if (options.k < 1) {
+    return Status::InvalidArgument("PrunedDedup: k must be >= 1");
+  }
+  if (levels.empty()) {
+    return Status::InvalidArgument("PrunedDedup: at least one level");
+  }
+
+  PrunedDedupResult result;
+  result.upper_bounds.assign(groups.size(), 0.0);
+
+  for (const PredicateLevel& level : levels) {
+    LevelStats stats;
+    Timer timer;
+
+    if (level.sufficient != nullptr) {
+      groups = Collapse(groups, *level.sufficient);
+    }
+    stats.collapse_seconds = timer.ElapsedSeconds();
+    stats.n_after_collapse = groups.size();
+
+    if (level.necessary != nullptr) {
+      timer.Reset();
+      const LowerBoundResult lb =
+          EstimateLowerBound(groups, *level.necessary, options.k,
+                             options.lower_bound);
+      stats.lower_bound_seconds = timer.ElapsedSeconds();
+      stats.m = lb.m;
+      stats.M = lb.M;
+
+      timer.Reset();
+      PruneOptions prune_options;
+      prune_options.passes = options.prune_passes;
+      PruneResult pruned = PruneGroups(groups, *level.necessary, lb.M,
+                                       prune_options, options.exact_bounds);
+      stats.prune_seconds = timer.ElapsedSeconds();
+      groups = std::move(pruned.groups);
+      result.upper_bounds = std::move(pruned.upper_bounds);
+    } else {
+      stats.m = groups.size();
+      stats.M = groups.empty() ? 0.0 : groups.back().weight;
+      result.upper_bounds.assign(groups.size(), 0.0);
+    }
+    stats.n_after_prune = groups.size();
+    result.levels.push_back(stats);
+
+    if (groups.size() == static_cast<size_t>(options.k)) {
+      result.exact = true;
+      break;
+    }
+  }
+
+  result.groups = std::move(groups);
+  return result;
+}
+
+StatusOr<PrunedDedupResult> PrunedDedup(
+    const record::Dataset& data, const std::vector<PredicateLevel>& levels,
+    const PrunedDedupOptions& options) {
+  return PrunedDedupFromGroups(MakeSingletonGroups(data), levels, options);
+}
+
+}  // namespace topkdup::dedup

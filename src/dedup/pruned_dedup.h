@@ -1,0 +1,74 @@
+#ifndef TOPKDUP_DEDUP_PRUNED_DEDUP_H_
+#define TOPKDUP_DEDUP_PRUNED_DEDUP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "dedup/group.h"
+#include "dedup/lower_bound.h"
+#include "dedup/prune.h"
+#include "predicates/pair_predicate.h"
+#include "record/record.h"
+
+namespace topkdup::dedup {
+
+/// One (sufficient, necessary) predicate pair of increasing cost and
+/// tightness (the (S_l, N_l) of Algorithm 2). Either may be null: a null
+/// sufficient predicate skips the collapse step, a null necessary predicate
+/// skips lower-bound estimation and pruning for that level.
+struct PredicateLevel {
+  const predicates::PairPredicate* sufficient = nullptr;
+  const predicates::PairPredicate* necessary = nullptr;
+};
+
+/// Per-level statistics matching the columns of the paper's Figures 2-4.
+struct LevelStats {
+  size_t n_after_collapse = 0;  // n:  groups after collapsing with S_l.
+  size_t m = 0;                 // m:  prefix rank certifying K entities.
+  double M = 0.0;               // M:  lower bound on the K-th group weight.
+  size_t n_after_prune = 0;     // n': groups surviving the prune.
+  double collapse_seconds = 0.0;
+  double lower_bound_seconds = 0.0;
+  double prune_seconds = 0.0;
+};
+
+struct PrunedDedupResult {
+  /// Groups surviving all levels, in decreasing weight order.
+  std::vector<Group> groups;
+  /// Final-pass upper bounds aligned with `groups` (exact when
+  /// Options::exact_bounds).
+  std::vector<double> upper_bounds;
+  std::vector<LevelStats> levels;
+  /// True when pruning reduced the data to exactly K groups, in which case
+  /// `groups` *is* the TopK answer and no final clustering is needed.
+  bool exact = false;
+};
+
+struct PrunedDedupOptions {
+  int k = 10;
+  int prune_passes = 2;
+  /// Compute exact (no early-exit) upper bounds in the final prune pass;
+  /// required by the rank queries.
+  bool exact_bounds = false;
+  LowerBoundOptions lower_bound;
+};
+
+/// Algorithm 2 (PrunedDedup): for each predicate level, collapse with S_l,
+/// estimate the lower bound M with N_l, and prune groups whose upper bound
+/// cannot reach M. Returns the reduced set of groups plus per-level stats.
+///
+/// `levels` predicates must be bound to a Corpus built over `data`.
+StatusOr<PrunedDedupResult> PrunedDedup(
+    const record::Dataset& data, const std::vector<PredicateLevel>& levels,
+    const PrunedDedupOptions& options);
+
+/// Variant starting from pre-formed groups (used by the thresholded rank
+/// query and by tests that chain pipelines).
+StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
+    std::vector<Group> groups, const std::vector<PredicateLevel>& levels,
+    const PrunedDedupOptions& options);
+
+}  // namespace topkdup::dedup
+
+#endif  // TOPKDUP_DEDUP_PRUNED_DEDUP_H_

@@ -1,0 +1,87 @@
+#include "dedup/streaming_collapse.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace topkdup::dedup {
+
+StreamingCollapse::StreamingCollapse(SufficientFn sufficient)
+    : sufficient_(std::move(sufficient)) {}
+
+size_t StreamingCollapse::Insert(const std::vector<std::string>& signature,
+                                 double weight) {
+  const size_t id = weights_.size();
+  weights_.push_back(weight);
+  group_weight_.push_back(weight);
+
+  // Grow the union-find by one element. UnionFind has fixed size, so keep
+  // a doubling strategy: rebuild preserving unions when capacity runs out.
+  // Roots can change across the rebuild, so the root-indexed group-weight
+  // cache is recomputed from the per-record weights (amortized O(1) per
+  // insert thanks to doubling).
+  if (uf_.element_count() <= id) {
+    UnionFind bigger(std::max<size_t>(16, uf_.element_count() * 2 + 1));
+    for (size_t x = 0; x < id && x < uf_.element_count(); ++x) {
+      bigger.Union(x, uf_.Find(x));
+    }
+    uf_ = std::move(bigger);
+    group_weight_.assign(weights_.size(), 0.0);
+    for (size_t x = 0; x < id; ++x) {
+      group_weight_[uf_.Find(x)] += weights_[x];
+    }
+    group_weight_[uf_.Find(id)] += weights_[id];
+  }
+
+  const std::vector<text::TokenId> tokens = vocab_.InternSet(signature);
+  index_.ForEachCandidate(
+      static_cast<int64_t>(id), tokens, /*min_common=*/1,
+      [&](int64_t other, int) {
+        const size_t other_id = static_cast<size_t>(other);
+        const size_t root_a = uf_.Find(id);
+        const size_t root_b = uf_.Find(other_id);
+        if (root_a == root_b) return;
+        if (sufficient_(id, other_id)) {
+          const double merged =
+              group_weight_[root_a] + group_weight_[root_b];
+          uf_.Union(id, other_id);
+          group_weight_[uf_.Find(id)] = merged;
+        }
+      });
+  index_.Add(static_cast<int64_t>(id), tokens);
+  return uf_.Find(id);
+}
+
+double StreamingCollapse::GroupWeight(size_t id) {
+  TOPKDUP_CHECK(id < weights_.size());
+  return group_weight_[uf_.Find(id)];
+}
+
+std::vector<StreamingCollapse::GroupView> StreamingCollapse::Groups() {
+  std::vector<std::vector<size_t>> by_root = uf_.Groups();
+  std::vector<GroupView> out;
+  out.reserve(by_root.size());
+  for (std::vector<size_t>& members : by_root) {
+    // Groups() of the doubled union-find includes padding elements with
+    // ids beyond the inserted records; drop them.
+    members.erase(std::remove_if(members.begin(), members.end(),
+                                 [&](size_t m) {
+                                   return m >= weights_.size();
+                                 }),
+                  members.end());
+    if (members.empty()) continue;
+    GroupView view;
+    for (size_t m : members) view.weight += weights_[m];
+    view.members = std::move(members);
+    out.push_back(std::move(view));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GroupView& a, const GroupView& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.members.front() < b.members.front();
+            });
+  return out;
+}
+
+}  // namespace topkdup::dedup

@@ -1,0 +1,59 @@
+#ifndef TOPKDUP_EMBED_LINEAR_EMBEDDING_H_
+#define TOPKDUP_EMBED_LINEAR_EMBEDDING_H_
+
+#include <vector>
+
+#include "cluster/pair_scores.h"
+
+namespace topkdup::embed {
+
+struct GreedyEmbeddingOptions {
+  /// Aging factor alpha of paper Eq. (3): positions j far behind the front
+  /// contribute alpha^(i-j-1) of their similarity. In (0, 1].
+  double alpha = 0.5;
+};
+
+/// Greedy linear embedding of paper §5.3.1: repeatedly appends the item
+/// maximizing the distance-aged similarity to the already-placed items
+/// (Eq. 3). When no remaining item has positive affinity to the placed
+/// prefix, the heaviest remaining item (by `weights`, or lowest index when
+/// weights is empty) starts a new region. Returns a permutation of 0..n-1.
+///
+/// Only positive pair scores attract; negative scores are treated as
+/// repulsion (they subtract affinity), which keeps likely non-duplicates
+/// apart in the ordering.
+std::vector<size_t> GreedyEmbedding(const cluster::PairScores& scores,
+                                    const std::vector<double>& weights = {},
+                                    const GreedyEmbeddingOptions& options = {});
+
+/// The linear-arrangement objective sum_{i<j} |pos_i - pos_j| * max(P_ij, 0)
+/// that embeddings try to minimize (paper §5.3.1). Used by tests and the
+/// embedding ablation bench to compare orderings.
+double ArrangementCost(const std::vector<size_t>& order,
+                       const cluster::PairScores& scores);
+
+/// Hierarchy-induced embedding (paper §5.2): run average-link agglomerative
+/// clustering to a full dendrogram and read the leaves left-to-right. The
+/// paper notes segmentations of such an order strictly generalize frontier
+/// groupings of the hierarchy. O(n^2) memory — intended for comparisons on
+/// moderate inputs; falls back to the greedy embedding when the input
+/// exceeds `max_items`.
+std::vector<size_t> HierarchyEmbedding(const cluster::PairScores& scores,
+                                       size_t max_items = 4096);
+
+struct SpectralEmbeddingOptions {
+  int power_iterations = 300;
+  uint64_t seed = 42;
+};
+
+/// Spectral linear embedding (the alternative cited in §5.3.1): items are
+/// sorted by their coordinate in the Fiedler vector (second-smallest
+/// eigenvector of the Laplacian of the positive-score similarity graph),
+/// computed by power iteration with deflation of the constant vector.
+/// O(n^2) per iteration; intended for the ablation bench and comparisons.
+std::vector<size_t> SpectralEmbedding(const cluster::PairScores& scores,
+                                      const SpectralEmbeddingOptions& options = {});
+
+}  // namespace topkdup::embed
+
+#endif  // TOPKDUP_EMBED_LINEAR_EMBEDDING_H_

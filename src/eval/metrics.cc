@@ -1,0 +1,80 @@
+#include "eval/metrics.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace topkdup::eval {
+
+namespace {
+
+int64_t Choose2(int64_t n) { return n * (n - 1) / 2; }
+
+}  // namespace
+
+double PairwiseScores::Precision() const {
+  const int64_t denom = true_positive + false_positive;
+  return denom == 0 ? 1.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+double PairwiseScores::Recall() const {
+  const int64_t denom = true_positive + false_negative;
+  return denom == 0 ? 1.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+double PairwiseScores::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+PairwiseScores PairwiseAgreement(const cluster::Labels& predicted,
+                                 const cluster::Labels& reference) {
+  TOPKDUP_CHECK(predicted.size() == reference.size());
+  const cluster::Labels pred = cluster::Canonicalize(predicted);
+  const cluster::Labels ref = cluster::Canonicalize(reference);
+  const size_t n = pred.size();
+
+  std::unordered_map<int64_t, int64_t> pred_sizes;
+  std::unordered_map<int64_t, int64_t> ref_sizes;
+  std::unordered_map<int64_t, int64_t> joint;
+  for (size_t i = 0; i < n; ++i) {
+    ++pred_sizes[pred[i]];
+    ++ref_sizes[ref[i]];
+    ++joint[(static_cast<int64_t>(pred[i]) << 32) | ref[i]];
+  }
+
+  int64_t pred_pairs = 0;
+  for (const auto& [label, count] : pred_sizes) pred_pairs += Choose2(count);
+  int64_t ref_pairs = 0;
+  for (const auto& [label, count] : ref_sizes) ref_pairs += Choose2(count);
+  int64_t tp = 0;
+  for (const auto& [key, count] : joint) tp += Choose2(count);
+
+  PairwiseScores out;
+  out.true_positive = tp;
+  out.false_positive = pred_pairs - tp;
+  out.false_negative = ref_pairs - tp;
+  return out;
+}
+
+PairwiseScores PairwiseAgreementToEntities(
+    const cluster::Labels& predicted,
+    const std::vector<int64_t>& entity_ids) {
+  TOPKDUP_CHECK(predicted.size() == entity_ids.size());
+  std::unordered_map<int64_t, int> remap;
+  cluster::Labels reference(entity_ids.size());
+  for (size_t i = 0; i < entity_ids.size(); ++i) {
+    TOPKDUP_CHECK(entity_ids[i] >= 0);
+    auto [it, inserted] =
+        remap.emplace(entity_ids[i], static_cast<int>(remap.size()));
+    reference[i] = it->second;
+  }
+  return PairwiseAgreement(predicted, reference);
+}
+
+}  // namespace topkdup::eval

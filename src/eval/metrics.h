@@ -1,0 +1,38 @@
+#ifndef TOPKDUP_EVAL_METRICS_H_
+#define TOPKDUP_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/pair_scores.h"
+
+namespace topkdup::eval {
+
+/// Pairwise clustering agreement between a predicted partition and a
+/// reference partition: a pair of items is positive when co-clustered in
+/// the reference. This is the F1 measure of paper §6.4 ("pairwise F1 value
+/// which treats as positive any pair of records that appears in the same
+/// cluster in the LP").
+struct PairwiseScores {
+  int64_t true_positive = 0;
+  int64_t false_positive = 0;
+  int64_t false_negative = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+/// Computes pairwise agreement in O(n + sum of cluster-intersection sizes)
+/// via the contingency counts, never enumerating pairs.
+PairwiseScores PairwiseAgreement(const cluster::Labels& predicted,
+                                 const cluster::Labels& reference);
+
+/// Convenience: reference taken from ground-truth entity ids (one cluster
+/// per distinct id; every item must have a non-negative id).
+PairwiseScores PairwiseAgreementToEntities(
+    const cluster::Labels& predicted, const std::vector<int64_t>& entity_ids);
+
+}  // namespace topkdup::eval
+
+#endif  // TOPKDUP_EVAL_METRICS_H_

@@ -1,0 +1,189 @@
+#include "graph/clique_partition.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace topkdup::graph {
+
+MinFillResult MinFillTriangulate(const Graph& g) {
+  const size_t n = g.vertex_count();
+  MinFillResult result(n);
+  result.order.reserve(n);
+
+  // Working adjacency over the *remaining* vertices; fill edges are also
+  // mirrored into result.filled (which keeps all vertices).
+  std::vector<std::unordered_set<size_t>> adj(n);
+  for (size_t u = 0; u < n; ++u) {
+    adj[u] = g.Neighbors(u);
+    for (size_t v : adj[u]) {
+      if (u < v) result.filled.AddEdge(u, v);
+    }
+  }
+
+  std::vector<bool> removed(n, false);
+
+  auto fill_cost = [&](size_t v) -> size_t {
+    // Number of edges missing among v's remaining neighbors.
+    std::vector<size_t> nb;
+    nb.reserve(adj[v].size());
+    for (size_t u : adj[v]) {
+      if (!removed[u]) nb.push_back(u);
+    }
+    size_t missing = 0;
+    for (size_t i = 0; i < nb.size(); ++i) {
+      for (size_t j = i + 1; j < nb.size(); ++j) {
+        if (adj[nb[i]].count(nb[j]) == 0) ++missing;
+      }
+    }
+    return missing;
+  };
+
+  // Cached costs, recomputed only for vertices whose 2-hop neighborhood
+  // was touched by an elimination (exact-cost maintenance would be the
+  // same asymptotics with more bookkeeping).
+  std::vector<size_t> cost(n);
+  for (size_t v = 0; v < n; ++v) cost[v] = fill_cost(v);
+
+  for (size_t step = 0; step < n; ++step) {
+    size_t best = std::numeric_limits<size_t>::max();
+    size_t best_cost = std::numeric_limits<size_t>::max();
+    for (size_t v = 0; v < n; ++v) {
+      if (removed[v]) continue;
+      if (cost[v] < best_cost) {
+        best_cost = cost[v];
+        best = v;
+        if (best_cost == 0) break;  // Simplicial vertex: cannot do better.
+      }
+    }
+    TOPKDUP_CHECK(best != std::numeric_limits<size_t>::max());
+
+    // Connect best's remaining neighbors into a clique (fill edges).
+    std::vector<size_t> nb;
+    for (size_t u : adj[best]) {
+      if (!removed[u]) nb.push_back(u);
+    }
+    std::unordered_set<size_t> dirty(nb.begin(), nb.end());
+    for (size_t i = 0; i < nb.size(); ++i) {
+      for (size_t j = i + 1; j < nb.size(); ++j) {
+        if (adj[nb[i]].insert(nb[j]).second) {
+          adj[nb[j]].insert(nb[i]);
+          result.filled.AddEdge(nb[i], nb[j]);
+          // A new edge changes the missing-pair counts of every common
+          // neighbor of its endpoints.
+          for (size_t w : adj[nb[i]]) {
+            if (!removed[w]) dirty.insert(w);
+          }
+          for (size_t w : adj[nb[j]]) {
+            if (!removed[w]) dirty.insert(w);
+          }
+        }
+      }
+    }
+    result.order.push_back(best);
+    removed[best] = true;
+    for (size_t v : dirty) {
+      if (!removed[v]) cost[v] = fill_cost(v);
+    }
+  }
+  return result;
+}
+
+int GreedyIndependentSetBound(const Graph& g, int stop_at) {
+  const size_t n = g.vertex_count();
+  std::vector<size_t> degree(n);
+  std::vector<bool> covered(n, false);
+  // Min-degree-first greedy independent set: every picked vertex excludes
+  // its neighbors, so the picked set is independent and its size lower
+  // bounds the clique partition number.
+  std::vector<size_t> order(n);
+  for (size_t v = 0; v < n; ++v) {
+    degree[v] = g.Neighbors(v).size();
+    order[v] = v;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (degree[a] != degree[b]) return degree[a] < degree[b];
+    return a < b;
+  });
+  int bound = 0;
+  for (size_t v : order) {
+    if (covered[v]) continue;
+    covered[v] = true;
+    for (size_t u : g.Neighbors(v)) covered[u] = true;
+    ++bound;
+    if (stop_at > 0 && bound >= stop_at) return stop_at;
+  }
+  return bound;
+}
+
+int CliquePartitionLowerBound(const Graph& g, int stop_at) {
+  const size_t n = g.vertex_count();
+  if (n == 0) return 0;
+  const MinFillResult mf = MinFillTriangulate(g);
+
+  std::vector<bool> covered(n, false);
+  int cpn = 0;
+  for (size_t v : mf.order) {
+    if (covered[v]) continue;
+    covered[v] = true;
+    for (size_t u : mf.filled.Neighbors(v)) covered[u] = true;
+    ++cpn;
+    if (stop_at > 0 && cpn >= stop_at) return stop_at;
+  }
+  return cpn;
+}
+
+namespace {
+
+struct ExactState {
+  const Graph* g;
+  // cliques[c] = vertices currently assigned to clique c.
+  std::vector<std::vector<size_t>> cliques;
+  int best;
+};
+
+void ExactRecurse(ExactState* st, size_t v, size_t n) {
+  if (static_cast<int>(st->cliques.size()) >= st->best) return;  // Prune.
+  if (v == n) {
+    st->best = static_cast<int>(st->cliques.size());
+    return;
+  }
+  // Try putting v into each existing clique it is fully adjacent to.
+  // Index-based loop: recursion appends/removes a trailing clique, which
+  // may reallocate the vector.
+  const size_t clique_count = st->cliques.size();
+  for (size_t c = 0; c < clique_count; ++c) {
+    bool ok = true;
+    for (size_t u : st->cliques[c]) {
+      if (!st->g->HasEdge(u, v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      st->cliques[c].push_back(v);
+      ExactRecurse(st, v + 1, n);
+      st->cliques[c].pop_back();
+    }
+  }
+  // Or open a new clique.
+  st->cliques.push_back({v});
+  ExactRecurse(st, v + 1, n);
+  st->cliques.pop_back();
+}
+
+}  // namespace
+
+int CliquePartitionExact(const Graph& g, size_t max_vertices) {
+  const size_t n = g.vertex_count();
+  TOPKDUP_CHECK(n <= max_vertices);
+  if (n == 0) return 0;
+  ExactState st;
+  st.g = &g;
+  st.best = static_cast<int>(n) + 1;
+  ExactRecurse(&st, 0, n);
+  return st.best;
+}
+
+}  // namespace topkdup::graph

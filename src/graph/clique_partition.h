@@ -1,0 +1,52 @@
+#ifndef TOPKDUP_GRAPH_CLIQUE_PARTITION_H_
+#define TOPKDUP_GRAPH_CLIQUE_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace topkdup::graph {
+
+/// Lower bound on the clique partition number (CPN) of `g` via Algorithm 1
+/// of the paper: min-fill triangulation to obtain an elimination ordering,
+/// then a single greedy pass that counts a set of pairwise non-adjacent
+/// "uncovered" vertices in the filled graph.
+///
+/// The returned value is always a valid lower bound on CPN(g): the counted
+/// vertices form an independent set of the filled graph G' ⊇ G, hence an
+/// independent set of G, and α(G) ≤ CPN(G). On a chordal input the bound is
+/// exact.
+///
+/// If `stop_at` > 0, the greedy pass stops early once the bound reaches
+/// `stop_at` and returns `stop_at`; use this when only "CPN ≥ K?" matters.
+int CliquePartitionLowerBound(const Graph& g, int stop_at = 0);
+
+/// A cheaper CPN lower bound: a min-degree-first greedy independent set of
+/// `g` itself (|IS| <= alpha(G) <= CPN(G)). No triangulation; O(E log V).
+/// Often at least as tight as the Algorithm-1 bound because the fill
+/// edges can only shrink independent sets; used by the lower-bound
+/// estimator for large prefixes and compared in the micro_cpn bench.
+int GreedyIndependentSetBound(const Graph& g, int stop_at = 0);
+
+/// Exact CPN by branch and bound over vertex covers by cliques. Exponential;
+/// only for small graphs (tests and tightness diagnostics). `max_vertices`
+/// guards against accidental misuse.
+int CliquePartitionExact(const Graph& g, size_t max_vertices = 20);
+
+/// Result of Algorithm 1's first loop: a min-fill elimination order and the
+/// fill-in edges added to triangulate.
+struct MinFillResult {
+  std::vector<size_t> order;
+  Graph filled;
+
+  explicit MinFillResult(size_t n) : filled(n) {}
+};
+
+/// Runs the min-fill heuristic, returning the elimination order and the
+/// triangulated (filled) graph.
+MinFillResult MinFillTriangulate(const Graph& g);
+
+}  // namespace topkdup::graph
+
+#endif  // TOPKDUP_GRAPH_CLIQUE_PARTITION_H_

@@ -1,0 +1,28 @@
+#include "graph/graph.h"
+
+#include "common/check.h"
+
+namespace topkdup::graph {
+
+void Graph::AddEdge(size_t u, size_t v) {
+  TOPKDUP_CHECK(u < adj_.size() && v < adj_.size());
+  if (u == v) return;
+  if (adj_[u].insert(v).second) {
+    adj_[v].insert(u);
+    ++edge_count_;
+  }
+}
+
+bool Graph::HasEdge(size_t u, size_t v) const {
+  if (u >= adj_.size() || v >= adj_.size() || u == v) return false;
+  const auto& smaller = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const size_t probe = adj_[u].size() <= adj_[v].size() ? v : u;
+  return smaller.count(probe) > 0;
+}
+
+size_t Graph::AddVertex() {
+  adj_.emplace_back();
+  return adj_.size() - 1;
+}
+
+}  // namespace topkdup::graph

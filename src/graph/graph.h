@@ -1,0 +1,38 @@
+#ifndef TOPKDUP_GRAPH_GRAPH_H_
+#define TOPKDUP_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+namespace topkdup::graph {
+
+/// Simple undirected graph on vertices 0..n-1 with adjacency sets.
+/// Self-loops are ignored; parallel edges collapse.
+class Graph {
+ public:
+  explicit Graph(size_t n) : adj_(n) {}
+
+  size_t vertex_count() const { return adj_.size(); }
+
+  /// Number of edges (each counted once).
+  size_t edge_count() const { return edge_count_; }
+
+  void AddEdge(size_t u, size_t v);
+  bool HasEdge(size_t u, size_t v) const;
+
+  /// Appends an isolated vertex and returns its index.
+  size_t AddVertex();
+
+  const std::unordered_set<size_t>& Neighbors(size_t u) const {
+    return adj_[u];
+  }
+
+ private:
+  std::vector<std::unordered_set<size_t>> adj_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace topkdup::graph
+
+#endif  // TOPKDUP_GRAPH_GRAPH_H_

@@ -1,0 +1,79 @@
+#include "learn/features.h"
+
+#include "sim/name_similarity.h"
+#include "sim/similarity.h"
+#include "text/tokenize.h"
+
+namespace topkdup::learn {
+
+std::vector<PairFeature> StandardFieldFeatures(int field,
+                                               const std::string& label) {
+  std::vector<PairFeature> features;
+  features.push_back(
+      {label + "_word_jaccard",
+       [field](const predicates::Corpus& c, size_t a, size_t b) {
+         return sim::Jaccard(c.WordSet(a, field), c.WordSet(b, field));
+       }});
+  features.push_back(
+      {label + "_qgram_jaccard",
+       [field](const predicates::Corpus& c, size_t a, size_t b) {
+         return sim::Jaccard(c.QGramSet(a, field), c.QGramSet(b, field));
+       }});
+  features.push_back(
+      {label + "_word_overlap",
+       [field](const predicates::Corpus& c, size_t a, size_t b) {
+         return sim::OverlapFraction(c.WordSet(a, field),
+                                     c.WordSet(b, field));
+       }});
+  features.push_back(
+      {label + "_tfidf_cosine",
+       [field](const predicates::Corpus& c, size_t a, size_t b) {
+         return sim::CosineTfIdf(c.WordSet(a, field), c.WordSet(b, field),
+                                 c.FieldIdf(field));
+       }});
+  features.push_back(
+      {label + "_jaro_winkler",
+       [field](const predicates::Corpus& c, size_t a, size_t b) {
+         return sim::JaroWinkler(
+             text::NormalizeText(c.data()[a].field(field)),
+             text::NormalizeText(c.data()[b].field(field)));
+       }});
+  features.push_back(
+      {label + "_initials_match",
+       [field](const predicates::Corpus& c, size_t a, size_t b) {
+         return c.InitialsOf(a, field) == c.InitialsOf(b, field) ? 1.0 : 0.0;
+       }});
+  return features;
+}
+
+std::vector<PairFeature> CitationCustomFeatures(int author_field,
+                                                int coauthor_field) {
+  std::vector<PairFeature> features;
+  features.push_back(
+      {"custom_author",
+       [author_field](const predicates::Corpus& c, size_t a, size_t b) {
+         return sim::CustomAuthorSimilarity(
+             c.data()[a].field(author_field), c.data()[b].field(author_field),
+             c.vocab(), c.FieldIdf(author_field), c.MaxIdf(author_field));
+       }});
+  features.push_back(
+      {"custom_coauthor",
+       [coauthor_field](const predicates::Corpus& c, size_t a, size_t b) {
+         return sim::CustomCoauthorSimilarity(
+             c.data()[a].field(coauthor_field),
+             c.data()[b].field(coauthor_field), c.vocab(),
+             c.FieldIdf(coauthor_field), c.MaxIdf(coauthor_field));
+       }});
+  return features;
+}
+
+std::vector<double> Featurize(const std::vector<PairFeature>& features,
+                              const predicates::Corpus& corpus, size_t a,
+                              size_t b) {
+  std::vector<double> out;
+  out.reserve(features.size());
+  for (const PairFeature& f : features) out.push_back(f.fn(corpus, a, b));
+  return out;
+}
+
+}  // namespace topkdup::learn

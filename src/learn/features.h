@@ -1,0 +1,36 @@
+#ifndef TOPKDUP_LEARN_FEATURES_H_
+#define TOPKDUP_LEARN_FEATURES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "predicates/corpus.h"
+
+namespace topkdup::learn {
+
+/// A named real-valued feature over a record pair, evaluated through the
+/// shared Corpus caches.
+struct PairFeature {
+  std::string name;
+  std::function<double(const predicates::Corpus&, size_t, size_t)> fn;
+};
+
+/// Builds the standard similarity feature set of paper §6.4 for a field:
+/// Jaccard over words, Jaccard over q-grams, overlap fraction of words,
+/// TF-IDF cosine over words, and Jaro-Winkler over the normalized text.
+std::vector<PairFeature> StandardFieldFeatures(int field,
+                                               const std::string& label);
+
+/// The custom author/co-author similarity features of §6.1.1.
+std::vector<PairFeature> CitationCustomFeatures(int author_field,
+                                                int coauthor_field);
+
+/// Evaluates all features on a pair into a dense vector.
+std::vector<double> Featurize(const std::vector<PairFeature>& features,
+                              const predicates::Corpus& corpus, size_t a,
+                              size_t b);
+
+}  // namespace topkdup::learn
+
+#endif  // TOPKDUP_LEARN_FEATURES_H_

@@ -1,0 +1,51 @@
+#ifndef TOPKDUP_LEARN_LOGISTIC_H_
+#define TOPKDUP_LEARN_LOGISTIC_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace topkdup::learn {
+
+/// A trained binary logistic-regression model. Score(x) = w . x + b is the
+/// log-odds of the positive (duplicate) class — exactly the signed score P
+/// the paper feeds to clustering: positive favors "duplicate", negative
+/// "distinct", magnitude is confidence.
+class LogisticModel {
+ public:
+  LogisticModel() = default;
+  LogisticModel(std::vector<double> weights, double bias)
+      : weights_(std::move(weights)), bias_(bias) {}
+
+  /// Signed log-odds score.
+  double Score(const std::vector<double>& x) const;
+
+  /// Probability of the positive class (sigmoid of Score).
+  double Probability(const std::vector<double>& x) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+struct LogisticTrainOptions {
+  int epochs = 200;
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  uint64_t seed = 17;
+};
+
+/// Trains by mini-batch-free SGD with L2 regularization over the given
+/// examples. `labels[i]` is 1 (duplicate) or 0. Errors on empty or
+/// inconsistent input or single-class labels.
+StatusOr<LogisticModel> TrainLogistic(
+    const std::vector<std::vector<double>>& examples,
+    const std::vector<int>& labels, const LogisticTrainOptions& options = {});
+
+}  // namespace topkdup::learn
+
+#endif  // TOPKDUP_LEARN_LOGISTIC_H_

@@ -1,0 +1,44 @@
+#ifndef TOPKDUP_LP_SIMPLEX_H_
+#define TOPKDUP_LP_SIMPLEX_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace topkdup::lp {
+
+/// One <= constraint: sum of terms (variable index, coefficient) <= rhs.
+/// rhs must be >= 0 so that the all-slack basis is feasible.
+struct Constraint {
+  std::vector<std::pair<int, double>> terms;
+  double rhs = 0.0;
+};
+
+struct LpOptions {
+  int max_iterations = 200000;
+  double epsilon = 1e-9;
+  /// Refuse problems whose dense tableau would exceed this many doubles.
+  size_t max_tableau_cells = 200u * 1000u * 1000u;
+};
+
+struct LpResult {
+  std::vector<double> x;
+  double objective = 0.0;
+  int iterations = 0;
+};
+
+/// Maximizes objective . x subject to the given <= constraints and x >= 0
+/// by primal simplex on a dense tableau (Dantzig pricing with a Bland
+/// fallback against cycling). Intended for the moderate-size LPs of the
+/// correlation-clustering relaxation; returns ResourceExhausted when the
+/// tableau would be too large and Internal if the iteration cap is hit.
+/// The feasible region is always bounded in our use (every variable is
+/// boxed), so unboundedness is reported as Internal too.
+StatusOr<LpResult> SolveLp(int num_vars, const std::vector<double>& objective,
+                           const std::vector<Constraint>& constraints,
+                           const LpOptions& options = {});
+
+}  // namespace topkdup::lp
+
+#endif  // TOPKDUP_LP_SIMPLEX_H_

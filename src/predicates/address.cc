@@ -1,0 +1,71 @@
+#include "predicates/address.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/name_similarity.h"
+#include "text/tokenize.h"
+
+namespace topkdup::predicates {
+
+AddressS1::AddressS1(const Corpus* corpus, AddressFields fields,
+                     double min_name_overlap, double min_address_overlap)
+    : corpus_(corpus),
+      fields_(fields),
+      min_name_overlap_(min_name_overlap),
+      min_address_overlap_(min_address_overlap) {}
+
+const std::vector<text::TokenId>& AddressS1::Signature(size_t rec) const {
+  return corpus_->NonStopWordSet(rec, fields_.name);
+}
+
+int AddressS1::MinCommon(size_t size_a, size_t size_b) const {
+  const size_t smaller = std::min(size_a, size_b);
+  return std::max(1, static_cast<int>(std::ceil(
+                         min_name_overlap_ * static_cast<double>(smaller))));
+}
+
+bool AddressS1::Evaluate(size_t a, size_t b) const {
+  if (corpus_->InitialsOf(a, fields_.name) !=
+      corpus_->InitialsOf(b, fields_.name)) {
+    return false;
+  }
+  const auto& na = corpus_->NonStopWordSet(a, fields_.name);
+  const auto& nb = corpus_->NonStopWordSet(b, fields_.name);
+  if (na.empty() || nb.empty()) return false;
+  const int name_common = text::SortedIntersectionSize(na, nb);
+  const double name_frac =
+      static_cast<double>(name_common) /
+      static_cast<double>(std::min(na.size(), nb.size()));
+  if (name_frac <= min_name_overlap_) return false;  // Strictly greater.
+
+  const auto& aa = corpus_->NonStopWordSet(a, fields_.address);
+  const auto& ab = corpus_->NonStopWordSet(b, fields_.address);
+  if (aa.empty() || ab.empty()) return false;
+  const int addr_common = text::SortedIntersectionSize(aa, ab);
+  const double addr_frac =
+      static_cast<double>(addr_common) /
+      static_cast<double>(std::min(aa.size(), ab.size()));
+  return addr_frac >= min_address_overlap_;
+}
+
+AddressN1::AddressN1(const Corpus* corpus, AddressFields fields,
+                     int min_common)
+    : min_common_(min_common) {
+  signatures_.resize(corpus->size());
+  for (size_t r = 0; r < corpus->size(); ++r) {
+    std::vector<text::TokenId> all = corpus->NonStopWordSet(r, fields.name);
+    const auto& addr = corpus->NonStopWordSet(r, fields.address);
+    all.insert(all.end(), addr.begin(), addr.end());
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    signatures_[r] = std::move(all);
+  }
+}
+
+bool AddressN1::Evaluate(size_t a, size_t b) const {
+  return text::SortedIntersectionSize(signatures_[a], signatures_[b]) >=
+         min_common_;
+}
+
+}  // namespace topkdup::predicates

@@ -1,0 +1,101 @@
+#include "predicates/audit.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/timer.h"
+#include "predicates/blocked_index.h"
+
+namespace topkdup::predicates {
+
+StatusOr<PredicateAudit> AuditPredicate(const record::Dataset& data,
+                                        const PairPredicate& pred,
+                                        const AuditOptions& options) {
+  PredicateAudit audit;
+  audit.name = std::string(pred.name());
+  Rng rng(options.seed);
+
+  std::map<int64_t, std::vector<size_t>> by_entity;
+  for (size_t r = 0; r < data.size(); ++r) {
+    if (data[r].entity_id < 0) {
+      return Status::FailedPrecondition(
+          "AuditPredicate: records must carry ground-truth entity ids");
+    }
+    by_entity[data[r].entity_id].push_back(r);
+  }
+
+  Timer eval_timer;
+  size_t evals = 0;
+
+  // Necessary check: duplicate pairs sampled within entities.
+  for (const auto& [entity, members] : by_entity) {
+    if (audit.duplicate_pairs_checked >= options.max_duplicate_pairs) break;
+    if (members.size() < 2) continue;
+    // Consecutive pairs plus one random pair per entity keep the sample
+    // linear in the data size.
+    for (size_t i = 0;
+         i + 1 < members.size() &&
+         audit.duplicate_pairs_checked < options.max_duplicate_pairs;
+         ++i) {
+      ++audit.duplicate_pairs_checked;
+      ++evals;
+      if (!pred.Evaluate(members[i], members[i + 1])) {
+        ++audit.necessary_violations;
+      }
+    }
+    if (members.size() > 2) {
+      const size_t a = members[rng.Uniform(members.size())];
+      const size_t b = members[rng.Uniform(members.size())];
+      if (a != b) {
+        ++audit.duplicate_pairs_checked;
+        ++evals;
+        if (!pred.Evaluate(a, b)) ++audit.necessary_violations;
+      }
+    }
+  }
+
+  // Blocking selectivity + sufficient check on a sample of items.
+  std::vector<size_t> sample(data.size());
+  std::iota(sample.begin(), sample.end(), size_t{0});
+  rng.Shuffle(&sample);
+  if (sample.size() > options.blocking_sample) {
+    sample.resize(options.blocking_sample);
+  }
+  BlockedIndex index(pred, sample);
+  size_t candidate_pairs = 0;
+  index.ForEachCandidatePair([&](size_t p, size_t q) {
+    ++candidate_pairs;
+    if (audit.cross_pairs_checked >= options.max_cross_pairs) return;
+    const size_t a = sample[p];
+    const size_t b = sample[q];
+    if (data[a].entity_id == data[b].entity_id) return;
+    ++audit.cross_pairs_checked;
+    ++evals;
+    if (pred.Evaluate(a, b)) ++audit.sufficient_violations;
+  });
+  const double all_pairs = static_cast<double>(sample.size()) *
+                           static_cast<double>(sample.size() - 1) / 2.0;
+  audit.blocking_selectivity =
+      all_pairs == 0.0 ? 0.0 : static_cast<double>(candidate_pairs) / all_pairs;
+  audit.seconds_per_eval =
+      evals == 0 ? 0.0 : eval_timer.ElapsedSeconds() / static_cast<double>(evals);
+  return audit;
+}
+
+std::vector<size_t> SuggestLevelOrder(
+    const std::vector<PredicateAudit>& audits) {
+  std::vector<size_t> order(audits.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double cost_a =
+        audits[a].seconds_per_eval * (1.0 + audits[a].blocking_selectivity);
+    const double cost_b =
+        audits[b].seconds_per_eval * (1.0 + audits[b].blocking_selectivity);
+    if (cost_a != cost_b) return cost_a < cost_b;
+    return audits[a].blocking_selectivity < audits[b].blocking_selectivity;
+  });
+  return order;
+}
+
+}  // namespace topkdup::predicates

@@ -1,0 +1,81 @@
+#ifndef TOPKDUP_PREDICATES_AUDIT_H_
+#define TOPKDUP_PREDICATES_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "predicates/pair_predicate.h"
+#include "record/record.h"
+
+namespace topkdup::predicates {
+
+/// Empirical audit of a predicate against labeled data — the measurement
+/// half of the paper's future work on "automatically choosing the
+/// necessary and sufficient predicates" and ordering them "based on
+/// selectivity and running time" (§8). The paper itself validated its
+/// hand-picked predicates on labeled samples (§6.1); this makes that step
+/// a library operation.
+struct PredicateAudit {
+  std::string name;
+
+  /// Necessary-predicate quality: fraction of sampled true-duplicate
+  /// pairs on which the predicate is FALSE. Must be ~0 for the predicate
+  /// to be usable as necessary.
+  size_t duplicate_pairs_checked = 0;
+  size_t necessary_violations = 0;
+
+  /// Sufficient-predicate quality: fraction of sampled cross-entity
+  /// candidate pairs on which the predicate is TRUE. Must be ~0 for the
+  /// predicate to be usable as sufficient.
+  size_t cross_pairs_checked = 0;
+  size_t sufficient_violations = 0;
+
+  /// Blocking selectivity: candidate pairs surfaced by the predicate's
+  /// own blocking on a sample, divided by all pairs of the sample.
+  double blocking_selectivity = 0.0;
+
+  /// Mean wall seconds per Evaluate call on the sampled pairs.
+  double seconds_per_eval = 0.0;
+
+  double NecessaryViolationRate() const {
+    return duplicate_pairs_checked == 0
+               ? 0.0
+               : static_cast<double>(necessary_violations) /
+                     static_cast<double>(duplicate_pairs_checked);
+  }
+  double SufficientViolationRate() const {
+    return cross_pairs_checked == 0
+               ? 0.0
+               : static_cast<double>(sufficient_violations) /
+                     static_cast<double>(cross_pairs_checked);
+  }
+};
+
+struct AuditOptions {
+  /// Sample caps (entities for duplicate pairs; items for blocking).
+  size_t max_duplicate_pairs = 5000;
+  size_t max_cross_pairs = 5000;
+  size_t blocking_sample = 2000;
+  uint64_t seed = 97;
+};
+
+/// Audits `pred` on `data`, whose records must carry ground-truth
+/// entity_ids (>= 0). Duplicate pairs are sampled within entities;
+/// cross-entity pairs are sampled from the predicate's own blocking
+/// candidates (random cross pairs almost never collide, so blocked pairs
+/// are the informative ones).
+StatusOr<PredicateAudit> AuditPredicate(const record::Dataset& data,
+                                        const PairPredicate& pred,
+                                        const AuditOptions& options = {});
+
+/// Orders predicate audits for use as pruning levels: cheapest and most
+/// selective first, as §8 sketches. The score is seconds_per_eval weighted
+/// by blocking selectivity (expected join work per record pair).
+std::vector<size_t> SuggestLevelOrder(
+    const std::vector<PredicateAudit>& audits);
+
+}  // namespace topkdup::predicates
+
+#endif  // TOPKDUP_PREDICATES_AUDIT_H_

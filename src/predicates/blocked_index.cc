@@ -1,0 +1,56 @@
+#include "predicates/blocked_index.h"
+
+#include <algorithm>
+
+namespace topkdup::predicates {
+
+BlockedIndex::BlockedIndex(const PairPredicate& pred,
+                           std::vector<size_t> items)
+    : pred_(pred), items_(std::move(items)) {
+  sig_sizes_.resize(items_.size());
+  for (size_t pos = 0; pos < items_.size(); ++pos) {
+    const std::vector<text::TokenId>& sig = pred_.Signature(items_[pos]);
+    sig_sizes_[pos] = static_cast<uint32_t>(sig.size());
+    for (text::TokenId t : sig) {
+      if (static_cast<size_t>(t) >= postings_.size()) {
+        postings_.resize(t + 1);
+      }
+      postings_[t].push_back(static_cast<uint32_t>(pos));
+    }
+  }
+  counts_.assign(items_.size(), 0);
+}
+
+void BlockedIndex::ForEachCandidate(
+    size_t pos, const std::function<bool(size_t)>& fn) const {
+  touched_.clear();
+  const std::vector<text::TokenId>& sig = pred_.Signature(items_[pos]);
+  for (text::TokenId t : sig) {
+    if (t < 0 || static_cast<size_t>(t) >= postings_.size()) continue;
+    for (uint32_t other : postings_[t]) {
+      if (other == pos) continue;
+      if (counts_[other] == 0) touched_.push_back(other);
+      ++counts_[other];
+    }
+  }
+  bool keep_going = true;
+  for (uint32_t other : touched_) {
+    if (keep_going &&
+        counts_[other] >= pred_.MinCommon(sig.size(), sig_sizes_[other])) {
+      keep_going = fn(other);
+    }
+    counts_[other] = 0;  // Always reset the scratch buffer.
+  }
+}
+
+void BlockedIndex::ForEachCandidatePair(
+    const std::function<void(size_t, size_t)>& fn) const {
+  for (size_t p = 0; p < items_.size(); ++p) {
+    ForEachCandidate(p, [&](size_t q) {
+      if (p < q) fn(p, q);
+      return true;
+    });
+  }
+}
+
+}  // namespace topkdup::predicates

@@ -1,0 +1,53 @@
+#ifndef TOPKDUP_PREDICATES_BLOCKED_INDEX_H_
+#define TOPKDUP_PREDICATES_BLOCKED_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "predicates/pair_predicate.h"
+
+namespace topkdup::predicates {
+
+/// Inverted index over the blocking signatures of a set of items (record
+/// ids), used to enumerate candidate pairs for one predicate without a
+/// Cartesian product.
+///
+/// Items are addressed by *position* 0..items.size()-1; the caller maps
+/// positions back to record ids. Not thread-safe (reuses internal count
+/// buffers across queries).
+class BlockedIndex {
+ public:
+  /// Indexes the signatures of `items` under `pred`. `pred` and the corpus
+  /// behind it must outlive the index.
+  BlockedIndex(const PairPredicate& pred, std::vector<size_t> items);
+
+  /// Calls `fn(position)` for every other item position whose signature
+  /// shares at least MinCommon tokens with item `pos`'s signature. Does NOT
+  /// evaluate the predicate. Enumeration order is unspecified. If `fn`
+  /// returns false the scan stops early.
+  void ForEachCandidate(size_t pos,
+                        const std::function<bool(size_t)>& fn) const;
+
+  /// Calls `fn(p, q)` (p < q) for every unordered candidate pair, i.e. every
+  /// pair passing the blocking filter. Predicate evaluation is again left to
+  /// the caller.
+  void ForEachCandidatePair(
+      const std::function<void(size_t, size_t)>& fn) const;
+
+  size_t item_count() const { return items_.size(); }
+  size_t record_id(size_t pos) const { return items_[pos]; }
+
+ private:
+  const PairPredicate& pred_;
+  std::vector<size_t> items_;
+  std::vector<std::vector<uint32_t>> postings_;  // token -> positions
+  std::vector<uint32_t> sig_sizes_;
+  // Scratch buffers reused across queries.
+  mutable std::vector<int> counts_;
+  mutable std::vector<uint32_t> touched_;
+};
+
+}  // namespace topkdup::predicates
+
+#endif  // TOPKDUP_PREDICATES_BLOCKED_INDEX_H_

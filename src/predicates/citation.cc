@@ -1,0 +1,85 @@
+#include "predicates/citation.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "predicates/generic.h"
+#include "text/tokenize.h"
+
+namespace topkdup::predicates {
+
+CitationS1::CitationS1(const Corpus* corpus, CitationFields fields,
+                       double min_idf_threshold)
+    : corpus_(corpus),
+      fields_(fields),
+      min_idf_threshold_(min_idf_threshold) {
+  const size_t n = corpus_->size();
+  signatures_.resize(n);
+  min_idf_.resize(n);
+  const text::IdfTable& idf = corpus_->FieldIdf(fields_.author);
+  for (size_t r = 0; r < n; ++r) {
+    // Non-initial author words: words of length > 1.
+    std::vector<text::TokenId> words;
+    double min_idf = std::numeric_limits<double>::infinity();
+    for (const std::string& w :
+         text::WordTokens(corpus_->data()[r].field(fields_.author))) {
+      if (w.size() <= 1) continue;
+      const text::TokenId id = corpus_->vocab().Find(w);
+      if (id == text::kInvalidToken) continue;  // Cannot happen post-Build.
+      words.push_back(id);
+      min_idf = std::min(min_idf, idf.Idf(id));
+    }
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    signatures_[r] = std::move(words);
+    min_idf_[r] = min_idf;
+  }
+}
+
+int CitationS1::MinCommon(size_t size_a, size_t size_b) const {
+  // Equal word sets share max(|a|, |b|) tokens.
+  return std::max<int>(1, static_cast<int>(std::max(size_a, size_b)));
+}
+
+bool CitationS1::Evaluate(size_t a, size_t b) const {
+  if (signatures_[a].empty() || signatures_[a] != signatures_[b]) {
+    return false;
+  }
+  if (corpus_->InitialsOf(a, fields_.author) !=
+      corpus_->InitialsOf(b, fields_.author)) {
+    return false;
+  }
+  return min_idf_[a] >= min_idf_threshold_ &&
+         min_idf_[b] >= min_idf_threshold_;
+}
+
+CitationS2::CitationS2(const Corpus* corpus, CitationFields fields)
+    : corpus_(corpus), fields_(fields) {
+  const size_t n = corpus_->size();
+  signatures_.resize(n);
+  last_names_.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    const std::vector<std::string> words =
+        text::WordTokens(corpus_->data()[r].field(fields_.author));
+    if (!words.empty()) last_names_[r] = words.back();
+    std::string key = last_names_[r];
+    key.push_back('\x1f');
+    key.append(corpus_->InitialsOf(r, fields_.author));
+    signatures_[r].push_back(key_vocab_.GetOrAdd(key));
+  }
+}
+
+bool CitationS2::Evaluate(size_t a, size_t b) const {
+  if (last_names_[a].empty()) return false;
+  if (last_names_[a] != last_names_[b]) return false;
+  if (corpus_->InitialsOf(a, fields_.author) !=
+      corpus_->InitialsOf(b, fields_.author)) {
+    return false;
+  }
+  const int common_coauthors = text::SortedIntersectionSize(
+      corpus_->WordSet(a, fields_.coauthors),
+      corpus_->WordSet(b, fields_.coauthors));
+  return common_coauthors >= 3;
+}
+
+}  // namespace topkdup::predicates

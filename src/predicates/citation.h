@@ -1,0 +1,81 @@
+#ifndef TOPKDUP_PREDICATES_CITATION_H_
+#define TOPKDUP_PREDICATES_CITATION_H_
+
+#include <string>
+#include <vector>
+
+#include "predicates/corpus.h"
+#include "predicates/pair_predicate.h"
+
+namespace topkdup::predicates {
+
+/// Field layout of the citation dataset (author-citation pair records,
+/// paper §6.1.1).
+struct CitationFields {
+  int author = 0;
+  int coauthors = 1;
+  int title = 2;
+};
+
+/// Sufficient predicate S1 of §6.1.1: "author initials match and the
+/// minimum IDF over two author words is at least <threshold>" — the name
+/// has to be sufficiently rare and the initials must match exactly. We
+/// additionally require equal non-initial author word sets, which is the
+/// reading under which the predicate is genuinely sufficient (matching
+/// initials alone never identify a person).
+class CitationS1 : public PairPredicate {
+ public:
+  CitationS1(const Corpus* corpus, CitationFields fields,
+             double min_idf_threshold);
+
+  std::string_view name() const override { return "Citation-S1"; }
+  bool Evaluate(size_t a, size_t b) const override;
+  const std::vector<text::TokenId>& Signature(size_t rec) const override {
+    return signatures_[rec];
+  }
+  int MinCommon(size_t size_a, size_t size_b) const override;
+
+ private:
+  const Corpus* corpus_;
+  CitationFields fields_;
+  double min_idf_threshold_;
+  // Non-initial author-word id sets (sorted); corpus vocab ids.
+  std::vector<std::vector<text::TokenId>> signatures_;
+  // Minimum IDF over the record's non-initial author words.
+  std::vector<double> min_idf_;
+};
+
+/// Sufficient predicate S2 of §6.1.1: initials match exactly, last names
+/// match, and at least three common co-author words.
+class CitationS2 : public PairPredicate {
+ public:
+  CitationS2(const Corpus* corpus, CitationFields fields);
+
+  std::string_view name() const override { return "Citation-S2"; }
+  bool Evaluate(size_t a, size_t b) const override;
+  const std::vector<text::TokenId>& Signature(size_t rec) const override {
+    return signatures_[rec];
+  }
+
+ private:
+  const Corpus* corpus_;
+  CitationFields fields_;
+  // One composite token per record: lastname|initials.
+  text::Vocabulary key_vocab_;
+  std::vector<std::vector<text::TokenId>> signatures_;
+  std::vector<std::string> last_names_;
+};
+
+/// Necessary predicate N1 of §6.1.1: common author 3-grams are at least 60%
+/// of the smaller 3-gram set. N2 additionally requires one common initial.
+/// Both are instances of QGramOverlapPredicate; factory helpers below keep
+/// the dataset parameters in one place.
+struct CitationPredicateConfig {
+  CitationFields fields;
+  double s1_min_idf = 13.0;
+  double n_overlap_fraction = 0.6;
+};
+
+}  // namespace topkdup::predicates
+
+#endif  // TOPKDUP_PREDICATES_CITATION_H_

@@ -1,0 +1,64 @@
+#include "predicates/corpus.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "sim/name_similarity.h"
+#include "text/tokenize.h"
+
+namespace topkdup::predicates {
+
+StatusOr<Corpus> Corpus::Build(const record::Dataset* data, Options options) {
+  if (data == nullptr) {
+    return Status::InvalidArgument("Corpus::Build: data is null");
+  }
+  TOPKDUP_RETURN_IF_ERROR(data->Validate());
+  if (options.qgram_q < 1) {
+    return Status::InvalidArgument("Corpus::Build: qgram_q must be >= 1");
+  }
+
+  Corpus corpus;
+  corpus.data_ = data;
+  corpus.options_ = options;
+
+  for (const std::string& w : options.stop_words) {
+    corpus.stop_word_ids_.push_back(
+        corpus.vocab_.GetOrAdd(ToLowerAscii(w)));
+  }
+  std::sort(corpus.stop_word_ids_.begin(), corpus.stop_word_ids_.end());
+  corpus.stop_word_ids_.erase(
+      std::unique(corpus.stop_word_ids_.begin(), corpus.stop_word_ids_.end()),
+      corpus.stop_word_ids_.end());
+
+  const size_t num_fields = data->schema().field_count();
+  const size_t num_records = data->size();
+  corpus.word_sets_.resize(num_fields);
+  corpus.nonstop_sets_.resize(num_fields);
+  corpus.qgram_sets_.resize(num_fields);
+  corpus.initials_.resize(num_fields);
+  corpus.field_idf_.resize(num_fields);
+  corpus.max_idf_.resize(num_fields);
+
+  for (size_t f = 0; f < num_fields; ++f) {
+    corpus.word_sets_[f].resize(num_records);
+    corpus.nonstop_sets_[f].resize(num_records);
+    corpus.qgram_sets_[f].resize(num_records);
+    corpus.initials_[f].resize(num_records);
+    for (size_t r = 0; r < num_records; ++r) {
+      const std::string& value = (*data)[r].field(f);
+      corpus.word_sets_[f][r] =
+          corpus.vocab_.InternSet(text::WordTokens(value));
+      corpus.nonstop_sets_[f][r] = sim::RemoveStopWords(
+          corpus.word_sets_[f][r], corpus.stop_word_ids_);
+      corpus.qgram_sets_[f][r] =
+          corpus.vocab_.InternSet(text::QGrams(value, options.qgram_q));
+      corpus.initials_[f][r] = text::Initials(value);
+      corpus.field_idf_[f].AddDocument(corpus.word_sets_[f][r]);
+    }
+    // IDF of a once-seen word is the field's maximum possible weight.
+    corpus.max_idf_[f] = corpus.field_idf_[f].Idf(text::kInvalidToken);
+  }
+  return corpus;
+}
+
+}  // namespace topkdup::predicates

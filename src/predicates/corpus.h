@@ -1,0 +1,94 @@
+#ifndef TOPKDUP_PREDICATES_CORPUS_H_
+#define TOPKDUP_PREDICATES_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "record/record.h"
+#include "text/vocab.h"
+
+namespace topkdup::predicates {
+
+/// Per-field, per-record tokenized views of a Dataset, shared by every
+/// predicate and similarity function in a pipeline run.
+///
+/// Building the corpus walks the dataset once per field and caches:
+///   - the sorted word-token id set,
+///   - the sorted q-gram id set (q is a corpus-wide option),
+///   - the initials string,
+/// plus a per-field word IDF table (each record is one document). All ids
+/// live in a single shared Vocabulary so cross-field comparisons and IDF
+/// lookups are consistent.
+///
+/// The corpus never mutates after Build, so predicates can hold plain
+/// pointers into it.
+class Corpus {
+ public:
+  struct Options {
+    int qgram_q = 3;
+    /// Stop words removed by the *_NonStop accessors (lowercased).
+    std::vector<std::string> stop_words;
+  };
+
+  /// Builds the caches. `data` must outlive the corpus.
+  static StatusOr<Corpus> Build(const record::Dataset* data, Options options);
+
+  const record::Dataset& data() const { return *data_; }
+  const text::Vocabulary& vocab() const { return vocab_; }
+  size_t size() const { return data_->size(); }
+
+  /// Sorted word-id set of field `f` of record `rec`.
+  const std::vector<text::TokenId>& WordSet(size_t rec, int f) const {
+    return word_sets_[f][rec];
+  }
+
+  /// Sorted word-id set with corpus stop words removed.
+  const std::vector<text::TokenId>& NonStopWordSet(size_t rec, int f) const {
+    return nonstop_sets_[f][rec];
+  }
+
+  /// Sorted q-gram-id set of field `f` of record `rec`.
+  const std::vector<text::TokenId>& QGramSet(size_t rec, int f) const {
+    return qgram_sets_[f][rec];
+  }
+
+  /// Initials (first letters of word tokens, in order) of field `f`.
+  const std::string& InitialsOf(size_t rec, int f) const {
+    return initials_[f][rec];
+  }
+
+  /// Word IDF statistics of field `f` (one document per record).
+  const text::IdfTable& FieldIdf(int f) const { return field_idf_[f]; }
+
+  /// Maximum word IDF of field `f` over the corpus (the weight of a word
+  /// occurring in exactly one record). Used to scale custom similarities.
+  double MaxIdf(int f) const { return max_idf_[f]; }
+
+  /// Sorted id set of the configured stop words.
+  const std::vector<text::TokenId>& stop_word_ids() const {
+    return stop_word_ids_;
+  }
+
+  int qgram_q() const { return options_.qgram_q; }
+
+ private:
+  Corpus() = default;
+
+  const record::Dataset* data_ = nullptr;
+  Options options_;
+  text::Vocabulary vocab_;
+  std::vector<text::TokenId> stop_word_ids_;
+  // Indexed [field][record].
+  std::vector<std::vector<std::vector<text::TokenId>>> word_sets_;
+  std::vector<std::vector<std::vector<text::TokenId>>> nonstop_sets_;
+  std::vector<std::vector<std::vector<text::TokenId>>> qgram_sets_;
+  std::vector<std::vector<std::string>> initials_;
+  std::vector<text::IdfTable> field_idf_;
+  std::vector<double> max_idf_;
+};
+
+}  // namespace topkdup::predicates
+
+#endif  // TOPKDUP_PREDICATES_CORPUS_H_

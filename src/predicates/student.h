@@ -1,0 +1,109 @@
+#ifndef TOPKDUP_PREDICATES_STUDENT_H_
+#define TOPKDUP_PREDICATES_STUDENT_H_
+
+#include <string>
+#include <vector>
+
+#include "predicates/corpus.h"
+#include "predicates/pair_predicate.h"
+
+namespace topkdup::predicates {
+
+/// Field layout of the student exam dataset (paper §6.1.2).
+struct StudentFields {
+  int name = 0;
+  int birth_date = 1;
+  int class_code = 2;
+  int school_code = 3;
+  int paper_code = 4;
+};
+
+/// Sufficient predicate S1 (§6.1.2): name, class, school code and birth
+/// date all match exactly.
+/// Implemented directly on a composite key (see ExactFieldsPredicate for the
+/// generic form; this one fixes the field set of the paper).
+class StudentS1 : public PairPredicate {
+ public:
+  StudentS1(const Corpus* corpus, StudentFields fields);
+
+  std::string_view name() const override { return "Student-S1"; }
+  bool Evaluate(size_t a, size_t b) const override;
+  const std::vector<text::TokenId>& Signature(size_t rec) const override {
+    return signatures_[rec];
+  }
+
+ private:
+  text::Vocabulary key_vocab_;
+  std::vector<std::vector<text::TokenId>> signatures_;
+};
+
+/// Sufficient predicate S2 (§6.1.2): like S1 but instead of exact name
+/// match it requires >= 90% overlap in the 3-grams of the name field
+/// (relative to the smaller gram set). Blocks on class|school|birth.
+class StudentS2 : public PairPredicate {
+ public:
+  StudentS2(const Corpus* corpus, StudentFields fields,
+            double min_name_gram_overlap = 0.9);
+
+  std::string_view name() const override { return "Student-S2"; }
+  bool Evaluate(size_t a, size_t b) const override;
+  const std::vector<text::TokenId>& Signature(size_t rec) const override {
+    return signatures_[rec];
+  }
+
+ private:
+  const Corpus* corpus_;
+  StudentFields fields_;
+  double min_name_gram_overlap_;
+  text::Vocabulary key_vocab_;
+  std::vector<std::vector<text::TokenId>> signatures_;
+};
+
+/// Necessary predicate N1 (§6.1.2): at least one common initial in the
+/// name, and class and school code match exactly. The signature is one
+/// composite token per distinct name initial: class|school|initial.
+class StudentN1 : public PairPredicate {
+ public:
+  StudentN1(const Corpus* corpus, StudentFields fields);
+
+  std::string_view name() const override { return "Student-N1"; }
+  bool Evaluate(size_t a, size_t b) const override;
+  const std::vector<text::TokenId>& Signature(size_t rec) const override {
+    return signatures_[rec];
+  }
+
+ private:
+  const Corpus* corpus_;
+  StudentFields fields_;
+  text::Vocabulary key_vocab_;
+  std::vector<std::vector<text::TokenId>> signatures_;
+};
+
+/// Necessary predicate N2 (§6.1.2): at least 50% common 3-grams of the
+/// name field (relative to the smaller set) and school and class match
+/// exactly. Signature: one composite token per name 3-gram,
+/// class|school|gram, so common signature tokens equal common name grams
+/// whenever class and school agree.
+class StudentN2 : public PairPredicate {
+ public:
+  StudentN2(const Corpus* corpus, StudentFields fields,
+            double min_gram_fraction = 0.5);
+
+  std::string_view name() const override { return "Student-N2"; }
+  bool Evaluate(size_t a, size_t b) const override;
+  const std::vector<text::TokenId>& Signature(size_t rec) const override {
+    return signatures_[rec];
+  }
+  int MinCommon(size_t size_a, size_t size_b) const override;
+
+ private:
+  const Corpus* corpus_;
+  StudentFields fields_;
+  double min_gram_fraction_;
+  text::Vocabulary key_vocab_;
+  std::vector<std::vector<text::TokenId>> signatures_;
+};
+
+}  // namespace topkdup::predicates
+
+#endif  // TOPKDUP_PREDICATES_STUDENT_H_

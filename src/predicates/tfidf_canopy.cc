@@ -1,0 +1,20 @@
+#include "predicates/tfidf_canopy.h"
+
+#include "common/check.h"
+#include "sim/similarity.h"
+
+namespace topkdup::predicates {
+
+TfIdfCanopyPredicate::TfIdfCanopyPredicate(const Corpus* corpus, int field,
+                                           double min_cosine)
+    : corpus_(corpus), field_(field), min_cosine_(min_cosine) {
+  TOPKDUP_CHECK(min_cosine > 0.0 && min_cosine <= 1.0);
+}
+
+bool TfIdfCanopyPredicate::Evaluate(size_t a, size_t b) const {
+  return sim::CosineTfIdf(corpus_->WordSet(a, field_),
+                          corpus_->WordSet(b, field_),
+                          corpus_->FieldIdf(field_)) >= min_cosine_;
+}
+
+}  // namespace topkdup::predicates

@@ -1,0 +1,40 @@
+#ifndef TOPKDUP_PREDICATES_TFIDF_CANOPY_H_
+#define TOPKDUP_PREDICATES_TFIDF_CANOPY_H_
+
+#include <vector>
+
+#include "predicates/corpus.h"
+#include "predicates/pair_predicate.h"
+
+namespace topkdup::predicates {
+
+/// The classic TF-IDF canopy (McCallum et al., cited by the paper as the
+/// standard cheap filter, §3): true when the TF-IDF cosine similarity of a
+/// field's word sets reaches `min_cosine`. Usable as a necessary predicate
+/// whenever the final criterion implies at least that much weighted
+/// lexical overlap.
+///
+/// Blocking: the word-token set with MinCommon = 1 — a pair with positive
+/// cosine must share a word, so the blocking is conservative for any
+/// threshold. (Weighted prefix filtering would shrink posting lists
+/// further; it is intentionally left out to keep the blocking obviously
+/// correct.)
+class TfIdfCanopyPredicate : public PairPredicate {
+ public:
+  TfIdfCanopyPredicate(const Corpus* corpus, int field, double min_cosine);
+
+  std::string_view name() const override { return "TfIdfCanopy"; }
+  bool Evaluate(size_t a, size_t b) const override;
+  const std::vector<text::TokenId>& Signature(size_t rec) const override {
+    return corpus_->WordSet(rec, field_);
+  }
+
+ private:
+  const Corpus* corpus_;
+  int field_;
+  double min_cosine_;
+};
+
+}  // namespace topkdup::predicates
+
+#endif  // TOPKDUP_PREDICATES_TFIDF_CANOPY_H_

@@ -1,0 +1,218 @@
+#include "record/csv.h"
+
+#include <cstdlib>
+#include <iterator>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace topkdup::record {
+
+StatusOr<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!cur.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("quote inside unquoted field at column %zu", i));
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const std::string& f = fields[i];
+    const bool needs_quotes =
+        f.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) {
+      out.append(f);
+      continue;
+    }
+    out.push_back('"');
+    for (char c : f) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+namespace {
+
+/// Character-level CSV parser handling quoted fields that span lines.
+/// Returns one row per record; a trailing newline does not create an
+/// empty row.
+StatusOr<std::vector<std::vector<std::string>>> ParseCsvContent(
+    const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cur;
+  bool in_quotes = false;
+  bool cur_was_quoted = false;
+  bool row_has_content = false;
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cur.empty()) {
+          return Status::InvalidArgument(
+              StrFormat("quote inside unquoted field at offset %zu", i));
+        }
+        in_quotes = true;
+        cur_was_quoted = true;
+        row_has_content = true;
+        break;
+      case ',':
+        row.push_back(std::move(cur));
+        cur.clear();
+        cur_was_quoted = false;
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // Tolerate CRLF.
+      case '\n':
+        if (row_has_content || !cur.empty() || cur_was_quoted) {
+          row.push_back(std::move(cur));
+          cur.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_has_content = false;
+          cur_was_quoted = false;
+        }
+        break;
+      default:
+        cur.push_back(c);
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  if (row_has_content || !cur.empty()) {
+    row.push_back(std::move(cur));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+StatusOr<Dataset> ReadCsv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  TOPKDUP_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                           ParseCsvContent(content));
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty CSV file: " + path);
+  }
+  const std::vector<std::string>& header = rows.front();
+
+  int weight_col = -1;
+  int entity_col = -1;
+  std::vector<std::string> field_names;
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "__weight__") {
+      weight_col = static_cast<int>(i);
+    } else if (header[i] == "__entity__") {
+      entity_col = static_cast<int>(i);
+    } else {
+      field_names.push_back(header[i]);
+    }
+  }
+
+  Dataset data{Schema(std::move(field_names))};
+  for (size_t row_no = 1; row_no < rows.size(); ++row_no) {
+    std::vector<std::string>& cols = rows[row_no];
+    if (cols.size() != header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("%s: row %zu: expected %zu columns, got %zu",
+                    path.c_str(), row_no, header.size(), cols.size()));
+    }
+    Record rec;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (static_cast<int>(i) == weight_col) {
+        rec.weight = std::strtod(cols[i].c_str(), nullptr);
+      } else if (static_cast<int>(i) == entity_col) {
+        rec.entity_id = std::strtoll(cols[i].c_str(), nullptr, 10);
+      } else {
+        rec.fields.push_back(std::move(cols[i]));
+      }
+    }
+    data.Add(std::move(rec));
+  }
+  TOPKDUP_RETURN_IF_ERROR(data.Validate());
+  return data;
+}
+
+Status WriteCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  std::vector<std::string> header = data.schema().field_names();
+  header.push_back("__weight__");
+  header.push_back("__entity__");
+  out << FormatCsvLine(header) << "\n";
+  for (const Record& r : data.records()) {
+    std::vector<std::string> cols = r.fields;
+    std::ostringstream w;
+    w << r.weight;
+    cols.push_back(w.str());
+    cols.push_back(std::to_string(r.entity_id));
+    out << FormatCsvLine(cols) << "\n";
+  }
+  if (!out.good()) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace topkdup::record

@@ -1,0 +1,30 @@
+#ifndef TOPKDUP_RECORD_CSV_H_
+#define TOPKDUP_RECORD_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "record/record.h"
+
+namespace topkdup::record {
+
+/// Reads a CSV file with a header row into a Dataset. Handles RFC-4180 style
+/// quoting ("" escapes a quote inside a quoted field). Two optional special
+/// columns are recognized and stripped from the schema when present:
+///   __weight__  — parsed into Record::weight
+///   __entity__  — parsed into Record::entity_id
+StatusOr<Dataset> ReadCsv(const std::string& path);
+
+/// Writes `data` as CSV with a header row, emitting __weight__ and
+/// __entity__ columns so that a round trip preserves the dataset.
+Status WriteCsv(const Dataset& data, const std::string& path);
+
+/// Parses one CSV line (no trailing newline) into fields.
+StatusOr<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+/// Escapes and joins fields into one CSV line (no trailing newline).
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+}  // namespace topkdup::record
+
+#endif  // TOPKDUP_RECORD_CSV_H_

@@ -1,0 +1,35 @@
+#include "record/record.h"
+
+#include "common/strings.h"
+
+namespace topkdup::record {
+
+Schema::Schema(std::vector<std::string> field_names)
+    : field_names_(std::move(field_names)) {}
+
+int Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < field_names_.size(); ++i) {
+    if (field_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Dataset::Validate() const {
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].fields.size() != schema_.field_count()) {
+      return Status::InvalidArgument(StrFormat(
+          "record %zu has %zu fields, schema has %zu", i,
+          records_[i].fields.size(), schema_.field_count()));
+    }
+  }
+  return Status::OK();
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& keep) const {
+  Dataset out(schema_);
+  out.records_.reserve(keep.size());
+  for (size_t idx : keep) out.records_.push_back(records_[idx]);
+  return out;
+}
+
+}  // namespace topkdup::record

@@ -1,0 +1,77 @@
+#ifndef TOPKDUP_RECORD_RECORD_H_
+#define TOPKDUP_RECORD_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace topkdup::record {
+
+/// Ordered list of named string fields shared by all records of a Dataset.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> field_names);
+
+  /// Index of `name`, or -1 when the schema has no such field.
+  int FieldIndex(std::string_view name) const;
+
+  size_t field_count() const { return field_names_.size(); }
+  const std::vector<std::string>& field_names() const { return field_names_; }
+
+ private:
+  std::vector<std::string> field_names_;
+};
+
+/// One mention/tuple. Fields are raw strings positionally aligned with the
+/// dataset Schema.
+///
+/// `weight` is the record's multiplicity or score contribution: the count
+/// field of a pre-collapsed citation, the paper score of a student exam, or
+/// the asset worth of an address mention. Group size/score aggregates sum
+/// weights, so an unweighted dataset uses weight = 1.
+///
+/// `entity_id` is the ground-truth entity label when known (synthetic data
+/// and labeled benchmarks); -1 means unlabeled. The query algorithms never
+/// read it — it exists for evaluation only.
+struct Record {
+  std::vector<std::string> fields;
+  double weight = 1.0;
+  int64_t entity_id = -1;
+
+  const std::string& field(size_t i) const { return fields[i]; }
+};
+
+/// A schema plus its records. Record ids are positions in `records`.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Record>& records() const { return records_; }
+  std::vector<Record>* mutable_records() { return &records_; }
+
+  size_t size() const { return records_.size(); }
+  const Record& operator[](size_t i) const { return records_[i]; }
+
+  void Add(Record r) { records_.push_back(std::move(r)); }
+
+  /// Validates that every record has exactly schema().field_count() fields.
+  Status Validate() const;
+
+  /// Returns a new dataset with the records whose index is in `keep`,
+  /// in the given order.
+  Dataset Subset(const std::vector<size_t>& keep) const;
+
+ private:
+  Schema schema_;
+  std::vector<Record> records_;
+};
+
+}  // namespace topkdup::record
+
+#endif  // TOPKDUP_RECORD_RECORD_H_

@@ -1,0 +1,59 @@
+#ifndef TOPKDUP_SEGMENT_SEGMENT_SCORER_H_
+#define TOPKDUP_SEGMENT_SEGMENT_SCORER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/pair_scores.h"
+
+namespace topkdup::segment {
+
+/// Precomputed decomposable group scores S(i, j) (paper §5.3.2) of every
+/// contiguous span [i, j] of an ordered item list with length <= band:
+/// S = (positive pair scores inside the span) - (negative pair scores
+/// crossing out of the span), exactly GroupScore of cluster/correlation.h
+/// applied to the span's items.
+///
+/// Build cost O(n * band * avg_degree); lookups are O(1) array reads, which
+/// the DP over segmentations depends on.
+class SegmentScorer {
+ public:
+  /// How a span's inside evidence is aggregated (§5.1 discusses both).
+  /// The crossing term (negative pairs leaving the span earn a separation
+  /// reward) is identical under both objectives.
+  enum class Objective {
+    /// Sum of positive pair scores inside the span (correlation
+    /// clustering, Eq. 1). The default.
+    kSumPositive,
+    /// The paper's alternative: "instead of summing over all positive
+    /// pairs within a cluster, take the score of the least positive
+    /// pair" — the weakest link. A span containing any unstored pair is
+    /// capped at the default score; a singleton span contributes 0.
+    kMinPair,
+  };
+
+  /// `order` is a permutation of 0..scores.item_count()-1. Spans longer
+  /// than `band` positions are not scored (the DP never asks for them;
+  /// this is the paper's "do not consider clusters with too many
+  /// dissimilar points" speedup).
+  SegmentScorer(const cluster::PairScores& scores,
+                const std::vector<size_t>& order, size_t band,
+                Objective objective = Objective::kSumPositive);
+
+  /// Score of span [i, j], 0-based inclusive positions, j - i < band.
+  double Score(size_t i, size_t j) const {
+    return scores_flat_[i * band_ + (j - i)];
+  }
+
+  size_t size() const { return n_; }
+  size_t band() const { return band_; }
+
+ private:
+  size_t n_;
+  size_t band_;
+  std::vector<double> scores_flat_;  // [i * band + (j - i)]
+};
+
+}  // namespace topkdup::segment
+
+#endif  // TOPKDUP_SEGMENT_SEGMENT_SCORER_H_

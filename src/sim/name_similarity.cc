@@ -1,0 +1,108 @@
+#include "sim/name_similarity.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "text/tokenize.h"
+
+namespace topkdup::sim {
+
+namespace {
+
+/// Intersects the word-token id sets of two raw strings using a shared
+/// vocabulary; words absent from the vocabulary cannot match anything.
+std::vector<text::TokenId> WordIdSet(std::string_view s,
+                                     const text::Vocabulary& vocab) {
+  std::vector<text::TokenId> ids;
+  for (const std::string& w : text::WordTokens(s)) {
+    const text::TokenId id = vocab.Find(w);
+    if (id != text::kInvalidToken) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::vector<text::TokenId> Intersect(const std::vector<text::TokenId>& a,
+                                     const std::vector<text::TokenId>& b) {
+  std::vector<text::TokenId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+bool IsFullName(std::string_view name) {
+  const std::vector<std::string> words = text::WordTokens(name);
+  if (words.empty()) return false;
+  for (const std::string& w : words) {
+    if (w.size() == 1) return false;
+  }
+  return true;
+}
+
+double CustomAuthorSimilarity(std::string_view a, std::string_view b,
+                              const text::Vocabulary& vocab,
+                              const text::IdfTable& idf, double max_idf) {
+  if (IsFullName(a) && IsFullName(b) &&
+      text::NormalizeText(a) == text::NormalizeText(b)) {
+    return 1.0;
+  }
+  const std::vector<text::TokenId> ids_a = WordIdSet(a, vocab);
+  const std::vector<text::TokenId> ids_b = WordIdSet(b, vocab);
+  const std::vector<text::TokenId> common = Intersect(ids_a, ids_b);
+  if (common.empty()) return 0.0;
+  double best = 0.0;
+  for (text::TokenId t : common) best = std::max(best, idf.Idf(t));
+  if (max_idf <= 0.0) return 0.0;
+  return std::min(1.0, best / max_idf);
+}
+
+double CustomCoauthorSimilarity(std::string_view a, std::string_view b,
+                                const text::Vocabulary& vocab,
+                                const text::IdfTable& idf, double max_idf) {
+  const double author_sim =
+      CustomAuthorSimilarity(a, b, vocab, idf, max_idf);
+  if (author_sim == 0.0 || author_sim == 1.0) return author_sim;
+  const std::vector<text::TokenId> ids_a = WordIdSet(a, vocab);
+  const std::vector<text::TokenId> ids_b = WordIdSet(b, vocab);
+  if (ids_a.empty() || ids_b.empty()) return 0.0;
+  const int common = text::SortedIntersectionSize(ids_a, ids_b);
+  return static_cast<double>(common) /
+         static_cast<double>(std::min(ids_a.size(), ids_b.size()));
+}
+
+double NonStopWordOverlap(const std::vector<text::TokenId>& a,
+                          const std::vector<text::TokenId>& b,
+                          const std::vector<text::TokenId>& stop_words) {
+  const std::vector<text::TokenId> fa = RemoveStopWords(a, stop_words);
+  const std::vector<text::TokenId> fb = RemoveStopWords(b, stop_words);
+  if (fa.empty() || fb.empty()) return 0.0;
+  const int common = text::SortedIntersectionSize(fa, fb);
+  return static_cast<double>(common) /
+         static_cast<double>(std::min(fa.size(), fb.size()));
+}
+
+std::vector<text::TokenId> RemoveStopWords(
+    const std::vector<text::TokenId>& tokens,
+    const std::vector<text::TokenId>& stop_words) {
+  std::vector<text::TokenId> out;
+  std::set_difference(tokens.begin(), tokens.end(), stop_words.begin(),
+                      stop_words.end(), std::back_inserter(out));
+  return out;
+}
+
+double MinWordIdf(std::string_view s, const text::Vocabulary& vocab,
+                  const text::IdfTable& idf) {
+  double min_idf = std::numeric_limits<double>::infinity();
+  for (const std::string& w : text::WordTokens(s)) {
+    const text::TokenId id = vocab.Find(w);
+    const double v =
+        id == text::kInvalidToken ? idf.Idf(text::kInvalidToken) : idf.Idf(id);
+    min_idf = std::min(min_idf, v);
+  }
+  return min_idf;
+}
+
+}  // namespace topkdup::sim

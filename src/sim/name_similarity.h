@@ -1,0 +1,54 @@
+#ifndef TOPKDUP_SIM_NAME_SIMILARITY_H_
+#define TOPKDUP_SIM_NAME_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace topkdup::sim {
+
+/// Domain-specific similarity functions from the paper's §6.1.1 / §6.1.3.
+/// They operate on raw field strings plus corpus IDF statistics; the
+/// vocabulary is shared with the rest of the pipeline so that IDF lookups
+/// are consistent.
+
+/// True when the name contains no single-letter (initial-only) word, i.e. it
+/// is a "full" name such as "sunita sarawagi" rather than "s sarawagi".
+bool IsFullName(std::string_view name);
+
+/// The paper's custom author similarity: 1.0 when two full names match
+/// exactly; otherwise the maximum IDF weight over matching words, scaled by
+/// `max_idf` to take a maximum value of 1. Returns 0 when no word matches.
+double CustomAuthorSimilarity(std::string_view a, std::string_view b,
+                              const text::Vocabulary& vocab,
+                              const text::IdfTable& idf, double max_idf);
+
+/// The paper's custom co-author similarity: equal to CustomAuthorSimilarity
+/// when that takes either extreme (0 or 1); otherwise the fraction of
+/// matching co-author words (relative to the smaller word set).
+double CustomCoauthorSimilarity(std::string_view a, std::string_view b,
+                                const text::Vocabulary& vocab,
+                                const text::IdfTable& idf, double max_idf);
+
+/// Fraction of common non-stop words relative to the smaller set, used on
+/// address fields (§6.1.3). `stop_words` is a sorted id set.
+double NonStopWordOverlap(const std::vector<text::TokenId>& a,
+                          const std::vector<text::TokenId>& b,
+                          const std::vector<text::TokenId>& stop_words);
+
+/// Removes the given sorted stop-word ids from a sorted id set.
+std::vector<text::TokenId> RemoveStopWords(
+    const std::vector<text::TokenId>& tokens,
+    const std::vector<text::TokenId>& stop_words);
+
+/// Minimum IDF over the word tokens of `s` (the rarity of the *most common*
+/// word); +infinity for an empty token set. Used by sufficient predicate S1
+/// of the citation dataset ("minimum IDF over two author words >= 13").
+double MinWordIdf(std::string_view s, const text::Vocabulary& vocab,
+                  const text::IdfTable& idf);
+
+}  // namespace topkdup::sim
+
+#endif  // TOPKDUP_SIM_NAME_SIMILARITY_H_

@@ -1,0 +1,124 @@
+#include "sim/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topkdup::sim {
+
+double Jaccard(const std::vector<text::TokenId>& a,
+               const std::vector<text::TokenId>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const int common = text::SortedIntersectionSize(a, b);
+  const double uni = static_cast<double>(a.size() + b.size() - common);
+  return uni == 0.0 ? 1.0 : static_cast<double>(common) / uni;
+}
+
+double OverlapFraction(const std::vector<text::TokenId>& a,
+                       const std::vector<text::TokenId>& b) {
+  if (a.empty() || b.empty()) return 1.0;
+  const int common = text::SortedIntersectionSize(a, b);
+  return static_cast<double>(common) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double CosineTfIdf(const std::vector<text::TokenId>& a,
+                   const std::vector<text::TokenId>& b,
+                   const text::IdfTable& idf) {
+  if (a.empty() || b.empty()) return 0.0;
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      const double w = idf.Idf(a[i]);
+      dot += w * w;
+      ++i;
+      ++j;
+    }
+  }
+  double norm_a = 0.0;
+  for (text::TokenId t : a) {
+    const double w = idf.Idf(t);
+    norm_a += w * w;
+  }
+  double norm_b = 0.0;
+  for (text::TokenId t : b) {
+    const double w = idf.Idf(t);
+    norm_b += w * w;
+  }
+  const double denom = std::sqrt(norm_a) * std::sqrt(norm_b);
+  return denom == 0.0 ? 0.0 : dot / denom;
+}
+
+double Jaro(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const int la = static_cast<int>(a.size());
+  const int lb = static_cast<int>(b.size());
+  const int match_window = std::max(0, std::max(la, lb) / 2 - 1);
+
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  int matches = 0;
+  for (int i = 0; i < la; ++i) {
+    const int lo = std::max(0, i - match_window);
+    const int hi = std::min(lb - 1, i + match_window);
+    for (int j = lo; j <= hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among the matched characters in order.
+  int transpositions = 0;
+  int j = 0;
+  for (int i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = matches;
+  return (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinkler(std::string_view a, std::string_view b) {
+  const double jaro = Jaro(a, b);
+  int prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (static_cast<size_t>(prefix) < limit &&
+         a[prefix] == b[prefix]) {
+    ++prefix;
+  }
+  return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.size() < b.size()) std::swap(a, b);
+  // b is now the shorter string; roll a single row.
+  std::vector<int> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    int diag = row[0];
+    row[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const int sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+    }
+  }
+  const double dist = row[b.size()];
+  return 1.0 - dist / static_cast<double>(a.size());
+}
+
+}  // namespace topkdup::sim

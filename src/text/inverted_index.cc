@@ -1,0 +1,38 @@
+#include "text/inverted_index.h"
+
+#include <unordered_map>
+
+namespace topkdup::text {
+
+void InvertedIndex::Add(int64_t item_id,
+                        const std::vector<TokenId>& signature) {
+  for (TokenId t : signature) {
+    if (static_cast<size_t>(t) >= postings_.size()) postings_.resize(t + 1);
+    postings_[t].push_back(item_id);
+  }
+  ++item_count_;
+}
+
+void InvertedIndex::ForEachCandidate(
+    int64_t item_id, const std::vector<TokenId>& signature, int min_common,
+    const std::function<void(int64_t, int)>& fn) const {
+  // Merge-count across the posting lists of the query's tokens.
+  std::unordered_map<int64_t, int> counts;
+  for (TokenId t : signature) {
+    if (t < 0 || static_cast<size_t>(t) >= postings_.size()) continue;
+    for (int64_t other : postings_[t]) {
+      if (other == item_id) continue;
+      ++counts[other];
+    }
+  }
+  for (const auto& [other, common] : counts) {
+    if (common >= min_common) fn(other, common);
+  }
+}
+
+size_t InvertedIndex::PostingSize(TokenId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= postings_.size()) return 0;
+  return postings_[id].size();
+}
+
+}  // namespace topkdup::text

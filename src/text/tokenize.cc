@@ -1,0 +1,85 @@
+#include "text/tokenize.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.h"
+
+namespace topkdup::text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+char LowerChar(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+std::vector<std::string> WordTokens(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (IsWordChar(c)) {
+      cur.push_back(LowerChar(c));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::vector<std::string> QGrams(std::string_view s, int q) {
+  TOPKDUP_CHECK(q >= 1);
+  const std::string norm = NormalizeText(s);
+  if (norm.empty()) return {};
+  std::string padded;
+  padded.reserve(norm.size() + 2 * static_cast<size_t>(q - 1));
+  padded.append(static_cast<size_t>(q - 1), '#');
+  padded.append(norm);
+  padded.append(static_cast<size_t>(q - 1), '#');
+  std::vector<std::string> out;
+  if (padded.size() < static_cast<size_t>(q)) return out;
+  out.reserve(padded.size() - static_cast<size_t>(q) + 1);
+  for (size_t i = 0; i + static_cast<size_t>(q) <= padded.size(); ++i) {
+    out.push_back(padded.substr(i, static_cast<size_t>(q)));
+  }
+  return out;
+}
+
+std::string Initials(std::string_view s) {
+  std::string out;
+  for (const std::string& w : WordTokens(s)) out.push_back(w[0]);
+  return out;
+}
+
+std::string SortedInitials(std::string_view s) {
+  std::string out = Initials(s);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string NormalizeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool pending_space = false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!out.empty()) pending_space = true;
+    } else {
+      if (pending_space) {
+        out.push_back(' ');
+        pending_space = false;
+      }
+      out.push_back(LowerChar(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace topkdup::text

@@ -1,0 +1,77 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topkdup::text {
+
+TokenId Vocabulary::GetOrAdd(std::string_view token) {
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(strings_.size());
+  strings_.emplace_back(token);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+TokenId Vocabulary::Find(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? kInvalidToken : it->second;
+}
+
+std::vector<TokenId> Vocabulary::InternAll(
+    const std::vector<std::string>& tokens) {
+  std::vector<TokenId> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) out.push_back(GetOrAdd(t));
+  return out;
+}
+
+std::vector<TokenId> Vocabulary::InternSet(
+    const std::vector<std::string>& tokens) {
+  std::vector<TokenId> out = InternAll(tokens);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void IdfTable::AddDocument(const std::vector<TokenId>& token_set) {
+  ++num_docs_;
+  for (TokenId id : token_set) {
+    if (static_cast<size_t>(id) >= df_.size()) df_.resize(id + 1, 0);
+    ++df_[id];
+  }
+}
+
+double IdfTable::Idf(TokenId id) const {
+  const int64_t df = DocumentFrequency(id);
+  return std::log(static_cast<double>(num_docs_ + 1) /
+                  static_cast<double>(df + 1)) +
+         1.0;
+}
+
+int64_t IdfTable::DocumentFrequency(TokenId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= df_.size()) return 0;
+  return df_[id];
+}
+
+int SortedIntersectionSize(const std::vector<TokenId>& a,
+                           const std::vector<TokenId>& b) {
+  int count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace topkdup::text

@@ -1,0 +1,71 @@
+#ifndef TOPKDUP_TEXT_VOCAB_H_
+#define TOPKDUP_TEXT_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace topkdup::text {
+
+using TokenId = int32_t;
+inline constexpr TokenId kInvalidToken = -1;
+
+/// Interns token strings to dense integer ids. Ids are assigned in first-seen
+/// order, so a Vocabulary built from the same token stream is deterministic.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `token`, inserting it if unseen.
+  TokenId GetOrAdd(std::string_view token);
+
+  /// Returns the id of `token`, or kInvalidToken when absent.
+  TokenId Find(std::string_view token) const;
+
+  /// The interned string of an id.
+  const std::string& TokenString(TokenId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+  /// Interns every token of `tokens`, returning ids (with duplicates kept).
+  std::vector<TokenId> InternAll(const std::vector<std::string>& tokens);
+
+  /// Interns tokens and returns the deduplicated, sorted id set — the
+  /// canonical "signature set" representation used by set-overlap predicates
+  /// and similarities.
+  std::vector<TokenId> InternSet(const std::vector<std::string>& tokens);
+
+ private:
+  std::unordered_map<std::string, TokenId> index_;
+  std::vector<std::string> strings_;
+};
+
+/// Document-frequency statistics over a corpus of token sets; provides the
+/// standard smoothed IDF weight idf(t) = ln((N + 1) / (df(t) + 1)) + 1.
+class IdfTable {
+ public:
+  IdfTable() = default;
+
+  /// Counts each distinct token of the document once.
+  void AddDocument(const std::vector<TokenId>& token_set);
+
+  /// IDF of a token; tokens never seen get the maximal (df = 0) weight.
+  double Idf(TokenId id) const;
+
+  int64_t document_count() const { return num_docs_; }
+  int64_t DocumentFrequency(TokenId id) const;
+
+ private:
+  std::vector<int64_t> df_;
+  int64_t num_docs_ = 0;
+};
+
+/// Number of elements common to two sorted id sets.
+int SortedIntersectionSize(const std::vector<TokenId>& a,
+                           const std::vector<TokenId>& b);
+
+}  // namespace topkdup::text
+
+#endif  // TOPKDUP_TEXT_VOCAB_H_

@@ -1,0 +1,87 @@
+#include "topk/online.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace topkdup::topk {
+
+OnlineTopK::OnlineTopK(record::Schema schema, Config config)
+    : schema_(schema), config_(std::move(config)), mentions_(schema) {
+  TOPKDUP_CHECK(config_.sufficient_signature != nullptr);
+  TOPKDUP_CHECK(config_.sufficient_match != nullptr);
+  TOPKDUP_CHECK(config_.necessary_factory != nullptr);
+  TOPKDUP_CHECK(config_.scorer_factory != nullptr);
+  collapse_ = std::make_unique<dedup::StreamingCollapse>(
+      [this](size_t a, size_t b) {
+        return config_.sufficient_match(mentions_[a], mentions_[b]);
+      });
+}
+
+void OnlineTopK::AddMention(record::Record mention) {
+  const std::vector<std::string> signature =
+      config_.sufficient_signature(mention);
+  const double weight = mention.weight;
+  mentions_.Add(std::move(mention));
+  collapse_->Insert(signature, weight);
+}
+
+StatusOr<TopKCountResult> OnlineTopK::Query(
+    const TopKCountOptions& options) {
+  // Materialize one representative record per collapsed group; its weight
+  // is the group's total weight, so downstream pruning and the TopK DP see
+  // the stream's true counts.
+  const std::vector<dedup::StreamingCollapse::GroupView> groups =
+      collapse_->Groups();
+  record::Dataset reps(schema_);
+  std::vector<std::vector<size_t>> group_members;
+  group_members.reserve(groups.size());
+  for (const auto& group : groups) {
+    // Heaviest member as representative.
+    size_t best = group.members.front();
+    for (size_t m : group.members) {
+      if (mentions_[m].weight > mentions_[best].weight) best = m;
+    }
+    record::Record rep = mentions_[best];
+    rep.weight = group.weight;
+    reps.Add(std::move(rep));
+    group_members.push_back(group.members);
+  }
+
+  auto corpus_or = predicates::Corpus::Build(&reps, {});
+  TOPKDUP_RETURN_IF_ERROR(corpus_or.status());
+  const predicates::Corpus& corpus = corpus_or.value();
+  std::unique_ptr<predicates::PairPredicate> necessary =
+      config_.necessary_factory(corpus);
+  const PairScoreFn scorer = config_.scorer_factory(reps);
+
+  // The collapse already happened incrementally: run pruning + clustering
+  // with a necessary-only level over the representative dataset.
+  TOPKDUP_ASSIGN_OR_RETURN(
+      TopKCountResult result,
+      TopKCountQuery(reps, {{nullptr, necessary.get()}}, scorer, options));
+
+  // Translate representative-dataset member ids back to mention ids.
+  for (TopKAnswerSet& answer : result.answers) {
+    for (AnswerGroup& group : answer.groups) {
+      std::vector<size_t> mention_ids;
+      for (size_t rep_id : group.members) {
+        const auto& members = group_members[rep_id];
+        mention_ids.insert(mention_ids.end(), members.begin(),
+                           members.end());
+      }
+      group.members = std::move(mention_ids);
+      // The representative index also needs mapping: point it at the
+      // heaviest underlying mention.
+      size_t best = group.members.front();
+      for (size_t m : group.members) {
+        if (mentions_[m].weight > mentions_[best].weight) best = m;
+      }
+      group.representative = best;
+    }
+  }
+  return result;
+}
+
+}  // namespace topkdup::topk

@@ -1,0 +1,72 @@
+#ifndef TOPKDUP_TOPK_ONLINE_H_
+#define TOPKDUP_TOPK_ONLINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dedup/streaming_collapse.h"
+#include "predicates/corpus.h"
+#include "record/record.h"
+#include "topk/topk_query.h"
+
+namespace topkdup::topk {
+
+/// TopK count queries over an append-only mention stream — the paper's
+/// "constantly evolving sources" setting. Mentions are ingested one at a
+/// time; the sufficient-predicate collapse is maintained incrementally, so
+/// a query only ever pays for pruning + clustering over the *collapsed
+/// groups* (one representative record each), never a pass over all
+/// mentions.
+///
+/// The caller configures the stream analog of a predicate level:
+///  - a blocking signature + equality test for the sufficient predicate
+///    (evaluated incrementally on raw records), and
+///  - factories that bind a necessary predicate and a pairwise scorer to
+///    the small representative corpus rebuilt per query.
+class OnlineTopK {
+ public:
+  struct Config {
+    /// Blocking-signature tokens of a record under the sufficient
+    /// predicate (e.g. the normalized join key).
+    std::function<std::vector<std::string>(const record::Record&)>
+        sufficient_signature;
+    /// Exact sufficient decision for two records.
+    std::function<bool(const record::Record&, const record::Record&)>
+        sufficient_match;
+    /// Builds the necessary predicate over the representatives corpus.
+    std::function<std::unique_ptr<predicates::PairPredicate>(
+        const predicates::Corpus&)>
+        necessary_factory;
+    /// Builds the final scorer P over the representatives dataset.
+    std::function<PairScoreFn(const record::Dataset&)> scorer_factory;
+  };
+
+  OnlineTopK(record::Schema schema, Config config);
+
+  /// Ingests one mention. O(signature-postings) amortized.
+  void AddMention(record::Record mention);
+
+  size_t mention_count() const { return mentions_.size(); }
+  size_t group_count() const { return collapse_->group_count(); }
+
+  /// The i-th ingested mention (answer member ids index into this).
+  const record::Record& mention(size_t i) const { return mentions_[i]; }
+
+  /// Answers the TopK count query over everything ingested so far. Member
+  /// ids in the result refer to ingestion order. Cost is a function of the
+  /// current number of *groups*, not mentions.
+  StatusOr<TopKCountResult> Query(const TopKCountOptions& options);
+
+ private:
+  record::Schema schema_;
+  Config config_;
+  record::Dataset mentions_;
+  std::unique_ptr<dedup::StreamingCollapse> collapse_;
+};
+
+}  // namespace topkdup::topk
+
+#endif  // TOPKDUP_TOPK_ONLINE_H_

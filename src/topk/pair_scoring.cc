@@ -1,0 +1,31 @@
+#include "topk/pair_scoring.h"
+
+#include "common/check.h"
+#include "predicates/blocked_index.h"
+
+namespace topkdup::topk {
+
+cluster::PairScores BuildGroupPairScores(
+    const std::vector<dedup::Group>& groups,
+    const predicates::PairPredicate& necessary, const PairScoreFn& scorer,
+    const PairScoringOptions& options) {
+  TOPKDUP_CHECK(options.default_score <= 0.0);
+  const size_t n = groups.size();
+  std::vector<size_t> reps(n);
+  for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
+
+  cluster::PairScores scores(n, options.default_score);
+  predicates::BlockedIndex index(necessary, reps);
+  index.ForEachCandidatePair([&](size_t p, size_t q) {
+    if (!necessary.Evaluate(reps[p], reps[q])) return;
+    double s = scorer(reps[p], reps[q]);
+    if (options.aggregate ==
+        PairScoringOptions::Aggregate::kWeightProduct) {
+      s *= groups[p].weight * groups[q].weight;
+    }
+    scores.Set(p, q, s);
+  });
+  return scores;
+}
+
+}  // namespace topkdup::topk

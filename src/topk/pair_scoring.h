@@ -1,0 +1,52 @@
+#ifndef TOPKDUP_TOPK_PAIR_SCORING_H_
+#define TOPKDUP_TOPK_PAIR_SCORING_H_
+
+#include <functional>
+#include <vector>
+
+#include "cluster/pair_scores.h"
+#include "dedup/group.h"
+#include "predicates/pair_predicate.h"
+
+namespace topkdup::topk {
+
+/// Signed pairwise scoring function over two *record ids* (typically group
+/// representatives): positive = duplicates, negative = distinct (§5.1).
+using PairScoreFn = std::function<double(size_t, size_t)>;
+
+struct PairScoringOptions {
+  /// How a representative-pair score is turned into a collapsed-group pair
+  /// score (step 10 of Algorithm 2 requires scores between collapsed
+  /// groups to "reflect the aggregate score over the members").
+  enum class Aggregate {
+    /// score * w_a * w_b — the correlation-clustering mass of all member
+    /// cross pairs, assuming members resemble their representative.
+    /// Consistent only if the default score is likewise scaled, which a
+    /// scalar default cannot be; use for ablations.
+    kWeightProduct,
+    /// The raw representative score (default): stored and unstored pairs
+    /// stay on one scale, and group weights enter the TopK computation
+    /// only through segment weights, where they belong.
+    kRepresentative,
+  };
+  Aggregate aggregate = Aggregate::kRepresentative;
+  /// Score for pairs failing the necessary predicate (must be <= 0).
+  /// These pairs are certain non-duplicates, so a mild repulsion rewards
+  /// keeping them in separate groups and stops the segmentation DP from
+  /// absorbing unrelated neighbors into answer segments for free.
+  double default_score = -0.25;
+};
+
+/// Builds the sparse pairwise score matrix over `groups` (indexed by group
+/// position): pairs passing the necessary predicate's blocking + evaluation
+/// get scorer(rep_a, rep_b) aggregated per the options; all other pairs take
+/// the default. This is "apply criteria P on pairs for which N_L is true"
+/// (Algorithm 2, step 9).
+cluster::PairScores BuildGroupPairScores(
+    const std::vector<dedup::Group>& groups,
+    const predicates::PairPredicate& necessary, const PairScoreFn& scorer,
+    const PairScoringOptions& options = {});
+
+}  // namespace topkdup::topk
+
+#endif  // TOPKDUP_TOPK_PAIR_SCORING_H_

@@ -1,0 +1,183 @@
+#include "topk/rank_query.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "dedup/collapse.h"
+#include "dedup/prune.h"
+#include "predicates/blocked_index.h"
+
+namespace topkdup::topk {
+
+namespace {
+
+/// Materializes the N-neighbor lists among `groups` (positions).
+std::vector<std::vector<uint32_t>> NeighborLists(
+    const std::vector<dedup::Group>& groups,
+    const predicates::PairPredicate& necessary) {
+  const size_t n = groups.size();
+  std::vector<size_t> reps(n);
+  for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
+  predicates::BlockedIndex index(necessary, reps);
+  std::vector<std::vector<uint32_t>> adj(n);
+  index.ForEachCandidatePair([&](size_t p, size_t q) {
+    if (necessary.Evaluate(reps[p], reps[q])) {
+      adj[p].push_back(static_cast<uint32_t>(q));
+      adj[q].push_back(static_cast<uint32_t>(p));
+    }
+  });
+  return adj;
+}
+
+}  // namespace
+
+StatusOr<TopKRankResult> TopKRankQuery(
+    const record::Dataset& data,
+    const std::vector<dedup::PredicateLevel>& levels,
+    const TopKRankOptions& options) {
+  if (levels.empty() || levels.back().necessary == nullptr) {
+    return Status::InvalidArgument(
+        "TopKRankQuery: the last level must carry a necessary predicate");
+  }
+  dedup::PrunedDedupOptions prune_options;
+  prune_options.k = options.k;
+  prune_options.prune_passes = options.prune_passes;
+  prune_options.exact_bounds = true;  // Bounds are compared across groups.
+  TOPKDUP_ASSIGN_OR_RETURN(
+      dedup::PrunedDedupResult pruning,
+      dedup::PrunedDedup(data, levels, prune_options));
+
+  TopKRankResult result;
+  const std::vector<dedup::Group>& groups = pruning.groups;
+  const std::vector<double>& ub = pruning.upper_bounds;
+  const size_t n = groups.size();
+  const double M = pruning.levels.empty() ? 0.0 : pruning.levels.back().M;
+
+  const predicates::PairPredicate& necessary = *levels.back().necessary;
+  const std::vector<std::vector<uint32_t>> adj =
+      NeighborLists(groups, necessary);
+
+  // §7.1: a group j is resolved when it has no ranking conflict with any
+  // non-neighbor and none of its neighbors can outgrow M without it.
+  std::vector<bool> is_neighbor(n, false);
+  std::vector<bool> resolved(n, false);
+  for (size_t j = 0; j < n; ++j) {
+    for (uint32_t g : adj[j]) is_neighbor[g] = true;
+    bool ok = true;
+    for (size_t g = 0; g < n && ok; ++g) {
+      if (g == j) continue;
+      if (is_neighbor[g]) {
+        if (ub[g] - groups[j].weight >= M) ok = false;
+      } else {
+        const bool no_conflict =
+            groups[j].weight >= ub[g] || ub[j] <= groups[g].weight;
+        if (!no_conflict) ok = false;
+      }
+    }
+    resolved[j] = ok;
+    for (uint32_t g : adj[j]) is_neighbor[g] = false;
+  }
+
+  // Prune neighbors of resolved groups that (a) cannot reach M on their
+  // own (weight < M) and (b) are not adjacent to any unresolved group with
+  // upper bound >= M.
+  std::vector<bool> keep(n, true);
+  for (size_t g = 0; g < n; ++g) {
+    if (groups[g].weight >= M) continue;
+    bool adjacent_to_resolved = false;
+    bool adjacent_to_live_unresolved = false;
+    for (uint32_t i : adj[g]) {
+      if (resolved[i]) {
+        adjacent_to_resolved = true;
+      } else if (ub[i] >= M) {
+        adjacent_to_live_unresolved = true;
+      }
+    }
+    if (adjacent_to_resolved && !adjacent_to_live_unresolved) {
+      keep[g] = false;
+      ++result.resolved_pruned;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    RankedGroup rg;
+    rg.group = groups[i];
+    rg.upper_bound = ub[i];
+    result.ranked.push_back(std::move(rg));
+  }
+  result.pruning = std::move(pruning);
+  return result;
+}
+
+StatusOr<ThresholdedRankResult> ThresholdedRankQuery(
+    const record::Dataset& data,
+    const std::vector<dedup::PredicateLevel>& levels,
+    const ThresholdedRankOptions& options) {
+  if (levels.empty() || levels.back().necessary == nullptr) {
+    return Status::InvalidArgument(
+        "ThresholdedRankQuery: the last level must carry a necessary "
+        "predicate");
+  }
+  if (options.threshold <= 0.0) {
+    return Status::InvalidArgument(
+        "ThresholdedRankQuery: threshold must be positive");
+  }
+  const double T = options.threshold;
+
+  std::vector<dedup::Group> groups =
+      dedup::MakeSingletonGroups(data);
+  std::vector<double> ub(groups.size(), 0.0);
+  for (const dedup::PredicateLevel& level : levels) {
+    if (level.sufficient != nullptr) {
+      groups = dedup::Collapse(groups, *level.sufficient);
+    }
+    if (level.necessary != nullptr) {
+      dedup::PruneOptions prune_options;
+      prune_options.passes = options.prune_passes;
+      dedup::PruneResult pruned =
+          dedup::PruneGroups(groups, *level.necessary, T, prune_options,
+                             /*exact_bounds=*/true);
+      groups = std::move(pruned.groups);
+      ub = std::move(pruned.upper_bounds);
+    }
+  }
+
+  ThresholdedRankResult result;
+  const size_t n = groups.size();
+  for (size_t i = 0; i < n; ++i) {
+    result.ranked.push_back(RankedGroup{groups[i], ub[i]});
+  }
+
+  // §7.2 termination: find the longest prefix of certainly-distinct,
+  // certainly-ordered groups of weight >= T...
+  const predicates::PairPredicate& necessary = *levels.back().necessary;
+  const std::vector<std::vector<uint32_t>> adj =
+      NeighborLists(groups, necessary);
+  size_t k = 0;
+  while (k < n && groups[k].weight >= T &&
+         (k == 0 || groups[k - 1].weight >= ub[k])) {
+    ++k;
+  }
+  if (k == 0) return result;
+
+  // ...and require every later group to be redundant given the prefix.
+  bool all_redundant = true;
+  for (size_t j = k; j < n && all_redundant; ++j) {
+    bool redundant = false;
+    for (uint32_t i : adj[j]) {
+      if (i < k && ub[j] - groups[i].weight <= T) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) all_redundant = false;
+  }
+  if (all_redundant) {
+    result.resolved = true;
+    result.resolved_count = k;
+  }
+  return result;
+}
+
+}  // namespace topkdup::topk

@@ -1,0 +1,70 @@
+#ifndef TOPKDUP_TOPK_RANK_QUERY_H_
+#define TOPKDUP_TOPK_RANK_QUERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dedup/pruned_dedup.h"
+#include "record/record.h"
+
+namespace topkdup::topk {
+
+/// A group with the upper bound on the largest duplicate group containing
+/// it — the (c_i, u_i) pairs of §7.1.
+struct RankedGroup {
+  dedup::Group group;
+  double upper_bound = 0.0;
+};
+
+struct TopKRankResult {
+  /// Groups surviving all pruning, by decreasing weight, with bounds.
+  std::vector<RankedGroup> ranked;
+  /// Number of groups the §7.1 resolved-group rule pruned beyond the
+  /// standard §4.3 prune.
+  size_t resolved_pruned = 0;
+  dedup::PrunedDedupResult pruning;
+};
+
+struct TopKRankOptions {
+  int k = 10;
+  int prune_passes = 2;
+};
+
+/// The TopK *rank* query of §7.1: like the count query, but since only the
+/// ranked order (with a canonical member per group) is needed, groups whose
+/// rank is resolved enable extra pruning of their neighbors. Returns the
+/// surviving groups with their upper bounds; the first K are the answer
+/// candidates.
+StatusOr<TopKRankResult> TopKRankQuery(
+    const record::Dataset& data,
+    const std::vector<dedup::PredicateLevel>& levels,
+    const TopKRankOptions& options);
+
+struct ThresholdedRankResult {
+  /// All surviving groups by decreasing weight, with exact upper bounds.
+  std::vector<RankedGroup> ranked;
+  /// True when the §7.2 termination condition held: `resolved_count`
+  /// leading groups are certainly the distinct groups of size >= T, in
+  /// order, and everything after them is redundant.
+  bool resolved = false;
+  size_t resolved_count = 0;
+};
+
+struct ThresholdedRankOptions {
+  double threshold = 0.0;  // The user's T.
+  int prune_passes = 2;
+};
+
+/// The thresholded rank query of §7.2: M is fixed to the user threshold T
+/// instead of being estimated, and the pipeline terminates early when the
+/// leading groups provably are the answer. When `resolved` is false the
+/// caller must fall back to exact evaluation on the (already much smaller)
+/// surviving groups.
+StatusOr<ThresholdedRankResult> ThresholdedRankQuery(
+    const record::Dataset& data,
+    const std::vector<dedup::PredicateLevel>& levels,
+    const ThresholdedRankOptions& options);
+
+}  // namespace topkdup::topk
+
+#endif  // TOPKDUP_TOPK_RANK_QUERY_H_

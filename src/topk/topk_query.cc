@@ -1,0 +1,146 @@
+#include "topk/topk_query.h"
+
+#include <cmath>
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "embed/linear_embedding.h"
+#include "segment/posterior.h"
+#include "segment/segment_scorer.h"
+#include "segment/topk_dp.h"
+
+namespace topkdup::topk {
+
+namespace {
+
+AnswerGroup MergeSpan(const segment::Span& span,
+                      const std::vector<size_t>& order,
+                      const std::vector<dedup::Group>& groups) {
+  AnswerGroup out;
+  double best_weight = -1.0;
+  for (size_t p = span.begin; p <= span.end; ++p) {
+    const dedup::Group& g = groups[order[p]];
+    out.weight += g.weight;
+    out.members.insert(out.members.end(), g.members.begin(),
+                       g.members.end());
+    if (g.weight > best_weight) {
+      best_weight = g.weight;
+      out.representative = g.rep;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<TopKCountResult> TopKCountQuery(
+    const record::Dataset& data,
+    const std::vector<dedup::PredicateLevel>& levels,
+    const PairScoreFn& scorer, const TopKCountOptions& options) {
+  if (levels.empty() || levels.back().necessary == nullptr) {
+    return Status::InvalidArgument(
+        "TopKCountQuery: the last level must carry a necessary predicate");
+  }
+  dedup::PrunedDedupOptions prune_options;
+  prune_options.k = options.k;
+  prune_options.prune_passes = options.prune_passes;
+  TOPKDUP_ASSIGN_OR_RETURN(
+      dedup::PrunedDedupResult pruning,
+      dedup::PrunedDedup(data, levels, prune_options));
+
+  TopKCountResult result;
+  if (pruning.exact) {
+    // Pruning alone isolated exactly K groups: one certain answer.
+    TopKAnswerSet answer;
+    for (const dedup::Group& g : pruning.groups) {
+      AnswerGroup ag;
+      ag.weight = g.weight;
+      ag.representative = g.rep;
+      ag.members = g.members;
+      answer.groups.push_back(std::move(ag));
+    }
+    result.answers.push_back(std::move(answer));
+    result.exact_from_pruning = true;
+    result.pruning = std::move(pruning);
+    return result;
+  }
+
+  const std::vector<dedup::Group>& groups = pruning.groups;
+  if (groups.size() < static_cast<size_t>(options.k)) {
+    return Status::FailedPrecondition(
+        "TopKCountQuery: fewer candidate groups than K");
+  }
+
+  // Step 9 of Algorithm 2: score pairs passing N_L.
+  const predicates::PairPredicate& necessary = *levels.back().necessary;
+  cluster::PairScores scores =
+      BuildGroupPairScores(groups, necessary, scorer, options.scoring);
+
+  // §5.3: embed, score segments, run the DP.
+  std::vector<double> weights(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) weights[i] = groups[i].weight;
+  embed::GreedyEmbeddingOptions embed_options;
+  embed_options.alpha = options.embedding_alpha;
+  const std::vector<size_t> order =
+      embed::GreedyEmbedding(scores, weights, embed_options);
+
+  segment::SegmentScorer seg_scorer(scores, order, options.band);
+  segment::TopKDpOptions dp_options;
+  dp_options.k = options.k;
+  // Over-request: distinct segmentations may collapse to the same answer
+  // after the remainder is discarded.
+  dp_options.r = options.r * 3;
+  dp_options.band = options.band;
+  dp_options.max_thresholds = options.max_thresholds;
+  TOPKDUP_ASSIGN_OR_RETURN(
+      std::vector<segment::TopKAnswer> dp_answers,
+      segment::TopKSegmentation(seg_scorer, order, weights, dp_options));
+
+  // Distinct segmentations can induce identical K answer groups (they
+  // differ only in how the non-answer remainder is segmented); the user
+  // asked for R distinct *answers*, so dedupe on the answer groups.
+  std::unordered_set<std::string> seen_answers;
+  const double log_z =
+      options.compute_posteriors
+          ? segment::LogPartitionFunction(
+                seg_scorer, {.temperature = options.posterior_temperature})
+          : 0.0;
+  for (const segment::TopKAnswer& dp_answer : dp_answers) {
+    TopKAnswerSet answer;
+    answer.score = dp_answer.score;
+    for (const segment::Span& span : dp_answer.answer) {
+      answer.groups.push_back(MergeSpan(span, order, groups));
+    }
+    std::sort(answer.groups.begin(), answer.groups.end(),
+              [](const AnswerGroup& a, const AnswerGroup& b) {
+                return a.weight > b.weight;
+              });
+    std::string signature;
+    for (const AnswerGroup& g : answer.groups) {
+      std::vector<size_t> members = g.members;
+      std::sort(members.begin(), members.end());
+      for (size_t m : members) {
+        signature += std::to_string(m);
+        signature += ',';
+      }
+      signature += '|';
+    }
+    if (seen_answers.insert(signature).second &&
+        result.answers.size() < static_cast<size_t>(options.r)) {
+      if (options.compute_posteriors) {
+        auto mass = segment::LogAnswerMass(
+            seg_scorer, order, weights, dp_answer,
+            {.temperature = options.posterior_temperature});
+        if (mass.ok()) {
+          answer.posterior = std::exp(mass.value() - log_z);
+        }
+      }
+      result.answers.push_back(std::move(answer));
+    }
+  }
+  result.pruning = std::move(pruning);
+  return result;
+}
+
+}  // namespace topkdup::topk

@@ -1,0 +1,71 @@
+#ifndef TOPKDUP_TOPK_TOPK_QUERY_H_
+#define TOPKDUP_TOPK_TOPK_QUERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dedup/pruned_dedup.h"
+#include "record/record.h"
+#include "topk/pair_scoring.h"
+
+namespace topkdup::topk {
+
+/// One group of a TopK answer: the duplicate records it unifies and their
+/// total weight.
+struct AnswerGroup {
+  double weight = 0.0;
+  size_t representative = 0;        // A record id usable as display name.
+  std::vector<size_t> members;      // Original record ids.
+};
+
+/// One of the R plausible TopK answers, highest scoring first.
+struct TopKAnswerSet {
+  double score = 0.0;
+  std::vector<AnswerGroup> groups;  // K groups, by decreasing weight.
+  /// Posterior probability of this answer under the Gibbs distribution
+  /// over segmentations (§5's "R most probable answers" semantics).
+  /// Only populated when TopKCountOptions::compute_posteriors is set;
+  /// 0 otherwise.
+  double posterior = 0.0;
+};
+
+struct TopKCountResult {
+  std::vector<TopKAnswerSet> answers;  // Up to R, best first.
+  /// Pruning diagnostics (per-level n, m, M, n' — the paper's Fig 2-4).
+  dedup::PrunedDedupResult pruning;
+  /// True when pruning alone reduced the data to exactly K groups, making
+  /// the single returned answer exact without any clustering.
+  bool exact_from_pruning = false;
+};
+
+struct TopKCountOptions {
+  int k = 10;
+  /// Number of plausible answers to return (the paper's R).
+  int r = 1;
+  int prune_passes = 2;
+  /// Linear-embedding aging factor (Eq. 3).
+  double embedding_alpha = 0.5;
+  /// Max segment length in embedding positions.
+  size_t band = 32;
+  size_t max_thresholds = 64;
+  PairScoringOptions scoring;
+  /// Compute each returned answer's posterior probability by summing the
+  /// Gibbs mass of all segmentations consistent with it (exact within the
+  /// segmentation space; see segment/posterior.h). Adds O(R * n * band).
+  bool compute_posteriors = false;
+  /// Gibbs temperature for the posteriors; must be > 0.
+  double posterior_temperature = 1.0;
+};
+
+/// The paper's end-to-end TopK count query (Algorithm 2 + §5): prune and
+/// collapse with the predicate levels, score surviving group pairs with
+/// `scorer` on pairs passing the last necessary predicate, embed, and run
+/// the segmentation DP for the R highest-scoring TopK answers.
+StatusOr<TopKCountResult> TopKCountQuery(
+    const record::Dataset& data,
+    const std::vector<dedup::PredicateLevel>& levels,
+    const PairScoreFn& scorer, const TopKCountOptions& options);
+
+}  // namespace topkdup::topk
+
+#endif  // TOPKDUP_TOPK_TOPK_QUERY_H_

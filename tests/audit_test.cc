@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "datagen/citation_gen.h"
+#include "predicates/audit.h"
+#include "predicates/citation.h"
+#include "predicates/corpus.h"
+#include "predicates/generic.h"
+
+namespace topkdup::predicates {
+namespace {
+
+class AuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::CitationGenOptions gen;
+    gen.num_records = 2000;
+    gen.num_authors = 500;
+    auto data_or = datagen::GenerateCitations(gen);
+    ASSERT_TRUE(data_or.ok());
+    data_ = std::move(data_or).value();
+    auto corpus_or = Corpus::Build(&data_, {});
+    ASSERT_TRUE(corpus_or.ok());
+    corpus_.emplace(std::move(corpus_or).value());
+  }
+
+  record::Dataset data_;
+  std::optional<Corpus> corpus_;
+};
+
+TEST_F(AuditTest, CertifiedPredicatesAuditCleanly) {
+  // The generator certifies N2 on duplicate pairs and S1/S2 against
+  // cross-entity pairs; the audit must agree.
+  QGramOverlapPredicate n2(&*corpus_, 0, 0.6, true);
+  auto n2_audit = AuditPredicate(data_, n2);
+  ASSERT_TRUE(n2_audit.ok());
+  EXPECT_GT(n2_audit.value().duplicate_pairs_checked, 100u);
+  EXPECT_EQ(n2_audit.value().necessary_violations, 0u);
+  EXPECT_GT(n2_audit.value().blocking_selectivity, 0.0);
+  EXPECT_LT(n2_audit.value().blocking_selectivity, 0.2);
+
+  CitationS1 s1(&*corpus_, {}, 0.5 * corpus_->MaxIdf(0));
+  auto s1_audit = AuditPredicate(data_, s1);
+  ASSERT_TRUE(s1_audit.ok());
+  EXPECT_EQ(s1_audit.value().sufficient_violations, 0u);
+  // S1 is *not* necessary: plenty of duplicate pairs fail it.
+  EXPECT_GT(s1_audit.value().NecessaryViolationRate(), 0.1);
+}
+
+TEST_F(AuditTest, BadNecessaryPredicateIsFlagged) {
+  // Exact-match is sufficient but badly violates necessity.
+  ExactFieldsPredicate exact(&*corpus_, {0});
+  auto audit = AuditPredicate(data_, exact);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_GT(audit.value().NecessaryViolationRate(), 0.05);
+  EXPECT_EQ(audit.value().sufficient_violations, 0u);
+}
+
+TEST_F(AuditTest, RequiresLabels) {
+  record::Dataset unlabeled{record::Schema({"name"})};
+  record::Record r;
+  r.fields = {"x"};
+  unlabeled.Add(r);
+  auto corpus_or = Corpus::Build(&unlabeled, {});
+  ASSERT_TRUE(corpus_or.ok());
+  ExactFieldsPredicate exact(&corpus_or.value(), {0});
+  EXPECT_FALSE(AuditPredicate(unlabeled, exact).ok());
+}
+
+TEST(SuggestLevelOrderTest, CheapSelectiveFirst) {
+  PredicateAudit cheap;
+  cheap.name = "cheap";
+  cheap.seconds_per_eval = 1e-7;
+  cheap.blocking_selectivity = 0.001;
+  PredicateAudit pricey;
+  pricey.name = "pricey";
+  pricey.seconds_per_eval = 1e-5;
+  pricey.blocking_selectivity = 0.05;
+  auto order = SuggestLevelOrder({pricey, cheap});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+}
+
+}  // namespace
+}  // namespace topkdup::predicates

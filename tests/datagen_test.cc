@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/address_gen.h"
+#include "datagen/citation_gen.h"
+#include "datagen/lexicon.h"
+#include "datagen/noise.h"
+#include "datagen/small_bench.h"
+#include "datagen/student_gen.h"
+#include "predicates/address.h"
+#include "predicates/citation.h"
+#include "predicates/corpus.h"
+#include "predicates/generic.h"
+#include "predicates/student.h"
+
+namespace topkdup::datagen {
+namespace {
+
+TEST(NoiseTest, TypoPreservesFirstCharacter) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::string word = "sarawagi";
+    const std::string noisy = ApplyTypo(word, &rng);
+    ASSERT_FALSE(noisy.empty());
+    EXPECT_EQ(noisy[0], 's');
+  }
+  EXPECT_EQ(ApplyTypo("ab", &rng), "ab");  // Too short to edit.
+}
+
+TEST(NoiseTest, DropRandomSpace) {
+  Rng rng(5);
+  EXPECT_EQ(DropRandomSpace("nospace", &rng), "nospace");
+  const std::string out = DropRandomSpace("a b", &rng);
+  EXPECT_EQ(out, "ab");
+}
+
+TEST(NoiseTest, ValidationHelpers) {
+  EXPECT_DOUBLE_EQ(QGramOverlapFraction("abc", "abc", 3), 1.0);
+  EXPECT_LT(QGramOverlapFraction("abc", "xyz", 3), 0.2);
+  EXPECT_TRUE(ShareInitial("anil kumar", "a k"));
+  EXPECT_FALSE(ShareInitial("anil", "beena"));
+  EXPECT_EQ(CommonWordCount("a b c", "b c d"), 2);
+  EXPECT_EQ(CommonWordCount("a road b", "b road c", {"road"}), 1);
+  EXPECT_DOUBLE_EQ(WordOverlapFraction("x y", "x z"), 0.5);
+}
+
+TEST(LexiconTest, PoolsNonEmptyAndSyntheticNamesVary) {
+  EXPECT_GT(FirstNames().size(), 50u);
+  EXPECT_GT(LastNames().size(), 50u);
+  EXPECT_FALSE(TitleWords().empty());
+  EXPECT_FALSE(StreetWords().empty());
+  EXPECT_FALSE(LocalityNames().empty());
+  EXPECT_FALSE(AddressStopWords().empty());
+  Rng rng(11);
+  std::set<std::string> names;
+  for (int i = 0; i < 200; ++i) names.insert(SyntheticSurname(&rng));
+  EXPECT_GT(names.size(), 150u);  // High diversity.
+}
+
+TEST(CitationGenTest, ShapeAndDeterminism) {
+  CitationGenOptions options;
+  options.num_records = 2000;
+  options.num_authors = 500;
+  auto a = GenerateCitations(options);
+  auto b = GenerateCitations(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().size(), 2000u);
+  // Deterministic for the same seed.
+  EXPECT_EQ(a.value()[7].fields, b.value()[7].fields);
+  // Zipf skew: the most popular author has many mentions.
+  std::map<int64_t, int> counts;
+  for (const auto& r : a.value().records()) ++counts[r.entity_id];
+  int max_count = 0;
+  for (const auto& [id, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 20);
+}
+
+TEST(CitationGenTest, NecessaryPredicatesHoldOnDuplicatePairs) {
+  CitationGenOptions options;
+  options.num_records = 1500;
+  options.num_authors = 300;
+  auto data_or = GenerateCitations(options);
+  ASSERT_TRUE(data_or.ok());
+  const record::Dataset& data = data_or.value();
+  auto corpus_or = predicates::Corpus::Build(&data, {});
+  ASSERT_TRUE(corpus_or.ok());
+  const predicates::Corpus& corpus = corpus_or.value();
+  predicates::QGramOverlapPredicate n2(&corpus, 0, 0.6, true);
+
+  // Sample duplicate pairs per entity and check N2 holds.
+  std::map<int64_t, std::vector<size_t>> by_entity;
+  for (size_t r = 0; r < data.size(); ++r) {
+    by_entity[data[r].entity_id].push_back(r);
+  }
+  int checked = 0;
+  for (const auto& [id, records] : by_entity) {
+    for (size_t i = 0; i + 1 < records.size() && i < 5; ++i) {
+      EXPECT_TRUE(n2.Evaluate(records[i], records[i + 1]))
+          << data[records[i]].field(0) << " vs "
+          << data[records[i + 1]].field(0);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(CitationGenTest, SufficientPredicatesNeverCrossEntities) {
+  CitationGenOptions options;
+  options.num_records = 1500;
+  options.num_authors = 300;
+  auto data_or = GenerateCitations(options);
+  ASSERT_TRUE(data_or.ok());
+  const record::Dataset& data = data_or.value();
+  auto corpus_or = predicates::Corpus::Build(&data, {});
+  ASSERT_TRUE(corpus_or.ok());
+  const predicates::Corpus& corpus = corpus_or.value();
+  predicates::CitationS1 s1(&corpus, {}, 0.5 * corpus.MaxIdf(0));
+  predicates::CitationS2 s2(&corpus, {});
+
+  Rng rng(1);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const size_t a = rng.Uniform(data.size());
+    const size_t b = rng.Uniform(data.size());
+    if (a == b || data[a].entity_id == data[b].entity_id) continue;
+    EXPECT_FALSE(s1.Evaluate(a, b))
+        << data[a].field(0) << " | " << data[b].field(0);
+    EXPECT_FALSE(s2.Evaluate(a, b))
+        << data[a].field(0) << " | " << data[b].field(0);
+  }
+}
+
+TEST(StudentGenTest, ShapeAndPredicateCertification) {
+  StudentGenOptions options;
+  options.num_records = 2000;
+  options.num_students = 600;
+  auto data_or = GenerateStudents(options);
+  ASSERT_TRUE(data_or.ok());
+  const record::Dataset& data = data_or.value();
+  EXPECT_EQ(data.size(), 2000u);
+
+  auto corpus_or = predicates::Corpus::Build(&data, {});
+  ASSERT_TRUE(corpus_or.ok());
+  const predicates::Corpus& corpus = corpus_or.value();
+  predicates::StudentFields fields;
+  predicates::StudentN1 n1(&corpus, fields);
+  predicates::StudentN2 n2(&corpus, fields);
+  predicates::StudentS1 s1(&corpus, fields);
+  predicates::StudentS2 s2(&corpus, fields);
+
+  std::map<int64_t, std::vector<size_t>> by_entity;
+  for (size_t r = 0; r < data.size(); ++r) {
+    by_entity[data[r].entity_id].push_back(r);
+  }
+  // Necessary predicates hold within entities.
+  int checked = 0;
+  for (const auto& [id, records] : by_entity) {
+    for (size_t i = 0; i + 1 < records.size() && i < 4; ++i) {
+      EXPECT_TRUE(n1.Evaluate(records[i], records[i + 1]));
+      EXPECT_TRUE(n2.Evaluate(records[i], records[i + 1]));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 200);
+  // Sufficient predicates never fire across entities.
+  Rng rng(2);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const size_t a = rng.Uniform(data.size());
+    const size_t b = rng.Uniform(data.size());
+    if (a == b || data[a].entity_id == data[b].entity_id) continue;
+    EXPECT_FALSE(s1.Evaluate(a, b));
+    EXPECT_FALSE(s2.Evaluate(a, b));
+  }
+  // Weights are marks in [0, 100].
+  for (const auto& r : data.records()) {
+    EXPECT_GE(r.weight, 0.0);
+    EXPECT_LE(r.weight, 100.0);
+  }
+}
+
+TEST(AddressGenTest, ShapeAndPredicateCertification) {
+  AddressGenOptions options;
+  options.num_records = 2000;
+  options.num_entities = 500;
+  auto data_or = GenerateAddresses(options);
+  ASSERT_TRUE(data_or.ok());
+  const record::Dataset& data = data_or.value();
+  EXPECT_EQ(data.size(), 2000u);
+
+  predicates::Corpus::Options corpus_options;
+  corpus_options.stop_words = AddressStopWords();
+  auto corpus_or = predicates::Corpus::Build(&data, corpus_options);
+  ASSERT_TRUE(corpus_or.ok());
+  const predicates::Corpus& corpus = corpus_or.value();
+  predicates::AddressFields fields;
+  predicates::AddressN1 n1(&corpus, fields, 4);
+  predicates::AddressS1 s1(&corpus, fields);
+
+  std::map<int64_t, std::vector<size_t>> by_entity;
+  for (size_t r = 0; r < data.size(); ++r) {
+    by_entity[data[r].entity_id].push_back(r);
+  }
+  int checked = 0;
+  for (const auto& [id, records] : by_entity) {
+    for (size_t i = 0; i + 1 < records.size() && i < 4; ++i) {
+      EXPECT_TRUE(n1.Evaluate(records[i], records[i + 1]))
+          << data[records[i]].field(0) << " / "
+          << data[records[i]].field(1) << "  vs  "
+          << data[records[i + 1]].field(0) << " / "
+          << data[records[i + 1]].field(1);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 200);
+  Rng rng(3);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const size_t a = rng.Uniform(data.size());
+    const size_t b = rng.Uniform(data.size());
+    if (a == b || data[a].entity_id == data[b].entity_id) continue;
+    EXPECT_FALSE(s1.Evaluate(a, b))
+        << data[a].field(0) << " | " << data[b].field(0);
+  }
+}
+
+TEST(SmallBenchTest, TableOneCounts) {
+  for (SmallBenchKind kind :
+       {SmallBenchKind::kAuthors, SmallBenchKind::kRestaurant,
+        SmallBenchKind::kAddress, SmallBenchKind::kGetoor}) {
+    SmallBenchOptions options;
+    options.kind = kind;
+    auto data_or = GenerateSmallBench(options);
+    ASSERT_TRUE(data_or.ok()) << SmallBenchName(kind);
+    const record::Dataset& data = data_or.value();
+    std::set<int64_t> entities;
+    for (const auto& r : data.records()) entities.insert(r.entity_id);
+    switch (kind) {
+      case SmallBenchKind::kAuthors:
+        EXPECT_EQ(data.size(), 1822u);
+        EXPECT_EQ(entities.size(), 1466u);
+        break;
+      case SmallBenchKind::kRestaurant:
+        EXPECT_EQ(data.size(), 860u);
+        EXPECT_EQ(entities.size(), 734u);
+        break;
+      case SmallBenchKind::kAddress:
+        EXPECT_EQ(data.size(), 306u);
+        EXPECT_EQ(entities.size(), 218u);
+        break;
+      case SmallBenchKind::kGetoor:
+        EXPECT_EQ(data.size(), 1716u);
+        EXPECT_EQ(entities.size(), 1172u);
+        break;
+    }
+  }
+}
+
+TEST(SmallBenchTest, RejectsBadCounts) {
+  SmallBenchOptions options;
+  options.num_records = 5;
+  options.num_groups = 10;
+  EXPECT_FALSE(GenerateSmallBench(options).ok());
+}
+
+}  // namespace
+}  // namespace topkdup::datagen

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace topkdup::eval {
+namespace {
+
+TEST(PairwiseTest, PerfectAgreement) {
+  cluster::Labels a = {0, 0, 1, 1, 2};
+  PairwiseScores s = PairwiseAgreement(a, a);
+  EXPECT_EQ(s.true_positive, 2);
+  EXPECT_EQ(s.false_positive, 0);
+  EXPECT_EQ(s.false_negative, 0);
+  EXPECT_DOUBLE_EQ(s.F1(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Recall(), 1.0);
+}
+
+TEST(PairwiseTest, HandComputedCounts) {
+  // Reference: {0,1,2} together, {3,4} together -> 3 + 1 = 4 pairs.
+  cluster::Labels ref = {0, 0, 0, 1, 1};
+  // Prediction: {0,1} together, {2,3,4} together -> 1 + 3 = 4 pairs.
+  cluster::Labels pred = {0, 0, 1, 1, 1};
+  PairwiseScores s = PairwiseAgreement(pred, ref);
+  // TP: (0,1) and (3,4) -> 2. FP: (2,3), (2,4) -> 2. FN: (0,2), (1,2) -> 2.
+  EXPECT_EQ(s.true_positive, 2);
+  EXPECT_EQ(s.false_positive, 2);
+  EXPECT_EQ(s.false_negative, 2);
+  EXPECT_DOUBLE_EQ(s.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(s.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(s.F1(), 0.5);
+}
+
+TEST(PairwiseTest, AllSingletonsAgainstAllTogether) {
+  cluster::Labels singletons = {0, 1, 2, 3};
+  cluster::Labels together = {0, 0, 0, 0};
+  PairwiseScores s = PairwiseAgreement(singletons, together);
+  EXPECT_EQ(s.true_positive, 0);
+  EXPECT_EQ(s.false_positive, 0);
+  EXPECT_EQ(s.false_negative, 6);
+  EXPECT_DOUBLE_EQ(s.Precision(), 1.0);  // No predicted pairs at all.
+  EXPECT_DOUBLE_EQ(s.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(s.F1(), 0.0);
+}
+
+TEST(PairwiseTest, LabelNamesIrrelevant) {
+  cluster::Labels a = {7, 7, 3};
+  cluster::Labels b = {1, 1, 0};
+  PairwiseScores s = PairwiseAgreement(a, b);
+  EXPECT_DOUBLE_EQ(s.F1(), 1.0);
+}
+
+TEST(PairwiseTest, EntityOverload) {
+  cluster::Labels pred = {0, 0, 1};
+  std::vector<int64_t> entities = {42, 42, 99};
+  PairwiseScores s = PairwiseAgreementToEntities(pred, entities);
+  EXPECT_DOUBLE_EQ(s.F1(), 1.0);
+}
+
+TEST(PairwiseTest, EmptyInput) {
+  PairwiseScores s = PairwiseAgreement({}, {});
+  EXPECT_DOUBLE_EQ(s.F1(), 1.0);  // Vacuous perfection.
+}
+
+}  // namespace
+}  // namespace topkdup::eval

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/clique_partition.h"
+#include "graph/graph.h"
+
+namespace topkdup::graph {
+namespace {
+
+TEST(GraphTest, AddAndQueryEdges) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(GraphTest, DuplicateAndSelfEdgesIgnored) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 2);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.HasEdge(2, 2));
+}
+
+TEST(GraphTest, AddVertex) {
+  Graph g(1);
+  size_t v = g.AddVertex();
+  EXPECT_EQ(v, 1u);
+  g.AddEdge(0, v);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(CpnTest, EmptyGraphIsZero) {
+  Graph g(0);
+  EXPECT_EQ(CliquePartitionLowerBound(g), 0);
+  EXPECT_EQ(CliquePartitionExact(g), 0);
+}
+
+TEST(CpnTest, IsolatedVerticesNeedOneCliqueEach) {
+  Graph g(5);
+  EXPECT_EQ(CliquePartitionLowerBound(g), 5);
+  EXPECT_EQ(CliquePartitionExact(g), 5);
+}
+
+TEST(CpnTest, CompleteGraphIsOne) {
+  Graph g(6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = i + 1; j < 6; ++j) g.AddEdge(i, j);
+  }
+  EXPECT_EQ(CliquePartitionLowerBound(g), 1);
+  EXPECT_EQ(CliquePartitionExact(g), 1);
+}
+
+// The paper's Figure 1: C5 cycle c1..c5 plus chord c2-c4; optimal clique
+// partition is {c1,c5}, {c2,c3,c4} giving CPN 2.
+Graph PaperFigure1() {
+  Graph g(5);
+  g.AddEdge(0, 1);  // c1-c2
+  g.AddEdge(1, 2);  // c2-c3
+  g.AddEdge(2, 3);  // c3-c4
+  g.AddEdge(3, 4);  // c4-c5
+  g.AddEdge(4, 0);  // c5-c1
+  g.AddEdge(1, 3);  // c2-c4 chord
+  return g;
+}
+
+TEST(CpnTest, PaperFigure1) {
+  Graph g = PaperFigure1();
+  EXPECT_EQ(CliquePartitionExact(g), 2);
+  // The lower bound must be valid (<= 2) and in this small case tight-ish
+  // (>= 2 is achieved because c1/c3 or c1/c4 stay non-adjacent after fill).
+  const int lb = CliquePartitionLowerBound(g);
+  EXPECT_LE(lb, 2);
+  EXPECT_GE(lb, 2);
+}
+
+TEST(CpnTest, StopAtShortCircuits) {
+  Graph g(10);  // 10 isolated vertices: CPN 10.
+  EXPECT_EQ(CliquePartitionLowerBound(g, 3), 3);
+}
+
+TEST(CpnTest, PathGraph) {
+  // Path on 5 vertices: cliques are edges; CPN = ceil(5/2) = 3.
+  Graph g(5);
+  for (size_t i = 0; i + 1 < 5; ++i) g.AddEdge(i, i + 1);
+  EXPECT_EQ(CliquePartitionExact(g), 3);
+  EXPECT_LE(CliquePartitionLowerBound(g), 3);
+  EXPECT_GE(CliquePartitionLowerBound(g), 2);
+}
+
+TEST(MinFillTest, TriangulatedGraphGetsNoFill) {
+  // A triangle plus pendant vertex is already chordal.
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  MinFillResult mf = MinFillTriangulate(g);
+  EXPECT_EQ(mf.filled.edge_count(), g.edge_count());
+  EXPECT_EQ(mf.order.size(), 4u);
+}
+
+TEST(MinFillTest, CycleGetsChord) {
+  // C4 needs exactly one chord.
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  MinFillResult mf = MinFillTriangulate(g);
+  EXPECT_EQ(mf.filled.edge_count(), 5u);
+}
+
+// Property: on random graphs the Algorithm-1 estimate never exceeds the
+// exact clique partition number (it is a valid lower bound).
+class CpnRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpnRandomTest, LowerBoundNeverExceedsExact) {
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.Uniform(9);  // 2..10 vertices
+    const double p = 0.1 + 0.8 * rng.NextDouble();
+    Graph g(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(p)) g.AddEdge(i, j);
+      }
+    }
+    const int exact = CliquePartitionExact(g);
+    const int lb = CliquePartitionLowerBound(g);
+    EXPECT_LE(lb, exact) << "n=" << n << " p=" << p;
+    EXPECT_GE(lb, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpnRandomTest, ::testing::Range(0, 10));
+
+TEST(GreedyIsTest, BasicBounds) {
+  Graph empty(6);
+  EXPECT_EQ(GreedyIndependentSetBound(empty), 6);
+  Graph complete(5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) complete.AddEdge(i, j);
+  }
+  EXPECT_EQ(GreedyIndependentSetBound(complete), 1);
+  EXPECT_EQ(GreedyIndependentSetBound(empty, 3), 3);  // Early stop.
+}
+
+class GreedyIsRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyIsRandomTest, NeverExceedsExactCpn) {
+  Rng rng(2000 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.Uniform(9);
+    const double p = 0.1 + 0.8 * rng.NextDouble();
+    Graph g(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(p)) g.AddEdge(i, j);
+      }
+    }
+    const int exact = CliquePartitionExact(g);
+    const int greedy = GreedyIndependentSetBound(g);
+    EXPECT_LE(greedy, exact);
+    EXPECT_GE(greedy, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyIsRandomTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace topkdup::graph

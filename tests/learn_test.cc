@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "learn/features.h"
+#include "learn/logistic.h"
+#include "predicates/corpus.h"
+
+namespace topkdup::learn {
+namespace {
+
+TEST(LogisticTest, LearnsLinearlySeparableData) {
+  Rng rng(1);
+  std::vector<std::vector<double>> examples;
+  std::vector<int> labels;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.NextDouble() * 2 - 1;
+    const double y = rng.NextDouble() * 2 - 1;
+    examples.push_back({x, y});
+    labels.push_back(x + y > 0.2 ? 1 : 0);
+  }
+  auto model_or = TrainLogistic(examples, labels);
+  ASSERT_TRUE(model_or.ok());
+  const LogisticModel& model = model_or.value();
+  int correct = 0;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    const int pred = model.Score(examples[i]) > 0 ? 1 : 0;
+    correct += pred == labels[i] ? 1 : 0;
+  }
+  EXPECT_GT(correct, 380);
+  // Scores are signed log-odds: clearly positive example scores > 0.
+  EXPECT_GT(model.Score({1.0, 1.0}), 0.0);
+  EXPECT_LT(model.Score({-1.0, -1.0}), 0.0);
+  // Probability is sigmoid of score.
+  EXPECT_GT(model.Probability({1.0, 1.0}), 0.5);
+}
+
+TEST(LogisticTest, RejectsBadInput) {
+  EXPECT_FALSE(TrainLogistic({}, {}).ok());
+  EXPECT_FALSE(TrainLogistic({{1.0}}, {1, 0}).ok());
+  EXPECT_FALSE(TrainLogistic({{1.0}, {2.0}}, {1, 1}).ok());  // One class.
+  EXPECT_FALSE(TrainLogistic({{1.0}, {2.0, 3.0}}, {1, 0}).ok());  // Ragged.
+  EXPECT_FALSE(TrainLogistic({{1.0}, {2.0}}, {1, 2}).ok());  // Bad label.
+}
+
+TEST(FeaturesTest, StandardFeaturesDiscriminate) {
+  record::Dataset data{record::Schema({"name"})};
+  auto add = [&](const char* name) {
+    record::Record r;
+    r.fields = {name};
+    data.Add(r);
+  };
+  add("sunita sarawagi");
+  add("s sarawagi");
+  add("anil kumar");
+  auto corpus_or = predicates::Corpus::Build(&data, {});
+  ASSERT_TRUE(corpus_or.ok());
+  const predicates::Corpus& corpus = corpus_or.value();
+
+  const std::vector<PairFeature> features = StandardFieldFeatures(0, "name");
+  ASSERT_EQ(features.size(), 6u);
+  const std::vector<double> dup = Featurize(features, corpus, 0, 1);
+  const std::vector<double> nondup = Featurize(features, corpus, 0, 2);
+  ASSERT_EQ(dup.size(), features.size());
+  // Every similarity feature of a duplicate-ish pair should dominate the
+  // unrelated pair's (initials differ, so skip the last flag feature).
+  for (size_t f = 0; f + 1 < features.size(); ++f) {
+    EXPECT_GE(dup[f], nondup[f]) << features[f].name;
+  }
+}
+
+TEST(FeaturesTest, CitationCustomFeatures) {
+  record::Dataset data{record::Schema({"author", "coauthors"})};
+  auto add = [&](const char* a, const char* c) {
+    record::Record r;
+    r.fields = {a, c};
+    data.Add(r);
+  };
+  add("sunita sarawagi", "vinay deshpande");
+  add("sunita sarawagi", "vinay deshpande sourabh kasliwal");
+  add("anil kumar", "raj verma");
+  auto corpus_or = predicates::Corpus::Build(&data, {});
+  ASSERT_TRUE(corpus_or.ok());
+  const predicates::Corpus& corpus = corpus_or.value();
+  const std::vector<PairFeature> features = CitationCustomFeatures(0, 1);
+  const std::vector<double> dup = Featurize(features, corpus, 0, 1);
+  const std::vector<double> nondup = Featurize(features, corpus, 0, 2);
+  EXPECT_DOUBLE_EQ(dup[0], 1.0);     // Exact full-name match.
+  EXPECT_DOUBLE_EQ(nondup[0], 0.0);  // No common author word.
+  EXPECT_GT(dup[1], nondup[1]);
+}
+
+TEST(LogisticTest, DeterministicForSeed) {
+  std::vector<std::vector<double>> ex = {{0.0}, {1.0}, {0.2}, {0.9}};
+  std::vector<int> labels = {0, 1, 0, 1};
+  auto m1 = TrainLogistic(ex, labels);
+  auto m2 = TrainLogistic(ex, labels);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m1.value().weights(), m2.value().weights());
+  EXPECT_DOUBLE_EQ(m1.value().bias(), m2.value().bias());
+}
+
+}  // namespace
+}  // namespace topkdup::learn

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.h"
+
+#include "record/csv.h"
+#include "record/record.h"
+
+namespace topkdup::record {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset data{Schema({"name", "city"})};
+  Record r1;
+  r1.fields = {"Sunita Sarawagi", "Mumbai"};
+  r1.weight = 2.0;
+  r1.entity_id = 7;
+  data.Add(r1);
+  Record r2;
+  r2.fields = {"V. Deshpande", "Pune, MH"};
+  data.Add(r2);
+  return data;
+}
+
+TEST(SchemaTest, FieldIndex) {
+  Schema s({"a", "b", "c"});
+  EXPECT_EQ(s.FieldIndex("a"), 0);
+  EXPECT_EQ(s.FieldIndex("c"), 2);
+  EXPECT_EQ(s.FieldIndex("zz"), -1);
+  EXPECT_EQ(s.field_count(), 3u);
+}
+
+TEST(DatasetTest, ValidateCatchesRaggedRecords) {
+  Dataset data{Schema({"a", "b"})};
+  Record r;
+  r.fields = {"only-one"};
+  data.Add(r);
+  EXPECT_FALSE(data.Validate().ok());
+}
+
+TEST(DatasetTest, SubsetPreservesOrder) {
+  Dataset data = TinyDataset();
+  Dataset sub = data.Subset({1, 0});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub[0].field(0), "V. Deshpande");
+  EXPECT_EQ(sub[1].field(0), "Sunita Sarawagi");
+}
+
+TEST(CsvTest, ParseSimpleLine) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields.value().size(), 3u);
+  EXPECT_EQ(fields.value()[1], "b");
+}
+
+TEST(CsvTest, ParseQuotedWithCommaAndQuote) {
+  auto fields = ParseCsvLine(R"("a,b","say ""hi""",plain)");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields.value().size(), 3u);
+  EXPECT_EQ(fields.value()[0], "a,b");
+  EXPECT_EQ(fields.value()[1], "say \"hi\"");
+  EXPECT_EQ(fields.value()[2], "plain");
+}
+
+TEST(CsvTest, ParseErrors) {
+  EXPECT_FALSE(ParseCsvLine("\"unterminated").ok());
+  EXPECT_FALSE(ParseCsvLine("ab\"cd").ok());
+}
+
+TEST(CsvTest, FormatRoundTripsThroughParse) {
+  std::vector<std::string> fields = {"plain", "with,comma", "with\"quote",
+                                     "with\nnewline", ""};
+  const std::string line = FormatCsvLine(fields);
+  // Note: embedded newlines are quoted, so a single-line parse works for
+  // this test's single-line content after replacing the newline.
+  auto parsed = ParseCsvLine(FormatCsvLine({"a,b", "c\"d", "e"}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value()[0], "a,b");
+  EXPECT_EQ(parsed.value()[1], "c\"d");
+  EXPECT_EQ(parsed.value()[2], "e");
+  (void)line;
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  const std::string path = testing::TempDir() + "/topkdup_csv_test.csv";
+  Dataset data = TinyDataset();
+  ASSERT_TRUE(WriteCsv(data, path).ok());
+
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  const Dataset& back = loaded.value();
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.schema().field_count(), 2u);
+  EXPECT_EQ(back[0].field(0), "Sunita Sarawagi");
+  EXPECT_EQ(back[0].weight, 2.0);
+  EXPECT_EQ(back[0].entity_id, 7);
+  EXPECT_EQ(back[1].field(1), "Pune, MH");
+  EXPECT_EQ(back[1].weight, 1.0);
+  EXPECT_EQ(back[1].entity_id, -1);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, FuzzRoundTripRandomContent) {
+  // Random field contents including quotes, commas, unicode-ish bytes and
+  // newlines must survive a write/read cycle byte-for-byte.
+  Rng rng(4242);
+  const std::string path = testing::TempDir() + "/topkdup_fuzz.csv";
+  for (int trial = 0; trial < 10; ++trial) {
+    Dataset data{Schema({"a", "b", "c"})};
+    const size_t rows = 1 + rng.Uniform(20);
+    for (size_t r = 0; r < rows; ++r) {
+      Record rec;
+      for (int f = 0; f < 3; ++f) {
+        std::string value;
+        const size_t len = rng.Uniform(12);
+        for (size_t i = 0; i < len; ++i) {
+          const char alphabet[] = "ab ,\"\n'\\;x\xc3\xa9";
+          value.push_back(
+              alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+        }
+        rec.fields.push_back(std::move(value));
+      }
+      rec.weight = rng.NextDouble() * 10;
+      rec.entity_id = static_cast<int64_t>(rng.Uniform(5));
+      data.Add(std::move(rec));
+    }
+    ASSERT_TRUE(WriteCsv(data, path).ok());
+    auto loaded = ReadCsv(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_EQ(loaded.value().size(), data.size());
+    for (size_t r = 0; r < data.size(); ++r) {
+      EXPECT_EQ(loaded.value()[r].fields, data[r].fields) << "row " << r;
+      EXPECT_EQ(loaded.value()[r].entity_id, data[r].entity_id);
+      EXPECT_NEAR(loaded.value()[r].weight, data[r].weight, 1e-5);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto result = ReadCsv("/nonexistent/nowhere.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, ReadRejectsColumnCountMismatch) {
+  const std::string path = testing::TempDir() + "/topkdup_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2\nonly-one\n";
+  }
+  EXPECT_FALSE(ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace topkdup::record

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/name_similarity.h"
+#include "sim/similarity.h"
+#include "text/tokenize.h"
+#include "text/vocab.h"
+
+namespace topkdup::sim {
+namespace {
+
+using text::TokenId;
+using text::Vocabulary;
+
+TEST(JaccardTest, BasicCases) {
+  Vocabulary v;
+  auto a = v.InternSet({"x", "y", "z"});
+  auto b = v.InternSet({"y", "z", "w"});
+  EXPECT_DOUBLE_EQ(Jaccard(a, b), 0.5);  // 2 common / 4 union.
+  EXPECT_DOUBLE_EQ(Jaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(Jaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(Jaccard(a, {}), 0.0);
+}
+
+TEST(OverlapTest, RelativeToSmaller) {
+  Vocabulary v;
+  auto small = v.InternSet({"a", "b"});
+  auto big = v.InternSet({"a", "b", "c", "d"});
+  EXPECT_DOUBLE_EQ(OverlapFraction(small, big), 1.0);
+  auto other = v.InternSet({"a", "x", "y", "z"});
+  EXPECT_DOUBLE_EQ(OverlapFraction(small, other), 0.5);
+}
+
+TEST(CosineTest, IdenticalSetsScoreOne) {
+  Vocabulary v;
+  text::IdfTable idf;
+  auto a = v.InternSet({"rare", "words"});
+  idf.AddDocument(a);
+  for (int i = 0; i < 20; ++i) idf.AddDocument(v.InternSet({"common"}));
+  EXPECT_NEAR(CosineTfIdf(a, a, idf), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineTfIdf(a, {}, idf), 0.0);
+}
+
+TEST(CosineTest, RareOverlapBeatsCommonOverlap) {
+  Vocabulary v;
+  text::IdfTable idf;
+  TokenId rare = v.GetOrAdd("sarawagi");
+  TokenId common = v.GetOrAdd("kumar");
+  TokenId x1 = v.GetOrAdd("x1");
+  TokenId x2 = v.GetOrAdd("x2");
+  for (int i = 0; i < 50; ++i) idf.AddDocument({common});
+  idf.AddDocument({rare});
+  // Pair sharing the rare word vs pair sharing the common word.
+  const double rare_sim = CosineTfIdf({rare, x1}, {rare, x2}, idf);
+  const double common_sim = CosineTfIdf({common, x1}, {common, x2}, idf);
+  EXPECT_GT(rare_sim, common_sim);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Jaro("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(Jaro("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(Jaro("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(Jaro("abc", "xyz"), 0.0);
+  // Classic example: MARTHA vs MARHTA = 0.944...
+  EXPECT_NEAR(Jaro("martha", "marhta"), 0.9444444, 1e-6);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  const double jaro = Jaro("dixon", "dicksonx");
+  const double jw = JaroWinkler("dixon", "dicksonx");
+  EXPECT_GT(jw, jaro);
+  EXPECT_NEAR(JaroWinkler("martha", "marhta"), 0.9611111, 1e-6);
+  EXPECT_DOUBLE_EQ(JaroWinkler("same", "same"), 1.0);
+}
+
+TEST(JaroWinklerTest, SymmetricAndBounded) {
+  Rng rng(5);
+  const char* words[] = {"sarawagi", "sarwagi",  "deshpande", "deshpnde",
+                         "kasliwal", "kasliwaal", "a",        ""};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      const double ab = JaroWinkler(a, b);
+      const double ba = JaroWinkler(b, a);
+      EXPECT_DOUBLE_EQ(ab, ba);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+    }
+  }
+}
+
+TEST(LevenshteinTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  // kitten -> sitting: distance 3, max length 7.
+  EXPECT_NEAR(LevenshteinSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", ""), 0.0);
+}
+
+TEST(IsFullNameTest, DetectsInitials) {
+  EXPECT_TRUE(IsFullName("Sunita Sarawagi"));
+  EXPECT_FALSE(IsFullName("S Sarawagi"));
+  EXPECT_FALSE(IsFullName("S. Sarawagi"));
+  EXPECT_FALSE(IsFullName(""));
+}
+
+class NameSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Corpus: "sarawagi" rare, "kumar" common.
+    docs_ = {
+        {"sunita", "sarawagi"}, {"anil", "kumar"},  {"raj", "kumar"},
+        {"vijay", "kumar"},     {"deepa", "kumar"}, {"s", "kumar"},
+    };
+    for (const auto& doc : docs_) {
+      std::vector<std::string> words(doc.begin(), doc.end());
+      idf_.AddDocument(vocab_.InternSet(words));
+    }
+    max_idf_ = idf_.Idf(text::kInvalidToken);
+  }
+
+  std::vector<std::vector<std::string>> docs_;
+  Vocabulary vocab_;
+  text::IdfTable idf_;
+  double max_idf_ = 0.0;
+};
+
+TEST_F(NameSimTest, ExactFullNameMatchScoresOne) {
+  EXPECT_DOUBLE_EQ(CustomAuthorSimilarity("Sunita Sarawagi",
+                                          "sunita sarawagi", vocab_, idf_,
+                                          max_idf_),
+                   1.0);
+}
+
+TEST_F(NameSimTest, NoCommonWordScoresZero) {
+  EXPECT_DOUBLE_EQ(
+      CustomAuthorSimilarity("anil kumar", "sunita sarawagi", vocab_, idf_,
+                             max_idf_),
+      0.0);
+}
+
+TEST_F(NameSimTest, RareSharedWordScoresHigherThanCommon) {
+  const double rare = CustomAuthorSimilarity("s sarawagi", "sunita sarawagi",
+                                             vocab_, idf_, max_idf_);
+  const double common =
+      CustomAuthorSimilarity("s kumar", "anil kumar", vocab_, idf_, max_idf_);
+  EXPECT_GT(rare, common);
+  EXPECT_GT(rare, 0.0);
+  EXPECT_LE(rare, 1.0);
+}
+
+TEST_F(NameSimTest, CoauthorExtremesFollowAuthorSim) {
+  // Exact full-name match -> 1, no overlap -> 0.
+  EXPECT_DOUBLE_EQ(CustomCoauthorSimilarity("anil kumar", "anil kumar",
+                                            vocab_, idf_, max_idf_),
+                   1.0);
+  EXPECT_DOUBLE_EQ(CustomCoauthorSimilarity("anil kumar", "sunita sarawagi",
+                                            vocab_, idf_, max_idf_),
+                   0.0);
+}
+
+TEST_F(NameSimTest, CoauthorMiddleUsesWordFraction) {
+  // Shares "kumar" (1 of min set size 2) -> 0.5 word fraction.
+  const double s = CustomCoauthorSimilarity("raj kumar", "vijay kumar",
+                                            vocab_, idf_, max_idf_);
+  EXPECT_DOUBLE_EQ(s, 0.5);
+}
+
+TEST(StopWordTest, RemoveAndOverlap) {
+  Vocabulary v;
+  auto stops = v.InternSet({"road", "near"});
+  auto a = v.InternSet({"shivaji", "road", "kothrud", "near"});
+  auto b = v.InternSet({"shivaji", "road", "baner"});
+  auto cleaned = RemoveStopWords(a, stops);
+  EXPECT_EQ(cleaned.size(), 2u);  // shivaji, kothrud.
+  // Overlap: common non-stop = {shivaji}; min size = 2.
+  EXPECT_DOUBLE_EQ(NonStopWordOverlap(a, b, stops), 0.5);
+}
+
+TEST(MinWordIdfTest, UnseenWordsGetMaxIdf) {
+  Vocabulary v;
+  text::IdfTable idf;
+  for (int i = 0; i < 10; ++i) idf.AddDocument(v.InternSet({"kumar"}));
+  const double rare_min = MinWordIdf("zyxwv", v, idf);
+  const double common_min = MinWordIdf("kumar zyxwv", v, idf);
+  EXPECT_GT(rare_min, common_min);
+}
+
+}  // namespace
+}  // namespace topkdup::sim
