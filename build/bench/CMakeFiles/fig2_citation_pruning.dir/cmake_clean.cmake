@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_citation_pruning.dir/fig2_citation_pruning.cc.o"
+  "CMakeFiles/fig2_citation_pruning.dir/fig2_citation_pruning.cc.o.d"
+  "fig2_citation_pruning"
+  "fig2_citation_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_citation_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_student_pruning.dir/fig3_student_pruning.cc.o"
+  "CMakeFiles/fig3_student_pruning.dir/fig3_student_pruning.cc.o.d"
+  "fig3_student_pruning"
+  "fig3_student_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_student_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_address_pruning.dir/fig4_address_pruning.cc.o"
+  "CMakeFiles/fig4_address_pruning.dir/fig4_address_pruning.cc.o.d"
+  "fig4_address_pruning"
+  "fig4_address_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_address_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_timing.dir/fig6_timing.cc.o"
+  "CMakeFiles/fig6_timing.dir/fig6_timing.cc.o.d"
+  "fig6_timing"
+  "fig6_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_blocked_index.dir/micro_blocked_index.cc.o"
+  "CMakeFiles/micro_blocked_index.dir/micro_blocked_index.cc.o.d"
+  "micro_blocked_index"
+  "micro_blocked_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_blocked_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

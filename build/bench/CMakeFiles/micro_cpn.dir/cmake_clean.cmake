@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cpn.dir/micro_cpn.cc.o"
+  "CMakeFiles/micro_cpn.dir/micro_cpn.cc.o.d"
+  "micro_cpn"
+  "micro_cpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_segmentation.dir/micro_segmentation.cc.o"
+  "CMakeFiles/micro_segmentation.dir/micro_segmentation.cc.o.d"
+  "micro_segmentation"
+  "micro_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_unionfind.dir/micro_unionfind.cc.o"
+  "CMakeFiles/micro_unionfind.dir/micro_unionfind.cc.o.d"
+  "micro_unionfind"
+  "micro_unionfind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_unionfind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

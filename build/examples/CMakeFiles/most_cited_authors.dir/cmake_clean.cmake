@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_cited_authors.dir/most_cited_authors.cc.o"
+  "CMakeFiles/most_cited_authors.dir/most_cited_authors.cc.o.d"
+  "most_cited_authors"
+  "most_cited_authors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_cited_authors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

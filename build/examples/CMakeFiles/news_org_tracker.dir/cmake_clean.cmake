@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_org_tracker.dir/news_org_tracker.cc.o"
+  "CMakeFiles/news_org_tracker.dir/news_org_tracker.cc.o.d"
+  "news_org_tracker"
+  "news_org_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_org_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

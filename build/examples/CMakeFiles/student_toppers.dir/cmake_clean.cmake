@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/student_toppers.dir/student_toppers.cc.o"
+  "CMakeFiles/student_toppers.dir/student_toppers.cc.o.d"
+  "student_toppers"
+  "student_toppers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/student_toppers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for student_toppers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkdup_cli.dir/topkdup_cli.cc.o"
+  "CMakeFiles/topkdup_cli.dir/topkdup_cli.cc.o.d"
+  "topkdup_cli"
+  "topkdup_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkdup_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

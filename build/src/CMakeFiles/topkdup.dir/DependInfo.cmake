@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/agglomerative.cc" "src/CMakeFiles/topkdup.dir/cluster/agglomerative.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/cluster/agglomerative.cc.o.d"
+  "/root/repo/src/cluster/baselines.cc" "src/CMakeFiles/topkdup.dir/cluster/baselines.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/cluster/baselines.cc.o.d"
+  "/root/repo/src/cluster/correlation.cc" "src/CMakeFiles/topkdup.dir/cluster/correlation.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/cluster/correlation.cc.o.d"
+  "/root/repo/src/cluster/exact_partition.cc" "src/CMakeFiles/topkdup.dir/cluster/exact_partition.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/cluster/exact_partition.cc.o.d"
+  "/root/repo/src/cluster/hierarchy_dp.cc" "src/CMakeFiles/topkdup.dir/cluster/hierarchy_dp.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/cluster/hierarchy_dp.cc.o.d"
+  "/root/repo/src/cluster/lp_cluster.cc" "src/CMakeFiles/topkdup.dir/cluster/lp_cluster.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/cluster/lp_cluster.cc.o.d"
+  "/root/repo/src/cluster/pair_scores.cc" "src/CMakeFiles/topkdup.dir/cluster/pair_scores.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/cluster/pair_scores.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/topkdup.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/topkdup.dir/common/status.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/topkdup.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/common/strings.cc.o.d"
+  "/root/repo/src/datagen/address_gen.cc" "src/CMakeFiles/topkdup.dir/datagen/address_gen.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/datagen/address_gen.cc.o.d"
+  "/root/repo/src/datagen/citation_gen.cc" "src/CMakeFiles/topkdup.dir/datagen/citation_gen.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/datagen/citation_gen.cc.o.d"
+  "/root/repo/src/datagen/lexicon.cc" "src/CMakeFiles/topkdup.dir/datagen/lexicon.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/datagen/lexicon.cc.o.d"
+  "/root/repo/src/datagen/noise.cc" "src/CMakeFiles/topkdup.dir/datagen/noise.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/datagen/noise.cc.o.d"
+  "/root/repo/src/datagen/small_bench.cc" "src/CMakeFiles/topkdup.dir/datagen/small_bench.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/datagen/small_bench.cc.o.d"
+  "/root/repo/src/datagen/student_gen.cc" "src/CMakeFiles/topkdup.dir/datagen/student_gen.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/datagen/student_gen.cc.o.d"
+  "/root/repo/src/dedup/collapse.cc" "src/CMakeFiles/topkdup.dir/dedup/collapse.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/dedup/collapse.cc.o.d"
+  "/root/repo/src/dedup/group.cc" "src/CMakeFiles/topkdup.dir/dedup/group.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/dedup/group.cc.o.d"
+  "/root/repo/src/dedup/lower_bound.cc" "src/CMakeFiles/topkdup.dir/dedup/lower_bound.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/dedup/lower_bound.cc.o.d"
+  "/root/repo/src/dedup/prune.cc" "src/CMakeFiles/topkdup.dir/dedup/prune.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/dedup/prune.cc.o.d"
+  "/root/repo/src/dedup/pruned_dedup.cc" "src/CMakeFiles/topkdup.dir/dedup/pruned_dedup.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/dedup/pruned_dedup.cc.o.d"
+  "/root/repo/src/dedup/streaming_collapse.cc" "src/CMakeFiles/topkdup.dir/dedup/streaming_collapse.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/dedup/streaming_collapse.cc.o.d"
+  "/root/repo/src/dedup/union_find.cc" "src/CMakeFiles/topkdup.dir/dedup/union_find.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/dedup/union_find.cc.o.d"
+  "/root/repo/src/embed/linear_embedding.cc" "src/CMakeFiles/topkdup.dir/embed/linear_embedding.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/embed/linear_embedding.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/topkdup.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/graph/clique_partition.cc" "src/CMakeFiles/topkdup.dir/graph/clique_partition.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/graph/clique_partition.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/topkdup.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/graph/graph.cc.o.d"
+  "/root/repo/src/learn/features.cc" "src/CMakeFiles/topkdup.dir/learn/features.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/learn/features.cc.o.d"
+  "/root/repo/src/learn/logistic.cc" "src/CMakeFiles/topkdup.dir/learn/logistic.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/learn/logistic.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/CMakeFiles/topkdup.dir/lp/simplex.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/lp/simplex.cc.o.d"
+  "/root/repo/src/predicates/address.cc" "src/CMakeFiles/topkdup.dir/predicates/address.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/predicates/address.cc.o.d"
+  "/root/repo/src/predicates/audit.cc" "src/CMakeFiles/topkdup.dir/predicates/audit.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/predicates/audit.cc.o.d"
+  "/root/repo/src/predicates/blocked_index.cc" "src/CMakeFiles/topkdup.dir/predicates/blocked_index.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/predicates/blocked_index.cc.o.d"
+  "/root/repo/src/predicates/citation.cc" "src/CMakeFiles/topkdup.dir/predicates/citation.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/predicates/citation.cc.o.d"
+  "/root/repo/src/predicates/corpus.cc" "src/CMakeFiles/topkdup.dir/predicates/corpus.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/predicates/corpus.cc.o.d"
+  "/root/repo/src/predicates/generic.cc" "src/CMakeFiles/topkdup.dir/predicates/generic.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/predicates/generic.cc.o.d"
+  "/root/repo/src/predicates/student.cc" "src/CMakeFiles/topkdup.dir/predicates/student.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/predicates/student.cc.o.d"
+  "/root/repo/src/predicates/tfidf_canopy.cc" "src/CMakeFiles/topkdup.dir/predicates/tfidf_canopy.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/predicates/tfidf_canopy.cc.o.d"
+  "/root/repo/src/record/csv.cc" "src/CMakeFiles/topkdup.dir/record/csv.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/record/csv.cc.o.d"
+  "/root/repo/src/record/record.cc" "src/CMakeFiles/topkdup.dir/record/record.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/record/record.cc.o.d"
+  "/root/repo/src/segment/posterior.cc" "src/CMakeFiles/topkdup.dir/segment/posterior.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/segment/posterior.cc.o.d"
+  "/root/repo/src/segment/segment_scorer.cc" "src/CMakeFiles/topkdup.dir/segment/segment_scorer.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/segment/segment_scorer.cc.o.d"
+  "/root/repo/src/segment/topk_dp.cc" "src/CMakeFiles/topkdup.dir/segment/topk_dp.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/segment/topk_dp.cc.o.d"
+  "/root/repo/src/sim/name_similarity.cc" "src/CMakeFiles/topkdup.dir/sim/name_similarity.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/sim/name_similarity.cc.o.d"
+  "/root/repo/src/sim/similarity.cc" "src/CMakeFiles/topkdup.dir/sim/similarity.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/sim/similarity.cc.o.d"
+  "/root/repo/src/text/inverted_index.cc" "src/CMakeFiles/topkdup.dir/text/inverted_index.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/text/inverted_index.cc.o.d"
+  "/root/repo/src/text/tokenize.cc" "src/CMakeFiles/topkdup.dir/text/tokenize.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/text/tokenize.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/CMakeFiles/topkdup.dir/text/vocab.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/text/vocab.cc.o.d"
+  "/root/repo/src/topk/online.cc" "src/CMakeFiles/topkdup.dir/topk/online.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/topk/online.cc.o.d"
+  "/root/repo/src/topk/pair_scoring.cc" "src/CMakeFiles/topkdup.dir/topk/pair_scoring.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/topk/pair_scoring.cc.o.d"
+  "/root/repo/src/topk/rank_query.cc" "src/CMakeFiles/topkdup.dir/topk/rank_query.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/topk/rank_query.cc.o.d"
+  "/root/repo/src/topk/topk_query.cc" "src/CMakeFiles/topkdup.dir/topk/topk_query.cc.o" "gcc" "src/CMakeFiles/topkdup.dir/topk/topk_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_property_test.dir/blocking_property_test.cc.o"
+  "CMakeFiles/blocking_property_test.dir/blocking_property_test.cc.o.d"
+  "blocking_property_test"
+  "blocking_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_dp_test.dir/hierarchy_dp_test.cc.o"
+  "CMakeFiles/hierarchy_dp_test.dir/hierarchy_dp_test.cc.o.d"
+  "hierarchy_dp_test"
+  "hierarchy_dp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_scoring_test.dir/pair_scoring_test.cc.o"
+  "CMakeFiles/pair_scoring_test.dir/pair_scoring_test.cc.o.d"
+  "pair_scoring_test"
+  "pair_scoring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_scoring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

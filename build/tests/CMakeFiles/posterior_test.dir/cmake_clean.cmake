@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posterior_test.dir/posterior_test.cc.o"
+  "CMakeFiles/posterior_test.dir/posterior_test.cc.o.d"
+  "posterior_test"
+  "posterior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posterior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
