@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace topkdup::bench {
@@ -96,6 +97,12 @@ std::string Pct(double numerator, double denominator) {
 
 std::string Num(double v, int decimals) {
   return StrFormat("%.*f", decimals, v);
+}
+
+int ApplyThreadsFlag(const Flags& flags) {
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  if (threads > 0) SetParallelism(threads);
+  return ParallelismLevel();
 }
 
 }  // namespace topkdup::bench

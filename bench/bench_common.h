@@ -45,6 +45,10 @@ class TablePrinter {
 std::string Pct(double numerator, double denominator);
 std::string Num(double v, int decimals = 2);
 
+/// Applies the shared --threads=N flag (0 = keep the TOPKDUP_THREADS /
+/// hardware default) and returns the effective parallelism level.
+int ApplyThreadsFlag(const Flags& flags);
+
 }  // namespace topkdup::bench
 
 #endif  // TOPKDUP_BENCH_BENCH_COMMON_H_

@@ -9,7 +9,9 @@
 // The dataset is a synthetic reproduction of the paper's Citeseer-derived
 // author-mention corpus (see DESIGN.md); sizes are configurable:
 //   --records=N --authors=N --seed=S --ks=1,5,10 --passes=2 --ablation
+//   --threads=N --json=BENCH_fig2.json ("" disables the JSON dump)
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 #include "common/timer.h"
@@ -33,11 +35,14 @@ int Run(int argc, char** argv) {
   const std::vector<int> ks =
       flags.GetIntList("ks", {1, 5, 10, 50, 100, 500, 1000});
   const int passes = static_cast<int>(flags.GetInt("passes", 2));
+  const int threads = bench::ApplyThreadsFlag(flags);
+  const std::string json_path =
+      flags.GetString("json", "BENCH_fig2.json");
 
   std::printf("Figure 2: Citation dataset pruning (records=%zu authors=%zu "
-              "seed=%llu passes=%d)\n",
+              "seed=%llu passes=%d threads=%d)\n",
               gen.num_records, gen.num_authors,
-              static_cast<unsigned long long>(gen.seed), passes);
+              static_cast<unsigned long long>(gen.seed), passes, threads);
 
   Timer timer;
   auto data_or = datagen::GenerateCitations(gen);
@@ -72,6 +77,13 @@ int Run(int argc, char** argv) {
   std::printf("%42s  |  %22s\n", "Iteration-1 (S1,N1)", "Iteration-2 (S2,N2)");
   table.PrintHeader();
 
+  struct RunRecord {
+    int k = 0;
+    double seconds = 0.0;
+    std::vector<dedup::LevelStats> levels;
+  };
+  std::vector<RunRecord> runs;
+
   const double d = static_cast<double>(data.size());
   for (int k : ks) {
     dedup::PrunedDedupOptions options;
@@ -86,6 +98,7 @@ int Run(int argc, char** argv) {
       continue;
     }
     const auto& levels = result_or.value().levels;
+    runs.push_back({k, run_timer.ElapsedSeconds(), levels});
     std::vector<std::string> row = {std::to_string(k)};
     for (size_t l = 0; l < 2; ++l) {
       if (l < levels.size()) {
@@ -97,10 +110,49 @@ int Run(int argc, char** argv) {
         row.insert(row.end(), {"-", "-", "-", "-"});
       }
     }
-    row.push_back(bench::Num(run_timer.ElapsedSeconds(), 2));
+    row.push_back(bench::Num(runs.back().seconds, 2));
     table.PrintRow(row);
   }
   table.PrintRule();
+
+  if (!json_path.empty()) {
+    // Machine-readable perf trajectory for cross-PR comparison: one run
+    // object per K with per-level wall times and survivor counts.
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    } else {
+      std::fprintf(out,
+                   "{\n  \"figure\": \"fig2_citation_pruning\",\n"
+                   "  \"records\": %zu,\n  \"authors\": %zu,\n"
+                   "  \"seed\": %llu,\n  \"passes\": %d,\n"
+                   "  \"threads\": %d,\n  \"runs\": [\n",
+                   gen.num_records, gen.num_authors,
+                   static_cast<unsigned long long>(gen.seed), passes,
+                   threads);
+      for (size_t r = 0; r < runs.size(); ++r) {
+        const RunRecord& run = runs[r];
+        std::fprintf(out,
+                     "    {\"k\": %d, \"seconds\": %.6f, \"levels\": [",
+                     run.k, run.seconds);
+        for (size_t l = 0; l < run.levels.size(); ++l) {
+          const dedup::LevelStats& lv = run.levels[l];
+          std::fprintf(
+              out,
+              "%s{\"n\": %zu, \"m\": %zu, \"M\": %.6f, \"n_prime\": %zu, "
+              "\"collapse_seconds\": %.6f, \"lower_bound_seconds\": %.6f, "
+              "\"prune_seconds\": %.6f}",
+              l == 0 ? "" : ", ", lv.n_after_collapse, lv.m, lv.M,
+              lv.n_after_prune, lv.collapse_seconds,
+              lv.lower_bound_seconds, lv.prune_seconds);
+        }
+        std::fprintf(out, "]}%s\n", r + 1 == runs.size() ? "" : ",");
+      }
+      std::fprintf(out, "  ]\n}\n");
+      std::fclose(out);
+      std::printf("\nwrote %s\n", json_path.c_str());
+    }
+  }
 
   if (flags.GetBool("ablation", true)) {
     std::printf("\nAblation (S6.2): one vs two upper-bound passes, final "

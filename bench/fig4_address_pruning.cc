@@ -25,11 +25,12 @@ int Run(int argc, char** argv) {
   const std::vector<int> ks =
       flags.GetIntList("ks", {1, 5, 10, 50, 100, 500, 1000});
   const int passes = static_cast<int>(flags.GetInt("passes", 2));
+  const int threads = bench::ApplyThreadsFlag(flags);
 
   std::printf("Figure 4: Address dataset pruning (records=%zu entities=%zu "
-              "seed=%llu passes=%d)\n",
+              "seed=%llu passes=%d threads=%d)\n",
               gen.num_records, gen.num_entities,
-              static_cast<unsigned long long>(gen.seed), passes);
+              static_cast<unsigned long long>(gen.seed), passes, threads);
 
   Timer timer;
   auto data_or = datagen::GenerateAddresses(gen);

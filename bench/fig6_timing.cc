@@ -11,6 +11,7 @@
 //                            final predicate.
 // Times include the final pairwise scoring + transitive clustering, as in
 // the paper. Flags: --records --authors --seed --ks --none_cap --skip_none
+// --threads
 #include <cstdio>
 
 #include "bench_common.h"
@@ -138,9 +139,11 @@ int Run(int argc, char** argv) {
   const size_t none_cap =
       static_cast<size_t>(flags.GetInt("none_cap", 1500));
   const bool skip_none = flags.GetBool("skip_none", false);
+  const int threads = bench::ApplyThreadsFlag(flags);
 
-  std::printf("Figure 6: timing vs K on citation subset (records=%zu)\n",
-              gen.num_records);
+  std::printf(
+      "Figure 6: timing vs K on citation subset (records=%zu threads=%d)\n",
+      gen.num_records, threads);
   auto data_or = datagen::GenerateCitations(gen);
   if (!data_or.ok()) {
     std::fprintf(stderr, "generate: %s\n",

@@ -109,16 +109,18 @@ BenchResult RunOne(datagen::SmallBenchKind kind,
   for (int64_t e : entity_set) {
     if (idx++ % 2 == 0) train_entities.insert(e);
   }
-  std::vector<std::vector<double>> examples;
+  std::vector<std::pair<size_t, size_t>> train_pairs;
   std::vector<int> labels;
   for (const auto& [a, b] : candidates) {
     if (train_entities.count(data[a].entity_id) == 0 ||
         train_entities.count(data[b].entity_id) == 0) {
       continue;
     }
-    examples.push_back(learn::Featurize(features, corpus, a, b));
+    train_pairs.emplace_back(a, b);
     labels.push_back(data[a].entity_id == data[b].entity_id ? 1 : 0);
   }
+  const std::vector<std::vector<double>> examples =
+      learn::FeaturizeAll(features, corpus, train_pairs);
   auto model_or = learn::TrainLogistic(examples, labels);
   if (!model_or.ok()) {
     std::fprintf(stderr, "train(%s): %s\n", datagen::SmallBenchName(kind),
@@ -127,10 +129,14 @@ BenchResult RunOne(datagen::SmallBenchKind kind,
   }
   const learn::LogisticModel& model = model_or.value();
 
-  // Signed pair scores over all candidate pairs.
+  // Signed pair scores over all candidate pairs (featurized in parallel,
+  // folded serially in candidate order).
   cluster::PairScores scores(data.size(), /*default_score=*/-0.25);
-  for (const auto& [a, b] : candidates) {
-    scores.Set(a, b, model.Score(learn::Featurize(features, corpus, a, b)));
+  const std::vector<std::vector<double>> candidate_rows =
+      learn::FeaturizeAll(features, corpus, candidates);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scores.Set(candidates[i].first, candidates[i].second,
+               model.Score(candidate_rows[i]));
   }
 
   // Exact reference clustering, per connected component. Components where

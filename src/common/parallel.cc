@@ -1,0 +1,190 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace topkdup {
+
+namespace {
+
+// Hard ceiling on worker threads; oversubscription beyond this serves no
+// purpose even for determinism tests.
+constexpr int kMaxThreads = 256;
+
+int HardwareDefault() {
+  if (const char* env = std::getenv("TOPKDUP_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return std::min(v, kMaxThreads);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<int>(static_cast<int>(hw), kMaxThreads);
+}
+
+std::atomic<int> g_override{0};  // <= 0: use HardwareDefault().
+
+// True while this thread executes inside a parallel region; nested
+// regions then run serially inline (also keeps the pool's region mutex
+// from self-deadlocking).
+thread_local bool t_in_parallel_region = false;
+
+/// Lazily grown shared worker pool. One parallel region runs at a time
+/// (region_mutex_); workers park on a condition variable between regions
+/// and claim shards from an atomic counter within one.
+class Pool {
+ public:
+  static Pool& Instance() {
+    // Leaked on purpose: worker threads must not be joined during static
+    // destruction (they may hold the mutex).
+    static Pool* pool = new Pool;
+    return *pool;
+  }
+
+  void Run(size_t num_shards, int threads,
+           const std::function<void(size_t)>& fn) {
+    std::unique_lock<std::mutex> region(region_mutex_);
+    const int helpers =
+        std::min(threads - 1, static_cast<int>(num_shards) - 1);
+    EnsureWorkers(helpers);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &fn;
+      num_shards_ = num_shards;
+      next_shard_.store(0, std::memory_order_relaxed);
+      helper_cap_.store(helpers, std::memory_order_relaxed);
+      finished_ = 0;
+      expected_finishers_ = static_cast<int>(workers_.size());
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+
+    // The caller is always a participant.
+    t_in_parallel_region = true;
+    for (size_t s = next_shard_.fetch_add(1, std::memory_order_relaxed);
+         s < num_shards;
+         s = next_shard_.fetch_add(1, std::memory_order_relaxed)) {
+      fn(s);
+    }
+    t_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return finished_ == expected_finishers_; });
+    job_ = nullptr;
+  }
+
+ private:
+  Pool() = default;
+
+  void EnsureWorkers(int count) {
+    // Only called with region_mutex_ held and no region in flight. The
+    // baseline epoch is captured *here*, not inside the worker: the new
+    // thread may not get scheduled until after the caller publishes the
+    // next job, and reading epoch_ then would make it skip that job —
+    // and Run would wait forever for its check-in.
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t baseline = epoch_;
+    while (static_cast<int>(workers_.size()) < count) {
+      workers_.emplace_back([this, baseline] { WorkerLoop(baseline); });
+    }
+  }
+
+  void WorkerLoop(uint64_t seen_epoch) {
+    for (;;) {
+      const std::function<void(size_t)>* job;
+      size_t num_shards;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return epoch_ != seen_epoch; });
+        seen_epoch = epoch_;
+        job = job_;
+        num_shards = num_shards_;
+      }
+      // Respect the region's thread budget: only the first `helper_cap_`
+      // workers to arrive join in; the rest just check out.
+      if (helper_cap_.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+        t_in_parallel_region = true;
+        for (size_t s = next_shard_.fetch_add(1, std::memory_order_relaxed);
+             s < num_shards;
+             s = next_shard_.fetch_add(1, std::memory_order_relaxed)) {
+          (*job)(s);
+        }
+        t_in_parallel_region = false;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++finished_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  std::mutex region_mutex_;  // Serializes whole parallel regions.
+
+  std::mutex mu_;  // Guards the per-region job state below.
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t num_shards_ = 0;
+  int finished_ = 0;
+  int expected_finishers_ = 0;
+  std::atomic<size_t> next_shard_{0};
+  std::atomic<int> helper_cap_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+int ParallelismLevel() {
+  const int v = g_override.load(std::memory_order_relaxed);
+  if (v > 0) return std::min(v, kMaxThreads);
+  return HardwareDefault();
+}
+
+void SetParallelism(int threads) {
+  g_override.store(threads > 0 ? std::min(threads, kMaxThreads) : 0,
+                   std::memory_order_relaxed);
+}
+
+ScopedParallelism::ScopedParallelism(int threads)
+    : previous_(g_override.load(std::memory_order_relaxed)),
+      active_(threads > 0) {
+  if (active_) SetParallelism(threads);
+}
+
+ScopedParallelism::~ScopedParallelism() {
+  if (active_) g_override.store(previous_, std::memory_order_relaxed);
+}
+
+ShardLayout MakeShards(size_t begin, size_t end, size_t grain) {
+  ShardLayout layout;
+  layout.begin = begin;
+  layout.end = std::max(begin, end);
+  layout.shard_size = std::max<size_t>(grain, 1);
+  return layout;
+}
+
+size_t DefaultGrain(size_t n) {
+  return std::max<size_t>(1, (n + 63) / 64);
+}
+
+namespace internal {
+
+void RunShards(size_t num_shards, const std::function<void(size_t)>& fn) {
+  if (num_shards == 0) return;
+  const int threads = ParallelismLevel();
+  if (threads <= 1 || num_shards == 1 || t_in_parallel_region) {
+    for (size_t s = 0; s < num_shards; ++s) fn(s);
+    return;
+  }
+  Pool::Instance().Run(num_shards, threads, fn);
+}
+
+}  // namespace internal
+
+}  // namespace topkdup

@@ -1,11 +1,43 @@
 #include "dedup/collapse.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
+#include "common/parallel.h"
 #include "dedup/union_find.h"
 #include "predicates/blocked_index.h"
 
 namespace topkdup::dedup {
+
+namespace {
+
+using Edge = std::pair<uint32_t, uint32_t>;
+
+/// Sufficient-predicate edges among positions [begin, end) x candidates.
+/// Each shard carries a local union-find so pairs already merged
+/// transitively *within the shard* skip the predicate, mirroring the
+/// serial fast path; cross-shard redundancy is resolved at merge time.
+/// The final closure is a set partition, so edge order and the extra
+/// cross-shard edges cannot change the output.
+void CollectEdges(const predicates::BlockedIndex& index,
+                  const predicates::PairPredicate& sufficient,
+                  const std::vector<size_t>& reps, size_t begin, size_t end,
+                  std::vector<Edge>* edges) {
+  UnionFind local(reps.size());
+  predicates::BlockedIndex::QueryScratch scratch;
+  index.ForEachCandidatePairInRange(begin, end, &scratch,
+                                    [&](size_t p, size_t q) {
+    if (local.Find(p) == local.Find(q)) return;  // Merged transitively.
+    if (sufficient.Evaluate(reps[p], reps[q])) {
+      local.Union(p, q);
+      edges->emplace_back(static_cast<uint32_t>(p),
+                          static_cast<uint32_t>(q));
+    }
+  });
+}
+
+}  // namespace
 
 std::vector<Group> Collapse(const std::vector<Group>& groups,
                             const predicates::PairPredicate& sufficient) {
@@ -15,10 +47,26 @@ std::vector<Group> Collapse(const std::vector<Group>& groups,
 
   predicates::BlockedIndex index(sufficient, reps);
   UnionFind uf(n);
-  index.ForEachCandidatePair([&](size_t p, size_t q) {
-    if (uf.Find(p) == uf.Find(q)) return;  // Already merged transitively.
-    if (sufficient.Evaluate(reps[p], reps[q])) uf.Union(p, q);
-  });
+  if (ParallelismLevel() <= 1) {
+    // Serial fast path: one global union-find skips every transitively
+    // merged pair before the (possibly expensive) predicate runs.
+    predicates::BlockedIndex::QueryScratch scratch;
+    index.ForEachCandidatePairInRange(0, n, &scratch,
+                                      [&](size_t p, size_t q) {
+      if (uf.Find(p) == uf.Find(q)) return;
+      if (sufficient.Evaluate(reps[p], reps[q])) uf.Union(p, q);
+    });
+  } else {
+    const std::vector<Edge> edges = ParallelReduce<std::vector<Edge>>(
+        0, n, DefaultGrain(n),
+        [&](size_t b, size_t e, std::vector<Edge>* out) {
+          CollectEdges(index, sufficient, reps, b, e, out);
+        },
+        [](std::vector<Edge>* total, std::vector<Edge>&& shard) {
+          total->insert(total->end(), shard.begin(), shard.end());
+        });
+    for (const auto& [p, q] : edges) uf.Union(p, q);
+  }
 
   std::vector<Group> out;
   out.reserve(uf.set_count());

@@ -58,7 +58,7 @@ class PrefixCpn {
  private:
   void GrowTo(size_t m) {
     for (; grown_ < m; ++grown_) {
-      index_->ForEachCandidate(grown_, [&](size_t j) {
+      index_->ForEachCandidate(grown_, &scratch_, [&](size_t j) {
         if (j < grown_) {
           ++edges_examined_;
           if (necessary_.Evaluate(reps_[grown_], reps_[j])) {
@@ -75,6 +75,7 @@ class PrefixCpn {
   const predicates::PairPredicate& necessary_;
   std::vector<size_t> reps_;
   std::optional<predicates::BlockedIndex> index_;
+  predicates::BlockedIndex::QueryScratch scratch_;
   std::vector<std::pair<uint32_t, uint32_t>> edges_;
   size_t grown_ = 0;
   size_t edges_examined_ = 0;

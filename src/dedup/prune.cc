@@ -1,8 +1,10 @@
 #include "dedup/prune.h"
 
+#include <cstdint>
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "predicates/blocked_index.h"
 
 namespace topkdup::dedup {
@@ -16,31 +18,41 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
   for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
   predicates::BlockedIndex index(necessary, reps);
 
-  std::vector<bool> alive(n, true);
+  // uint8_t, not vector<bool>: parallel writers touch distinct slots,
+  // which packed bits would turn into racy read-modify-writes.
+  std::vector<uint8_t> alive(n, 1);
   std::vector<double> ub(n, 0.0);
 
   for (int pass = 0; pass < options.passes; ++pass) {
-    std::vector<bool> next_alive(n, false);
-    for (size_t i = 0; i < n; ++i) {
-      if (!alive[i]) {
-        ub[i] = 0.0;
-        continue;
-      }
-      double sum = groups[i].weight;
-      index.ForEachCandidate(i, [&](size_t j) {
-        // In pass p only neighbors whose previous-pass bound exceeded M
-        // (i.e. still alive) can be co-members of a group larger than M.
-        if (alive[j] && necessary.Evaluate(reps[i], reps[j])) {
-          sum += groups[j].weight;
-          if (!exact_bounds && sum > M) return false;  // Early exit.
+    std::vector<uint8_t> next_alive(n, 0);
+    // Each group's bound reads the previous pass's `alive` (frozen during
+    // the pass) and writes only its own ub/next_alive slots, so groups
+    // shard freely. Candidate enumeration order is fixed by the index,
+    // making every per-group float sum bit-identical at any thread count.
+    ParallelForShards(0, n, DefaultGrain(n),
+                      [&](size_t shard_begin, size_t shard_end, size_t) {
+      predicates::BlockedIndex::QueryScratch scratch;
+      for (size_t i = shard_begin; i < shard_end; ++i) {
+        if (!alive[i]) {
+          ub[i] = 0.0;
+          continue;
         }
-        return true;
-      });
-      ub[i] = sum;
-      // A group at least as heavy as M can itself be an answer group and
-      // is never pruned (§4.3).
-      next_alive[i] = groups[i].weight >= M || sum > M;
-    }
+        double sum = groups[i].weight;
+        index.ForEachCandidate(i, &scratch, [&](size_t j) {
+          // In pass p only neighbors whose previous-pass bound exceeded M
+          // (i.e. still alive) can be co-members of a group larger than M.
+          if (alive[j] && necessary.Evaluate(reps[i], reps[j])) {
+            sum += groups[j].weight;
+            if (!exact_bounds && sum > M) return false;  // Early exit.
+          }
+          return true;
+        });
+        ub[i] = sum;
+        // A group at least as heavy as M can itself be an answer group and
+        // is never pruned (§4.3).
+        next_alive[i] = groups[i].weight >= M || sum > M;
+      }
+    });
     alive.swap(next_alive);
   }
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "dedup/collapse.h"
 
@@ -16,6 +17,7 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
   if (levels.empty()) {
     return Status::InvalidArgument("PrunedDedup: at least one level");
   }
+  ScopedParallelism parallelism(options.threads);
 
   PrunedDedupResult result;
   result.upper_bounds.assign(groups.size(), 0.0);

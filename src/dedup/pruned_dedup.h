@@ -51,6 +51,11 @@ struct PrunedDedupOptions {
   /// Compute exact (no early-exit) upper bounds in the final prune pass;
   /// required by the rank queries.
   bool exact_bounds = false;
+  /// Worker threads for the collapse and prune hot loops. 0 keeps the
+  /// process-wide default (TOPKDUP_THREADS env or hardware concurrency);
+  /// 1 forces serial execution. Outputs are bit-identical at any value
+  /// (common/parallel.h's deterministic sharded reductions).
+  int threads = 0;
   LowerBoundOptions lower_bound;
 };
 

@@ -1,5 +1,6 @@
 #include "learn/features.h"
 
+#include "common/parallel.h"
 #include "sim/name_similarity.h"
 #include "sim/similarity.h"
 #include "text/tokenize.h"
@@ -74,6 +75,17 @@ std::vector<double> Featurize(const std::vector<PairFeature>& features,
   out.reserve(features.size());
   for (const PairFeature& f : features) out.push_back(f.fn(corpus, a, b));
   return out;
+}
+
+std::vector<std::vector<double>> FeaturizeAll(
+    const std::vector<PairFeature>& features,
+    const predicates::Corpus& corpus,
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  std::vector<std::vector<double>> rows(pairs.size());
+  ParallelFor(0, pairs.size(), DefaultGrain(pairs.size()), [&](size_t i) {
+    rows[i] = Featurize(features, corpus, pairs[i].first, pairs[i].second);
+  });
+  return rows;
 }
 
 }  // namespace topkdup::learn

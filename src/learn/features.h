@@ -31,6 +31,15 @@ std::vector<double> Featurize(const std::vector<PairFeature>& features,
                               const predicates::Corpus& corpus, size_t a,
                               size_t b);
 
+/// Evaluates all features on every pair, in parallel over the pair list
+/// (feature functions only read the immutable corpus, so they are safe to
+/// run concurrently). Row i of the result is Featurize(pairs[i]); output
+/// is identical at any thread count.
+std::vector<std::vector<double>> FeaturizeAll(
+    const std::vector<PairFeature>& features,
+    const predicates::Corpus& corpus,
+    const std::vector<std::pair<size_t, size_t>>& pairs);
+
 }  // namespace topkdup::learn
 
 #endif  // TOPKDUP_LEARN_FEATURES_H_

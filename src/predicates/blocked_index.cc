@@ -18,39 +18,56 @@ BlockedIndex::BlockedIndex(const PairPredicate& pred,
       postings_[t].push_back(static_cast<uint32_t>(pos));
     }
   }
-  counts_.assign(items_.size(), 0);
 }
 
 void BlockedIndex::ForEachCandidate(
-    size_t pos, const std::function<bool(size_t)>& fn) const {
-  touched_.clear();
+    size_t pos, QueryScratch* scratch,
+    const std::function<bool(size_t)>& fn) const {
+  if (scratch->counts.size() < items_.size()) {
+    scratch->counts.assign(items_.size(), 0);
+  }
+  scratch->touched.clear();
   const std::vector<text::TokenId>& sig = pred_.Signature(items_[pos]);
   for (text::TokenId t : sig) {
     if (t < 0 || static_cast<size_t>(t) >= postings_.size()) continue;
     for (uint32_t other : postings_[t]) {
       if (other == pos) continue;
-      if (counts_[other] == 0) touched_.push_back(other);
-      ++counts_[other];
+      if (scratch->counts[other] == 0) scratch->touched.push_back(other);
+      ++scratch->counts[other];
     }
   }
   bool keep_going = true;
-  for (uint32_t other : touched_) {
-    if (keep_going &&
-        counts_[other] >= pred_.MinCommon(sig.size(), sig_sizes_[other])) {
+  for (uint32_t other : scratch->touched) {
+    if (keep_going && scratch->counts[other] >=
+                          pred_.MinCommon(sig.size(), sig_sizes_[other])) {
       keep_going = fn(other);
     }
-    counts_[other] = 0;  // Always reset the scratch buffer.
+    scratch->counts[other] = 0;  // Always reset the scratch buffer.
+  }
+}
+
+void BlockedIndex::ForEachCandidate(
+    size_t pos, const std::function<bool(size_t)>& fn) const {
+  QueryScratch scratch;
+  ForEachCandidate(pos, &scratch, fn);
+}
+
+void BlockedIndex::ForEachCandidatePairInRange(
+    size_t begin, size_t end, QueryScratch* scratch,
+    const std::function<void(size_t, size_t)>& fn) const {
+  const size_t last = std::min(end, items_.size());
+  for (size_t p = begin; p < last; ++p) {
+    ForEachCandidate(p, scratch, [&](size_t q) {
+      if (p < q) fn(p, q);
+      return true;
+    });
   }
 }
 
 void BlockedIndex::ForEachCandidatePair(
     const std::function<void(size_t, size_t)>& fn) const {
-  for (size_t p = 0; p < items_.size(); ++p) {
-    ForEachCandidate(p, [&](size_t q) {
-      if (p < q) fn(p, q);
-      return true;
-    });
-  }
+  QueryScratch scratch;
+  ForEachCandidatePairInRange(0, items_.size(), &scratch, fn);
 }
 
 }  // namespace topkdup::predicates

@@ -14,24 +14,44 @@ namespace topkdup::predicates {
 /// Cartesian product.
 ///
 /// Items are addressed by *position* 0..items.size()-1; the caller maps
-/// positions back to record ids. Not thread-safe (reuses internal count
-/// buffers across queries).
+/// positions back to record ids. The index itself is immutable after
+/// construction; queries write only into a caller-supplied QueryScratch,
+/// so concurrent queries with distinct scratches are safe (the parallel
+/// collapse/prune paths rely on this).
 class BlockedIndex {
  public:
+  /// Per-caller query workspace. Reuse across queries to avoid
+  /// reallocation; one scratch must not be shared between threads.
+  struct QueryScratch {
+    std::vector<int> counts;        // Zero outside a query.
+    std::vector<uint32_t> touched;  // Positions dirtied by the query.
+  };
+
   /// Indexes the signatures of `items` under `pred`. `pred` and the corpus
   /// behind it must outlive the index.
   BlockedIndex(const PairPredicate& pred, std::vector<size_t> items);
 
   /// Calls `fn(position)` for every other item position whose signature
   /// shares at least MinCommon tokens with item `pos`'s signature. Does NOT
-  /// evaluate the predicate. Enumeration order is unspecified. If `fn`
-  /// returns false the scan stops early.
+  /// evaluate the predicate. Enumeration order is deterministic (postings
+  /// order) but unspecified. If `fn` returns false the scan stops early.
+  void ForEachCandidate(size_t pos, QueryScratch* scratch,
+                        const std::function<bool(size_t)>& fn) const;
+
+  /// Convenience overload with a transient scratch; fine for one-off
+  /// queries, use the explicit-scratch form in loops.
   void ForEachCandidate(size_t pos,
                         const std::function<bool(size_t)>& fn) const;
 
-  /// Calls `fn(p, q)` (p < q) for every unordered candidate pair, i.e. every
-  /// pair passing the blocking filter. Predicate evaluation is again left to
-  /// the caller.
+  /// Calls `fn(p, q)` (p < q) for every unordered candidate pair, i.e.
+  /// every pair passing the blocking filter, restricted to first elements
+  /// p in [begin, end). Predicate evaluation is left to the caller. The
+  /// parallel pipelines call this per shard with per-shard scratches.
+  void ForEachCandidatePairInRange(
+      size_t begin, size_t end, QueryScratch* scratch,
+      const std::function<void(size_t, size_t)>& fn) const;
+
+  /// Serial scan of all candidate pairs (transient scratch).
   void ForEachCandidatePair(
       const std::function<void(size_t, size_t)>& fn) const;
 
@@ -43,9 +63,6 @@ class BlockedIndex {
   std::vector<size_t> items_;
   std::vector<std::vector<uint32_t>> postings_;  // token -> positions
   std::vector<uint32_t> sig_sizes_;
-  // Scratch buffers reused across queries.
-  mutable std::vector<int> counts_;
-  mutable std::vector<uint32_t> touched_;
 };
 
 }  // namespace topkdup::predicates

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace topkdup::segment {
 
@@ -28,7 +29,10 @@ SegmentScorer::SegmentScorer(const cluster::PairScores& scores,
             static_cast<double>(n_ - 1 - scores.Neighbors(t).size());
   }
 
-  for (size_t i = 0; i < n_; ++i) {
+  // Each span start i fills only its own row scores_flat_[i*band ..), and
+  // the incremental walk reads nothing another row writes, so rows
+  // parallelize with no synchronization and bit-identical results.
+  ParallelFor(0, n_, DefaultGrain(n_), [&](size_t i) {
     // Crossing (separation-reward) part, shared by both objectives.
     // Span [i, i]: only item order[i]; the value is minus its crossing
     // mass.
@@ -91,7 +95,7 @@ SegmentScorer::SegmentScorer(const cluster::PairScores& scores,
       }
       scores_flat_[i * band_ + (j - i)] = crossing_value + inside;
     }
-  }
+  });
 }
 
 }  // namespace topkdup::segment

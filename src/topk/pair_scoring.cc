@@ -1,6 +1,10 @@
 #include "topk/pair_scoring.h"
 
+#include <cstdint>
+#include <tuple>
+
 #include "common/check.h"
+#include "common/parallel.h"
 #include "predicates/blocked_index.h"
 
 namespace topkdup::topk {
@@ -16,15 +20,31 @@ cluster::PairScores BuildGroupPairScores(
 
   cluster::PairScores scores(n, options.default_score);
   predicates::BlockedIndex index(necessary, reps);
-  index.ForEachCandidatePair([&](size_t p, size_t q) {
-    if (!necessary.Evaluate(reps[p], reps[q])) return;
-    double s = scorer(reps[p], reps[q]);
-    if (options.aggregate ==
-        PairScoringOptions::Aggregate::kWeightProduct) {
-      s *= groups[p].weight * groups[q].weight;
-    }
-    scores.Set(p, q, s);
-  });
+  // Predicate evaluation + scoring dominate; fan them out per shard into
+  // (p, q, score) triples and fold into the sparse matrix serially. The
+  // shard layout is thread-count independent, so the insertion order —
+  // and with it the stored structure — is reproducible at any level.
+  using Scored = std::tuple<uint32_t, uint32_t, double>;
+  const std::vector<Scored> triples = ParallelReduce<std::vector<Scored>>(
+      0, n, DefaultGrain(n),
+      [&](size_t b, size_t e, std::vector<Scored>* out) {
+        predicates::BlockedIndex::QueryScratch scratch;
+        index.ForEachCandidatePairInRange(b, e, &scratch,
+                                          [&](size_t p, size_t q) {
+          if (!necessary.Evaluate(reps[p], reps[q])) return;
+          double s = scorer(reps[p], reps[q]);
+          if (options.aggregate ==
+              PairScoringOptions::Aggregate::kWeightProduct) {
+            s *= groups[p].weight * groups[q].weight;
+          }
+          out->emplace_back(static_cast<uint32_t>(p),
+                            static_cast<uint32_t>(q), s);
+        });
+      },
+      [](std::vector<Scored>* total, std::vector<Scored>&& shard) {
+        total->insert(total->end(), shard.begin(), shard.end());
+      });
+  for (const auto& [p, q, s] : triples) scores.Set(p, q, s);
   return scores;
 }
 

@@ -12,6 +12,9 @@ namespace topkdup::topk {
 
 /// Signed pairwise scoring function over two *record ids* (typically group
 /// representatives): positive = duplicates, negative = distinct (§5.1).
+/// Called concurrently from the parallel scoring path, so implementations
+/// must be thread-safe for const access (pure functions over an immutable
+/// corpus qualify).
 using PairScoreFn = std::function<double(size_t, size_t)>;
 
 struct PairScoringOptions {

@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "common/parallel.h"
 #include "embed/linear_embedding.h"
 #include "segment/posterior.h"
 #include "segment/segment_scorer.h"
@@ -42,6 +43,7 @@ StatusOr<TopKCountResult> TopKCountQuery(
     return Status::InvalidArgument(
         "TopKCountQuery: the last level must carry a necessary predicate");
   }
+  ScopedParallelism parallelism(options.threads);
   dedup::PrunedDedupOptions prune_options;
   prune_options.k = options.k;
   prune_options.prune_passes = options.prune_passes;

@@ -49,6 +49,10 @@ struct TopKCountOptions {
   size_t band = 32;
   size_t max_thresholds = 64;
   PairScoringOptions scoring;
+  /// Worker threads for the parallel stages (collapse, prune, pair
+  /// scoring, segment-score precompute). 0 keeps the process-wide
+  /// default; results are identical at any value.
+  int threads = 0;
   /// Compute each returned answer's posterior probability by summing the
   /// Gibbs mass of all segmentations consistent with it (exact within the
   /// segmentation space; see segment/posterior.h). Adds O(R * n * band).
