@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace topkdup::bench {
 
@@ -103,6 +105,119 @@ int ApplyThreadsFlag(const Flags& flags) {
   const int threads = static_cast<int>(flags.GetInt("threads", 0));
   if (threads > 0) SetParallelism(threads);
   return ParallelismLevel();
+}
+
+Observability ApplyObservabilityFlags(const Flags& flags) {
+  Observability obs;
+  obs.metrics_path = flags.GetString("metrics-json", "");
+  obs.trace_path = flags.GetString("trace-json", "");
+  if (!obs.trace_path.empty()) trace::StartRecording();
+  return obs;
+}
+
+namespace {
+
+void AppendJsonPairs(
+    std::string* out,
+    const std::vector<std::pair<std::string, double>>& pairs) {
+  bool first = true;
+  for (const auto& [key, value] : pairs) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += StrFormat("\"%s\": %.6f", key.c_str(), value);
+  }
+}
+
+void AppendLevelJson(std::string* out, const dedup::LevelStats& lv) {
+  *out += StrFormat(
+      "{\"n\": %zu, \"m\": %zu, \"M\": %.6f, \"n_prime\": %zu, "
+      "\"records_collapsed\": %zu, \"groups_pruned\": %zu, "
+      "\"cpn_growth_iterations\": %zu, \"cpn_edges_examined\": %zu, "
+      "\"blocking_probes\": %zu, \"predicate_evals\": %zu, "
+      "\"collapse_seconds\": %.6f, \"lower_bound_seconds\": %.6f, "
+      "\"prune_seconds\": %.6f}",
+      lv.n_after_collapse, lv.m, lv.M, lv.n_after_prune,
+      lv.records_collapsed, lv.groups_pruned, lv.cpn_growth_iterations,
+      lv.cpn_edges_examined, lv.blocking_probes, lv.predicate_evals,
+      lv.collapse_seconds, lv.lower_bound_seconds, lv.prune_seconds);
+}
+
+}  // namespace
+
+void WriteBenchJson(
+    const std::string& path, const std::string& figure,
+    const std::vector<std::pair<std::string, double>>& params,
+    const std::vector<std::pair<std::string, double>>& scalars,
+    const std::vector<BenchRun>& runs) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::string body;
+  body += "{\n  \"schema_version\": 1,\n";
+  body += StrFormat("  \"figure\": \"%s\",\n", figure.c_str());
+  body += "  \"params\": {";
+  AppendJsonPairs(&body, params);
+  body += "},\n  \"scalars\": {";
+  AppendJsonPairs(&body, scalars);
+  body += "},\n  \"runs\": [\n";
+  for (size_t r = 0; r < runs.size(); ++r) {
+    const BenchRun& run = runs[r];
+    body += StrFormat("    {\"k\": %d, \"seconds\": %.6f, \"levels\": [",
+                      run.k, run.seconds);
+    for (size_t l = 0; l < run.levels.size(); ++l) {
+      if (l > 0) body += ", ";
+      AppendLevelJson(&body, run.levels[l]);
+    }
+    body += StrFormat("]}%s\n", r + 1 == runs.size() ? "" : ",");
+  }
+  body += "  ],\n  \"metrics\": ";
+  body += metrics::Registry::Global().Snapshot().ToJson();
+  body += "\n}\n";
+  std::fwrite(body.data(), 1, body.size(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void ExportBenchArtifacts(
+    const std::string& json_path, const Observability& obs,
+    const std::string& figure,
+    const std::vector<std::pair<std::string, double>>& params,
+    const std::vector<std::pair<std::string, double>>& scalars,
+    const std::vector<BenchRun>& runs) {
+  if (!json_path.empty()) {
+    WriteBenchJson(json_path, figure, params, scalars, runs);
+  }
+  if (!obs.metrics_path.empty() && obs.metrics_path != json_path) {
+    WriteBenchJson(obs.metrics_path, figure, params, scalars, runs);
+  }
+  if (!obs.trace_path.empty()) {
+    trace::StopRecording();
+    if (trace::WriteChromeTrace(obs.trace_path)) {
+      std::printf("wrote %s (%zu trace events)\n", obs.trace_path.c_str(),
+                  trace::EventCount());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", obs.trace_path.c_str());
+    }
+  }
+}
+
+void PrintLevelCounters(const std::vector<BenchRun>& runs) {
+  if (runs.empty()) return;
+  std::printf("\nPer-level instrumentation (collapsed / pruned / CPN iters "
+              "/ CPN edges / probes / predicate evals):\n");
+  for (const BenchRun& run : runs) {
+    for (size_t l = 0; l < run.levels.size(); ++l) {
+      const dedup::LevelStats& lv = run.levels[l];
+      std::printf(
+          "  K=%-5d L%zu: collapsed=%zu pruned=%zu cpn_iters=%zu "
+          "cpn_edges=%zu probes=%zu evals=%zu\n",
+          run.k, l + 1, lv.records_collapsed, lv.groups_pruned,
+          lv.cpn_growth_iterations, lv.cpn_edges_examined,
+          lv.blocking_probes, lv.predicate_evals);
+    }
+  }
 }
 
 }  // namespace topkdup::bench

@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "dedup/pruned_dedup.h"
 
 namespace topkdup::bench {
 
@@ -48,6 +51,56 @@ std::string Num(double v, int decimals = 2);
 /// Applies the shared --threads=N flag (0 = keep the TOPKDUP_THREADS /
 /// hardware default) and returns the effective parallelism level.
 int ApplyThreadsFlag(const Flags& flags);
+
+/// One PrunedDedup invocation in a fig harness: the query K, its wall
+/// time, and the per-level stats (columns + instrumentation counters).
+struct BenchRun {
+  int k = 0;
+  double seconds = 0.0;
+  std::vector<dedup::LevelStats> levels;
+};
+
+/// The shared --metrics-json= / --trace-json= observability flag pair
+/// (both default off). ApplyObservabilityFlags starts trace recording when
+/// a trace path is given; FinishObservability writes the requested files
+/// after the workload (the metrics file via WriteBenchJson's uniform
+/// schema so per-level counters ride along with the registry snapshot).
+struct Observability {
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+Observability ApplyObservabilityFlags(const Flags& flags);
+
+/// Writes the uniform fig-harness JSON schema backed by the metrics
+/// registry:
+///   { "schema_version": 1, "figure": ..., "params": {...},
+///     "scalars": {...}, "runs": [ {"k", "seconds", "levels": [...] } ],
+///     "metrics": { "counters": ..., "gauges": ..., "histograms": ... } }
+/// `params` values are numeric; `scalars` carries figure-specific totals
+/// (e.g. fig6's per-method times; empty for the pruning figures). The
+/// embedded metrics object is the process-wide registry snapshot taken at
+/// write time.
+void WriteBenchJson(
+    const std::string& path, const std::string& figure,
+    const std::vector<std::pair<std::string, double>>& params,
+    const std::vector<std::pair<std::string, double>>& scalars,
+    const std::vector<BenchRun>& runs);
+
+/// Writes the uniform schema to the --json= path (when non-empty) and the
+/// --metrics-json= path (when set), then writes the Chrome trace when
+/// requested. Call once, after the workload.
+void ExportBenchArtifacts(
+    const std::string& json_path, const Observability& obs,
+    const std::string& figure,
+    const std::vector<std::pair<std::string, double>>& params,
+    const std::vector<std::pair<std::string, double>>& scalars,
+    const std::vector<BenchRun>& runs);
+
+/// Prints each run's per-level instrumentation counters (records
+/// collapsed, groups pruned, CPN growth iterations/edges, blocking probes,
+/// predicate evaluations) — the console counterpart of the JSON export.
+void PrintLevelCounters(const std::vector<BenchRun>& runs);
 
 }  // namespace topkdup::bench
 

@@ -10,6 +10,8 @@
 // author-mention corpus (see DESIGN.md); sizes are configurable:
 //   --records=N --authors=N --seed=S --ks=1,5,10 --passes=2 --ablation
 //   --threads=N --json=BENCH_fig2.json ("" disables the JSON dump)
+//   --metrics-json=PATH (uniform schema + registry snapshot)
+//   --trace-json=PATH (Chrome trace_event JSON, loadable in Perfetto)
 #include <cstdio>
 #include <string>
 
@@ -38,6 +40,7 @@ int Run(int argc, char** argv) {
   const int threads = bench::ApplyThreadsFlag(flags);
   const std::string json_path =
       flags.GetString("json", "BENCH_fig2.json");
+  const bench::Observability obs = bench::ApplyObservabilityFlags(flags);
 
   std::printf("Figure 2: Citation dataset pruning (records=%zu authors=%zu "
               "seed=%llu passes=%d threads=%d)\n",
@@ -77,12 +80,7 @@ int Run(int argc, char** argv) {
   std::printf("%42s  |  %22s\n", "Iteration-1 (S1,N1)", "Iteration-2 (S2,N2)");
   table.PrintHeader();
 
-  struct RunRecord {
-    int k = 0;
-    double seconds = 0.0;
-    std::vector<dedup::LevelStats> levels;
-  };
-  std::vector<RunRecord> runs;
+  std::vector<bench::BenchRun> runs;
 
   const double d = static_cast<double>(data.size());
   for (int k : ks) {
@@ -115,44 +113,16 @@ int Run(int argc, char** argv) {
   }
   table.PrintRule();
 
-  if (!json_path.empty()) {
-    // Machine-readable perf trajectory for cross-PR comparison: one run
-    // object per K with per-level wall times and survivor counts.
-    std::FILE* out = std::fopen(json_path.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    } else {
-      std::fprintf(out,
-                   "{\n  \"figure\": \"fig2_citation_pruning\",\n"
-                   "  \"records\": %zu,\n  \"authors\": %zu,\n"
-                   "  \"seed\": %llu,\n  \"passes\": %d,\n"
-                   "  \"threads\": %d,\n  \"runs\": [\n",
-                   gen.num_records, gen.num_authors,
-                   static_cast<unsigned long long>(gen.seed), passes,
-                   threads);
-      for (size_t r = 0; r < runs.size(); ++r) {
-        const RunRecord& run = runs[r];
-        std::fprintf(out,
-                     "    {\"k\": %d, \"seconds\": %.6f, \"levels\": [",
-                     run.k, run.seconds);
-        for (size_t l = 0; l < run.levels.size(); ++l) {
-          const dedup::LevelStats& lv = run.levels[l];
-          std::fprintf(
-              out,
-              "%s{\"n\": %zu, \"m\": %zu, \"M\": %.6f, \"n_prime\": %zu, "
-              "\"collapse_seconds\": %.6f, \"lower_bound_seconds\": %.6f, "
-              "\"prune_seconds\": %.6f}",
-              l == 0 ? "" : ", ", lv.n_after_collapse, lv.m, lv.M,
-              lv.n_after_prune, lv.collapse_seconds,
-              lv.lower_bound_seconds, lv.prune_seconds);
-        }
-        std::fprintf(out, "]}%s\n", r + 1 == runs.size() ? "" : ",");
-      }
-      std::fprintf(out, "  ]\n}\n");
-      std::fclose(out);
-      std::printf("\nwrote %s\n", json_path.c_str());
-    }
-  }
+  bench::PrintLevelCounters(runs);
+  std::printf("\n");
+  bench::ExportBenchArtifacts(
+      json_path, obs, "fig2_citation_pruning",
+      {{"records", static_cast<double>(gen.num_records)},
+       {"authors", static_cast<double>(gen.num_authors)},
+       {"seed", static_cast<double>(gen.seed)},
+       {"passes", static_cast<double>(passes)},
+       {"threads", static_cast<double>(threads)}},
+      {}, runs);
 
   if (flags.GetBool("ablation", true)) {
     std::printf("\nAblation (S6.2): one vs two upper-bound passes, final "

@@ -2,7 +2,9 @@
 // dataset (two predicate levels), reporting n, m, M, n' per level for
 // K in {1,5,10,50,100,500,1000}. See fig2_citation_pruning.cc for the
 // column semantics. Flags: --records --students --seed --ks --passes
+// --json=BENCH_fig3.json --metrics-json=PATH --trace-json=PATH
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 #include "common/timer.h"
@@ -25,6 +27,8 @@ int Run(int argc, char** argv) {
       flags.GetIntList("ks", {1, 5, 10, 50, 100, 500, 1000});
   const int passes = static_cast<int>(flags.GetInt("passes", 2));
   const int threads = bench::ApplyThreadsFlag(flags);
+  const std::string json_path = flags.GetString("json", "BENCH_fig3.json");
+  const bench::Observability obs = bench::ApplyObservabilityFlags(flags);
 
   std::printf("Figure 3: Student dataset pruning (records=%zu students=%zu "
               "seed=%llu passes=%d threads=%d)\n",
@@ -62,6 +66,7 @@ int Run(int argc, char** argv) {
               "Iteration-2 (S2,N2)");
   table.PrintHeader();
 
+  std::vector<bench::BenchRun> runs;
   const double d = static_cast<double>(data.size());
   for (int k : ks) {
     dedup::PrunedDedupOptions options;
@@ -76,6 +81,7 @@ int Run(int argc, char** argv) {
       continue;
     }
     const auto& levels = result_or.value().levels;
+    runs.push_back({k, run_timer.ElapsedSeconds(), levels});
     std::vector<std::string> row = {std::to_string(k)};
     for (size_t l = 0; l < 2; ++l) {
       if (l < levels.size()) {
@@ -87,10 +93,21 @@ int Run(int argc, char** argv) {
         row.insert(row.end(), {"-", "-", "-", "-"});
       }
     }
-    row.push_back(bench::Num(run_timer.ElapsedSeconds(), 2));
+    row.push_back(bench::Num(runs.back().seconds, 2));
     table.PrintRow(row);
   }
   table.PrintRule();
+
+  bench::PrintLevelCounters(runs);
+  std::printf("\n");
+  bench::ExportBenchArtifacts(
+      json_path, obs, "fig3_student_pruning",
+      {{"records", static_cast<double>(gen.num_records)},
+       {"students", static_cast<double>(gen.num_students)},
+       {"seed", static_cast<double>(gen.seed)},
+       {"passes", static_cast<double>(passes)},
+       {"threads", static_cast<double>(threads)}},
+      {}, runs);
   return 0;
 }
 

@@ -2,7 +2,9 @@
 // dataset (a single predicate level S1/N1), reporting n, m, M, n' for
 // K in {1,5,10,50,100,500,1000}.
 // Flags: --records --entities --seed --ks --passes
+// --json=BENCH_fig4.json --metrics-json=PATH --trace-json=PATH
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 #include "common/timer.h"
@@ -26,6 +28,8 @@ int Run(int argc, char** argv) {
       flags.GetIntList("ks", {1, 5, 10, 50, 100, 500, 1000});
   const int passes = static_cast<int>(flags.GetInt("passes", 2));
   const int threads = bench::ApplyThreadsFlag(flags);
+  const std::string json_path = flags.GetString("json", "BENCH_fig4.json");
+  const bench::Observability obs = bench::ApplyObservabilityFlags(flags);
 
   std::printf("Figure 4: Address dataset pruning (records=%zu entities=%zu "
               "seed=%llu passes=%d threads=%d)\n",
@@ -61,6 +65,7 @@ int Run(int argc, char** argv) {
   std::printf("%31s\n", "Iteration-1 (S1,N1)");
   table.PrintHeader();
 
+  std::vector<bench::BenchRun> runs;
   const double d = static_cast<double>(data.size());
   for (int k : ks) {
     dedup::PrunedDedupOptions options;
@@ -73,14 +78,27 @@ int Run(int argc, char** argv) {
                    result_or.status().ToString().c_str());
       continue;
     }
+    runs.push_back(
+        {k, run_timer.ElapsedSeconds(), result_or.value().levels});
     const auto& level = result_or.value().levels[0];
     table.PrintRow({std::to_string(k),
                     bench::Pct(level.n_after_collapse, d),
                     std::to_string(level.m), bench::Num(level.M, 0),
                     bench::Pct(level.n_after_prune, d),
-                    bench::Num(run_timer.ElapsedSeconds(), 2)});
+                    bench::Num(runs.back().seconds, 2)});
   }
   table.PrintRule();
+
+  bench::PrintLevelCounters(runs);
+  std::printf("\n");
+  bench::ExportBenchArtifacts(
+      json_path, obs, "fig4_address_pruning",
+      {{"records", static_cast<double>(gen.num_records)},
+       {"entities", static_cast<double>(gen.num_entities)},
+       {"seed", static_cast<double>(gen.seed)},
+       {"passes", static_cast<double>(passes)},
+       {"threads", static_cast<double>(threads)}},
+      {}, runs);
   return 0;
 }
 

@@ -11,8 +11,9 @@
 //                            final predicate.
 // Times include the final pairwise scoring + transitive clustering, as in
 // the paper. Flags: --records --authors --seed --ks --none_cap --skip_none
-// --threads
+// --threads --json=BENCH_fig6.json --metrics-json=PATH --trace-json=PATH
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 #include "common/timer.h"
@@ -140,6 +141,8 @@ int Run(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("none_cap", 1500));
   const bool skip_none = flags.GetBool("skip_none", false);
   const int threads = bench::ApplyThreadsFlag(flags);
+  const std::string json_path = flags.GetString("json", "BENCH_fig6.json");
+  const bench::Observability obs = bench::ApplyObservabilityFlags(flags);
 
   std::printf(
       "Figure 6: timing vs K on citation subset (records=%zu threads=%d)\n",
@@ -195,6 +198,7 @@ int Run(int argc, char** argv) {
       {5, 10, 10, 16, 22});
   std::printf("\nseconds per method\n");
   table.PrintHeader();
+  std::vector<bench::BenchRun> runs;
   for (int k : ks) {
     Timer timer;
     dedup::PrunedDedupOptions options;
@@ -206,6 +210,7 @@ int Run(int argc, char** argv) {
       // Final predicate on the pruned groups, as Algorithm 2 step 9.
       CanopyDedup(pruned_or.value().groups, n2, pred);
       time_pruned = timer.ElapsedSeconds();
+      runs.push_back({k, time_pruned, pruned_or.value().levels});
     }
     table.PrintRow({std::to_string(k),
                     time_none < 0 ? "skipped" : bench::Num(time_none, 1),
@@ -214,6 +219,20 @@ int Run(int argc, char** argv) {
                     bench::Num(time_pruned, 2)});
   }
   table.PrintRule();
+
+  bench::PrintLevelCounters(runs);
+  std::printf("\n");
+  bench::ExportBenchArtifacts(
+      json_path, obs, "fig6_timing",
+      {{"records", static_cast<double>(gen.num_records)},
+       {"authors", static_cast<double>(gen.num_authors)},
+       {"seed", static_cast<double>(gen.seed)},
+       {"threads", static_cast<double>(threads)}},
+      {{"none_seconds", time_none},
+       {"canopy_seconds", time_canopy},
+       {"canopy_collapse_seconds", time_canopy_collapse},
+       {"collapse_seconds", collapse_seconds}},
+      runs);
   return 0;
 }
 

@@ -1,18 +1,25 @@
 #ifndef TOPKDUP_COMMON_CHECK_H_
 #define TOPKDUP_COMMON_CHECK_H_
 
-#include <cstdio>
 #include <cstdlib>
 
+#include "common/log.h"
+
 /// Aborts the process when `cond` is false. Reserved for programmer errors
-/// (broken invariants); user-facing failures return Status instead.
-#define TOPKDUP_CHECK(cond)                                             \
-  do {                                                                  \
-    if (!(cond)) {                                                      \
-      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,     \
-                   __LINE__, #cond);                                    \
-      std::abort();                                                     \
-    }                                                                   \
+/// (broken invariants); user-facing failures return Status instead. The
+/// message goes through the pluggable log sink (common/log.h) at Fatal
+/// severity, so tests can capture it and benches can redirect it.
+#define TOPKDUP_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      {                                                                   \
+        ::topkdup::log_internal::LogMessage(                              \
+            ::topkdup::LogSeverity::kFatal, __FILE__, __LINE__)           \
+            .stream()                                                     \
+            << "CHECK failed: " #cond;                                    \
+      }                                                                   \
+      std::abort(); /* Unreachable; keeps noreturn analysis intact. */    \
+    }                                                                     \
   } while (0)
 
 #define TOPKDUP_DCHECK(cond) TOPKDUP_CHECK(cond)

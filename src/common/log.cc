@@ -1,0 +1,95 @@
+#include "common/log.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.h"
+
+namespace topkdup {
+
+namespace {
+
+LogSink& GlobalSink() {
+  static LogSink* sink = new LogSink;  // Leaked: used during shutdown.
+  return *sink;
+}
+
+void DefaultSink(LogSeverity severity, const char* file, int line,
+                 std::string_view message) {
+  std::fprintf(stderr, "[%s %s:%d] %.*s\n", LogSeverityName(severity), file,
+               line, static_cast<int>(message.size()), message.data());
+  std::fflush(stderr);
+}
+
+LogSeverity SeverityFromEnv() {
+  const char* env = std::getenv("TOPKDUP_LOG_LEVEL");
+  if (env == nullptr) return LogSeverity::kInfo;
+  const std::string value = ToLowerAscii(env);
+  if (value == "debug" || value == "0") return LogSeverity::kDebug;
+  if (value == "info" || value == "1") return LogSeverity::kInfo;
+  if (value == "warning" || value == "warn" || value == "2") {
+    return LogSeverity::kWarning;
+  }
+  if (value == "error" || value == "3") return LogSeverity::kError;
+  if (value == "fatal" || value == "4") return LogSeverity::kFatal;
+  return LogSeverity::kInfo;
+}
+
+std::atomic<int>& MinSeverityStorage() {
+  static std::atomic<int> min_severity{static_cast<int>(SeverityFromEnv())};
+  return min_severity;
+}
+
+}  // namespace
+
+const char* LogSeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARNING";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+
+void SetLogSink(LogSink sink) { GlobalSink() = std::move(sink); }
+
+void SetMinLogSeverity(LogSeverity severity) {
+  // Fatal messages must always fire: the minimum never exceeds kFatal.
+  const int clamped = std::min(static_cast<int>(severity),
+                               static_cast<int>(LogSeverity::kFatal));
+  MinSeverityStorage().store(clamped, std::memory_order_relaxed);
+}
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(
+      MinSeverityStorage().load(std::memory_order_relaxed));
+}
+
+namespace log_internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  const std::string message = stream_.str();
+  const LogSink& sink = GlobalSink();
+  if (sink) {
+    sink(severity_, file_, line_, message);
+  } else {
+    DefaultSink(severity_, file_, line_, message);
+  }
+  if (severity_ == LogSeverity::kFatal) std::abort();
+}
+
+}  // namespace log_internal
+}  // namespace topkdup

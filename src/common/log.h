@@ -1,0 +1,79 @@
+#ifndef TOPKDUP_COMMON_LOG_H_
+#define TOPKDUP_COMMON_LOG_H_
+
+#include <functional>
+#include <sstream>
+#include <string_view>
+
+namespace topkdup {
+
+/// Message severities, least to most severe. Fatal messages abort the
+/// process after reaching the sink (the CHECK path).
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// "DEBUG", "INFO", ... for the default sink's prefix.
+const char* LogSeverityName(LogSeverity severity);
+
+/// Receives every emitted message at or above the minimum severity.
+/// `message` is only valid for the duration of the call.
+using LogSink = std::function<void(LogSeverity severity, const char* file,
+                                   int line, std::string_view message)>;
+
+/// Replaces the process-wide sink; an empty function restores the default
+/// stderr sink. Not thread-safe against concurrent logging — install sinks
+/// up front (tests, bench mains).
+void SetLogSink(LogSink sink);
+
+/// Messages below this severity are discarded before formatting. The
+/// initial value comes from the TOPKDUP_LOG_LEVEL environment variable
+/// ("debug" | "info" | "warning" | "error" | "fatal", or 0-4), defaulting
+/// to Info. Fatal messages are never discarded.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace log_internal {
+
+/// One in-flight message: streams into a buffer, dispatches to the sink on
+/// destruction, aborts afterwards when fatal.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Lets the filtering macro void out the unused stream expression.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace log_internal
+}  // namespace topkdup
+
+/// Streaming log statement: TOPKDUP_LOG(Info) << "built " << n << " groups";
+/// Severities: Debug, Info, Warning, Error, Fatal (Fatal aborts).
+/// Messages below MinLogSeverity() cost one comparison and no formatting.
+#define TOPKDUP_LOG(SEVERITY)                                             \
+  (::topkdup::LogSeverity::k##SEVERITY < ::topkdup::MinLogSeverity())     \
+      ? (void)0                                                           \
+      : ::topkdup::log_internal::LogMessageVoidify() &                    \
+            ::topkdup::log_internal::LogMessage(                          \
+                ::topkdup::LogSeverity::k##SEVERITY, __FILE__, __LINE__)  \
+                .stream()
+
+#endif  // TOPKDUP_COMMON_LOG_H_

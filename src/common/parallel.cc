@@ -8,6 +8,10 @@
 #include <mutex>
 #include <thread>
 
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
+
 namespace topkdup {
 
 namespace {
@@ -182,7 +186,45 @@ void RunShards(size_t num_shards, const std::function<void(size_t)>& fn) {
     for (size_t s = 0; s < num_shards; ++s) fn(s);
     return;
   }
-  Pool::Instance().Run(num_shards, threads, fn);
+
+  // Pool utilization metrics: per-region latency, per-shard task latency,
+  // and a queue-depth gauge tracking shards not yet claimed. Handles are
+  // resolved once; the per-shard cost is one clock read plus striped
+  // relaxed adds.
+  static metrics::Counter* regions =
+      metrics::Registry::Global().GetCounter("parallel.regions");
+  static metrics::Counter* shards =
+      metrics::Registry::Global().GetCounter("parallel.shards");
+  static metrics::Gauge* threads_gauge =
+      metrics::Registry::Global().GetGauge("parallel.threads");
+  static metrics::Gauge* queue_depth =
+      metrics::Registry::Global().GetGauge("parallel.queue_depth");
+  static metrics::Histogram* region_seconds =
+      metrics::Registry::Global().GetHistogram(
+          "parallel.region_seconds", metrics::LatencySecondsBounds());
+  static metrics::Histogram* shard_seconds =
+      metrics::Registry::Global().GetHistogram(
+          "parallel.shard_seconds", metrics::LatencySecondsBounds());
+  regions->Increment();
+  shards->Add(num_shards);
+  threads_gauge->Set(threads);
+
+  trace::Span span("parallel.region");
+  span.AddArg("shards", static_cast<int64_t>(num_shards));
+  span.AddArg("threads", threads);
+
+  const auto instrumented = [&](size_t s) {
+    // `s` is claimed in increasing order, so num_shards - s approximates
+    // the shards still queued when this task starts.
+    queue_depth->Set(static_cast<double>(num_shards - 1 - s));
+    Timer timer;
+    fn(s);
+    shard_seconds->Observe(timer.ElapsedSeconds());
+  };
+  metrics::ScopedTimer region_timer(region_seconds);
+  Pool::Instance().Run(num_shards, threads, instrumented);
+  region_timer.Stop();
+  queue_depth->Set(0.0);
 }
 
 }  // namespace internal

@@ -1,7 +1,8 @@
 #include "common/status.h"
 
-#include <cstdio>
 #include <cstdlib>
+
+#include "common/log.h"
 
 namespace topkdup {
 
@@ -40,9 +41,12 @@ std::string Status::ToString() const {
 namespace internal {
 
 void DieOnBadStatusAccess(const Status& status) {
-  std::fprintf(stderr, "StatusOr::value() called on error status: %s\n",
-               status.ToString().c_str());
-  std::abort();
+  {
+    log_internal::LogMessage(LogSeverity::kFatal, __FILE__, __LINE__)
+            .stream()
+        << "StatusOr::value() called on error status: " << status.ToString();
+  }
+  std::abort();  // Unreachable; the fatal sink dispatch aborts first.
 }
 
 }  // namespace internal

@@ -1,0 +1,164 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace topkdup::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Microseconds since a fixed process epoch; all spans share it so nesting
+/// reconstructs across threads.
+double NowMicros() {
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+      .count();
+}
+
+struct Event {
+  const char* name;
+  double ts_us;
+  double dur_us;
+  int tid;
+  int nargs;
+  std::array<std::pair<const char*, int64_t>, 4> args;
+};
+
+/// Per-thread event sink. The buffer outlives its thread (owned by the
+/// global registry below), so pool workers that never exit and threads
+/// that do both work. The mutex is uncontended on the hot path — only the
+/// owning thread appends; the exporter locks each buffer when draining.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+std::mutex& BuffersMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::vector<std::unique_ptr<ThreadBuffer>>& Buffers() {
+  static auto* buffers = new std::vector<std::unique_ptr<ThreadBuffer>>;
+  return *buffers;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto owned = std::make_unique<ThreadBuffer>();
+    ThreadBuffer* raw = owned.get();
+    std::lock_guard<std::mutex> lock(BuffersMutex());
+    raw->tid = static_cast<int>(Buffers().size());
+    Buffers().push_back(std::move(owned));
+    return raw;
+  }();
+  return *buffer;
+}
+
+std::atomic<bool> g_recording{false};
+
+}  // namespace
+
+bool IsRecording() { return g_recording.load(std::memory_order_relaxed); }
+
+void StartRecording() {
+  Clear();
+  g_recording.store(true, std::memory_order_release);
+}
+
+void StopRecording() {
+  g_recording.store(false, std::memory_order_release);
+}
+
+void Clear() {
+  std::lock_guard<std::mutex> lock(BuffersMutex());
+  for (const auto& buffer : Buffers()) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+size_t EventCount() {
+  std::lock_guard<std::mutex> lock(BuffersMutex());
+  size_t total = 0;
+  for (const auto& buffer : Buffers()) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(BuffersMutex());
+    for (const auto& buffer : Buffers()) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    TOPKDUP_LOG(Error) << "trace: cannot write " << path;
+    return false;
+  }
+  std::fputs("{\"traceEvents\":[\n", out);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    std::string line = StrFormat(
+        "{\"name\":\"%s\",\"cat\":\"topkdup\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
+        e.name, e.tid, e.ts_us, e.dur_us);
+    if (e.nargs > 0) {
+      line += ",\"args\":{";
+      for (int a = 0; a < e.nargs; ++a) {
+        if (a > 0) line += ",";
+        line += StrFormat("\"%s\":%lld", e.args[a].first,
+                          static_cast<long long>(e.args[a].second));
+      }
+      line += "}";
+    }
+    line += i + 1 == events.size() ? "}\n" : "},\n";
+    std::fputs(line.c_str(), out);
+  }
+  std::fputs("]}\n", out);
+  std::fclose(out);
+  return true;
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!IsRecording()) return;
+  active_ = true;
+  start_us_ = NowMicros();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double end_us = NowMicros();
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(
+      {name_, start_us_, end_us - start_us_, buffer.tid, nargs_, args_});
+}
+
+void Span::AddArg(const char* key, int64_t value) {
+  if (!active_ || nargs_ >= static_cast<int>(args_.size())) return;
+  args_[nargs_++] = {key, value};
+}
+
+}  // namespace topkdup::trace

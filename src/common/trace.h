@@ -1,0 +1,72 @@
+#ifndef TOPKDUP_COMMON_TRACE_H_
+#define TOPKDUP_COMMON_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace topkdup::trace {
+
+/// Scoped trace spans emitting Chrome trace_event JSON, loadable in
+/// chrome://tracing or https://ui.perfetto.dev. Recording is off by
+/// default; a disabled Span costs one relaxed atomic load. Spans record
+/// the calling thread's id, so work fanned out by common/parallel.h shows
+/// up per worker lane, nested under whatever span was open on that thread.
+
+/// True while spans are being captured.
+bool IsRecording();
+
+/// Discards previously captured events and starts capturing.
+void StartRecording();
+
+/// Stops capturing; already-captured events are kept for WriteChromeTrace.
+void StopRecording();
+
+/// Drops all captured events (recording state unchanged).
+void Clear();
+
+/// Number of completed spans captured so far.
+size_t EventCount();
+
+/// Writes the captured spans as a Chrome trace_event JSON document
+/// ({"traceEvents":[...]}, "X" complete events with microsecond
+/// timestamps). Returns false (and logs an error) when the file cannot be
+/// written.
+bool WriteChromeTrace(const std::string& path);
+
+/// RAII span: records [construction, destruction) under `name` on the
+/// calling thread. `name` must outlive the recording session (string
+/// literals in practice). Up to four integer args are attached to the
+/// emitted event ("args" in the trace viewer).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches key=value to the event; silently ignored past four args or
+  /// when the span is inactive. `key` must be a string literal.
+  void AddArg(const char* key, int64_t value);
+
+ private:
+  const char* name_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+  int nargs_ = 0;
+  std::array<std::pair<const char*, int64_t>, 4> args_;
+};
+
+}  // namespace topkdup::trace
+
+/// Anonymous scoped span covering the rest of the enclosing block.
+#define TOPKDUP_TRACE_SPAN_CONCAT2(a, b) a##b
+#define TOPKDUP_TRACE_SPAN_CONCAT(a, b) TOPKDUP_TRACE_SPAN_CONCAT2(a, b)
+#define TOPKDUP_TRACE_SPAN(name)      \
+  ::topkdup::trace::Span TOPKDUP_TRACE_SPAN_CONCAT(trace_span_, __LINE__) { \
+    name                              \
+  }
+
+#endif  // TOPKDUP_COMMON_TRACE_H_

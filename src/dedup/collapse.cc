@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "dedup/union_find.h"
 #include "predicates/blocked_index.h"
 
@@ -13,6 +15,12 @@ namespace topkdup::dedup {
 namespace {
 
 using Edge = std::pair<uint32_t, uint32_t>;
+
+metrics::Counter* PairEvalCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Global().GetCounter("dedup.collapse.pair_evals");
+  return counter;
+}
 
 /// Sufficient-predicate edges among positions [begin, end) x candidates.
 /// Each shard carries a local union-find so pairs already merged
@@ -26,15 +34,18 @@ void CollectEdges(const predicates::BlockedIndex& index,
                   std::vector<Edge>* edges) {
   UnionFind local(reps.size());
   predicates::BlockedIndex::QueryScratch scratch;
+  size_t evals = 0;
   index.ForEachCandidatePairInRange(begin, end, &scratch,
                                     [&](size_t p, size_t q) {
     if (local.Find(p) == local.Find(q)) return;  // Merged transitively.
+    ++evals;
     if (sufficient.Evaluate(reps[p], reps[q])) {
       local.Union(p, q);
       edges->emplace_back(static_cast<uint32_t>(p),
                           static_cast<uint32_t>(q));
     }
   });
+  PairEvalCounter()->Add(evals);
 }
 
 }  // namespace
@@ -42,6 +53,8 @@ void CollectEdges(const predicates::BlockedIndex& index,
 std::vector<Group> Collapse(const std::vector<Group>& groups,
                             const predicates::PairPredicate& sufficient) {
   const size_t n = groups.size();
+  trace::Span span("dedup.collapse");
+  span.AddArg("groups_in", static_cast<int64_t>(n));
   std::vector<size_t> reps(n);
   for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
 
@@ -51,11 +64,14 @@ std::vector<Group> Collapse(const std::vector<Group>& groups,
     // Serial fast path: one global union-find skips every transitively
     // merged pair before the (possibly expensive) predicate runs.
     predicates::BlockedIndex::QueryScratch scratch;
+    size_t evals = 0;
     index.ForEachCandidatePairInRange(0, n, &scratch,
                                       [&](size_t p, size_t q) {
       if (uf.Find(p) == uf.Find(q)) return;
+      ++evals;
       if (sufficient.Evaluate(reps[p], reps[q])) uf.Union(p, q);
     });
+    PairEvalCounter()->Add(evals);
   } else {
     const std::vector<Edge> edges = ParallelReduce<std::vector<Edge>>(
         0, n, DefaultGrain(n),
@@ -67,6 +83,13 @@ std::vector<Group> Collapse(const std::vector<Group>& groups,
         });
     for (const auto& [p, q] : edges) uf.Union(p, q);
   }
+
+  // Every union drops the set count by one, so merges == records collapsed
+  // away at this level (the paper's n column moving).
+  static metrics::Counter* merges =
+      metrics::Registry::Global().GetCounter("dedup.collapse.merges");
+  merges->Add(n - uf.set_count());
+  span.AddArg("groups_out", static_cast<int64_t>(uf.set_count()));
 
   std::vector<Group> out;
   out.reserve(uf.set_count());

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "graph/clique_partition.h"
 #include "graph/graph.h"
 #include "predicates/blocked_index.h"
@@ -27,6 +29,7 @@ class PrefixCpn {
 
   /// CPN lower bound of the graph on groups[0..m), early-stopped at `k`.
   int CpnAt(size_t m, int k, LowerBoundOptions::Bound bound) {
+    ++cpn_evaluations_;
     GrowTo(m);
     graph::Graph g(m);
     // Edges are appended with increasing second endpoint, so the edges of
@@ -54,6 +57,7 @@ class PrefixCpn {
   }
 
   size_t edges_examined() const { return edges_examined_; }
+  size_t cpn_evaluations() const { return cpn_evaluations_; }
 
  private:
   void GrowTo(size_t m) {
@@ -79,7 +83,33 @@ class PrefixCpn {
   std::vector<std::pair<uint32_t, uint32_t>> edges_;
   size_t grown_ = 0;
   size_t edges_examined_ = 0;
+  size_t cpn_evaluations_ = 0;
 };
+
+}  // namespace
+
+namespace {
+
+/// Publishes one estimation's work counters and bound quality to the
+/// registry (level-scoped readers diff these; gauges hold the last run).
+void RecordLowerBoundMetrics(const LowerBoundResult& result) {
+  auto& registry = metrics::Registry::Global();
+  static metrics::Counter* edges =
+      registry.GetCounter("dedup.lower_bound.edges_examined");
+  static metrics::Counter* pair_evals =
+      registry.GetCounter("dedup.lower_bound.pair_evals");
+  static metrics::Counter* cpn_evals =
+      registry.GetCounter("dedup.lower_bound.cpn_evals");
+  static metrics::Gauge* m_gauge = registry.GetGauge("dedup.lower_bound.m");
+  static metrics::Gauge* big_m_gauge =
+      registry.GetGauge("dedup.lower_bound.M");
+  // Every enumerated prefix edge evaluates the necessary predicate once.
+  edges->Add(result.edges_examined);
+  pair_evals->Add(result.edges_examined);
+  cpn_evals->Add(result.cpn_evaluations);
+  m_gauge->Set(static_cast<double>(result.m));
+  big_m_gauge->Set(result.M);
+}
 
 }  // namespace
 
@@ -88,6 +118,9 @@ LowerBoundResult EstimateLowerBound(
     const predicates::PairPredicate& necessary, int k,
     const LowerBoundOptions& options) {
   TOPKDUP_CHECK(k >= 1);
+  trace::Span span("dedup.lower_bound");
+  span.AddArg("groups", static_cast<int64_t>(groups.size()));
+  span.AddArg("k", k);
   LowerBoundResult result;
   const size_t n = groups.size();
   if (n == 0) return result;
@@ -95,6 +128,7 @@ LowerBoundResult EstimateLowerBound(
     result.m = n;
     result.M = groups.back().weight;
     result.certified = false;
+    RecordLowerBoundMetrics(result);
     return result;
   }
 
@@ -146,6 +180,9 @@ LowerBoundResult EstimateLowerBound(
     result.certified = true;
   }
   result.edges_examined = cpn.edges_examined();
+  result.cpn_evaluations = cpn.cpn_evaluations();
+  span.AddArg("m", static_cast<int64_t>(result.m));
+  RecordLowerBoundMetrics(result);
   return result;
 }
 

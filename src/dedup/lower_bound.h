@@ -25,6 +25,10 @@ struct LowerBoundResult {
   /// Necessary-predicate edges enumerated while growing the prefix
   /// (diagnostic).
   size_t edges_examined = 0;
+  /// CPN bound evaluations performed while locating m (growth iterations:
+  /// the galloping probes plus the binary-search refinement, or every
+  /// single-vertex step in the non-galloping scheme).
+  size_t cpn_evaluations = 0;
 };
 
 /// Options for EstimateLowerBound.

@@ -4,16 +4,50 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "predicates/blocked_index.h"
 
 namespace topkdup::dedup {
+
+namespace {
+
+/// Per-level prune instrumentation (Figures 2-4's n' column). Flushed once
+/// per shard so the bound loops stay allocation- and contention-free.
+struct PruneCounters {
+  metrics::Counter* groups_examined;
+  metrics::Counter* groups_pruned;
+  metrics::Counter* pair_evals;
+  metrics::Counter* early_exits;
+  metrics::Counter* passes;
+
+  static const PruneCounters& Get() {
+    auto& registry = metrics::Registry::Global();
+    static const PruneCounters counters = {
+        registry.GetCounter("dedup.prune.groups_examined"),
+        registry.GetCounter("dedup.prune.groups_pruned"),
+        registry.GetCounter("dedup.prune.pair_evals"),
+        registry.GetCounter("dedup.prune.early_exits"),
+        registry.GetCounter("dedup.prune.passes"),
+    };
+    return counters;
+  }
+};
+
+}  // namespace
 
 PruneResult PruneGroups(const std::vector<Group>& groups,
                         const predicates::PairPredicate& necessary, double M,
                         const PruneOptions& options, bool exact_bounds) {
   TOPKDUP_CHECK(options.passes >= 1);
   const size_t n = groups.size();
+  trace::Span span("dedup.prune");
+  span.AddArg("groups_in", static_cast<int64_t>(n));
+  span.AddArg("passes", options.passes);
+  const PruneCounters& counters = PruneCounters::Get();
+  counters.passes->Add(options.passes);
+
   std::vector<size_t> reps(n);
   for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
   predicates::BlockedIndex index(necessary, reps);
@@ -32,18 +66,28 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
     ParallelForShards(0, n, DefaultGrain(n),
                       [&](size_t shard_begin, size_t shard_end, size_t) {
       predicates::BlockedIndex::QueryScratch scratch;
+      size_t examined = 0;
+      size_t evals = 0;
+      size_t exits = 0;
       for (size_t i = shard_begin; i < shard_end; ++i) {
         if (!alive[i]) {
           ub[i] = 0.0;
           continue;
         }
+        ++examined;
         double sum = groups[i].weight;
         index.ForEachCandidate(i, &scratch, [&](size_t j) {
           // In pass p only neighbors whose previous-pass bound exceeded M
           // (i.e. still alive) can be co-members of a group larger than M.
-          if (alive[j] && necessary.Evaluate(reps[i], reps[j])) {
-            sum += groups[j].weight;
-            if (!exact_bounds && sum > M) return false;  // Early exit.
+          if (alive[j]) {
+            ++evals;
+            if (necessary.Evaluate(reps[i], reps[j])) {
+              sum += groups[j].weight;
+              if (!exact_bounds && sum > M) {
+                ++exits;
+                return false;  // Early exit.
+              }
+            }
           }
           return true;
         });
@@ -52,6 +96,9 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
         // is never pruned (§4.3).
         next_alive[i] = groups[i].weight >= M || sum > M;
       }
+      counters.groups_examined->Add(examined);
+      counters.pair_evals->Add(evals);
+      counters.early_exits->Add(exits);
     });
     alive.swap(next_alive);
   }
@@ -62,6 +109,8 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
     result.groups.push_back(groups[i]);
     result.upper_bounds.push_back(ub[i]);
   }
+  counters.groups_pruned->Add(n - result.groups.size());
+  span.AddArg("groups_out", static_cast<int64_t>(result.groups.size()));
   return result;
 }
 

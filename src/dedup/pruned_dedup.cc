@@ -2,11 +2,43 @@
 
 #include <utility>
 
+#include "common/log.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "dedup/collapse.h"
 
 namespace topkdup::dedup {
+
+namespace {
+
+/// Counters whose per-level deltas populate LevelStats. Reading a striped
+/// counter is a 16-load sum, so bracketing every stage is effectively
+/// free.
+struct StageCounters {
+  metrics::Counter* blocking_probes;
+  metrics::Counter* collapse_evals;
+  metrics::Counter* lower_bound_evals;
+  metrics::Counter* prune_evals;
+
+  static const StageCounters& Get() {
+    auto& registry = metrics::Registry::Global();
+    static const StageCounters counters = {
+        registry.GetCounter("predicates.blocked_index.candidates"),
+        registry.GetCounter("dedup.collapse.pair_evals"),
+        registry.GetCounter("dedup.lower_bound.pair_evals"),
+        registry.GetCounter("dedup.prune.pair_evals"),
+    };
+    return counters;
+  }
+
+  uint64_t TotalEvals() const {
+    return collapse_evals->Value() + lower_bound_evals->Value() +
+           prune_evals->Value();
+  }
+};
+
+}  // namespace
 
 StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
     std::vector<Group> groups, const std::vector<PredicateLevel>& levels,
@@ -18,12 +50,25 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
     return Status::InvalidArgument("PrunedDedup: at least one level");
   }
   ScopedParallelism parallelism(options.threads);
+  const StageCounters& counters = StageCounters::Get();
+  const metrics::MetricsSnapshot snapshot_before =
+      metrics::Registry::Global().Snapshot();
+  trace::Span pipeline_span("dedup.pruned_dedup");
+  pipeline_span.AddArg("k", options.k);
+  pipeline_span.AddArg("levels", static_cast<int64_t>(levels.size()));
+  pipeline_span.AddArg("groups_in", static_cast<int64_t>(groups.size()));
 
   PrunedDedupResult result;
   result.upper_bounds.assign(groups.size(), 0.0);
 
-  for (const PredicateLevel& level : levels) {
+  for (size_t level_index = 0; level_index < levels.size(); ++level_index) {
+    const PredicateLevel& level = levels[level_index];
     LevelStats stats;
+    trace::Span level_span("dedup.level");
+    level_span.AddArg("level", static_cast<int64_t>(level_index));
+    const uint64_t probes_before = counters.blocking_probes->Value();
+    const uint64_t evals_before = counters.TotalEvals();
+    const size_t groups_before = groups.size();
     Timer timer;
 
     if (level.sufficient != nullptr) {
@@ -31,6 +76,7 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
     }
     stats.collapse_seconds = timer.ElapsedSeconds();
     stats.n_after_collapse = groups.size();
+    stats.records_collapsed = groups_before - groups.size();
 
     if (level.necessary != nullptr) {
       timer.Reset();
@@ -40,6 +86,8 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
       stats.lower_bound_seconds = timer.ElapsedSeconds();
       stats.m = lb.m;
       stats.M = lb.M;
+      stats.cpn_growth_iterations = lb.cpn_evaluations;
+      stats.cpn_edges_examined = lb.edges_examined;
 
       timer.Reset();
       PruneOptions prune_options;
@@ -47,6 +95,7 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
       PruneResult pruned = PruneGroups(groups, *level.necessary, lb.M,
                                        prune_options, options.exact_bounds);
       stats.prune_seconds = timer.ElapsedSeconds();
+      stats.groups_pruned = groups.size() - pruned.groups.size();
       groups = std::move(pruned.groups);
       result.upper_bounds = std::move(pruned.upper_bounds);
     } else {
@@ -55,6 +104,16 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
       result.upper_bounds.assign(groups.size(), 0.0);
     }
     stats.n_after_prune = groups.size();
+    stats.blocking_probes = counters.blocking_probes->Value() - probes_before;
+    stats.predicate_evals = counters.TotalEvals() - evals_before;
+    TOPKDUP_LOG(Debug) << "PrunedDedup level " << level_index
+                       << ": n=" << stats.n_after_collapse
+                       << " m=" << stats.m << " M=" << stats.M
+                       << " n'=" << stats.n_after_prune
+                       << " collapsed=" << stats.records_collapsed
+                       << " pruned=" << stats.groups_pruned
+                       << " probes=" << stats.blocking_probes
+                       << " evals=" << stats.predicate_evals;
     result.levels.push_back(stats);
 
     if (groups.size() == static_cast<size_t>(options.k)) {
@@ -64,6 +123,10 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
   }
 
   result.groups = std::move(groups);
+  pipeline_span.AddArg("groups_out",
+                       static_cast<int64_t>(result.groups.size()));
+  result.metrics = metrics::MetricsSnapshot::Delta(
+      snapshot_before, metrics::Registry::Global().Snapshot());
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "dedup/group.h"
 #include "dedup/lower_bound.h"
@@ -22,7 +23,10 @@ struct PredicateLevel {
   const predicates::PairPredicate* necessary = nullptr;
 };
 
-/// Per-level statistics matching the columns of the paper's Figures 2-4.
+/// Per-level statistics matching the columns of the paper's Figures 2-4,
+/// plus the work counters behind them (how much each predicate level
+/// avoided: records collapsed away, groups pruned against M, predicate and
+/// blocking probes actually paid for).
 struct LevelStats {
   size_t n_after_collapse = 0;  // n:  groups after collapsing with S_l.
   size_t m = 0;                 // m:  prefix rank certifying K entities.
@@ -31,6 +35,12 @@ struct LevelStats {
   double collapse_seconds = 0.0;
   double lower_bound_seconds = 0.0;
   double prune_seconds = 0.0;
+  size_t records_collapsed = 0;      // Groups merged away by S_l.
+  size_t groups_pruned = 0;          // Groups discarded against M.
+  size_t cpn_growth_iterations = 0;  // CPN bound evaluations locating m.
+  size_t cpn_edges_examined = 0;     // N_l edges enumerated for the CPN.
+  size_t blocking_probes = 0;        // Blocked-index candidates enumerated.
+  size_t predicate_evals = 0;        // Pair-predicate evaluations paid.
 };
 
 struct PrunedDedupResult {
@@ -43,6 +53,10 @@ struct PrunedDedupResult {
   /// True when pruning reduced the data to exactly K groups, in which case
   /// `groups` *is* the TopK answer and no final clustering is needed.
   bool exact = false;
+  /// Registry delta covering this run: every counter/histogram increment
+  /// between entry and return (common/metrics.h), for exporters and
+  /// query-time budgeting.
+  metrics::MetricsSnapshot metrics;
 };
 
 struct PrunedDedupOptions {

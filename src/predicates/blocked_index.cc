@@ -2,7 +2,34 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace topkdup::predicates {
+
+namespace {
+
+/// Blocking-probe instrumentation (paper Figures 2-4 are all about how few
+/// candidates survive blocking). Counts are accumulated in query-local
+/// variables and flushed once per query, so the postings loops stay tight.
+struct ProbeCounters {
+  metrics::Counter* queries;
+  metrics::Counter* postings_scanned;
+  metrics::Counter* candidates;
+
+  static const ProbeCounters& Get() {
+    static const ProbeCounters counters = {
+        metrics::Registry::Global().GetCounter(
+            "predicates.blocked_index.queries"),
+        metrics::Registry::Global().GetCounter(
+            "predicates.blocked_index.postings_scanned"),
+        metrics::Registry::Global().GetCounter(
+            "predicates.blocked_index.candidates"),
+    };
+    return counters;
+  }
+};
+
+}  // namespace
 
 BlockedIndex::BlockedIndex(const PairPredicate& pred,
                            std::vector<size_t> items)
@@ -27,9 +54,12 @@ void BlockedIndex::ForEachCandidate(
     scratch->counts.assign(items_.size(), 0);
   }
   scratch->touched.clear();
+  size_t postings_scanned = 0;
+  size_t candidates = 0;
   const std::vector<text::TokenId>& sig = pred_.Signature(items_[pos]);
   for (text::TokenId t : sig) {
     if (t < 0 || static_cast<size_t>(t) >= postings_.size()) continue;
+    postings_scanned += postings_[t].size();
     for (uint32_t other : postings_[t]) {
       if (other == pos) continue;
       if (scratch->counts[other] == 0) scratch->touched.push_back(other);
@@ -40,10 +70,15 @@ void BlockedIndex::ForEachCandidate(
   for (uint32_t other : scratch->touched) {
     if (keep_going && scratch->counts[other] >=
                           pred_.MinCommon(sig.size(), sig_sizes_[other])) {
+      ++candidates;
       keep_going = fn(other);
     }
     scratch->counts[other] = 0;  // Always reset the scratch buffer.
   }
+  const ProbeCounters& counters = ProbeCounters::Get();
+  counters.queries->Increment();
+  counters.postings_scanned->Add(postings_scanned);
+  counters.candidates->Add(candidates);
 }
 
 void BlockedIndex::ForEachCandidate(

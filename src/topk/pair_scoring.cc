@@ -4,7 +4,9 @@
 #include <tuple>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "predicates/blocked_index.h"
 
 namespace topkdup::topk {
@@ -15,6 +17,15 @@ cluster::PairScores BuildGroupPairScores(
     const PairScoringOptions& options) {
   TOPKDUP_CHECK(options.default_score <= 0.0);
   const size_t n = groups.size();
+  trace::Span span("topk.pair_scores");
+  span.AddArg("groups", static_cast<int64_t>(n));
+  auto& registry = metrics::Registry::Global();
+  static metrics::Counter* pairs_enumerated =
+      registry.GetCounter("topk.pair_scores.pairs_enumerated");
+  static metrics::Counter* pair_evals =
+      registry.GetCounter("topk.pair_scores.pair_evals");
+  static metrics::Counter* pairs_scored =
+      registry.GetCounter("topk.pair_scores.pairs_scored");
   std::vector<size_t> reps(n);
   for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
 
@@ -29,9 +40,13 @@ cluster::PairScores BuildGroupPairScores(
       0, n, DefaultGrain(n),
       [&](size_t b, size_t e, std::vector<Scored>* out) {
         predicates::BlockedIndex::QueryScratch scratch;
+        size_t enumerated = 0;
+        size_t scored = 0;
         index.ForEachCandidatePairInRange(b, e, &scratch,
                                           [&](size_t p, size_t q) {
+          ++enumerated;
           if (!necessary.Evaluate(reps[p], reps[q])) return;
+          ++scored;
           double s = scorer(reps[p], reps[q]);
           if (options.aggregate ==
               PairScoringOptions::Aggregate::kWeightProduct) {
@@ -40,11 +55,15 @@ cluster::PairScores BuildGroupPairScores(
           out->emplace_back(static_cast<uint32_t>(p),
                             static_cast<uint32_t>(q), s);
         });
+        pairs_enumerated->Add(enumerated);
+        pair_evals->Add(enumerated);  // Every enumerated pair runs N_L.
+        pairs_scored->Add(scored);
       },
       [](std::vector<Scored>* total, std::vector<Scored>&& shard) {
         total->insert(total->end(), shard.begin(), shard.end());
       });
   for (const auto& [p, q, s] : triples) scores.Set(p, q, s);
+  span.AddArg("scored", static_cast<int64_t>(triples.size()));
   return scores;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "embed/linear_embedding.h"
 #include "segment/posterior.h"
 #include "segment/segment_scorer.h"
@@ -44,6 +45,15 @@ StatusOr<TopKCountResult> TopKCountQuery(
         "TopKCountQuery: the last level must carry a necessary predicate");
   }
   ScopedParallelism parallelism(options.threads);
+  const metrics::MetricsSnapshot snapshot_before =
+      metrics::Registry::Global().Snapshot();
+  trace::Span query_span("topk.query");
+  query_span.AddArg("k", options.k);
+  query_span.AddArg("r", options.r);
+  const auto finish_metrics = [&](TopKCountResult* out) {
+    out->metrics = metrics::MetricsSnapshot::Delta(
+        snapshot_before, metrics::Registry::Global().Snapshot());
+  };
   dedup::PrunedDedupOptions prune_options;
   prune_options.k = options.k;
   prune_options.prune_passes = options.prune_passes;
@@ -65,6 +75,7 @@ StatusOr<TopKCountResult> TopKCountQuery(
     result.answers.push_back(std::move(answer));
     result.exact_from_pruning = true;
     result.pruning = std::move(pruning);
+    finish_metrics(&result);
     return result;
   }
 
@@ -84,10 +95,13 @@ StatusOr<TopKCountResult> TopKCountQuery(
   for (size_t i = 0; i < groups.size(); ++i) weights[i] = groups[i].weight;
   embed::GreedyEmbeddingOptions embed_options;
   embed_options.alpha = options.embedding_alpha;
-  const std::vector<size_t> order =
-      embed::GreedyEmbedding(scores, weights, embed_options);
+  const std::vector<size_t> order = [&] {
+    TOPKDUP_TRACE_SPAN("embed.greedy");
+    return embed::GreedyEmbedding(scores, weights, embed_options);
+  }();
 
   segment::SegmentScorer seg_scorer(scores, order, options.band);
+  trace::Span dp_span("segment.topk_dp");
   segment::TopKDpOptions dp_options;
   dp_options.k = options.k;
   // Over-request: distinct segmentations may collapse to the same answer
@@ -98,6 +112,7 @@ StatusOr<TopKCountResult> TopKCountQuery(
   TOPKDUP_ASSIGN_OR_RETURN(
       std::vector<segment::TopKAnswer> dp_answers,
       segment::TopKSegmentation(seg_scorer, order, weights, dp_options));
+  dp_span.AddArg("answers", static_cast<int64_t>(dp_answers.size()));
 
   // Distinct segmentations can induce identical K answer groups (they
   // differ only in how the non-answer remainder is segmented); the user
@@ -142,6 +157,7 @@ StatusOr<TopKCountResult> TopKCountQuery(
     }
   }
   result.pruning = std::move(pruning);
+  finish_metrics(&result);
   return result;
 }
 

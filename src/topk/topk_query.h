@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "dedup/pruned_dedup.h"
 #include "record/record.h"
@@ -36,6 +37,10 @@ struct TopKCountResult {
   /// True when pruning alone reduced the data to exactly K groups, making
   /// the single returned answer exact without any clustering.
   bool exact_from_pruning = false;
+  /// Registry delta covering the whole query (pruning, pair scoring,
+  /// embedding, segmentation DP); `pruning.metrics` holds the
+  /// pruning-stage-only subset.
+  metrics::MetricsSnapshot metrics;
 };
 
 struct TopKCountOptions {

@@ -1,0 +1,242 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "common/parallel.h"
+#include "common/trace.h"
+
+namespace topkdup {
+namespace {
+
+using metrics::Counter;
+using metrics::Gauge;
+using metrics::Histogram;
+using metrics::MetricsSnapshot;
+using metrics::Registry;
+using metrics::ScopedTimer;
+
+TEST(CounterTest, AddAndValue) {
+  Counter* c = Registry::Global().GetCounter("test.counter.basic");
+  const uint64_t base = c->Value();
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), base + 42);
+}
+
+TEST(CounterTest, SameNameSameHandle) {
+  Counter* a = Registry::Global().GetCounter("test.counter.handle");
+  Counter* b = Registry::Global().GetCounter("test.counter.handle");
+  EXPECT_EQ(a, b);
+}
+
+TEST(CounterTest, ConcurrentIncrementsFromParallelFor) {
+  // The ParallelFor workers are exactly the threads the striped fast path
+  // must absorb without losing increments.
+  ScopedParallelism parallelism(8);
+  Counter* c = Registry::Global().GetCounter("test.counter.concurrent");
+  const uint64_t base = c->Value();
+  constexpr size_t kItems = 100000;
+  ParallelFor(0, kItems, 128, [&](size_t) { c->Increment(); });
+  EXPECT_EQ(c->Value(), base + kItems);
+}
+
+TEST(CounterTest, ConcurrentBatchedAddsFromThreads) {
+  Counter* c = Registry::Global().GetCounter("test.counter.threads");
+  const uint64_t base = c->Value();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < 1000; ++i) c->Add(3);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), base + 8u * 1000u * 3u);
+}
+
+TEST(GaugeTest, SetIsLastWriteWins) {
+  Gauge* g = Registry::Global().GetGauge("test.gauge.basic");
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 2.5);
+  g->Set(-7.0);
+  EXPECT_DOUBLE_EQ(g->Value(), -7.0);
+  g->Add(3.0);
+  EXPECT_DOUBLE_EQ(g->Value(), -4.0);
+}
+
+TEST(HistogramTest, BucketAndSumSemantics) {
+  Histogram* h =
+      Registry::Global().GetHistogram("test.histogram.buckets", {1.0, 10.0});
+  h->Observe(0.5);   // <= 1.0
+  h->Observe(1.0);   // <= 1.0 (inclusive upper bound)
+  h->Observe(5.0);   // <= 10.0
+  h->Observe(100.0); // overflow
+  EXPECT_EQ(h->TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 106.5);
+  const std::vector<uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);  // Two bounds + overflow.
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(HistogramTest, ConcurrentObservationsSumExactly) {
+  ScopedParallelism parallelism(8);
+  Histogram* h =
+      Registry::Global().GetHistogram("test.histogram.concurrent", {0.5});
+  constexpr size_t kItems = 20000;
+  ParallelFor(0, kItems, 64, [&](size_t) { h->Observe(1.0); });
+  EXPECT_EQ(h->TotalCount(), kItems);
+  EXPECT_DOUBLE_EQ(h->Sum(), static_cast<double>(kItems));
+  EXPECT_EQ(h->BucketCounts().back(), kItems);  // All overflow 0.5.
+}
+
+TEST(ScopedTimerTest, ObservesOnceIntoHistogram) {
+  Histogram* h = Registry::Global().GetHistogram(
+      "test.timer.histogram", metrics::LatencySecondsBounds());
+  const uint64_t base = h->TotalCount();
+  {
+    ScopedTimer timer(h);
+    const double seconds = timer.Stop();
+    EXPECT_GE(seconds, 0.0);
+  }  // Destructor must not double-record after Stop().
+  EXPECT_EQ(h->TotalCount(), base + 1);
+  ScopedTimer null_timer(nullptr);  // No-op; must not crash.
+}
+
+TEST(SnapshotTest, DeltaSubtractsCountersAndKeepsAfterGauges) {
+  Counter* c = Registry::Global().GetCounter("test.snapshot.delta");
+  Gauge* g = Registry::Global().GetGauge("test.snapshot.gauge");
+  c->Add(5);
+  g->Set(1.0);
+  const MetricsSnapshot before = Registry::Global().Snapshot();
+  c->Add(7);
+  g->Set(9.0);
+  const MetricsSnapshot after = Registry::Global().Snapshot();
+  const MetricsSnapshot delta = MetricsSnapshot::Delta(before, after);
+  EXPECT_EQ(delta.CounterValue("test.snapshot.delta"), 7u);
+  EXPECT_DOUBLE_EQ(delta.GaugeValue("test.snapshot.gauge"), 9.0);
+  EXPECT_EQ(delta.CounterValue("test.snapshot.absent"), 0u);
+}
+
+TEST(SnapshotTest, DeterministicSortedMerge) {
+  Registry::Global().GetCounter("test.sorted.b")->Add(1);
+  Registry::Global().GetCounter("test.sorted.a")->Add(1);
+  Registry::Global().GetCounter("test.sorted.c")->Add(1);
+  const MetricsSnapshot s1 = Registry::Global().Snapshot();
+  const MetricsSnapshot s2 = Registry::Global().Snapshot();
+  ASSERT_EQ(s1.counters.size(), s2.counters.size());
+  for (size_t i = 0; i < s1.counters.size(); ++i) {
+    EXPECT_EQ(s1.counters[i].name, s2.counters[i].name);
+    EXPECT_EQ(s1.counters[i].value, s2.counters[i].value);
+    if (i > 0) EXPECT_LT(s1.counters[i - 1].name, s1.counters[i].name);
+  }
+}
+
+TEST(SnapshotTest, ToJsonContainsRegisteredMetrics) {
+  Registry::Global().GetCounter("test.json.counter")->Add(12);
+  Registry::Global().GetGauge("test.json.gauge")->Set(3.5);
+  Registry::Global()
+      .GetHistogram("test.json.histogram", {1.0})
+      ->Observe(0.25);
+  const std::string json = Registry::Global().Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\":3.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsHandles) {
+  Counter* c = Registry::Global().GetCounter("test.reset.counter");
+  c->Add(9);
+  Registry::Global().Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(c, Registry::Global().GetCounter("test.reset.counter"));
+  c->Increment();
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+TEST(TraceTest, CapturesNestedSpansWithArgs) {
+  trace::StartRecording();
+  {
+    trace::Span outer("test.outer");
+    outer.AddArg("k", 7);
+    { TOPKDUP_TRACE_SPAN("test.inner"); }
+  }
+  trace::StopRecording();
+  EXPECT_EQ(trace::EventCount(), 2u);
+  const std::string path = ::testing::TempDir() + "/trace.json";
+  ASSERT_TRUE(trace::WriteChromeTrace(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 12, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(content.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(content.find("\"k\":7"), std::string::npos);
+  trace::Clear();
+}
+
+TEST(TraceTest, DisabledRecordingCapturesNothing) {
+  trace::Clear();
+  ASSERT_FALSE(trace::IsRecording());
+  { trace::Span span("test.disabled"); }
+  EXPECT_EQ(trace::EventCount(), 0u);
+}
+
+TEST(TraceTest, StartRecordingClearsPriorEvents) {
+  trace::StartRecording();
+  { trace::Span span("test.first"); }
+  trace::StopRecording();
+  EXPECT_EQ(trace::EventCount(), 1u);
+  trace::StartRecording();
+  EXPECT_EQ(trace::EventCount(), 0u);
+  trace::StopRecording();
+  trace::Clear();
+}
+
+TEST(LogTest, SinkReceivesMessageWithLocation) {
+  std::vector<std::string> messages;
+  LogSeverity seen = LogSeverity::kDebug;
+  SetLogSink([&](LogSeverity severity, const char* file, int line,
+                 std::string_view message) {
+    seen = severity;
+    messages.emplace_back(message);
+    EXPECT_NE(std::string_view(file).find("metrics_test.cc"),
+              std::string_view::npos);
+    EXPECT_GT(line, 0);
+  });
+  TOPKDUP_LOG(Warning) << "answer=" << 42;
+  SetLogSink(nullptr);
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0], "answer=42");
+  EXPECT_EQ(seen, LogSeverity::kWarning);
+}
+
+TEST(LogTest, SeverityFilterDiscardsBelowMinimum) {
+  std::vector<std::string> messages;
+  SetLogSink([&](LogSeverity, const char*, int, std::string_view message) {
+    messages.emplace_back(message);
+  });
+  const LogSeverity saved = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  TOPKDUP_LOG(Debug) << "dropped";
+  TOPKDUP_LOG(Info) << "dropped";
+  TOPKDUP_LOG(Warning) << "dropped";
+  TOPKDUP_LOG(Error) << "kept";
+  SetMinLogSeverity(saved);
+  SetLogSink(nullptr);
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0], "kept");
+}
+
+}  // namespace
+}  // namespace topkdup
