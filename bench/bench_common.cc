@@ -110,7 +110,11 @@ int ApplyThreadsFlag(const Flags& flags) {
 Observability ApplyObservabilityFlags(const Flags& flags) {
   Observability obs;
   obs.metrics_path = flags.GetString("metrics-json", "");
+  obs.prom_path = flags.GetString("metrics-prom", "");
   obs.trace_path = flags.GetString("trace-json", "");
+  obs.explain_json_path = flags.GetString("explain-json", "");
+  obs.explain_text_path = flags.GetString("explain-text", "");
+  obs.explain_sample_rate = flags.GetDouble("explain-sample-rate", 1.0);
   if (!obs.trace_path.empty()) trace::StartRecording();
   return obs;
 }
@@ -192,6 +196,14 @@ void ExportBenchArtifacts(
   if (!obs.metrics_path.empty() && obs.metrics_path != json_path) {
     WriteBenchJson(obs.metrics_path, figure, params, scalars, runs);
   }
+  if (!obs.prom_path.empty()) {
+    if (metrics::WritePrometheusText(metrics::Registry::Global().Snapshot(),
+                                     obs.prom_path)) {
+      std::printf("wrote %s\n", obs.prom_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", obs.prom_path.c_str());
+    }
+  }
   if (!obs.trace_path.empty()) {
     trace::StopRecording();
     if (trace::WriteChromeTrace(obs.trace_path)) {
@@ -201,6 +213,53 @@ void ExportBenchArtifacts(
       std::fprintf(stderr, "cannot write %s\n", obs.trace_path.c_str());
     }
   }
+}
+
+void WriteExplainJson(const std::string& path, const std::string& figure,
+                      const std::vector<ExplainRun>& runs) {
+  if (path.empty()) return;
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::string body;
+  body += "{\n  \"schema_version\": 1,\n";
+  body += StrFormat("  \"figure\": \"%s\",\n", figure.c_str());
+  body += "  \"reports\": [\n";
+  bool first = true;
+  for (const ExplainRun& run : runs) {
+    if (run.report == nullptr) continue;
+    if (!first) body += ",\n";
+    first = false;
+    body += StrFormat("    {\"k\": %d, \"report\": %s}", run.k,
+                      run.report->ToJson().c_str());
+  }
+  body += "\n  ]\n}\n";
+  std::fwrite(body.data(), 1, body.size(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void WriteExplainText(const std::string& path, const std::string& figure,
+                      const std::vector<ExplainRun>& runs) {
+  if (path.empty()) return;
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  for (const ExplainRun& run : runs) {
+    if (run.report == nullptr) continue;
+    const std::string header =
+        StrFormat("=== %s K=%d ===\n", figure.c_str(), run.k);
+    std::fwrite(header.data(), 1, header.size(), out);
+    const std::string text = run.report->ToText();
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fputc('\n', out);
+  }
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 void PrintLevelCounters(const std::vector<BenchRun>& runs) {

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "dedup/pruned_dedup.h"
+#include "obs/explain.h"
 
 namespace topkdup::bench {
 
@@ -60,17 +62,51 @@ struct BenchRun {
   std::vector<dedup::LevelStats> levels;
 };
 
-/// The shared --metrics-json= / --trace-json= observability flag pair
-/// (both default off). ApplyObservabilityFlags starts trace recording when
-/// a trace path is given; FinishObservability writes the requested files
-/// after the workload (the metrics file via WriteBenchJson's uniform
-/// schema so per-level counters ride along with the registry snapshot).
+/// The shared observability flags (all default off):
+///   --metrics-json=PATH   uniform bench JSON (WriteBenchJson schema)
+///   --metrics-prom=PATH   Prometheus text exposition of the registry
+///   --trace-json=PATH     Chrome trace (recording starts immediately)
+///   --explain-json=PATH   per-query explain reports, JSON
+///   --explain-text=PATH   same reports, human-readable text
+///   --explain-sample-rate=R  detail-event sampling rate (default 1.0)
+/// ApplyObservabilityFlags starts trace recording when a trace path is
+/// given; ExportBenchArtifacts writes the requested files after the
+/// workload. Harnesses should enable explain on their query options
+/// whenever `explain_enabled()` and hand the collected reports to
+/// WriteExplainJson / WriteExplainText.
 struct Observability {
   std::string metrics_path;
+  std::string prom_path;
   std::string trace_path;
+  std::string explain_json_path;
+  std::string explain_text_path;
+  double explain_sample_rate = 1.0;
+
+  bool explain_enabled() const {
+    return !explain_json_path.empty() || !explain_text_path.empty();
+  }
 };
 
 Observability ApplyObservabilityFlags(const Flags& flags);
+
+/// One explain-enabled query in a fig harness: the query K and the report
+/// carried back on the result.
+struct ExplainRun {
+  int k = 0;
+  std::shared_ptr<const obs::ExplainReport> report;
+};
+
+/// Writes the collected explain reports as one JSON document:
+///   { "schema_version": 1, "figure": ...,
+///     "reports": [ {"k": K, "report": {...ExplainReport::ToJson...}} ] }
+/// Null reports are skipped. No-op when `path` is empty.
+void WriteExplainJson(const std::string& path, const std::string& figure,
+                      const std::vector<ExplainRun>& runs);
+
+/// Text rendering of the same reports, one block per K. No-op when `path`
+/// is empty.
+void WriteExplainText(const std::string& path, const std::string& figure,
+                      const std::vector<ExplainRun>& runs);
 
 /// Writes the uniform fig-harness JSON schema backed by the metrics
 /// registry:

@@ -11,7 +11,11 @@
 //   --records=N --authors=N --seed=S --ks=1,5,10 --passes=2 --ablation
 //   --threads=N --json=BENCH_fig2.json ("" disables the JSON dump)
 //   --metrics-json=PATH (uniform schema + registry snapshot)
+//   --metrics-prom=PATH (Prometheus text exposition of the registry)
 //   --trace-json=PATH (Chrome trace_event JSON, loadable in Perfetto)
+//   --explain-json=PATH --explain-text=PATH --explain-sample-rate=R
+//     (per-query explain reports: collapse merges, CPN probes, prune
+//      decisions with bound-vs-M provenance; see src/obs/explain.h)
 #include <cstdio>
 #include <string>
 
@@ -81,12 +85,15 @@ int Run(int argc, char** argv) {
   table.PrintHeader();
 
   std::vector<bench::BenchRun> runs;
+  std::vector<bench::ExplainRun> explain_runs;
 
   const double d = static_cast<double>(data.size());
   for (int k : ks) {
     dedup::PrunedDedupOptions options;
     options.k = k;
     options.prune_passes = passes;
+    options.explain = obs.explain_enabled();
+    options.explain_sample_rate = obs.explain_sample_rate;
     Timer run_timer;
     auto result_or =
         dedup::PrunedDedup(data, {{&s1, &n1}, {&s2, &n2}}, options);
@@ -97,6 +104,9 @@ int Run(int argc, char** argv) {
     }
     const auto& levels = result_or.value().levels;
     runs.push_back({k, run_timer.ElapsedSeconds(), levels});
+    if (options.explain) {
+      explain_runs.push_back({k, result_or.value().explain});
+    }
     std::vector<std::string> row = {std::to_string(k)};
     for (size_t l = 0; l < 2; ++l) {
       if (l < levels.size()) {
@@ -123,6 +133,10 @@ int Run(int argc, char** argv) {
        {"passes", static_cast<double>(passes)},
        {"threads", static_cast<double>(threads)}},
       {}, runs);
+  bench::WriteExplainJson(obs.explain_json_path, "fig2_citation_pruning",
+                          explain_runs);
+  bench::WriteExplainText(obs.explain_text_path, "fig2_citation_pruning",
+                          explain_runs);
 
   if (flags.GetBool("ablation", true)) {
     std::printf("\nAblation (S6.2): one vs two upper-bound passes, final "

@@ -2,7 +2,9 @@
 // dataset (two predicate levels), reporting n, m, M, n' per level for
 // K in {1,5,10,50,100,500,1000}. See fig2_citation_pruning.cc for the
 // column semantics. Flags: --records --students --seed --ks --passes
-// --json=BENCH_fig3.json --metrics-json=PATH --trace-json=PATH
+// --json=BENCH_fig3.json --metrics-json=PATH --metrics-prom=PATH
+// --trace-json=PATH --explain-json=PATH --explain-text=PATH
+// --explain-sample-rate=R
 #include <cstdio>
 #include <string>
 
@@ -67,11 +69,14 @@ int Run(int argc, char** argv) {
   table.PrintHeader();
 
   std::vector<bench::BenchRun> runs;
+  std::vector<bench::ExplainRun> explain_runs;
   const double d = static_cast<double>(data.size());
   for (int k : ks) {
     dedup::PrunedDedupOptions options;
     options.k = k;
     options.prune_passes = passes;
+    options.explain = obs.explain_enabled();
+    options.explain_sample_rate = obs.explain_sample_rate;
     Timer run_timer;
     auto result_or =
         dedup::PrunedDedup(data, {{&s1, &n1}, {&s2, &n2}}, options);
@@ -82,6 +87,9 @@ int Run(int argc, char** argv) {
     }
     const auto& levels = result_or.value().levels;
     runs.push_back({k, run_timer.ElapsedSeconds(), levels});
+    if (options.explain) {
+      explain_runs.push_back({k, result_or.value().explain});
+    }
     std::vector<std::string> row = {std::to_string(k)};
     for (size_t l = 0; l < 2; ++l) {
       if (l < levels.size()) {
@@ -108,6 +116,10 @@ int Run(int argc, char** argv) {
        {"passes", static_cast<double>(passes)},
        {"threads", static_cast<double>(threads)}},
       {}, runs);
+  bench::WriteExplainJson(obs.explain_json_path, "fig3_student_pruning",
+                          explain_runs);
+  bench::WriteExplainText(obs.explain_text_path, "fig3_student_pruning",
+                          explain_runs);
   return 0;
 }
 

@@ -2,7 +2,9 @@
 // dataset (a single predicate level S1/N1), reporting n, m, M, n' for
 // K in {1,5,10,50,100,500,1000}.
 // Flags: --records --entities --seed --ks --passes
-// --json=BENCH_fig4.json --metrics-json=PATH --trace-json=PATH
+// --json=BENCH_fig4.json --metrics-json=PATH --metrics-prom=PATH
+// --trace-json=PATH --explain-json=PATH --explain-text=PATH
+// --explain-sample-rate=R
 #include <cstdio>
 #include <string>
 
@@ -66,11 +68,14 @@ int Run(int argc, char** argv) {
   table.PrintHeader();
 
   std::vector<bench::BenchRun> runs;
+  std::vector<bench::ExplainRun> explain_runs;
   const double d = static_cast<double>(data.size());
   for (int k : ks) {
     dedup::PrunedDedupOptions options;
     options.k = k;
     options.prune_passes = passes;
+    options.explain = obs.explain_enabled();
+    options.explain_sample_rate = obs.explain_sample_rate;
     Timer run_timer;
     auto result_or = dedup::PrunedDedup(data, {{&s1, &n1}}, options);
     if (!result_or.ok()) {
@@ -80,6 +85,9 @@ int Run(int argc, char** argv) {
     }
     runs.push_back(
         {k, run_timer.ElapsedSeconds(), result_or.value().levels});
+    if (options.explain) {
+      explain_runs.push_back({k, result_or.value().explain});
+    }
     const auto& level = result_or.value().levels[0];
     table.PrintRow({std::to_string(k),
                     bench::Pct(level.n_after_collapse, d),
@@ -99,6 +107,10 @@ int Run(int argc, char** argv) {
        {"passes", static_cast<double>(passes)},
        {"threads", static_cast<double>(threads)}},
       {}, runs);
+  bench::WriteExplainJson(obs.explain_json_path, "fig4_address_pruning",
+                          explain_runs);
+  bench::WriteExplainText(obs.explain_text_path, "fig4_address_pruning",
+                          explain_runs);
   return 0;
 }
 

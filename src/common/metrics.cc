@@ -345,4 +345,79 @@ bool WriteSnapshotJson(const MetricsSnapshot& snapshot,
   return true;
 }
 
+namespace {
+
+/// Registry names use dots ("dedup.prune.pair_evals"); Prometheus names
+/// admit [a-zA-Z0-9_:] only.
+std::string PromName(std::string_view name) {
+  std::string out = "topkdup_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Full-precision exposition value: integral doubles print plainly,
+/// everything else with 17 significant digits so a parse-back recovers
+/// the exact bit pattern (the round-trip test relies on this).
+std::string PromNumber(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 4.6e18) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.17g", v);
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = PromName(c.name) + "_total";
+    out += StrFormat("# TYPE %s counter\n", name.c_str());
+    out += StrFormat("%s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(c.value));
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = PromName(g.name);
+    out += StrFormat("# TYPE %s gauge\n", name.c_str());
+    out += StrFormat("%s %s\n", name.c_str(), PromNumber(g.value).c_str());
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = PromName(h.name);
+    out += StrFormat("# TYPE %s histogram\n", name.c_str());
+    // Registry buckets are inclusive upper bounds (metrics.h), which is
+    // exactly Prometheus's `le` semantics; only cumulation is needed.
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += b < h.counts.size() ? h.counts[b] : 0;
+      out += StrFormat("%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+                       PromNumber(h.bounds[b]).c_str(),
+                       static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(h.count));
+    out += StrFormat("%s_sum %s\n", name.c_str(),
+                     PromNumber(h.sum).c_str());
+    out += StrFormat("%s_count %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(h.count));
+  }
+  return out;
+}
+
+bool WritePrometheusText(const MetricsSnapshot& snapshot,
+                         const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    TOPKDUP_LOG(Error) << "metrics: cannot write " << path;
+    return false;
+  }
+  const std::string text = PrometheusText(snapshot);
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  return true;
+}
+
 }  // namespace topkdup::metrics

@@ -205,6 +205,20 @@ class Registry {
 bool WriteSnapshotJson(const MetricsSnapshot& snapshot,
                        const std::string& path);
 
+/// Prometheus text exposition (v0.0.4, scrape-compatible with OpenMetrics
+/// consumers) of a snapshot. Metric names are sanitized (characters
+/// outside [a-zA-Z0-9_:] become '_') and prefixed `topkdup_`; counters get
+/// the conventional `_total` suffix; histograms emit *cumulative*
+/// `_bucket{le="..."}` series (the registry's buckets are already
+/// inclusive upper bounds) plus the `le="+Inf"` bucket, `_sum`, and
+/// `_count`. Values print with enough digits to round-trip doubles.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// Writes `PrometheusText(snapshot)` to `path` (e.g. for a node-exporter
+/// textfile collector); returns false and logs when the write fails.
+bool WritePrometheusText(const MetricsSnapshot& snapshot,
+                         const std::string& path);
+
 }  // namespace topkdup::metrics
 
 #endif  // TOPKDUP_COMMON_METRICS_H_

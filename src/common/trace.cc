@@ -4,8 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/log.h"
@@ -67,6 +69,26 @@ ThreadBuffer& LocalBuffer() {
 }
 
 std::atomic<bool> g_recording{false};
+
+/// TOPKDUP_TRACE=PATH turns recording on for the whole process and flushes
+/// the Chrome trace to PATH at exit — no code changes or harness flags
+/// needed. The registration runs from a static initializer; Buffers() and
+/// BuffersMutex() are leaked, so the atexit write is safe during static
+/// destruction.
+struct EnvTraceExporter {
+  EnvTraceExporter() {
+    const char* path = std::getenv("TOPKDUP_TRACE");
+    if (path == nullptr || path[0] == '\0') return;
+    Path() = path;
+    g_recording.store(true, std::memory_order_release);
+    std::atexit([] { WriteChromeTrace(Path()); });
+  }
+  static std::string& Path() {
+    static std::string* path = new std::string;
+    return *path;
+  }
+};
+const EnvTraceExporter g_env_trace_exporter;
 
 }  // namespace
 

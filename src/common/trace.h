@@ -14,6 +14,11 @@ namespace topkdup::trace {
 /// default; a disabled Span costs one relaxed atomic load. Spans record
 /// the calling thread's id, so work fanned out by common/parallel.h shows
 /// up per worker lane, nested under whatever span was open on that thread.
+///
+/// Setting TOPKDUP_TRACE=PATH in the environment enables recording for
+/// the whole process and writes the Chrome trace to PATH at exit, so any
+/// binary can be traced without flags or code changes. Explicit
+/// StartRecording/StopRecording calls still work alongside it.
 
 /// True while spans are being captured.
 bool IsRecording();

@@ -51,7 +51,8 @@ void CollectEdges(const predicates::BlockedIndex& index,
 }  // namespace
 
 std::vector<Group> Collapse(const std::vector<Group>& groups,
-                            const predicates::PairPredicate& sufficient) {
+                            const predicates::PairPredicate& sufficient,
+                            obs::ExplainRecorder* recorder) {
   const size_t n = groups.size();
   trace::Span span("dedup.collapse");
   span.AddArg("groups_in", static_cast<int64_t>(n));
@@ -106,7 +107,22 @@ std::vector<Group> Collapse(const std::vector<Group>& groups,
         merged.rep = g.rep;
       }
     }
+    if (recorder != nullptr && positions.size() > 1 &&
+        recorder->SampleKey(static_cast<uint64_t>(merged.rep))) {
+      // The closure partition is thread-count-invariant, so reporting
+      // "winner absorbed loser" per constituent here (rather than per
+      // discovered edge) keeps explain output deterministic.
+      for (size_t pos : positions) {
+        const Group& g = groups[pos];
+        if (g.rep == merged.rep) continue;
+        recorder->RecordCollapseMerge(
+            {merged.rep, g.rep, best_weight, g.weight});
+      }
+    }
     out.push_back(std::move(merged));
+  }
+  if (recorder != nullptr) {
+    recorder->RecordCollapseSummary(n, out.size());
   }
   SortGroupsByWeightDesc(&out);
   return out;

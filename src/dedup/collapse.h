@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dedup/group.h"
+#include "obs/explain.h"
 #include "predicates/pair_predicate.h"
 
 namespace topkdup::dedup {
@@ -15,8 +16,14 @@ namespace topkdup::dedup {
 /// The merged group's representative is the representative of its heaviest
 /// constituent; weights and member lists are unioned. The result is sorted
 /// by decreasing weight.
+///
+/// When `recorder` is non-null it receives the collapse summary plus
+/// sampled merge events. Merges are reported from the final set partition
+/// (not edge discovery order), so the recorded events are identical
+/// whether the closure was computed serially or in parallel.
 std::vector<Group> Collapse(const std::vector<Group>& groups,
-                            const predicates::PairPredicate& sufficient);
+                            const predicates::PairPredicate& sufficient,
+                            obs::ExplainRecorder* recorder = nullptr);
 
 }  // namespace topkdup::dedup
 

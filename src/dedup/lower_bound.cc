@@ -129,10 +129,24 @@ LowerBoundResult EstimateLowerBound(
     result.M = groups.back().weight;
     result.certified = false;
     RecordLowerBoundMetrics(result);
+    if (options.recorder != nullptr) {
+      options.recorder->RecordLowerBound(result.m, result.M,
+                                         result.certified, 0, 0);
+    }
     return result;
   }
 
   PrefixCpn cpn(groups, necessary);
+
+  // Evaluates one prefix, forwarding the probe to the explain recorder with
+  // the search phase that asked for it.
+  auto probe = [&](size_t m, const char* phase) {
+    const int bound = cpn.CpnAt(m, k, options.bound);
+    if (options.recorder != nullptr) {
+      options.recorder->RecordCpnProbe(m, bound, phase);
+    }
+    return bound;
+  };
 
   size_t found = 0;  // Smallest prefix found with CPN >= k; 0 = none yet.
   if (options.galloping) {
@@ -142,7 +156,7 @@ LowerBoundResult EstimateLowerBound(
     size_t lo = static_cast<size_t>(k) - 1;  // CPN of k-1 vertices < k.
     size_t hi = static_cast<size_t>(k);
     while (true) {
-      if (cpn.CpnAt(hi, k, options.bound) >= k) {
+      if (probe(hi, "gallop") >= k) {
         found = hi;
         break;
       }
@@ -154,7 +168,7 @@ LowerBoundResult EstimateLowerBound(
       // Invariant: CpnAt(found) >= k; search (lo, found] for minimality.
       while (lo + 1 < found) {
         const size_t mid = lo + (found - lo) / 2;
-        if (cpn.CpnAt(mid, k, options.bound) >= k) {
+        if (probe(mid, "binary_search") >= k) {
           found = mid;
         } else {
           lo = mid;
@@ -163,7 +177,7 @@ LowerBoundResult EstimateLowerBound(
     }
   } else {
     for (size_t m = static_cast<size_t>(k); m <= n; ++m) {
-      if (cpn.CpnAt(m, k, options.bound) >= k) {
+      if (probe(m, "linear") >= k) {
         found = m;
         break;
       }
@@ -183,6 +197,11 @@ LowerBoundResult EstimateLowerBound(
   result.cpn_evaluations = cpn.cpn_evaluations();
   span.AddArg("m", static_cast<int64_t>(result.m));
   RecordLowerBoundMetrics(result);
+  if (options.recorder != nullptr) {
+    options.recorder->RecordLowerBound(result.m, result.M, result.certified,
+                                       result.edges_examined,
+                                       result.cpn_evaluations);
+  }
   return result;
 }
 

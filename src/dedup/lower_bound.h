@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dedup/group.h"
+#include "obs/explain.h"
 #include "predicates/pair_predicate.h"
 
 namespace topkdup::dedup {
@@ -48,6 +49,10 @@ struct LowerBoundOptions {
     kAuto,      // Greedy IS first; fall back to min-fill when it fails.
   };
   Bound bound = Bound::kAuto;
+
+  /// When non-null, receives every CPN probe (prefix size, certified
+  /// bound, which search phase asked) plus the final m/M summary.
+  obs::ExplainRecorder* recorder = nullptr;
 };
 
 /// Estimates m and M for `groups` (sorted by decreasing weight) under the

@@ -75,6 +75,12 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
           continue;
         }
         ++examined;
+        // Sampling keys off the weight-sorted group index, so the explain
+        // event set is identical at any thread count.
+        const bool sampled = options.recorder != nullptr &&
+                             options.recorder->SampleKey(i);
+        size_t contributing = 0;
+        bool early_exit = false;
         double sum = groups[i].weight;
         index.ForEachCandidate(i, &scratch, [&](size_t j) {
           // In pass p only neighbors whose previous-pass bound exceeded M
@@ -83,8 +89,10 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
             ++evals;
             if (necessary.Evaluate(reps[i], reps[j])) {
               sum += groups[j].weight;
+              if (sampled) ++contributing;
               if (!exact_bounds && sum > M) {
                 ++exits;
+                early_exit = true;
                 return false;  // Early exit.
               }
             }
@@ -95,6 +103,27 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
         // A group at least as heavy as M can itself be an answer group and
         // is never pruned (§4.3).
         next_alive[i] = groups[i].weight >= M || sum > M;
+        if (sampled) {
+          obs::PruneDecisionExplain decision;
+          decision.pass = pass + 1;
+          decision.group = i;
+          decision.rep = groups[i].rep;
+          decision.weight = groups[i].weight;
+          decision.upper_bound = sum;
+          decision.M = M;
+          decision.neighbors_contributing = contributing;
+          decision.survived = next_alive[i] != 0;
+          if (groups[i].weight >= M) {
+            decision.verdict = obs::PruneVerdict::kKeptOwnWeight;
+          } else if (sum > M) {
+            decision.verdict = early_exit
+                                   ? obs::PruneVerdict::kKeptBoundEarlyExit
+                                   : obs::PruneVerdict::kKeptBoundFull;
+          } else {
+            decision.verdict = obs::PruneVerdict::kPrunedBoundBelowM;
+          }
+          options.recorder->RecordPruneDecision(decision);
+        }
       }
       counters.groups_examined->Add(examined);
       counters.pair_evals->Add(evals);
@@ -111,6 +140,10 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
   }
   counters.groups_pruned->Add(n - result.groups.size());
   span.AddArg("groups_out", static_cast<int64_t>(result.groups.size()));
+  if (options.recorder != nullptr) {
+    options.recorder->RecordPruneSummary(options.passes, M, n,
+                                         result.groups.size());
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dedup/group.h"
+#include "obs/explain.h"
 #include "predicates/pair_predicate.h"
 
 namespace topkdup::dedup {
@@ -13,6 +14,10 @@ struct PruneOptions {
   /// The paper observed two passes give ~2x more pruning than one, with
   /// little gain beyond two.
   int passes = 2;
+  /// When non-null, receives the prune summary plus per-group decisions
+  /// (bound vs. M, decisive component) sampled deterministically by group
+  /// index — the same decisions are recorded at any thread count.
+  obs::ExplainRecorder* recorder = nullptr;
 };
 
 struct PruneResult {

@@ -1,5 +1,7 @@
 #include "dedup/pruned_dedup.h"
 
+#include <memory>
+#include <string>
 #include <utility>
 
 #include "common/log.h"
@@ -58,6 +60,16 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
   pipeline_span.AddArg("levels", static_cast<int64_t>(levels.size()));
   pipeline_span.AddArg("groups_in", static_cast<int64_t>(groups.size()));
 
+  // The recorder is owned here unless the caller (e.g. TopKCountQuery)
+  // supplied one to compose a whole-query report.
+  std::unique_ptr<obs::ExplainRecorder> owned_recorder;
+  obs::ExplainRecorder* recorder = options.explain_recorder;
+  if (recorder == nullptr && options.explain) {
+    owned_recorder =
+        std::make_unique<obs::ExplainRecorder>(options.explain_sample_rate);
+    recorder = owned_recorder.get();
+  }
+
   PrunedDedupResult result;
   result.upper_bounds.assign(groups.size(), 0.0);
 
@@ -69,10 +81,20 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
     const uint64_t probes_before = counters.blocking_probes->Value();
     const uint64_t evals_before = counters.TotalEvals();
     const size_t groups_before = groups.size();
+    if (recorder != nullptr) {
+      recorder->BeginLevel(
+          level.sufficient != nullptr ? std::string(level.sufficient->name())
+                                      : std::string(),
+          level.necessary != nullptr ? std::string(level.necessary->name())
+                                     : std::string(),
+          level.necessary != nullptr);
+    }
     Timer timer;
 
     if (level.sufficient != nullptr) {
-      groups = Collapse(groups, *level.sufficient);
+      groups = Collapse(groups, *level.sufficient, recorder);
+    } else if (recorder != nullptr) {
+      recorder->RecordCollapseSummary(groups_before, groups_before);
     }
     stats.collapse_seconds = timer.ElapsedSeconds();
     stats.n_after_collapse = groups.size();
@@ -80,9 +102,11 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
 
     if (level.necessary != nullptr) {
       timer.Reset();
+      LowerBoundOptions lb_options = options.lower_bound;
+      lb_options.recorder = recorder;
       const LowerBoundResult lb =
           EstimateLowerBound(groups, *level.necessary, options.k,
-                             options.lower_bound);
+                             lb_options);
       stats.lower_bound_seconds = timer.ElapsedSeconds();
       stats.m = lb.m;
       stats.M = lb.M;
@@ -92,6 +116,7 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
       timer.Reset();
       PruneOptions prune_options;
       prune_options.passes = options.prune_passes;
+      prune_options.recorder = recorder;
       PruneResult pruned = PruneGroups(groups, *level.necessary, lb.M,
                                        prune_options, options.exact_bounds);
       stats.prune_seconds = timer.ElapsedSeconds();
@@ -127,6 +152,10 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
                        static_cast<int64_t>(result.groups.size()));
   result.metrics = metrics::MetricsSnapshot::Delta(
       snapshot_before, metrics::Registry::Global().Snapshot());
+  if (owned_recorder != nullptr) {
+    result.explain = std::make_shared<const obs::ExplainReport>(
+        owned_recorder->Finish());
+  }
   return result;
 }
 

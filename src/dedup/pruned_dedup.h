@@ -2,6 +2,7 @@
 #define TOPKDUP_DEDUP_PRUNED_DEDUP_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/metrics.h"
@@ -9,6 +10,7 @@
 #include "dedup/group.h"
 #include "dedup/lower_bound.h"
 #include "dedup/prune.h"
+#include "obs/explain.h"
 #include "predicates/pair_predicate.h"
 #include "record/record.h"
 
@@ -57,6 +59,9 @@ struct PrunedDedupResult {
   /// between entry and return (common/metrics.h), for exporters and
   /// query-time budgeting.
   metrics::MetricsSnapshot metrics;
+  /// Per-query explain report (Options::explain); null when explain was
+  /// off or when events went to an external Options::explain_recorder.
+  std::shared_ptr<const obs::ExplainReport> explain;
 };
 
 struct PrunedDedupOptions {
@@ -71,6 +76,19 @@ struct PrunedDedupOptions {
   /// (common/parallel.h's deterministic sharded reductions).
   int threads = 0;
   LowerBoundOptions lower_bound;
+  /// Build a per-query explain report (src/obs/explain.h) carried on the
+  /// result. Off by default; the off path hands the hot loops a null
+  /// recorder, which costs one pointer test per potential event.
+  bool explain = false;
+  /// Fraction of *detail* events (collapse merges, prune decisions) kept,
+  /// sampled by a deterministic per-event hash. Section summaries and
+  /// every CPN probe stay exact at any rate.
+  double explain_sample_rate = 1.0;
+  /// When non-null, events go to this external recorder instead of a
+  /// fresh internal one and the result's `explain` stays null — the owner
+  /// calls Finish(). Used by TopKCountQuery to compose one whole-query
+  /// report spanning dedup, embedding, and segmentation.
+  obs::ExplainRecorder* explain_recorder = nullptr;
 };
 
 /// Algorithm 2 (PrunedDedup): for each predicate level, collapse with S_l,

@@ -42,10 +42,17 @@ std::vector<size_t> GreedyEmbedding(const cluster::PairScores& scores,
     return best;
   };
 
+  size_t regions = 0;
   for (size_t i = 0; i < n; ++i) {
     size_t chosen = n;
+    // Sampled by step index, so the recorded picks are the same for a
+    // given input regardless of how the caller parallelized upstream.
+    const bool record_pick = options.recorder != nullptr &&
+                             options.recorder->SampleKey(i);
+    double best_affinity = 0.0;
+    size_t runner_up = n;
+    double runner_up_affinity = 0.0;
     if (!order.empty()) {
-      double best_affinity = 0.0;
       for (size_t k = 0; k < n; ++k) {
         if (placed[k]) continue;
         const double aged =
@@ -54,12 +61,28 @@ std::vector<size_t> GreedyEmbedding(const cluster::PairScores& scores,
         if (aged > best_affinity ||
             (aged == best_affinity && aged > 0.0 && chosen != n &&
              weight_of(k) > weight_of(chosen))) {
+          if (record_pick && chosen != n) {
+            runner_up = chosen;
+            runner_up_affinity = best_affinity;
+          }
           best_affinity = aged;
           chosen = k;
+        } else if (record_pick && aged > runner_up_affinity && k != chosen) {
+          runner_up = k;
+          runner_up_affinity = aged;
         }
       }
     }
-    if (chosen == n) chosen = pick_seed();  // New region.
+    const bool new_region = chosen == n;
+    if (new_region) {
+      chosen = pick_seed();
+      ++regions;
+    }
+    if (record_pick) {
+      options.recorder->RecordEmbeddingPick(
+          {i, chosen, new_region ? 0.0 : best_affinity, runner_up,
+           runner_up_affinity, new_region});
+    }
 
     placed[chosen] = true;
     order.push_back(chosen);
@@ -72,6 +95,9 @@ std::vector<size_t> GreedyEmbedding(const cluster::PairScores& scores,
       stamp[other] = i + 1;
       value[other] += s;
     }
+  }
+  if (options.recorder != nullptr) {
+    options.recorder->RecordEmbeddingSummary(n, options.alpha, regions);
   }
   return order;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cluster/pair_scores.h"
+#include "obs/explain.h"
 
 namespace topkdup::embed {
 
@@ -11,6 +12,10 @@ struct GreedyEmbeddingOptions {
   /// Aging factor alpha of paper Eq. (3): positions j far behind the front
   /// contribute alpha^(i-j-1) of their similarity. In (0, 1].
   double alpha = 0.5;
+  /// When non-null, receives the embedding summary plus sampled placement
+  /// picks (winning Eq.-3 affinity and the runner-up it beat), keyed by
+  /// step so the sampled set is deterministic.
+  obs::ExplainRecorder* recorder = nullptr;
 };
 
 /// Greedy linear embedding of paper §5.3.1: repeatedly appends the item

@@ -1,0 +1,233 @@
+#ifndef TOPKDUP_OBS_EXPLAIN_H_
+#define TOPKDUP_OBS_EXPLAIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace topkdup::obs {
+
+/// Query-level explain/introspection layer. Where common/metrics.h answers
+/// "how much work did the pipeline do", this module answers "why did it
+/// make a specific decision": which sufficient predicate merged a pair of
+/// groups, which bound value killed a group against M, which Eq.-3 term
+/// won an embedding slot, and how an answer's score decomposes.
+///
+/// The pipeline feeds an ExplainRecorder structured decision events;
+/// Finish() assembles them into an ExplainReport renderable as a stable,
+/// schema-versioned JSON document or an indented text report. Two cost
+/// rules make it safe to leave compiled in:
+///
+///  - A null recorder costs one pointer test per potential event — the
+///    explain-off path adds nothing measurable to the hot loops.
+///  - Detail events are *sampled* by a deterministic hash of a stable
+///    per-event key (group index, embedding step, winner representative),
+///    never by an RNG, so the same events are captured at any thread
+///    count and the volume is bounded by `sample_rate`. Section summaries
+///    (counts, m, M, bounds) are always exact regardless of the rate.
+
+/// One collapse merge: `loser` was folded into `winner` by the level's
+/// sufficient predicate (the transitive closure of §4.1). Representatives
+/// are record ids.
+struct CollapseMergeExplain {
+  size_t winner_rep = 0;
+  size_t loser_rep = 0;
+  double winner_weight = 0.0;
+  double loser_weight = 0.0;
+};
+
+struct LevelCollapseExplain {
+  size_t groups_in = 0;
+  size_t groups_out = 0;
+  std::vector<CollapseMergeExplain> sampled_merges;
+};
+
+/// One CPN lower-bound evaluation while locating m (§4.2): the prefix
+/// size probed, the clique-partition bound it certified, and which search
+/// phase asked ("gallop", "binary_search", or "linear").
+struct CpnProbeExplain {
+  size_t prefix = 0;
+  int bound = 0;
+  std::string phase;
+};
+
+struct LevelLowerBoundExplain {
+  size_t m = 0;        // The prefix that fixed M.
+  double M = 0.0;
+  bool certified = false;
+  size_t edges_examined = 0;
+  size_t cpn_evaluations = 0;
+  std::vector<CpnProbeExplain> probes;  // O(log n) — never sampled.
+};
+
+/// Which component of the §4.3 recursive upper bound decided a group's
+/// fate in a prune pass.
+enum class PruneVerdict {
+  kKeptOwnWeight,      // weight >= M: the group can itself be an answer.
+  kKeptBoundEarlyExit, // neighbor sum provably exceeded M before the scan
+                       // finished (the early-exit fast path).
+  kKeptBoundFull,      // full neighbor sum exceeded M.
+  kPrunedBoundBelowM,  // upper bound <= M: discarded.
+};
+
+const char* PruneVerdictName(PruneVerdict verdict);
+
+struct PruneDecisionExplain {
+  int pass = 0;
+  size_t group = 0;  // Index into the level's weight-sorted group list.
+  size_t rep = 0;
+  double weight = 0.0;
+  double upper_bound = 0.0;  // The actual bound value compared against M.
+  double M = 0.0;
+  size_t neighbors_contributing = 0;  // N-passing alive neighbors summed.
+  bool survived = false;
+  PruneVerdict verdict = PruneVerdict::kPrunedBoundBelowM;
+};
+
+struct LevelPruneExplain {
+  int passes = 0;
+  double M = 0.0;
+  size_t groups_in = 0;
+  size_t groups_pruned = 0;  // Always exact; reconciles with LevelStats.
+  size_t groups_out = 0;
+  /// Sorted by (pass, group) — deterministic at any thread count.
+  std::vector<PruneDecisionExplain> sampled_decisions;
+};
+
+struct LevelExplain {
+  int level = 0;
+  std::string sufficient_predicate;  // Empty when the level has none.
+  std::string necessary_predicate;
+  bool has_lower_bound = false;
+  LevelCollapseExplain collapse;
+  LevelLowerBoundExplain lower_bound;
+  LevelPruneExplain prune;
+};
+
+/// One greedy-embedding placement (§5.3.1): the Eq.-3 aged affinity that
+/// won the slot and the runner-up it beat. `runner_up` == items when no
+/// other candidate had positive affinity.
+struct EmbeddingPickExplain {
+  size_t step = 0;
+  size_t item = 0;
+  double affinity = 0.0;
+  size_t runner_up = 0;
+  double runner_up_affinity = 0.0;
+  bool new_region = false;  // Seeded by weight, not affinity.
+};
+
+struct EmbeddingExplain {
+  size_t items = 0;
+  double alpha = 0.0;
+  size_t regions = 0;  // Number of affinity-less restarts (incl. first).
+  std::vector<EmbeddingPickExplain> sampled_picks;
+};
+
+/// Segmentation-DP summary (§5.3.2): score-table dimensions and the
+/// boundaries (inclusive span ends) of the best and runner-up full
+/// segmentations.
+struct SegmentDpExplain {
+  size_t rows = 0;
+  size_t band = 0;
+  size_t cells_filled = 0;
+  size_t answers_found = 0;
+  std::vector<size_t> best_boundaries;
+  std::vector<size_t> runner_up_boundaries;
+};
+
+/// Per-group score decomposition of one returned answer.
+struct AnswerGroupExplain {
+  double weight = 0.0;
+  size_t representative = 0;
+  size_t member_count = 0;
+  size_t span_begin = 0;  // Embedding positions, inclusive.
+  size_t span_end = 0;
+  double segment_score = 0.0;  // S(span): this group's score contribution.
+};
+
+struct AnswerExplain {
+  int rank = 0;
+  double score = 0.0;
+  double threshold = 0.0;
+  double posterior = 0.0;
+  std::vector<AnswerGroupExplain> groups;
+};
+
+/// The assembled per-query report. JSON schema is versioned like
+/// WriteBenchJson's: bump kSchemaVersion on breaking field changes.
+struct ExplainReport {
+  static constexpr int kSchemaVersion = 1;
+
+  double sample_rate = 1.0;
+  std::vector<LevelExplain> levels;
+  bool has_embedding = false;
+  EmbeddingExplain embedding;
+  bool has_segment_dp = false;
+  SegmentDpExplain segment_dp;
+  std::vector<AnswerExplain> answers;
+  /// Detail events discarded after the per-report cap; summaries stay
+  /// exact even when this is non-zero.
+  size_t events_dropped = 0;
+
+  /// Stable single-document JSON ({"schema_version":1,...}).
+  std::string ToJson() const;
+  /// Indented human-readable rendering of the same content.
+  std::string ToText() const;
+};
+
+/// Per-query event sink. One recorder serves one query: the serial driver
+/// (PrunedDedup / TopKCountQuery) opens levels and records summaries;
+/// parallel workers append sampled detail events concurrently (appends
+/// take a mutex — explain is a debugging mode, and sampling bounds the
+/// contention). Finish() sorts the concurrent sections into their
+/// deterministic order and returns the report.
+class ExplainRecorder {
+ public:
+  explicit ExplainRecorder(double sample_rate = 1.0);
+
+  double sample_rate() const { return sample_rate_; }
+
+  /// Deterministic sampling decision for a stable event key: true for the
+  /// same keys at any thread count or interleaving.
+  bool SampleKey(uint64_t key) const;
+
+  /// Opens the next predicate level; subsequent level-scoped events land
+  /// there. Serial (driver loop) only.
+  void BeginLevel(std::string sufficient_predicate,
+                  std::string necessary_predicate, bool has_lower_bound);
+
+  void RecordCollapseSummary(size_t groups_in, size_t groups_out);
+  void RecordCollapseMerge(const CollapseMergeExplain& event);  // Thread-safe.
+  void RecordCpnProbe(size_t prefix, int bound, const char* phase);
+  void RecordLowerBound(size_t m, double M, bool certified,
+                        size_t edges_examined, size_t cpn_evaluations);
+  void RecordPruneSummary(int passes, double M, size_t groups_in,
+                          size_t groups_out);
+  void RecordPruneDecision(const PruneDecisionExplain& event);  // Thread-safe.
+
+  void RecordEmbeddingSummary(size_t items, double alpha, size_t regions);
+  void RecordEmbeddingPick(const EmbeddingPickExplain& event);
+  void RecordSegmentDp(SegmentDpExplain summary);
+  void RecordAnswer(AnswerExplain answer);
+
+  /// Sorts concurrent sections deterministically and returns the report.
+  /// The recorder is spent afterwards.
+  ExplainReport Finish();
+
+ private:
+  /// Returns the level events should land in, creating an implicit one
+  /// for callers used outside a PrunedDedup driver. mu_ must be held.
+  LevelExplain& CurrentLevelLocked();
+  bool AdmitDetailLocked();
+
+  double sample_rate_;
+  std::mutex mu_;
+  ExplainReport report_;
+  size_t detail_events_ = 0;
+};
+
+}  // namespace topkdup::obs
+
+#endif  // TOPKDUP_OBS_EXPLAIN_H_

@@ -23,6 +23,12 @@ SegmentScorer::SegmentScorer(const cluster::PairScores& scores,
   static metrics::Counter* rows_counter =
       metrics::Registry::Global().GetCounter("segment.scorer.rows");
   scores_flat_.assign(n_ * band_, 0.0);
+  // Closed form of the per-row fills below (each row i scores spans
+  // [i, i..min(n-1, i+band-1)]); kept as a member so explain reports don't
+  // have to read the process-wide counter.
+  for (size_t i = 0; i < n_; ++i) {
+    cells_filled_ += std::min(n_ - 1, i + band_ - 1) - i + 1;
+  }
 
   std::vector<size_t> pos(n_, 0);
   for (size_t p = 0; p < n_; ++p) pos[order[p]] = p;

@@ -47,10 +47,15 @@ class SegmentScorer {
 
   size_t size() const { return n_; }
   size_t band() const { return band_; }
+  /// Number of table cells actually scored (rows are band-clipped at the
+  /// right edge, so this is < n * band). Matches the per-build increment
+  /// of the segment.scorer.cells_filled counter; used by explain reports.
+  size_t cells_filled() const { return cells_filled_; }
 
  private:
   size_t n_;
   size_t band_;
+  size_t cells_filled_ = 0;
   std::vector<double> scores_flat_;  // [i * band + (j - i)]
 };
 

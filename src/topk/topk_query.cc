@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <unordered_set>
+#include <utility>
 
 #include "common/parallel.h"
 #include "common/trace.h"
@@ -54,9 +56,24 @@ StatusOr<TopKCountResult> TopKCountQuery(
     out->metrics = metrics::MetricsSnapshot::Delta(
         snapshot_before, metrics::Registry::Global().Snapshot());
   };
+  // One recorder spans the whole query: dedup levels feed it through
+  // PrunedDedupOptions::explain_recorder, then embedding/DP/answers append
+  // their sections before Finish().
+  std::unique_ptr<obs::ExplainRecorder> recorder;
+  if (options.explain) {
+    recorder =
+        std::make_unique<obs::ExplainRecorder>(options.explain_sample_rate);
+  }
+  const auto finish_explain = [&](TopKCountResult* out) {
+    if (recorder != nullptr) {
+      out->explain =
+          std::make_shared<const obs::ExplainReport>(recorder->Finish());
+    }
+  };
   dedup::PrunedDedupOptions prune_options;
   prune_options.k = options.k;
   prune_options.prune_passes = options.prune_passes;
+  prune_options.explain_recorder = recorder.get();
   TOPKDUP_ASSIGN_OR_RETURN(
       dedup::PrunedDedupResult pruning,
       dedup::PrunedDedup(data, levels, prune_options));
@@ -65,17 +82,28 @@ StatusOr<TopKCountResult> TopKCountQuery(
   if (pruning.exact) {
     // Pruning alone isolated exactly K groups: one certain answer.
     TopKAnswerSet answer;
+    obs::AnswerExplain answer_explain;
     for (const dedup::Group& g : pruning.groups) {
       AnswerGroup ag;
       ag.weight = g.weight;
       ag.representative = g.rep;
       ag.members = g.members;
+      if (recorder != nullptr) {
+        // No embedding ran, so there are no spans or segment scores.
+        answer_explain.groups.push_back(
+            {ag.weight, ag.representative, ag.members.size(), 0, 0, 0.0});
+      }
       answer.groups.push_back(std::move(ag));
     }
     result.answers.push_back(std::move(answer));
     result.exact_from_pruning = true;
     result.pruning = std::move(pruning);
+    if (recorder != nullptr) {
+      answer_explain.rank = 1;
+      recorder->RecordAnswer(std::move(answer_explain));
+    }
     finish_metrics(&result);
+    finish_explain(&result);
     return result;
   }
 
@@ -95,6 +123,7 @@ StatusOr<TopKCountResult> TopKCountQuery(
   for (size_t i = 0; i < groups.size(); ++i) weights[i] = groups[i].weight;
   embed::GreedyEmbeddingOptions embed_options;
   embed_options.alpha = options.embedding_alpha;
+  embed_options.recorder = recorder.get();
   const std::vector<size_t> order = [&] {
     TOPKDUP_TRACE_SPAN("embed.greedy");
     return embed::GreedyEmbedding(scores, weights, embed_options);
@@ -113,6 +142,25 @@ StatusOr<TopKCountResult> TopKCountQuery(
       std::vector<segment::TopKAnswer> dp_answers,
       segment::TopKSegmentation(seg_scorer, order, weights, dp_options));
   dp_span.AddArg("answers", static_cast<int64_t>(dp_answers.size()));
+  if (recorder != nullptr) {
+    obs::SegmentDpExplain dp_explain;
+    dp_explain.rows = seg_scorer.size();
+    dp_explain.band = seg_scorer.band();
+    dp_explain.cells_filled = seg_scorer.cells_filled();
+    dp_explain.answers_found = dp_answers.size();
+    // Boundaries are the inclusive span ends of the full segmentation.
+    if (!dp_answers.empty()) {
+      for (const segment::Span& s : dp_answers[0].segmentation) {
+        dp_explain.best_boundaries.push_back(s.end);
+      }
+    }
+    if (dp_answers.size() > 1) {
+      for (const segment::Span& s : dp_answers[1].segmentation) {
+        dp_explain.runner_up_boundaries.push_back(s.end);
+      }
+    }
+    recorder->RecordSegmentDp(std::move(dp_explain));
+  }
 
   // Distinct segmentations can induce identical K answer groups (they
   // differ only in how the non-answer remainder is segmented); the user
@@ -124,15 +172,30 @@ StatusOr<TopKCountResult> TopKCountQuery(
                 seg_scorer, {.temperature = options.posterior_temperature})
           : 0.0;
   for (const segment::TopKAnswer& dp_answer : dp_answers) {
+    // Keep each merged group tagged with its source span so the explain
+    // decomposition still knows the embedding positions after the
+    // weight-descending sort.
+    std::vector<std::pair<AnswerGroup, segment::Span>> tagged;
+    tagged.reserve(dp_answer.answer.size());
+    for (const segment::Span& span : dp_answer.answer) {
+      tagged.emplace_back(MergeSpan(span, order, groups), span);
+    }
+    std::sort(tagged.begin(), tagged.end(),
+              [](const std::pair<AnswerGroup, segment::Span>& a,
+                 const std::pair<AnswerGroup, segment::Span>& b) {
+                return a.first.weight > b.first.weight;
+              });
     TopKAnswerSet answer;
     answer.score = dp_answer.score;
-    for (const segment::Span& span : dp_answer.answer) {
-      answer.groups.push_back(MergeSpan(span, order, groups));
+    std::vector<obs::AnswerGroupExplain> group_explains;
+    for (auto& [group, span] : tagged) {
+      if (recorder != nullptr) {
+        group_explains.push_back({group.weight, group.representative,
+                                  group.members.size(), span.begin, span.end,
+                                  seg_scorer.Score(span.begin, span.end)});
+      }
+      answer.groups.push_back(std::move(group));
     }
-    std::sort(answer.groups.begin(), answer.groups.end(),
-              [](const AnswerGroup& a, const AnswerGroup& b) {
-                return a.weight > b.weight;
-              });
     std::string signature;
     for (const AnswerGroup& g : answer.groups) {
       std::vector<size_t> members = g.members;
@@ -153,11 +216,22 @@ StatusOr<TopKCountResult> TopKCountQuery(
           answer.posterior = std::exp(mass.value() - log_z);
         }
       }
+      if (recorder != nullptr) {
+        obs::AnswerExplain answer_explain;
+        answer_explain.rank =
+            static_cast<int>(result.answers.size()) + 1;
+        answer_explain.score = answer.score;
+        answer_explain.threshold = dp_answer.threshold;
+        answer_explain.posterior = answer.posterior;
+        answer_explain.groups = std::move(group_explains);
+        recorder->RecordAnswer(std::move(answer_explain));
+      }
       result.answers.push_back(std::move(answer));
     }
   }
   result.pruning = std::move(pruning);
   finish_metrics(&result);
+  finish_explain(&result);
   return result;
 }
 

@@ -1,11 +1,13 @@
 #ifndef TOPKDUP_TOPK_TOPK_QUERY_H_
 #define TOPKDUP_TOPK_TOPK_QUERY_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
 #include "dedup/pruned_dedup.h"
+#include "obs/explain.h"
 #include "record/record.h"
 #include "topk/pair_scoring.h"
 
@@ -41,6 +43,11 @@ struct TopKCountResult {
   /// embedding, segmentation DP); `pruning.metrics` holds the
   /// pruning-stage-only subset.
   metrics::MetricsSnapshot metrics;
+  /// Whole-query explain report spanning dedup levels, embedding,
+  /// segmentation DP, and answer decomposition (TopKCountOptions::explain).
+  /// Null when explain was off. `pruning.explain` stays null here — the
+  /// dedup events land in this report instead.
+  std::shared_ptr<const obs::ExplainReport> explain;
 };
 
 struct TopKCountOptions {
@@ -64,6 +71,10 @@ struct TopKCountOptions {
   bool compute_posteriors = false;
   /// Gibbs temperature for the posteriors; must be > 0.
   double posterior_temperature = 1.0;
+  /// Build a whole-query explain report (src/obs/explain.h) on the result.
+  bool explain = false;
+  /// Fraction of detail events kept in the report; summaries stay exact.
+  double explain_sample_rate = 1.0;
 };
 
 /// The paper's end-to-end TopK count query (Algorithm 2 + §5): prune and

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -236,6 +239,128 @@ TEST(LogTest, SeverityFilterDiscardsBelowMinimum) {
   SetLogSink(nullptr);
   ASSERT_EQ(messages.size(), 1u);
   EXPECT_EQ(messages[0], "kept");
+}
+
+/// Splits a Prometheus exposition into sample lines, dropping `# TYPE`
+/// comments, and returns (series-with-labels, value-string) pairs in
+/// document order.
+std::vector<std::pair<std::string, std::string>> ParsePromSamples(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> samples;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << line;
+    samples.emplace_back(line.substr(0, space), line.substr(space + 1));
+  }
+  return samples;
+}
+
+TEST(PrometheusTextTest, RoundTripsSnapshotExactly) {
+  // Hand-built snapshot with every metric kind, a dotted name needing
+  // sanitization, and values that only survive full-precision printing.
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"dedup.prune.pair_evals", 1234567890123ull});
+  snapshot.counters.push_back({"pool.tasks", 0});
+  snapshot.gauges.push_back({"dedup.lower_bound.M", 37.25});
+  snapshot.gauges.push_back({"embed.alpha", 0.1});  // Not binary-exact.
+  metrics::HistogramSample h;
+  h.name = "pool.task_seconds";
+  h.bounds = {0.001, 0.01, 0.1};
+  h.counts = {3, 0, 7, 2};  // Per-bucket, last = overflow past 0.1.
+  h.count = 12;
+  h.sum = 1.2345678901234567;
+  snapshot.histograms.push_back(h);
+
+  const std::string text = metrics::PrometheusText(snapshot);
+  EXPECT_NE(text.find("# TYPE topkdup_dedup_prune_pair_evals_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE topkdup_dedup_lower_bound_M gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE topkdup_pool_task_seconds histogram"),
+            std::string::npos);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+
+  std::map<std::string, std::string> by_series;
+  std::vector<uint64_t> cumulative_buckets;
+  for (const auto& [series, value] : ParsePromSamples(text)) {
+    by_series[series] = value;
+    if (series.rfind("topkdup_pool_task_seconds_bucket{", 0) == 0) {
+      cumulative_buckets.push_back(
+          std::strtoull(value.c_str(), nullptr, 10));
+    }
+  }
+
+  // Counters: sanitized name + _total, exact integer values.
+  EXPECT_EQ(by_series.at("topkdup_dedup_prune_pair_evals_total"),
+            "1234567890123");
+  EXPECT_EQ(by_series.at("topkdup_pool_tasks_total"), "0");
+
+  // Gauges round-trip through strtod to the exact original doubles.
+  EXPECT_EQ(std::strtod(by_series.at("topkdup_dedup_lower_bound_M").c_str(),
+                        nullptr),
+            37.25);
+  EXPECT_EQ(std::strtod(by_series.at("topkdup_embed_alpha").c_str(), nullptr),
+            0.1);
+
+  // Histogram buckets are cumulative in `le` order plus +Inf; de-cumulating
+  // recovers the snapshot's per-bucket counts.
+  ASSERT_EQ(cumulative_buckets.size(), h.bounds.size() + 1);  // + "+Inf".
+  EXPECT_NE(text.find("topkdup_pool_task_seconds_bucket{le=\"+Inf\"} 12"),
+            std::string::npos);
+  std::vector<uint64_t> recovered;
+  uint64_t previous = 0;
+  for (uint64_t c : cumulative_buckets) {
+    ASSERT_GE(c, previous);  // Cumulative series never decreases.
+    recovered.push_back(c - previous);
+    previous = c;
+  }
+  EXPECT_EQ(recovered, h.counts);
+  EXPECT_EQ(by_series.at("topkdup_pool_task_seconds_count"), "12");
+  EXPECT_EQ(std::strtod(by_series.at("topkdup_pool_task_seconds_sum").c_str(),
+                        nullptr),
+            h.sum);
+}
+
+TEST(PrometheusTextTest, WriteMatchesInMemoryRendering) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"test.prom.write", 7});
+  const std::string path =
+      ::testing::TempDir() + "/topkdup_prom_roundtrip.prom";
+  ASSERT_TRUE(metrics::WritePrometheusText(snapshot, path));
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(in);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, metrics::PrometheusText(snapshot));
+}
+
+TEST(PrometheusTextTest, LiveRegistryMetricsAppearInExposition) {
+  Counter* c = Registry::Global().GetCounter("test.prom.live_counter");
+  c->Add(3);
+  Histogram* hist = Registry::Global().GetHistogram(
+      "test.prom.live_seconds", metrics::LatencySecondsBounds());
+  hist->Observe(0.002);
+  const std::string text =
+      metrics::PrometheusText(Registry::Global().Snapshot());
+  EXPECT_NE(text.find("topkdup_test_prom_live_counter_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("topkdup_test_prom_live_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("topkdup_test_prom_live_seconds_count"),
+            std::string::npos);
 }
 
 }  // namespace
