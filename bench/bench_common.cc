@@ -107,6 +107,26 @@ int ApplyThreadsFlag(const Flags& flags) {
   return ParallelismLevel();
 }
 
+DeadlineFlags ApplyDeadlineFlags(const Flags& flags) {
+  DeadlineFlags budget;
+  budget.deadline_ms = flags.GetInt("deadline-ms", 0);
+  budget.work_budget =
+      static_cast<uint64_t>(flags.GetInt("work-budget", 0));
+  return budget;
+}
+
+Deadline DeadlineFlags::Make() const {
+  if (work_budget > 0) return Deadline::WithWorkBudget(work_budget);
+  return Deadline::AfterMillis(deadline_ms);
+}
+
+void PrintDegradation(int k, const DegradationInfo& info) {
+  if (!info.degraded) return;
+  std::printf("K=%d degraded: %s in stage %s at level %d (%s)\n", k,
+              DeadlineReasonName(info.reason), info.stage.c_str(),
+              info.level, info.partial_stage ? "partial" : "boundary");
+}
+
 Observability ApplyObservabilityFlags(const Flags& flags) {
   Observability obs;
   obs.metrics_path = flags.GetString("metrics-json", "");

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "dedup/pruned_dedup.h"
 #include "obs/explain.h"
 
@@ -53,6 +54,30 @@ std::string Num(double v, int decimals = 2);
 /// Applies the shared --threads=N flag (0 = keep the TOPKDUP_THREADS /
 /// hardware default) and returns the effective parallelism level.
 int ApplyThreadsFlag(const Flags& flags);
+
+/// The shared query-budget flags (both default off):
+///   --deadline-ms=N    wall-clock budget per query run
+///   --work-budget=N    work-unit budget per query run (deterministic)
+/// Budgets are per run: call Make() for a fresh Deadline before each
+/// query and keep it alive until the run returns. When both flags are
+/// given the work budget wins (it is the reproducible mode). The flags
+/// stay out of the params JSON on purpose — the perf gate matches
+/// baselines by params, and a budgeted run is not comparable to an
+/// unbudgeted one.
+struct DeadlineFlags {
+  int64_t deadline_ms = 0;
+  uint64_t work_budget = 0;
+
+  bool active() const { return deadline_ms > 0 || work_budget > 0; }
+  /// Fresh budget for one run; only meaningful when active().
+  Deadline Make() const;
+};
+
+DeadlineFlags ApplyDeadlineFlags(const Flags& flags);
+
+/// One-line console note for a degraded run ("K=50 degraded: ..."); no-op
+/// when the run completed exactly.
+void PrintDegradation(int k, const DegradationInfo& info);
 
 /// One PrunedDedup invocation in a fig harness: the query K, its wall
 /// time, and the per-level stats (columns + instrumentation counters).

@@ -10,6 +10,8 @@
 // author-mention corpus (see DESIGN.md); sizes are configurable:
 //   --records=N --authors=N --seed=S --ks=1,5,10 --passes=2 --ablation
 //   --threads=N --json=BENCH_fig2.json ("" disables the JSON dump)
+//   --deadline-ms=N --work-budget=N (per-K query budget; degraded runs
+//     are reported inline and still produce bound-consistent stats)
 //   --metrics-json=PATH (uniform schema + registry snapshot)
 //   --metrics-prom=PATH (Prometheus text exposition of the registry)
 //   --trace-json=PATH (Chrome trace_event JSON, loadable in Perfetto)
@@ -17,6 +19,7 @@
 //     (per-query explain reports: collapse merges, CPN probes, prune
 //      decisions with bound-vs-M provenance; see src/obs/explain.h)
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "bench_common.h"
@@ -45,6 +48,7 @@ int Run(int argc, char** argv) {
   const std::string json_path =
       flags.GetString("json", "BENCH_fig2.json");
   const bench::Observability obs = bench::ApplyObservabilityFlags(flags);
+  const bench::DeadlineFlags budget = bench::ApplyDeadlineFlags(flags);
 
   std::printf("Figure 2: Citation dataset pruning (records=%zu authors=%zu "
               "seed=%llu passes=%d threads=%d)\n",
@@ -94,6 +98,11 @@ int Run(int argc, char** argv) {
     options.prune_passes = passes;
     options.explain = obs.explain_enabled();
     options.explain_sample_rate = obs.explain_sample_rate;
+    std::optional<Deadline> run_deadline;
+    if (budget.active()) {
+      run_deadline.emplace(budget.Make());
+      options.deadline = &*run_deadline;
+    }
     Timer run_timer;
     auto result_or =
         dedup::PrunedDedup(data, {{&s1, &n1}, {&s2, &n2}}, options);
@@ -102,6 +111,7 @@ int Run(int argc, char** argv) {
                    result_or.status().ToString().c_str());
       continue;
     }
+    bench::PrintDegradation(k, result_or.value().degradation);
     const auto& levels = result_or.value().levels;
     runs.push_back({k, run_timer.ElapsedSeconds(), levels});
     if (options.explain) {

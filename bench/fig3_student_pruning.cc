@@ -6,6 +6,7 @@
 // --trace-json=PATH --explain-json=PATH --explain-text=PATH
 // --explain-sample-rate=R
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "bench_common.h"
@@ -31,6 +32,7 @@ int Run(int argc, char** argv) {
   const int threads = bench::ApplyThreadsFlag(flags);
   const std::string json_path = flags.GetString("json", "BENCH_fig3.json");
   const bench::Observability obs = bench::ApplyObservabilityFlags(flags);
+  const bench::DeadlineFlags budget = bench::ApplyDeadlineFlags(flags);
 
   std::printf("Figure 3: Student dataset pruning (records=%zu students=%zu "
               "seed=%llu passes=%d threads=%d)\n",
@@ -77,6 +79,11 @@ int Run(int argc, char** argv) {
     options.prune_passes = passes;
     options.explain = obs.explain_enabled();
     options.explain_sample_rate = obs.explain_sample_rate;
+    std::optional<Deadline> run_deadline;
+    if (budget.active()) {
+      run_deadline.emplace(budget.Make());
+      options.deadline = &*run_deadline;
+    }
     Timer run_timer;
     auto result_or =
         dedup::PrunedDedup(data, {{&s1, &n1}, {&s2, &n2}}, options);
@@ -85,6 +92,7 @@ int Run(int argc, char** argv) {
                    result_or.status().ToString().c_str());
       continue;
     }
+    bench::PrintDegradation(k, result_or.value().degradation);
     const auto& levels = result_or.value().levels;
     runs.push_back({k, run_timer.ElapsedSeconds(), levels});
     if (options.explain) {

@@ -13,6 +13,7 @@
 // the paper. Flags: --records --authors --seed --ks --none_cap --skip_none
 // --threads --json=BENCH_fig6.json --metrics-json=PATH --trace-json=PATH
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "bench_common.h"
@@ -143,6 +144,7 @@ int Run(int argc, char** argv) {
   const int threads = bench::ApplyThreadsFlag(flags);
   const std::string json_path = flags.GetString("json", "BENCH_fig6.json");
   const bench::Observability obs = bench::ApplyObservabilityFlags(flags);
+  const bench::DeadlineFlags budget = bench::ApplyDeadlineFlags(flags);
 
   std::printf(
       "Figure 6: timing vs K on citation subset (records=%zu threads=%d)\n",
@@ -203,10 +205,16 @@ int Run(int argc, char** argv) {
     Timer timer;
     dedup::PrunedDedupOptions options;
     options.k = k;
+    std::optional<Deadline> run_deadline;
+    if (budget.active()) {
+      run_deadline.emplace(budget.Make());
+      options.deadline = &*run_deadline;
+    }
     auto pruned_or =
         dedup::PrunedDedup(data, {{&s1, &n1}, {&s2, &n2}}, options);
     double time_pruned = -1.0;
     if (pruned_or.ok()) {
+      bench::PrintDegradation(k, pruned_or.value().degradation);
       // Final predicate on the pruned groups, as Algorithm 2 step 9.
       CanopyDedup(pruned_or.value().groups, n2, pred);
       time_pruned = timer.ElapsedSeconds();

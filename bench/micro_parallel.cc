@@ -7,9 +7,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <limits>
 #include <memory>
 
 #include "common/check.h"
+#include "common/deadline.h"
 #include "common/parallel.h"
 #include "datagen/citation_gen.h"
 #include "dedup/collapse.h"
@@ -114,6 +116,53 @@ BENCHMARK(BM_PruneThreads)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Deadline polling overhead: the same collapse/prune work with a
+// never-expiring work budget attached. The delta against the *Threads
+// baselines above is the cost of the cooperative checks and work
+// charging; the perf gate keeps it inside the regression band. Note the
+// deadline-on collapse always takes the shard-local edge path (the serial
+// fast path is reserved for deadline-free runs), so the threads=1 delta
+// includes that structural difference, not just polling.
+void BM_CollapseDeadline(benchmark::State& state) {
+  const Workload& w = Workload::Get();
+  ScopedParallelism threads(static_cast<int>(state.range(0)));
+  const Deadline deadline =
+      Deadline::WithWorkBudget(std::numeric_limits<uint64_t>::max());
+  for (auto _ : state) {
+    std::vector<dedup::Group> out =
+        dedup::Collapse(w.singletons, *w.s1, /*recorder=*/nullptr, &deadline);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.singletons.size()));
+}
+BENCHMARK(BM_CollapseDeadline)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_PruneDeadline(benchmark::State& state) {
+  const Workload& w = Workload::Get();
+  ScopedParallelism threads(static_cast<int>(state.range(0)));
+  const Deadline deadline =
+      Deadline::WithWorkBudget(std::numeric_limits<uint64_t>::max());
+  for (auto _ : state) {
+    dedup::PruneOptions options;
+    options.deadline = &deadline;
+    dedup::PruneResult out =
+        dedup::PruneGroups(w.collapsed, *w.n1, w.M, options);
+    benchmark::DoNotOptimize(out.groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.collapsed.size()));
+}
+BENCHMARK(BM_PruneDeadline)
+    ->Arg(1)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

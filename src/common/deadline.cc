@@ -1,0 +1,123 @@
+#include "common/deadline.h"
+
+#include <mutex>
+#include <vector>
+
+#include "common/log.h"
+
+namespace topkdup {
+
+const char* DeadlineReasonName(DeadlineReason reason) {
+  switch (reason) {
+    case DeadlineReason::kNone:
+      return "none";
+    case DeadlineReason::kWallClock:
+      return "wall_clock";
+    case DeadlineReason::kWorkBudget:
+      return "work_budget";
+    case DeadlineReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+Deadline Deadline::AfterMillis(int64_t millis) {
+  Deadline d;
+  d.has_wall_ = true;
+  d.wall_deadline_ = Clock::now() + std::chrono::milliseconds(millis);
+  return d;
+}
+
+Deadline Deadline::WithWorkBudget(uint64_t units) {
+  Deadline d;
+  d.has_budget_ = true;
+  d.work_budget_ = units;
+  return d;
+}
+
+bool Deadline::CheckSlow(bool include_work_budget) const {
+  // Cancellation outranks the budgets: it is an explicit caller decision.
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    Latch(DeadlineReason::kCancelled);
+    return true;
+  }
+  if (include_work_budget && has_budget_ &&
+      work_charged_.load(std::memory_order_relaxed) >= work_budget_) {
+    Latch(DeadlineReason::kWorkBudget);
+    return true;
+  }
+  if (has_wall_ && Clock::now() >= wall_deadline_) {
+    Latch(DeadlineReason::kWallClock);
+    return true;
+  }
+  return false;
+}
+
+void Deadline::Latch(DeadlineReason reason) const {
+  int expected = static_cast<int>(DeadlineReason::kNone);
+  latched_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                   std::memory_order_relaxed,
+                                   std::memory_order_relaxed);
+}
+
+namespace {
+
+// Innermost-last stack of live handlers. Registration and delivery are rare
+// (per-query, per-fault), so one global mutex is fine.
+std::mutex& HandlerMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::vector<ScopedSoftFailHandler*>& HandlerStack() {
+  static std::vector<ScopedSoftFailHandler*>* stack =
+      new std::vector<ScopedSoftFailHandler*>;
+  return *stack;
+}
+
+}  // namespace
+
+ScopedSoftFailHandler::ScopedSoftFailHandler() {
+  std::lock_guard<std::mutex> lock(HandlerMutex());
+  HandlerStack().push_back(this);
+}
+
+ScopedSoftFailHandler::~ScopedSoftFailHandler() {
+  std::lock_guard<std::mutex> lock(HandlerMutex());
+  auto& stack = HandlerStack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (*it == this) {
+      stack.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+bool ScopedSoftFailHandler::Report(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(HandlerMutex());
+    auto& stack = HandlerStack();
+    if (!stack.empty()) {
+      ScopedSoftFailHandler* handler = stack.back();
+      if (!handler->triggered_.load(std::memory_order_relaxed)) {
+        handler->status_ = std::move(status);
+        handler->triggered_.store(true, std::memory_order_release);
+      }
+      return true;
+    }
+  }
+  TOPKDUP_LOG(Warning) << "soft failure with no handler registered: "
+                       << status.ToString();
+  return false;
+}
+
+bool ScopedSoftFailHandler::triggered() const {
+  return triggered_.load(std::memory_order_acquire);
+}
+
+Status ScopedSoftFailHandler::status() const {
+  std::lock_guard<std::mutex> lock(HandlerMutex());
+  return triggered_.load(std::memory_order_relaxed) ? status_ : Status::OK();
+}
+
+}  // namespace topkdup

@@ -1,0 +1,63 @@
+#ifndef TOPKDUP_COMMON_FAULTPOINT_H_
+#define TOPKDUP_COMMON_FAULTPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace topkdup::fault {
+
+/// Named, deterministically-seeded fault-injection sites.
+///
+/// Production code plants sites at error-path boundaries (the CSV reader,
+/// the thread pool, each pipeline stage) with TOPKDUP_FAULT_RETURN_IF; when
+/// a site fires it returns an Internal Status naming the site, so tests and
+/// CI can prove every error path propagates instead of crashing or hanging.
+///
+/// Disabled (the default) the whole machinery compiles down to one relaxed
+/// atomic load per site visit. Enable with the environment variable
+///
+///   TOPKDUP_FAULTS=site:prob:seed[,site:prob:seed...]
+///
+/// e.g. TOPKDUP_FAULTS=dedup.collapse:1.0:7 or
+/// TOPKDUP_FAULTS=csv.read:0.01:42,parallel.region:0.5:9. Draws are pure
+/// functions of (seed, site, per-site visit counter) via splitmix64, so a
+/// given configuration fires at exactly the same visits on every run.
+
+/// Fast-path gate: true when any site is armed (env or ArmForTest).
+bool Enabled();
+
+/// True when the named site should fire at this visit. Advances the site's
+/// visit counter; unknown sites never fire. Only call after Enabled().
+bool Fires(std::string_view site);
+
+/// How many times the site has fired so far (test assertion hook).
+uint64_t FireCount(std::string_view site);
+
+/// Arms a site programmatically (tests). probability in [0,1].
+void ArmForTest(std::string_view site, double probability, uint64_t seed);
+
+/// Disarms every site and resets counters; Enabled() becomes false unless
+/// the environment variable armed sites (env arming is permanent for the
+/// process, matching its use in CI smoke runs).
+void DisarmAllForTest();
+
+/// Names of the sites armed right now (diagnostics).
+std::vector<std::string> ArmedSites();
+
+}  // namespace topkdup::fault
+
+/// Returns an Internal Status from the enclosing function when the named
+/// fault site fires. Usable in functions returning Status or StatusOr<T>.
+#define TOPKDUP_FAULT_RETURN_IF(site)                                  \
+  do {                                                                 \
+    if (::topkdup::fault::Enabled() && ::topkdup::fault::Fires(site)) {\
+      return ::topkdup::Status::Internal(                              \
+          std::string("fault injected at ") + (site));                 \
+    }                                                                  \
+  } while (0)
+
+#endif  // TOPKDUP_COMMON_FAULTPOINT_H_

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/deadline.h"
+#include "common/faultpoint.h"
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -184,6 +186,15 @@ void RunShards(size_t num_shards, const std::function<void(size_t)>& fn) {
   const int threads = ParallelismLevel();
   if (threads <= 1 || num_shards == 1 || t_in_parallel_region) {
     for (size_t s = 0; s < num_shards; ++s) fn(s);
+    return;
+  }
+
+  // The pool has no Status channel back to its caller, so this fault is
+  // delivered through the soft-failure handler stack; the region is
+  // skipped, and the driver surfaces the Status at its next stage check.
+  if (fault::Enabled() && fault::Fires("parallel.region")) {
+    ScopedSoftFailHandler::Report(
+        Status::Internal("fault injected at parallel.region"));
     return;
   }
 

@@ -31,7 +31,12 @@ metrics::Counter* PairEvalCounter() {
 void CollectEdges(const predicates::BlockedIndex& index,
                   const predicates::PairPredicate& sufficient,
                   const std::vector<size_t>& reps, size_t begin, size_t end,
-                  std::vector<Edge>* edges) {
+                  const Deadline* deadline, std::vector<Edge>* edges) {
+  // A shard skipped on expiry contributes no edges; the closure is then
+  // under-collapsed, which is still a valid partition. Work-budget expiry
+  // is never decided here (ExpiredUrgent ignores it), so budget-limited
+  // runs stay bit-identical at any thread count.
+  if (deadline != nullptr && deadline->ExpiredUrgent()) return;
   UnionFind local(reps.size());
   predicates::BlockedIndex::QueryScratch scratch;
   size_t evals = 0;
@@ -46,13 +51,15 @@ void CollectEdges(const predicates::BlockedIndex& index,
     }
   });
   PairEvalCounter()->Add(evals);
+  if (deadline != nullptr) deadline->ChargeWork(evals);
 }
 
 }  // namespace
 
 std::vector<Group> Collapse(const std::vector<Group>& groups,
                             const predicates::PairPredicate& sufficient,
-                            obs::ExplainRecorder* recorder) {
+                            obs::ExplainRecorder* recorder,
+                            const Deadline* deadline) {
   const size_t n = groups.size();
   trace::Span span("dedup.collapse");
   span.AddArg("groups_in", static_cast<int64_t>(n));
@@ -61,7 +68,7 @@ std::vector<Group> Collapse(const std::vector<Group>& groups,
 
   predicates::BlockedIndex index(sufficient, reps);
   UnionFind uf(n);
-  if (ParallelismLevel() <= 1) {
+  if (deadline == nullptr && ParallelismLevel() <= 1) {
     // Serial fast path: one global union-find skips every transitively
     // merged pair before the (possibly expensive) predicate runs.
     predicates::BlockedIndex::QueryScratch scratch;
@@ -77,7 +84,7 @@ std::vector<Group> Collapse(const std::vector<Group>& groups,
     const std::vector<Edge> edges = ParallelReduce<std::vector<Edge>>(
         0, n, DefaultGrain(n),
         [&](size_t b, size_t e, std::vector<Edge>* out) {
-          CollectEdges(index, sufficient, reps, b, e, out);
+          CollectEdges(index, sufficient, reps, b, e, deadline, out);
         },
         [](std::vector<Edge>* total, std::vector<Edge>&& shard) {
           total->insert(total->end(), shard.begin(), shard.end());

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "dedup/group.h"
 #include "obs/explain.h"
 #include "predicates/pair_predicate.h"
@@ -21,9 +22,19 @@ namespace topkdup::dedup {
 /// sampled merge events. Merges are reported from the final set partition
 /// (not edge discovery order), so the recorded events are identical
 /// whether the closure was computed serially or in parallel.
+///
+/// When `deadline` is non-null it is polled at shard boundaries; on expiry
+/// the remaining shards contribute no edges and the function returns the
+/// partial closure. An under-collapsed partition is still a valid
+/// partition (entities are merely split, never wrongly merged), so every
+/// downstream bound stays sound. Predicate evaluations are charged to the
+/// deadline as work units; with a deadline present the closure always runs
+/// the shard-local edge-collection path (even single-threaded) so the
+/// charged work is identical at any thread count.
 std::vector<Group> Collapse(const std::vector<Group>& groups,
                             const predicates::PairPredicate& sufficient,
-                            obs::ExplainRecorder* recorder = nullptr);
+                            obs::ExplainRecorder* recorder = nullptr,
+                            const Deadline* deadline = nullptr);
 
 }  // namespace topkdup::dedup
 

@@ -20,17 +20,27 @@ namespace {
 /// weight-sorted groups and evaluates the CPN lower bound on demand.
 class PrefixCpn {
  public:
+  /// Sentinel returned by CpnAt when the deadline interrupted edge growth:
+  /// the probe is abandoned whole (a bound over a partially grown edge set
+  /// could falsely certify distinctness).
+  static constexpr int kAbandoned = -1;
+
   PrefixCpn(const std::vector<Group>& groups,
-            const predicates::PairPredicate& necessary)
-      : groups_(groups), necessary_(necessary), reps_(groups.size()) {
+            const predicates::PairPredicate& necessary,
+            const Deadline* deadline)
+      : groups_(groups),
+        necessary_(necessary),
+        deadline_(deadline),
+        reps_(groups.size()) {
     for (size_t i = 0; i < groups.size(); ++i) reps_[i] = groups[i].rep;
     index_.emplace(necessary, reps_);
   }
 
-  /// CPN lower bound of the graph on groups[0..m), early-stopped at `k`.
+  /// CPN lower bound of the graph on groups[0..m), early-stopped at `k`;
+  /// kAbandoned when the deadline expired mid-growth.
   int CpnAt(size_t m, int k, LowerBoundOptions::Bound bound) {
     ++cpn_evaluations_;
-    GrowTo(m);
+    if (!GrowTo(m)) return kAbandoned;
     graph::Graph g(m);
     // Edges are appended with increasing second endpoint, so the edges of
     // the prefix form a prefix of the edge list.
@@ -60,8 +70,17 @@ class PrefixCpn {
   size_t cpn_evaluations() const { return cpn_evaluations_; }
 
  private:
-  void GrowTo(size_t m) {
+  /// Grows the edge set to cover prefix `m`. Returns false when the urgent
+  /// deadline check fired mid-growth; `grown_` then marks the last fully
+  /// processed vertex, so the edge list stays consistent for any smaller
+  /// prefix. Work-budget expiry is decided only between probes (in the
+  /// caller), never here, keeping budget-limited runs deterministic.
+  bool GrowTo(size_t m) {
     for (; grown_ < m; ++grown_) {
+      if (deadline_ != nullptr && (grown_ & 0x3f) == 0 &&
+          deadline_->ExpiredUrgent()) {
+        return false;
+      }
       index_->ForEachCandidate(grown_, &scratch_, [&](size_t j) {
         if (j < grown_) {
           ++edges_examined_;
@@ -73,10 +92,12 @@ class PrefixCpn {
         return true;
       });
     }
+    return true;
   }
 
   const std::vector<Group>& groups_;
   const predicates::PairPredicate& necessary_;
+  const Deadline* deadline_;
   std::vector<size_t> reps_;
   std::optional<predicates::BlockedIndex> index_;
   predicates::BlockedIndex::QueryScratch scratch_;
@@ -136,16 +157,39 @@ LowerBoundResult EstimateLowerBound(
     return result;
   }
 
-  PrefixCpn cpn(groups, necessary);
+  const Deadline* deadline = options.deadline;
+  PrefixCpn cpn(groups, necessary, deadline);
+  bool degraded = false;
+  size_t edges_charged = 0;
 
   // Evaluates one prefix, forwarding the probe to the explain recorder with
-  // the search phase that asked for it.
+  // the search phase that asked for it. Returns PrefixCpn::kAbandoned when
+  // the urgent deadline check interrupted edge growth; the partial probe
+  // contributes nothing. Edge enumerations are charged to the deadline
+  // probe-by-probe, so work-budget expiry lands between probes on the same
+  // probe at any thread count (the search is serial).
   auto probe = [&](size_t m, const char* phase) {
     const int bound = cpn.CpnAt(m, k, options.bound);
+    if (deadline != nullptr) {
+      deadline->ChargeWork(cpn.edges_examined() - edges_charged + 1);
+      edges_charged = cpn.edges_examined();
+    }
+    if (bound == PrefixCpn::kAbandoned) {
+      degraded = true;
+      return PrefixCpn::kAbandoned;
+    }
     if (options.recorder != nullptr) {
       options.recorder->RecordCpnProbe(m, bound, phase);
     }
     return bound;
+  };
+  // Full (work-budget-aware) check at a probe boundary; deterministic.
+  auto expired_before_probe = [&]() {
+    if (deadline != nullptr && deadline->Expired()) {
+      degraded = true;
+      return true;
+    }
+    return false;
   };
 
   size_t found = 0;  // Smallest prefix found with CPN >= k; 0 = none yet.
@@ -155,8 +199,10 @@ LowerBoundResult EstimateLowerBound(
     // if the heuristic is not perfectly monotone the returned m is safe.
     size_t lo = static_cast<size_t>(k) - 1;  // CPN of k-1 vertices < k.
     size_t hi = static_cast<size_t>(k);
-    while (true) {
-      if (probe(hi, "gallop") >= k) {
+    while (!expired_before_probe()) {
+      const int bound = probe(hi, "gallop");
+      if (bound == PrefixCpn::kAbandoned) break;
+      if (bound >= k) {
         found = hi;
         break;
       }
@@ -166,9 +212,13 @@ LowerBoundResult EstimateLowerBound(
     }
     if (found != 0) {
       // Invariant: CpnAt(found) >= k; search (lo, found] for minimality.
-      while (lo + 1 < found) {
+      // Stopping early keeps a certified but possibly non-minimal m, whose
+      // M is merely weaker (smaller), never wrong.
+      while (lo + 1 < found && !expired_before_probe()) {
         const size_t mid = lo + (found - lo) / 2;
-        if (probe(mid, "binary_search") >= k) {
+        const int bound = probe(mid, "binary_search");
+        if (bound == PrefixCpn::kAbandoned) break;
+        if (bound >= k) {
           found = mid;
         } else {
           lo = mid;
@@ -177,7 +227,10 @@ LowerBoundResult EstimateLowerBound(
     }
   } else {
     for (size_t m = static_cast<size_t>(k); m <= n; ++m) {
-      if (probe(m, "linear") >= k) {
+      if (expired_before_probe()) break;
+      const int bound = probe(m, "linear");
+      if (bound == PrefixCpn::kAbandoned) break;
+      if (bound >= k) {
         found = m;
         break;
       }
@@ -193,6 +246,7 @@ LowerBoundResult EstimateLowerBound(
     result.M = groups[found - 1].weight;
     result.certified = true;
   }
+  result.degraded = degraded;
   result.edges_examined = cpn.edges_examined();
   result.cpn_evaluations = cpn.cpn_evaluations();
   span.AddArg("m", static_cast<int64_t>(result.m));

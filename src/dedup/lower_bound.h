@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/deadline.h"
 #include "dedup/group.h"
 #include "obs/explain.h"
 #include "predicates/pair_predicate.h"
@@ -30,6 +31,11 @@ struct LowerBoundResult {
   /// the galloping probes plus the binary-search refinement, or every
   /// single-vertex step in the non-galloping scheme).
   size_t cpn_evaluations = 0;
+  /// True when the search stopped early on deadline expiry. The returned
+  /// (m, M) are still sound: either the best certified prefix found so far
+  /// (possibly non-minimal, so M is merely weaker) or the uncertified
+  /// whole-list fallback.
+  bool degraded = false;
 };
 
 /// Options for EstimateLowerBound.
@@ -53,6 +59,14 @@ struct LowerBoundOptions {
   /// When non-null, receives every CPN probe (prefix size, certified
   /// bound, which search phase asked) plus the final m/M summary.
   obs::ExplainRecorder* recorder = nullptr;
+
+  /// When non-null, polled between CPN probes (full check, deterministic
+  /// under a work budget) and during edge growth (urgent wall-clock/cancel
+  /// check). A probe interrupted mid-growth is abandoned whole — a CPN
+  /// bound over a partially grown edge set could falsely certify
+  /// distinctness, so partial probes never contribute. Necessary-predicate
+  /// edge enumerations are charged as work units.
+  const Deadline* deadline = nullptr;
 };
 
 /// Estimates m and M for `groups` (sorted by decreasing weight) under the

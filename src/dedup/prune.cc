@@ -1,5 +1,6 @@
 #include "dedup/prune.h"
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 
@@ -52,19 +53,44 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
   for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
   predicates::BlockedIndex index(necessary, reps);
 
+  const Deadline* deadline = options.deadline;
+  PruneResult result;
+
   // uint8_t, not vector<bool>: parallel writers touch distinct slots,
   // which packed bits would turn into racy read-modify-writes.
   std::vector<uint8_t> alive(n, 1);
-  std::vector<double> ub(n, 0.0);
+  // +inf, not 0: a group whose bound was never computed (its shard skipped
+  // on urgent deadline expiry) must keep a valid — merely uninformative —
+  // upper bound. With no deadline every slot is overwritten in pass 1.
+  std::vector<double> ub(n, std::numeric_limits<double>::infinity());
 
   for (int pass = 0; pass < options.passes; ++pass) {
+    // Between-pass boundary: the only point where work-budget expiry is
+    // decided, so a budget-limited prune stops after the same completed
+    // pass at any thread count. The completed passes' alive/ub state is
+    // fully consistent.
+    if (deadline != nullptr && deadline->Expired()) {
+      result.degraded = true;
+      break;
+    }
     std::vector<uint8_t> next_alive(n, 0);
+    std::atomic<bool> pass_skipped{false};
     // Each group's bound reads the previous pass's `alive` (frozen during
     // the pass) and writes only its own ub/next_alive slots, so groups
     // shard freely. Candidate enumeration order is fixed by the index,
     // making every per-group float sum bit-identical at any thread count.
     ParallelForShards(0, n, DefaultGrain(n),
                       [&](size_t shard_begin, size_t shard_end, size_t) {
+      if (deadline != nullptr && deadline->ExpiredUrgent()) {
+        // Keep the shard's groups exactly as the previous pass left them:
+        // alive stays alive (under-pruning is sound), ub keeps its prior
+        // valid bound (+inf before pass 1).
+        for (size_t i = shard_begin; i < shard_end; ++i) {
+          next_alive[i] = alive[i];
+        }
+        pass_skipped.store(true, std::memory_order_relaxed);
+        return;
+      }
       predicates::BlockedIndex::QueryScratch scratch;
       size_t examined = 0;
       size_t evals = 0;
@@ -128,11 +154,16 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
       counters.groups_examined->Add(examined);
       counters.pair_evals->Add(evals);
       counters.early_exits->Add(exits);
+      if (deadline != nullptr) deadline->ChargeWork(evals);
     });
     alive.swap(next_alive);
+    if (pass_skipped.load(std::memory_order_relaxed)) {
+      result.degraded = true;
+    } else {
+      ++result.passes_completed;
+    }
   }
 
-  PruneResult result;
   for (size_t i = 0; i < n; ++i) {
     if (!alive[i]) continue;
     result.groups.push_back(groups[i]);
@@ -145,6 +176,36 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
                                          result.groups.size());
   }
   return result;
+}
+
+std::vector<double> ComputeGroupUpperBounds(
+    const std::vector<Group>& groups,
+    const predicates::PairPredicate& necessary,
+    const std::vector<size_t>& indices, const Deadline* deadline) {
+  const size_t n = groups.size();
+  std::vector<size_t> reps(n);
+  for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
+  predicates::BlockedIndex index(necessary, reps);
+
+  std::vector<double> bounds(indices.size(),
+                             std::numeric_limits<double>::infinity());
+  ParallelForShards(0, indices.size(), DefaultGrain(indices.size()),
+                    [&](size_t shard_begin, size_t shard_end, size_t) {
+    if (deadline != nullptr && deadline->ExpiredUrgent()) return;
+    predicates::BlockedIndex::QueryScratch scratch;
+    for (size_t s = shard_begin; s < shard_end; ++s) {
+      const size_t i = indices[s];
+      double sum = groups[i].weight;
+      index.ForEachCandidate(i, &scratch, [&](size_t j) {
+        if (j != i && necessary.Evaluate(reps[i], reps[j])) {
+          sum += groups[j].weight;
+        }
+        return true;
+      });
+      bounds[s] = sum;
+    }
+  });
+  return bounds;
 }
 
 }  // namespace topkdup::dedup

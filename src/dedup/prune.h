@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "dedup/group.h"
 #include "obs/explain.h"
 #include "predicates/pair_predicate.h"
@@ -18,6 +19,14 @@ struct PruneOptions {
   /// (bound vs. M, decisive component) sampled deterministically by group
   /// index — the same decisions are recorded at any thread count.
   obs::ExplainRecorder* recorder = nullptr;
+  /// When non-null, polled between passes (full check — the only place
+  /// work-budget expiry is decided, keeping budget-limited runs
+  /// deterministic) and at shard starts within a pass (urgent wall-clock/
+  /// cancel check). A skipped shard keeps its groups alive with their
+  /// previous valid upper bound (+inf in pass 1), so a degraded prune only
+  /// under-prunes — never discards a potential answer group. Necessary-
+  /// predicate evaluations are charged as work units.
+  const Deadline* deadline = nullptr;
 };
 
 struct PruneResult {
@@ -27,6 +36,11 @@ struct PruneResult {
   /// with `groups`. A group with weight >= M gets an upper bound computed
   /// the same way (its neighbors' weights still matter for rank queries).
   std::vector<double> upper_bounds;
+  /// True when the deadline stopped pruning early (fewer passes, or a pass
+  /// with skipped shards). Surviving groups and bounds are still sound.
+  bool degraded = false;
+  /// Passes that ran to completion over every shard.
+  int passes_completed = 0;
 };
 
 /// Prunes every group whose recursively tightened upper bound on the
@@ -41,6 +55,18 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
                         const predicates::PairPredicate& necessary, double M,
                         const PruneOptions& options = {},
                         bool exact_bounds = false);
+
+/// First-pass §4.3 upper bounds u_i = w_i + sum of all N-neighbor weights
+/// for the groups at `indices` (neighbors range over ALL of `groups`, so
+/// the bound is valid regardless of which subset is asked about). Used to
+/// attach [lower, upper] count intervals to a degraded answer when the
+/// pruning stage never ran for the final partition. `deadline`, when
+/// non-null, is urgent-polled per shard; a skipped shard's bounds are +inf
+/// (still valid, merely uninformative). Never charges work.
+std::vector<double> ComputeGroupUpperBounds(
+    const std::vector<Group>& groups,
+    const predicates::PairPredicate& necessary,
+    const std::vector<size_t>& indices, const Deadline* deadline = nullptr);
 
 }  // namespace topkdup::dedup
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/faultpoint.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/timer.h"
@@ -42,16 +43,48 @@ struct StageCounters {
 
 }  // namespace
 
+namespace {
+
+/// Fills the result's DegradationInfo once (the first stop wins) and bumps
+/// the topkdup_deadline_* metrics.
+void MarkDegraded(const Deadline& deadline, const char* stage, int level,
+                  bool partial_stage, DegradationInfo* info) {
+  if (info->degraded) return;
+  info->degraded = true;
+  info->stage = stage;
+  info->level = level;
+  info->reason = deadline.reason();
+  info->work_done = deadline.work_charged();
+  info->work_budget = deadline.work_budget();
+  info->partial_stage = partial_stage;
+  auto& registry = metrics::Registry::Global();
+  registry.GetCounter("deadline.degraded_queries")->Increment();
+  registry.GetCounter(std::string("deadline.stage_stopped.") + stage)
+      ->Increment();
+  TOPKDUP_LOG(Info) << "deadline expired (" << DeadlineReasonName(info->reason)
+                    << ") in stage " << stage << " at level " << level
+                    << (partial_stage ? " (mid-stage)" : " (stage boundary)");
+}
+
+}  // namespace
+
 StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
     std::vector<Group> groups, const std::vector<PredicateLevel>& levels,
     const PrunedDedupOptions& options) {
   if (options.k < 1) {
     return Status::InvalidArgument("PrunedDedup: k must be >= 1");
   }
+  if (options.prune_passes < 1) {
+    return Status::InvalidArgument("PrunedDedup: prune_passes must be >= 1");
+  }
   if (levels.empty()) {
     return Status::InvalidArgument("PrunedDedup: at least one level");
   }
   ScopedParallelism parallelism(options.threads);
+  const Deadline* deadline = options.deadline;
+  // Receives soft failures reported by code below us with no Status
+  // channel (the thread pool's fault site); checked after each stage.
+  ScopedSoftFailHandler soft_fail;
   const StageCounters& counters = StageCounters::Get();
   const metrics::MetricsSnapshot snapshot_before =
       metrics::Registry::Global().Snapshot();
@@ -75,6 +108,14 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
 
   for (size_t level_index = 0; level_index < levels.size(); ++level_index) {
     const PredicateLevel& level = levels[level_index];
+    const int level_1based = static_cast<int>(level_index) + 1;
+    // Level boundary: stopping here leaves the previous level's output —
+    // a complete, consistent pipeline state — as the answer.
+    if (deadline != nullptr && deadline->Expired()) {
+      MarkDegraded(*deadline, "collapse", level_1based,
+                   /*partial_stage=*/false, &result.degradation);
+      break;
+    }
     LevelStats stats;
     trace::Span level_span("dedup.level");
     level_span.AddArg("level", static_cast<int64_t>(level_index));
@@ -90,9 +131,21 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
           level.necessary != nullptr);
     }
     Timer timer;
+    bool stopped = false;
 
     if (level.sufficient != nullptr) {
-      groups = Collapse(groups, *level.sufficient, recorder);
+      TOPKDUP_FAULT_RETURN_IF("dedup.collapse");
+      groups = Collapse(groups, *level.sufficient, recorder, deadline);
+      if (soft_fail.triggered()) return soft_fail.status();
+      if (deadline != nullptr && deadline->Expired()) {
+        // The closure may be missing edges from skipped shards: a valid
+        // but under-collapsed partition. Bounds from previous levels no
+        // longer align with these groups.
+        MarkDegraded(*deadline, "collapse", level_1based,
+                     /*partial_stage=*/true, &result.degradation);
+        result.upper_bounds.clear();
+        stopped = true;
+      }
     } else if (recorder != nullptr) {
       recorder->RecordCollapseSummary(groups_before, groups_before);
     }
@@ -100,10 +153,12 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
     stats.n_after_collapse = groups.size();
     stats.records_collapsed = groups_before - groups.size();
 
-    if (level.necessary != nullptr) {
+    if (!stopped && level.necessary != nullptr) {
+      TOPKDUP_FAULT_RETURN_IF("dedup.lower_bound");
       timer.Reset();
       LowerBoundOptions lb_options = options.lower_bound;
       lb_options.recorder = recorder;
+      lb_options.deadline = deadline;
       const LowerBoundResult lb =
           EstimateLowerBound(groups, *level.necessary, options.k,
                              lb_options);
@@ -112,18 +167,41 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
       stats.M = lb.M;
       stats.cpn_growth_iterations = lb.cpn_evaluations;
       stats.cpn_edges_examined = lb.edges_examined;
+      if (lb.degraded || (deadline != nullptr && deadline->Expired())) {
+        // Collapse at this level completed, so the groups are a fully
+        // collapsed partition; only the search for (m, M) stopped early.
+        // Previous-level bounds no longer align with the new partition.
+        MarkDegraded(*deadline, "lower_bound", level_1based,
+                     /*partial_stage=*/lb.degraded, &result.degradation);
+        result.upper_bounds.clear();
+        stopped = true;
+      }
 
-      timer.Reset();
-      PruneOptions prune_options;
-      prune_options.passes = options.prune_passes;
-      prune_options.recorder = recorder;
-      PruneResult pruned = PruneGroups(groups, *level.necessary, lb.M,
-                                       prune_options, options.exact_bounds);
-      stats.prune_seconds = timer.ElapsedSeconds();
-      stats.groups_pruned = groups.size() - pruned.groups.size();
-      groups = std::move(pruned.groups);
-      result.upper_bounds = std::move(pruned.upper_bounds);
-    } else {
+      if (!stopped) {
+        TOPKDUP_FAULT_RETURN_IF("dedup.prune");
+        timer.Reset();
+        PruneOptions prune_options;
+        prune_options.passes = options.prune_passes;
+        prune_options.recorder = recorder;
+        prune_options.deadline = deadline;
+        PruneResult pruned = PruneGroups(groups, *level.necessary, lb.M,
+                                         prune_options, options.exact_bounds);
+        if (soft_fail.triggered()) return soft_fail.status();
+        stats.prune_seconds = timer.ElapsedSeconds();
+        stats.groups_pruned = groups.size() - pruned.groups.size();
+        groups = std::move(pruned.groups);
+        result.upper_bounds = std::move(pruned.upper_bounds);
+        if (pruned.degraded ||
+            (deadline != nullptr && deadline->Expired())) {
+          // A degraded prune only under-prunes; its survivors and bounds
+          // are consistent, so they stand as the final state.
+          MarkDegraded(*deadline, "prune", level_1based,
+                       /*partial_stage=*/pruned.degraded,
+                       &result.degradation);
+          stopped = true;
+        }
+      }
+    } else if (!stopped) {
       stats.m = groups.size();
       stats.M = groups.empty() ? 0.0 : groups.back().weight;
       result.upper_bounds.assign(groups.size(), 0.0);
@@ -140,6 +218,7 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
                        << " probes=" << stats.blocking_probes
                        << " evals=" << stats.predicate_evals;
     result.levels.push_back(stats);
+    if (stopped) break;
 
     if (groups.size() == static_cast<size_t>(options.k)) {
       result.exact = true;
@@ -148,6 +227,9 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
   }
 
   result.groups = std::move(groups);
+  if (result.degradation.degraded && recorder != nullptr) {
+    recorder->RecordDegradation(result.degradation);
+  }
   pipeline_span.AddArg("groups_out",
                        static_cast<int64_t>(result.groups.size()));
   result.metrics = metrics::MetricsSnapshot::Delta(

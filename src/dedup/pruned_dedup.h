@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "dedup/group.h"
@@ -62,6 +63,12 @@ struct PrunedDedupResult {
   /// Per-query explain report (Options::explain); null when explain was
   /// off or when events went to an external Options::explain_recorder.
   std::shared_ptr<const obs::ExplainReport> explain;
+  /// How the deadline degraded this run (degradation.degraded == false
+  /// when every level ran to completion). When degradation stopped the
+  /// pipeline before pruning recomputed bounds for the *current* group
+  /// set, `upper_bounds` is empty — callers needing intervals then fall
+  /// back to ComputeGroupUpperBounds (prune.h).
+  DegradationInfo degradation;
 };
 
 struct PrunedDedupOptions {
@@ -89,6 +96,13 @@ struct PrunedDedupOptions {
   /// calls Finish(). Used by TopKCountQuery to compose one whole-query
   /// report spanning dedup, embedding, and segmentation.
   obs::ExplainRecorder* explain_recorder = nullptr;
+  /// Query budget (not owned; null = unlimited). Polled cooperatively at
+  /// stage, shard, probe, and pass boundaries; on expiry the pipeline
+  /// stops at the next checkpoint and returns its best consistent state
+  /// with `PrunedDedupResult::degradation` filled. Never aborts. Under a
+  /// pure work budget the stopping point — and therefore every output —
+  /// is bit-identical at any thread count.
+  const Deadline* deadline = nullptr;
 };
 
 /// Algorithm 2 (PrunedDedup): for each predicate level, collapse with S_l,

@@ -191,7 +191,18 @@ std::string ExplainReport::ToJson() const {
     }
     out += "]}";
   }
-  out += StrFormat("],\"events_dropped\":%zu}", events_dropped);
+  out += "]";
+  if (has_degradation) {
+    out += StrFormat(
+        ",\"degradation\":{\"stage\":%s,\"level\":%d,\"reason\":%s,"
+        "\"work_done\":%llu,\"work_budget\":%llu,\"partial_stage\":%s}",
+        JsonString(degradation.stage).c_str(), degradation.level,
+        JsonString(degradation.reason).c_str(),
+        static_cast<unsigned long long>(degradation.work_done),
+        static_cast<unsigned long long>(degradation.work_budget),
+        degradation.partial_stage ? "true" : "false");
+  }
+  out += StrFormat(",\"events_dropped\":%zu}", events_dropped);
   return out;
 }
 
@@ -283,6 +294,19 @@ std::string ExplainReport::ToText() const {
           "segment score %.4f\n",
           ag.representative, ag.weight, ag.member_count, ag.span_begin,
           ag.span_end, ag.segment_score);
+    }
+  }
+  if (has_degradation) {
+    out += StrFormat(
+        "degraded: deadline expired (%s) in stage %s at level %d (%s)\n",
+        degradation.reason.c_str(), degradation.stage.c_str(),
+        degradation.level,
+        degradation.partial_stage ? "mid-stage" : "stage boundary");
+    if (degradation.work_budget > 0) {
+      out += StrFormat("  work: %llu charged of %llu budgeted\n",
+                       static_cast<unsigned long long>(degradation.work_done),
+                       static_cast<unsigned long long>(
+                           degradation.work_budget));
     }
   }
   if (events_dropped > 0) {
@@ -415,6 +439,18 @@ void ExplainRecorder::RecordSegmentDp(SegmentDpExplain summary) {
 void ExplainRecorder::RecordAnswer(AnswerExplain answer) {
   std::lock_guard<std::mutex> lock(mu_);
   report_.answers.push_back(std::move(answer));
+}
+
+void ExplainRecorder::RecordDegradation(const DegradationInfo& info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (report_.has_degradation) return;
+  report_.has_degradation = true;
+  report_.degradation.stage = info.stage;
+  report_.degradation.level = info.level;
+  report_.degradation.reason = DeadlineReasonName(info.reason);
+  report_.degradation.work_done = info.work_done;
+  report_.degradation.work_budget = info.work_budget;
+  report_.degradation.partial_stage = info.partial_stage;
 }
 
 ExplainReport ExplainRecorder::Finish() {

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+
 namespace topkdup::obs {
 
 /// Query-level explain/introspection layer. Where common/metrics.h answers
@@ -137,6 +139,19 @@ struct SegmentDpExplain {
   std::vector<size_t> runner_up_boundaries;
 };
 
+/// How a query deadline degraded the run: the stage that stopped, the
+/// level it stopped at, and how much of the work budget was spent. Only
+/// rendered when the report's `has_degradation` flag is set, so reports
+/// from undegraded runs are byte-identical to pre-deadline builds.
+struct DegradationExplain {
+  std::string stage;      // "collapse", "lower_bound", "prune", "segment".
+  int level = 0;          // 1-based predicate level (0 for segment stage).
+  std::string reason;     // DeadlineReasonName of the expiry cause.
+  uint64_t work_done = 0;
+  uint64_t work_budget = 0;  // 0 when only a wall-clock deadline was set.
+  bool partial_stage = false;  // Expired mid-stage vs at a stage boundary.
+};
+
 /// Per-group score decomposition of one returned answer.
 struct AnswerGroupExplain {
   double weight = 0.0;
@@ -167,6 +182,8 @@ struct ExplainReport {
   bool has_segment_dp = false;
   SegmentDpExplain segment_dp;
   std::vector<AnswerExplain> answers;
+  bool has_degradation = false;
+  DegradationExplain degradation;
   /// Detail events discarded after the per-report cap; summaries stay
   /// exact even when this is non-zero.
   size_t events_dropped = 0;
@@ -211,6 +228,11 @@ class ExplainRecorder {
   void RecordEmbeddingPick(const EmbeddingPickExplain& event);
   void RecordSegmentDp(SegmentDpExplain summary);
   void RecordAnswer(AnswerExplain answer);
+
+  /// Records how the query's deadline degraded the run. At most one
+  /// degradation is kept per report (the first — later stages never run
+  /// once the pipeline stops).
+  void RecordDegradation(const DegradationInfo& info);
 
   /// Sorts concurrent sections deterministically and returns the report.
   /// The recorder is spent afterwards.

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/faultpoint.h"
 #include "common/strings.h"
 
 namespace topkdup::record {
@@ -69,29 +70,59 @@ std::string FormatCsvLine(const std::vector<std::string>& fields) {
 
 namespace {
 
+/// One parsed row plus the 1-based line it started on, for error context.
+struct CsvRow {
+  size_t line = 1;
+  std::vector<std::string> cols;
+};
+
 /// Character-level CSV parser handling quoted fields that span lines.
 /// Returns one row per record; a trailing newline does not create an
-/// empty row.
-StatusOr<std::vector<std::vector<std::string>>> ParseCsvContent(
-    const std::string& content) {
-  std::vector<std::vector<std::string>> rows;
-  std::vector<std::string> row;
+/// empty row. Every error names the 1-based line and column (byte offset
+/// within the line) where it was detected.
+StatusOr<std::vector<CsvRow>> ParseCsvContent(const std::string& content,
+                                              const std::string& name,
+                                              const CsvLimits& limits) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
   std::string cur;
   bool in_quotes = false;
   bool cur_was_quoted = false;
   bool row_has_content = false;
+  size_t line = 1;
+  size_t col = 1;
+  size_t quote_line = 0;  // Where the open quoted field started.
+  size_t quote_col = 0;
   for (size_t i = 0; i < content.size(); ++i) {
     const char c = content[i];
+    if (c == '\0') {
+      return Status::InvalidArgument(
+          StrFormat("%s: line %zu column %zu: embedded NUL byte",
+                    name.c_str(), line, col));
+    }
+    if (cur.size() >= limits.max_field_bytes) {
+      return Status::ResourceExhausted(StrFormat(
+          "%s: line %zu column %zu: field exceeds %zu bytes", name.c_str(),
+          line, col, limits.max_field_bytes));
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < content.size() && content[i + 1] == '"') {
           cur.push_back('"');
           ++i;
+          col += 2;
         } else {
           in_quotes = false;
+          ++col;
         }
       } else {
         cur.push_back(c);
+        if (c == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
       }
       continue;
     }
@@ -99,41 +130,56 @@ StatusOr<std::vector<std::vector<std::string>>> ParseCsvContent(
       case '"':
         if (!cur.empty()) {
           return Status::InvalidArgument(
-              StrFormat("quote inside unquoted field at offset %zu", i));
+              StrFormat("%s: line %zu column %zu: quote inside unquoted "
+                        "field",
+                        name.c_str(), line, col));
         }
+        if (!row_has_content) row.line = line;
         in_quotes = true;
         cur_was_quoted = true;
         row_has_content = true;
+        quote_line = line;
+        quote_col = col;
+        ++col;
         break;
       case ',':
-        row.push_back(std::move(cur));
+        if (!row_has_content) row.line = line;
+        row.cols.push_back(std::move(cur));
         cur.clear();
         cur_was_quoted = false;
         row_has_content = true;
+        ++col;
         break;
       case '\r':
-        break;  // Tolerate CRLF.
+        ++col;  // Tolerate CRLF.
+        break;
       case '\n':
         if (row_has_content || !cur.empty() || cur_was_quoted) {
-          row.push_back(std::move(cur));
+          row.cols.push_back(std::move(cur));
           cur.clear();
           rows.push_back(std::move(row));
-          row.clear();
+          row = CsvRow{};
           row_has_content = false;
           cur_was_quoted = false;
         }
+        ++line;
+        col = 1;
         break;
       default:
+        if (!row_has_content) row.line = line;
         cur.push_back(c);
         row_has_content = true;
+        ++col;
         break;
     }
   }
   if (in_quotes) {
-    return Status::InvalidArgument("unterminated quoted field");
+    return Status::InvalidArgument(
+        StrFormat("%s: line %zu column %zu: unterminated quoted field",
+                  name.c_str(), quote_line, quote_col));
   }
   if (row_has_content || !cur.empty()) {
-    row.push_back(std::move(cur));
+    row.cols.push_back(std::move(cur));
     rows.push_back(std::move(row));
   }
   return rows;
@@ -141,19 +187,16 @@ StatusOr<std::vector<std::vector<std::string>>> ParseCsvContent(
 
 }  // namespace
 
-StatusOr<Dataset> ReadCsv(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    return Status::IOError("cannot open " + path);
-  }
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  TOPKDUP_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
-                           ParseCsvContent(content));
+StatusOr<Dataset> ReadCsvFromString(const std::string& content,
+                                    const std::string& name,
+                                    const CsvLimits& limits) {
+  TOPKDUP_FAULT_RETURN_IF("csv.read");
+  TOPKDUP_ASSIGN_OR_RETURN(std::vector<CsvRow> rows,
+                           ParseCsvContent(content, name, limits));
   if (rows.empty()) {
-    return Status::InvalidArgument("empty CSV file: " + path);
+    return Status::InvalidArgument("empty CSV input: " + name);
   }
-  const std::vector<std::string>& header = rows.front();
+  const std::vector<std::string>& header = rows.front().cols;
 
   int weight_col = -1;
   int entity_col = -1;
@@ -170,18 +213,31 @@ StatusOr<Dataset> ReadCsv(const std::string& path) {
 
   Dataset data{Schema(std::move(field_names))};
   for (size_t row_no = 1; row_no < rows.size(); ++row_no) {
-    std::vector<std::string>& cols = rows[row_no];
+    std::vector<std::string>& cols = rows[row_no].cols;
+    const size_t row_line = rows[row_no].line;
     if (cols.size() != header.size()) {
       return Status::InvalidArgument(
-          StrFormat("%s: row %zu: expected %zu columns, got %zu",
-                    path.c_str(), row_no, header.size(), cols.size()));
+          StrFormat("%s: line %zu: expected %zu columns, got %zu",
+                    name.c_str(), row_line, header.size(), cols.size()));
     }
     Record rec;
     for (size_t i = 0; i < cols.size(); ++i) {
       if (static_cast<int>(i) == weight_col) {
-        rec.weight = std::strtod(cols[i].c_str(), nullptr);
+        char* end = nullptr;
+        rec.weight = std::strtod(cols[i].c_str(), &end);
+        if (end == cols[i].c_str() || *end != '\0') {
+          return Status::InvalidArgument(StrFormat(
+              "%s: line %zu: __weight__ value \"%s\" is not a number",
+              name.c_str(), row_line, cols[i].c_str()));
+        }
       } else if (static_cast<int>(i) == entity_col) {
-        rec.entity_id = std::strtoll(cols[i].c_str(), nullptr, 10);
+        char* end = nullptr;
+        rec.entity_id = std::strtoll(cols[i].c_str(), &end, 10);
+        if (end == cols[i].c_str() || *end != '\0') {
+          return Status::InvalidArgument(StrFormat(
+              "%s: line %zu: __entity__ value \"%s\" is not an integer",
+              name.c_str(), row_line, cols[i].c_str()));
+        }
       } else {
         rec.fields.push_back(std::move(cols[i]));
       }
@@ -190,6 +246,16 @@ StatusOr<Dataset> ReadCsv(const std::string& path) {
   }
   TOPKDUP_RETURN_IF_ERROR(data.Validate());
   return data;
+}
+
+StatusOr<Dataset> ReadCsv(const std::string& path, const CsvLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return ReadCsvFromString(content, path, limits);
 }
 
 Status WriteCsv(const Dataset& data, const std::string& path) {

@@ -8,12 +8,33 @@
 
 namespace topkdup::record {
 
+/// Resource caps applied while parsing untrusted CSV input. Exceeding a
+/// cap returns ResourceExhausted with the line/column where it happened.
+struct CsvLimits {
+  /// Hard cap on one field's decoded size. A malformed file — an
+  /// unterminated quote swallowing everything to EOF, a generated line
+  /// with no separators — hits this long before exhausting memory.
+  size_t max_field_bytes = size_t{1} << 30;  // 1 GiB
+};
+
 /// Reads a CSV file with a header row into a Dataset. Handles RFC-4180 style
 /// quoting ("" escapes a quote inside a quoted field). Two optional special
 /// columns are recognized and stripped from the schema when present:
 ///   __weight__  — parsed into Record::weight
 ///   __entity__  — parsed into Record::entity_id
-StatusOr<Dataset> ReadCsv(const std::string& path);
+///
+/// Malformed input (unterminated quote, embedded NUL, ragged rows,
+/// unparsable weight/entity values) returns InvalidArgument naming the
+/// line and column; oversized fields return ResourceExhausted. Parsing
+/// never aborts the process.
+StatusOr<Dataset> ReadCsv(const std::string& path,
+                          const CsvLimits& limits = {});
+
+/// Same parse over an in-memory buffer; `name` labels error messages the
+/// way the path does for ReadCsv.
+StatusOr<Dataset> ReadCsvFromString(const std::string& content,
+                                    const std::string& name = "<string>",
+                                    const CsvLimits& limits = {});
 
 /// Writes `data` as CSV with a header row, emitting __weight__ and
 /// __entity__ columns so that a round trip preserves the dataset.

@@ -12,7 +12,7 @@ namespace topkdup::segment {
 
 SegmentScorer::SegmentScorer(const cluster::PairScores& scores,
                              const std::vector<size_t>& order, size_t band,
-                             Objective objective)
+                             Objective objective, const Deadline* deadline)
     : n_(order.size()), band_(std::max<size_t>(band, 1)) {
   TOPKDUP_CHECK(order.size() == scores.item_count());
   trace::Span span("segment.scorer.fill");
@@ -44,10 +44,25 @@ SegmentScorer::SegmentScorer(const cluster::PairScores& scores,
             static_cast<double>(n_ - 1 - scores.Neighbors(t).size());
   }
 
+  // Entry check (serial, so work-budget expiry here is deterministic): an
+  // already-expired deadline skips the whole fill; all-zero scores still
+  // admit every segmentation, just without quality guidance.
+  if (deadline != nullptr && deadline->Expired()) {
+    degraded_.store(true, std::memory_order_relaxed);
+    return;
+  }
+
   // Each span start i fills only its own row scores_flat_[i*band ..), and
   // the incremental walk reads nothing another row writes, so rows
   // parallelize with no synchronization and bit-identical results.
   ParallelFor(0, n_, DefaultGrain(n_), [&](size_t i) {
+    // Urgent (wall-clock/cancel) poll per row; a skipped row keeps its
+    // zero scores. Never decides work-budget expiry, so budget-limited
+    // fills stay bit-identical at any thread count.
+    if (deadline != nullptr && deadline->ExpiredUrgent()) {
+      degraded_.store(true, std::memory_order_relaxed);
+      return;
+    }
     // Crossing (separation-reward) part, shared by both objectives.
     // Span [i, i]: only item order[i]; the value is minus its crossing
     // mass.
@@ -115,6 +130,9 @@ SegmentScorer::SegmentScorer(const cluster::PairScores& scores,
     rows_counter->Increment();
     cells_filled->Add(j_end - i + 1);
   });
+  // Charged after the fill at a serial point: the amount is the closed-form
+  // cells_filled_, identical at any thread count.
+  if (deadline != nullptr) deadline->ChargeWork(cells_filled_);
 }
 
 }  // namespace topkdup::segment

@@ -1,10 +1,12 @@
 #ifndef TOPKDUP_SEGMENT_SEGMENT_SCORER_H_
 #define TOPKDUP_SEGMENT_SEGMENT_SCORER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
 #include "cluster/pair_scores.h"
+#include "common/deadline.h"
 
 namespace topkdup::segment {
 
@@ -36,9 +38,14 @@ class SegmentScorer {
   /// than `band` positions are not scored (the DP never asks for them;
   /// this is the paper's "do not consider clusters with too many
   /// dissimilar points" speedup).
+  /// When `deadline` is non-null it is checked once at entry (full check)
+  /// and urgent-polled per row during the fill; skipped rows keep score 0,
+  /// which only worsens DP segment quality, never validity. DP cell fills
+  /// are charged as work units after the (deterministically sized) fill.
   SegmentScorer(const cluster::PairScores& scores,
                 const std::vector<size_t>& order, size_t band,
-                Objective objective = Objective::kSumPositive);
+                Objective objective = Objective::kSumPositive,
+                const Deadline* deadline = nullptr);
 
   /// Score of span [i, j], 0-based inclusive positions, j - i < band.
   double Score(size_t i, size_t j) const {
@@ -51,11 +58,16 @@ class SegmentScorer {
   /// right edge, so this is < n * band). Matches the per-build increment
   /// of the segment.scorer.cells_filled counter; used by explain reports.
   size_t cells_filled() const { return cells_filled_; }
+  /// True when the deadline skipped some (or all) rows of the fill.
+  bool degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
 
  private:
   size_t n_;
   size_t band_;
   size_t cells_filled_ = 0;
+  std::atomic<bool> degraded_{false};
   std::vector<double> scores_flat_;  // [i * band + (j - i)]
 };
 

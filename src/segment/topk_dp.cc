@@ -159,7 +159,12 @@ StatusOr<std::vector<TopKAnswer>> TopKSegmentation(
   std::vector<TopKAnswer> results;
   std::unordered_set<std::string> seen;
 
+  const Deadline* deadline = options.deadline;
   for (double threshold : thresholds) {
+    // Per-threshold boundary: answers from fully processed thresholds are
+    // final, so stopping here returns a sound (merely less explored)
+    // top-R set.
+    if (deadline != nullptr && deadline->Expired()) break;
     // cells[kk][i]: top-r over segmentations of the first i positions with
     // exactly kk answer segments, all non-answer segments weighing
     // <= threshold and all answer segments > threshold.
@@ -168,7 +173,18 @@ StatusOr<std::vector<TopKAnswer>> TopKSegmentation(
         std::vector<std::vector<Entry>>(n + 1));
     cells[0][0].push_back(Entry{0.0, 0, 0, false});
 
+    bool interrupted = false;
     for (size_t i = 1; i <= n; ++i) {
+      // Per-row poll (serial DP, deterministic under a work budget). An
+      // interrupted table is discarded whole — a partially filled final
+      // cell could surface a worse-than-reported answer.
+      if (deadline != nullptr) {
+        deadline->ChargeWork(std::min(band, i));
+        if ((i & 0x3f) == 0 && deadline->Expired()) {
+          interrupted = true;
+          break;
+        }
+      }
       for (size_t j = 1; j <= std::min(band, i); ++j) {
         const double seg_score = scorer.Score(i - j, i - 1);
         const bool is_answer = span_weight(i - j, i - 1) > threshold;
@@ -187,6 +203,8 @@ StatusOr<std::vector<TopKAnswer>> TopKSegmentation(
         }
       }
     }
+
+    if (interrupted) break;
 
     // Backtrack each final entry.
     const auto& final_cell = cells[k][n];

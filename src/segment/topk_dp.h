@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cluster/pair_scores.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "segment/segment_scorer.h"
 
@@ -48,6 +49,13 @@ struct TopKDpOptions {
   /// candidate threshold but may miss an optimum whose critical threshold
   /// was dropped. 0 = no cap.
   size_t max_thresholds = 64;
+  /// When non-null, polled per candidate threshold and per DP row (the DP
+  /// is serial, so both checks are deterministic under a work budget). On
+  /// expiry the answers already completed are returned; a threshold whose
+  /// DP was interrupted mid-table contributes nothing. Callers detect the
+  /// truncation via deadline->expired(). DP cell visits are charged as
+  /// work units row by row.
+  const Deadline* deadline = nullptr;
 };
 
 /// Finds the R highest-scoring TopK answers over all segmentations of the

@@ -39,6 +39,10 @@ cluster::PairScores BuildGroupPairScores(
   const std::vector<Scored> triples = ParallelReduce<std::vector<Scored>>(
       0, n, DefaultGrain(n),
       [&](size_t b, size_t e, std::vector<Scored>* out) {
+        if (options.deadline != nullptr &&
+            options.deadline->ExpiredUrgent()) {
+          return;
+        }
         predicates::BlockedIndex::QueryScratch scratch;
         size_t enumerated = 0;
         size_t scored = 0;
@@ -58,6 +62,9 @@ cluster::PairScores BuildGroupPairScores(
         pairs_enumerated->Add(enumerated);
         pair_evals->Add(enumerated);  // Every enumerated pair runs N_L.
         pairs_scored->Add(scored);
+        if (options.deadline != nullptr) {
+          options.deadline->ChargeWork(enumerated);
+        }
       },
       [](std::vector<Scored>* total, std::vector<Scored>&& shard) {
         total->insert(total->end(), shard.begin(), shard.end());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/pair_scores.h"
+#include "common/deadline.h"
 #include "dedup/group.h"
 #include "predicates/pair_predicate.h"
 
@@ -38,6 +39,11 @@ struct PairScoringOptions {
   /// keeping them in separate groups and stops the segmentation DP from
   /// absorbing unrelated neighbors into answer segments for free.
   double default_score = -0.25;
+  /// Query budget (not owned; null = unlimited). Polled urgently (wall
+  /// clock / cancel only) at shard boundaries; skipped shards leave their
+  /// pairs on the default score — a consistent, merely less informed,
+  /// score matrix. Enumerated pairs are charged as work.
+  const Deadline* deadline = nullptr;
 };
 
 /// Builds the sparse pairwise score matrix over `groups` (indexed by group

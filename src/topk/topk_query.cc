@@ -2,12 +2,16 @@
 
 #include <cmath>
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <string>
 #include <unordered_set>
 #include <utility>
 
+#include "common/faultpoint.h"
+#include "common/log.h"
 #include "common/parallel.h"
+#include "common/strings.h"
 #include "common/trace.h"
 #include "embed/linear_embedding.h"
 #include "segment/posterior.h"
@@ -36,7 +40,89 @@ AnswerGroup MergeSpan(const segment::Span& span,
   return out;
 }
 
+/// Query-level twin of PrunedDedup's MarkDegraded for the stages that run
+/// above the dedup pipeline (pair scoring, segmentation). First stop wins.
+void MarkQueryDegraded(const Deadline& deadline, const char* stage,
+                       bool partial_stage, DegradationInfo* info) {
+  if (info->degraded) return;
+  info->degraded = true;
+  info->stage = stage;
+  info->level = 0;
+  info->reason = deadline.reason();
+  info->work_done = deadline.work_charged();
+  info->work_budget = deadline.work_budget();
+  info->partial_stage = partial_stage;
+  auto& registry = metrics::Registry::Global();
+  registry.GetCounter("deadline.degraded_queries")->Increment();
+  registry.GetCounter(std::string("deadline.stage_stopped.") + stage)
+      ->Increment();
+  TOPKDUP_LOG(Info) << "deadline expired (" << DeadlineReasonName(info->reason)
+                    << ") in stage " << stage
+                    << (partial_stage ? " (mid-stage)" : " (stage boundary)");
+}
+
+/// Synthesizes the best bound-carrying answer available once the pipeline
+/// can no longer run the clustering stages: the K heaviest dedup groups,
+/// each with the sound count interval [observed weight, §4.3 upper bound].
+/// Pruning's final-pass bounds are reused when they still align with
+/// `groups`; otherwise the bounds are recomputed for just the K answer
+/// groups (still under the deadline — urgent-skipped groups fall back to
+/// +inf, a valid if useless bound).
+TopKAnswerSet SynthesizeBoundedAnswer(
+    const dedup::PrunedDedupResult& pruning,
+    const predicates::PairPredicate& necessary, int k,
+    const Deadline* deadline, obs::ExplainRecorder* recorder) {
+  const std::vector<dedup::Group>& groups = pruning.groups;
+  const size_t count =
+      std::min(groups.size(), static_cast<size_t>(std::max(k, 0)));
+  std::vector<double> upper(count,
+                            std::numeric_limits<double>::infinity());
+  if (pruning.upper_bounds.size() == groups.size()) {
+    for (size_t i = 0; i < count; ++i) upper[i] = pruning.upper_bounds[i];
+  } else if (count > 0) {
+    std::vector<size_t> indices(count);
+    for (size_t i = 0; i < count; ++i) indices[i] = i;
+    upper = dedup::ComputeGroupUpperBounds(groups, necessary, indices,
+                                           deadline);
+  }
+
+  TopKAnswerSet answer;
+  obs::AnswerExplain answer_explain;
+  for (size_t i = 0; i < count; ++i) {
+    const dedup::Group& g = groups[i];
+    AnswerGroup ag;
+    ag.weight = g.weight;
+    ag.representative = g.rep;
+    ag.members = g.members;
+    ag.count_lower = g.weight;
+    ag.count_upper = std::max(upper[i], g.weight);
+    if (recorder != nullptr) {
+      // No embedding ran: spans and segment scores do not exist.
+      answer_explain.groups.push_back(
+          {ag.weight, ag.representative, ag.members.size(), 0, 0, 0.0});
+    }
+    answer.groups.push_back(std::move(ag));
+  }
+  if (recorder != nullptr) {
+    answer_explain.rank = 1;
+    recorder->RecordAnswer(std::move(answer_explain));
+  }
+  return answer;
+}
+
 }  // namespace
+
+const char* AnswerQualityName(AnswerQuality quality) {
+  switch (quality) {
+    case AnswerQuality::kExact:
+      return "exact";
+    case AnswerQuality::kBoundsOnly:
+      return "bounds_only";
+    case AnswerQuality::kTruncatedLevel:
+      return "truncated_level";
+  }
+  return "unknown";
+}
 
 StatusOr<TopKCountResult> TopKCountQuery(
     const record::Dataset& data,
@@ -46,7 +132,48 @@ StatusOr<TopKCountResult> TopKCountQuery(
     return Status::InvalidArgument(
         "TopKCountQuery: the last level must carry a necessary predicate");
   }
+  if (options.k < 1) {
+    return Status::InvalidArgument("TopKCountQuery: k must be >= 1");
+  }
+  if (options.r < 1) {
+    return Status::InvalidArgument("TopKCountQuery: r must be >= 1");
+  }
+  if (!(options.embedding_alpha > 0.0 && options.embedding_alpha <= 1.0)) {
+    return Status::InvalidArgument(
+        "TopKCountQuery: embedding_alpha must be in (0, 1]");
+  }
+  if (options.compute_posteriors &&
+      !(options.posterior_temperature > 0.0)) {
+    return Status::InvalidArgument(
+        "TopKCountQuery: posterior_temperature must be > 0");
+  }
+  if (!(options.scoring.default_score <= 0.0)) {
+    return Status::InvalidArgument(
+        "TopKCountQuery: scoring.default_score must be <= 0");
+  }
+  if (!scorer) {
+    return Status::InvalidArgument("TopKCountQuery: scorer must be set");
+  }
+  if (data.size() == 0) {
+    return Status::InvalidArgument("TopKCountQuery: dataset is empty");
+  }
+  if (data.size() < static_cast<size_t>(options.k)) {
+    return Status::InvalidArgument(StrFormat(
+        "TopKCountQuery: k=%d exceeds the %zu records in the dataset",
+        options.k, data.size()));
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double w = data[i].weight;
+    if (std::isnan(w) || w < 0.0) {
+      return Status::InvalidArgument(StrFormat(
+          "TopKCountQuery: record %zu has invalid weight %g", i, w));
+    }
+  }
   ScopedParallelism parallelism(options.threads);
+  const Deadline* deadline = options.deadline;
+  // Receives faults reported from inside parallel regions (no Status
+  // channel there); checked after each stage above the dedup pipeline.
+  ScopedSoftFailHandler soft_fail;
   const metrics::MetricsSnapshot snapshot_before =
       metrics::Registry::Global().Snapshot();
   trace::Span query_span("topk.query");
@@ -74,11 +201,31 @@ StatusOr<TopKCountResult> TopKCountQuery(
   prune_options.k = options.k;
   prune_options.prune_passes = options.prune_passes;
   prune_options.explain_recorder = recorder.get();
+  prune_options.deadline = deadline;
   TOPKDUP_ASSIGN_OR_RETURN(
       dedup::PrunedDedupResult pruning,
       dedup::PrunedDedup(data, levels, prune_options));
 
   TopKCountResult result;
+  const predicates::PairPredicate& necessary = *levels.back().necessary;
+  if (pruning.degradation.degraded) {
+    // The dedup pipeline stopped early. Its groups are a valid (possibly
+    // under-collapsed, under-pruned) partition; the K heaviest carry the
+    // answer, each with a count interval guaranteed to contain its true
+    // duplicate count. A stop at a level boundary left a complete
+    // coarser computation; a mid-stage stop only guarantees the bounds.
+    result.quality = (pruning.degradation.stage == "collapse" &&
+                      !pruning.degradation.partial_stage)
+                         ? AnswerQuality::kTruncatedLevel
+                         : AnswerQuality::kBoundsOnly;
+    result.degradation = pruning.degradation;
+    result.answers.push_back(SynthesizeBoundedAnswer(
+        pruning, necessary, options.k, deadline, recorder.get()));
+    result.pruning = std::move(pruning);
+    finish_metrics(&result);
+    finish_explain(&result);
+    return result;
+  }
   if (pruning.exact) {
     // Pruning alone isolated exactly K groups: one certain answer.
     TopKAnswerSet answer;
@@ -88,6 +235,8 @@ StatusOr<TopKCountResult> TopKCountQuery(
       ag.weight = g.weight;
       ag.representative = g.rep;
       ag.members = g.members;
+      ag.count_lower = g.weight;
+      ag.count_upper = g.weight;
       if (recorder != nullptr) {
         // No embedding ran, so there are no spans or segment scores.
         answer_explain.groups.push_back(
@@ -114,9 +263,26 @@ StatusOr<TopKCountResult> TopKCountQuery(
   }
 
   // Step 9 of Algorithm 2: score pairs passing N_L.
-  const predicates::PairPredicate& necessary = *levels.back().necessary;
+  TOPKDUP_FAULT_RETURN_IF("topk.pair_scoring");
+  PairScoringOptions scoring_options = options.scoring;
+  scoring_options.deadline = deadline;
   cluster::PairScores scores =
-      BuildGroupPairScores(groups, necessary, scorer, options.scoring);
+      BuildGroupPairScores(groups, necessary, scorer, scoring_options);
+  if (soft_fail.triggered()) return soft_fail.status();
+  if (deadline != nullptr && deadline->Expired()) {
+    MarkQueryDegraded(*deadline, "pair_scoring", /*partial_stage=*/true,
+                      &result.degradation);
+    result.quality = AnswerQuality::kBoundsOnly;
+    if (recorder != nullptr) {
+      recorder->RecordDegradation(result.degradation);
+    }
+    result.answers.push_back(SynthesizeBoundedAnswer(
+        pruning, necessary, options.k, deadline, recorder.get()));
+    result.pruning = std::move(pruning);
+    finish_metrics(&result);
+    finish_explain(&result);
+    return result;
+  }
 
   // §5.3: embed, score segments, run the DP.
   std::vector<double> weights(groups.size());
@@ -129,7 +295,11 @@ StatusOr<TopKCountResult> TopKCountQuery(
     return embed::GreedyEmbedding(scores, weights, embed_options);
   }();
 
-  segment::SegmentScorer seg_scorer(scores, order, options.band);
+  TOPKDUP_FAULT_RETURN_IF("topk.segment_dp");
+  segment::SegmentScorer seg_scorer(
+      scores, order, options.band,
+      segment::SegmentScorer::Objective::kSumPositive, deadline);
+  if (soft_fail.triggered()) return soft_fail.status();
   trace::Span dp_span("segment.topk_dp");
   segment::TopKDpOptions dp_options;
   dp_options.k = options.k;
@@ -138,10 +308,36 @@ StatusOr<TopKCountResult> TopKCountQuery(
   dp_options.r = options.r * 3;
   dp_options.band = options.band;
   dp_options.max_thresholds = options.max_thresholds;
+  dp_options.deadline = deadline;
   TOPKDUP_ASSIGN_OR_RETURN(
       std::vector<segment::TopKAnswer> dp_answers,
       segment::TopKSegmentation(seg_scorer, order, weights, dp_options));
   dp_span.AddArg("answers", static_cast<int64_t>(dp_answers.size()));
+  if (deadline != nullptr && (deadline->expired() || seg_scorer.degraded())) {
+    MarkQueryDegraded(*deadline, "segment_dp",
+                      /*partial_stage=*/seg_scorer.degraded() ||
+                          dp_answers.empty(),
+                      &result.degradation);
+    if (recorder != nullptr) {
+      recorder->RecordDegradation(result.degradation);
+    }
+    if (seg_scorer.degraded() || dp_answers.empty()) {
+      // The score table is partial (or no threshold finished its DP):
+      // segmentation output would not be meaningful, so fall back to the
+      // bound-carrying dedup answer.
+      result.quality = AnswerQuality::kBoundsOnly;
+      result.answers.push_back(SynthesizeBoundedAnswer(
+          pruning, necessary, options.k, deadline, recorder.get()));
+      result.pruning = std::move(pruning);
+      finish_metrics(&result);
+      finish_explain(&result);
+      return result;
+    }
+    // Dedup and the score table are complete; only the DP's threshold
+    // exploration was cut short. The answers below come from a complete
+    // but less exhaustive search.
+    result.quality = AnswerQuality::kTruncatedLevel;
+  }
   if (recorder != nullptr) {
     obs::SegmentDpExplain dp_explain;
     dp_explain.rows = seg_scorer.size();
@@ -194,6 +390,11 @@ StatusOr<TopKCountResult> TopKCountQuery(
                                   group.members.size(), span.begin, span.end,
                                   seg_scorer.Score(span.begin, span.end)});
       }
+      // Dedup completed, so the merged span weight is the answer's count
+      // claim; the interval is tight whether or not the DP's threshold
+      // exploration was truncated.
+      group.count_lower = group.weight;
+      group.count_upper = group.weight;
       answer.groups.push_back(std::move(group));
     }
     std::string signature;

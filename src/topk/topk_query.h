@@ -19,7 +19,32 @@ struct AnswerGroup {
   double weight = 0.0;
   size_t representative = 0;        // A record id usable as display name.
   std::vector<size_t> members;      // Original record ids.
+  /// Count interval [count_lower, count_upper] guaranteed to contain the
+  /// group's true duplicate count (weight). On an exact answer both equal
+  /// `weight`. On a degraded answer the group may be under-collapsed, so
+  /// the true count lies between its observed weight and its §4.3
+  /// necessary-predicate upper bound (+inf when even the bound could not
+  /// be computed in budget).
+  double count_lower = 0.0;
+  double count_upper = 0.0;
 };
+
+/// How trustworthy a query's answers are after any deadline degradation.
+enum class AnswerQuality : int {
+  /// Every stage ran to completion; answers are the algorithm's full
+  /// output and count intervals are tight ([weight, weight]).
+  kExact = 0,
+  /// The pipeline stopped mid-stage; answers are synthesized from the
+  /// best consistent pipeline state and only the count *intervals* are
+  /// guaranteed.
+  kBoundsOnly = 1,
+  /// The pipeline stopped at a clean boundary (a predicate level not
+  /// started, or segmentation-DP thresholds left unexplored): answers
+  /// come from a complete but coarser computation.
+  kTruncatedLevel = 2,
+};
+
+const char* AnswerQualityName(AnswerQuality quality);
 
 /// One of the R plausible TopK answers, highest scoring first.
 struct TopKAnswerSet {
@@ -48,6 +73,11 @@ struct TopKCountResult {
   /// Null when explain was off. `pruning.explain` stays null here — the
   /// dedup events land in this report instead.
   std::shared_ptr<const obs::ExplainReport> explain;
+  /// Degradation verdict for the whole query. kExact unless the deadline
+  /// expired somewhere; then `degradation` names the stage that stopped
+  /// first and every answer group carries a sound count interval.
+  AnswerQuality quality = AnswerQuality::kExact;
+  DegradationInfo degradation;
 };
 
 struct TopKCountOptions {
@@ -75,6 +105,11 @@ struct TopKCountOptions {
   bool explain = false;
   /// Fraction of detail events kept in the report; summaries stay exact.
   double explain_sample_rate = 1.0;
+  /// Query budget (not owned; null = unlimited). On expiry the query
+  /// returns OK with its best partial answer — count intervals per group,
+  /// `quality != kExact`, and `degradation` naming the stopped stage.
+  /// Never an error, never an abort. See common/deadline.h.
+  const Deadline* deadline = nullptr;
 };
 
 /// The paper's end-to-end TopK count query (Algorithm 2 + §5): prune and

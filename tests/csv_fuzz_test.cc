@@ -1,0 +1,189 @@
+#include "record/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace topkdup::record {
+namespace {
+
+/// Deterministic mutation fuzzer for the CSV reader. The invariant under
+/// test is crash-freedom: every input, however mangled, must come back as
+/// a Status (OK or error) — never an abort, never unbounded memory. Seeds
+/// and mutations are pure functions of the iteration index, so a failure
+/// reproduces exactly.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed corpus: valid files, edge cases, and known-malformed shapes.
+const std::vector<std::string>& SeedCorpus() {
+  static const std::vector<std::string>* corpus =
+      new std::vector<std::string>{
+          "name,count\nalice,3\nbob,4\n",
+          "name,__weight__,__entity__\na,1.5,7\nb,2,8\n",
+          "a,b,c\n\"x,y\",\"he said \"\"hi\"\"\",z\n",
+          "one\n\"multi\nline\nfield\"\n",
+          "h1,h2\r\nv1,v2\r\n",
+          "only_header\n",
+          "trailing,comma,\nv,,\n",
+          "\"unterminated\nquote,field\n",
+          "a,b\nragged\n",
+          "a\"quote inside\n",
+          "",
+          "\n\n\n",
+          ",\n,\n",
+      };
+  return *corpus;
+}
+
+std::string Mutate(const std::string& base, uint64_t seed) {
+  std::string out = base;
+  const int mutations = 1 + static_cast<int>(SplitMix64(seed) % 8);
+  uint64_t state = seed;
+  for (int m = 0; m < mutations; ++m) {
+    state = SplitMix64(state);
+    const uint64_t op = state % 5;
+    const size_t pos = out.empty() ? 0 : SplitMix64(state + 1) % out.size();
+    // Bias toward CSV-significant bytes so mutations explore the quoting
+    // and row state machine rather than just field text.
+    const char kAlphabet[] = {',', '"', '\n', '\r', '\0', 'x', '7', ' '};
+    const char c = kAlphabet[SplitMix64(state + 2) % sizeof(kAlphabet)];
+    switch (op) {
+      case 0:  // Insert.
+        out.insert(out.begin() + pos, c);
+        break;
+      case 1:  // Overwrite.
+        if (!out.empty()) out[pos] = c;
+        break;
+      case 2:  // Delete.
+        if (!out.empty()) out.erase(out.begin() + pos);
+        break;
+      case 3:  // Duplicate a slice.
+        if (!out.empty()) {
+          const size_t len =
+              std::min<size_t>(out.size() - pos,
+                               1 + SplitMix64(state + 3) % 16);
+          out.insert(pos, out.substr(pos, len));
+        }
+        break;
+      case 4:  // Truncate.
+        out.resize(pos);
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(CsvFuzzTest, TenThousandMutatedInputsNeverCrash) {
+  const std::vector<std::string>& corpus = SeedCorpus();
+  constexpr int kIterations = 10000;
+  int parsed_ok = 0;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    const std::string& base = corpus[iter % corpus.size()];
+    const std::string input = Mutate(base, 0x5eed0000 + iter);
+    auto result = ReadCsvFromString(input, "fuzz");
+    if (result.ok()) {
+      ++parsed_ok;
+      // A parsed dataset must be internally consistent.
+      const Dataset& data = result.value();
+      for (const Record& r : data.records()) {
+        EXPECT_EQ(r.fields.size(), data.schema().field_count());
+      }
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+  // The corpus is mostly-valid, so a healthy fraction must still parse —
+  // a reader rejecting everything would pass a crash-only check vacuously.
+  EXPECT_GT(parsed_ok, kIterations / 20);
+}
+
+TEST(CsvFuzzTest, UnterminatedQuoteNamesOpeningPosition) {
+  auto result = ReadCsvFromString("a,b\nx,\"broken\nmore\n", "t.csv");
+  ASSERT_FALSE(result.ok());
+  const std::string& msg = result.status().message();
+  EXPECT_NE(msg.find("t.csv"), std::string::npos);
+  EXPECT_NE(msg.find("line 2"), std::string::npos);
+  EXPECT_NE(msg.find("column 3"), std::string::npos);
+  EXPECT_NE(msg.find("unterminated"), std::string::npos);
+}
+
+TEST(CsvFuzzTest, EmbeddedNulIsRejectedWithPosition) {
+  std::string input = "a,b\nx,y\n";
+  input[5] = '\0';
+  auto result = ReadCsvFromString(input, "nul.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("NUL"), std::string::npos);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvFuzzTest, RaggedRowNamesLine) {
+  auto result = ReadCsvFromString("a,b\n1,2\nonly_one\n", "r.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(result.status().message().find("expected 2 columns, got 1"),
+            std::string::npos);
+}
+
+TEST(CsvFuzzTest, OversizedFieldReturnsResourceExhausted) {
+  CsvLimits limits;
+  limits.max_field_bytes = 64;
+  std::string input = "a\n" + std::string(1000, 'x') + "\n";
+  auto result = ReadCsvFromString(input, "big.csv", limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+
+  // A quoted field swallowing the rest of the file hits the same cap.
+  std::string quoted = "a\n\"" + std::string(1000, 'y');
+  auto quoted_result = ReadCsvFromString(quoted, "bigq.csv", limits);
+  ASSERT_FALSE(quoted_result.ok());
+  EXPECT_EQ(quoted_result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CsvFuzzTest, BadWeightAndEntityValuesAreRejected) {
+  auto bad_weight = ReadCsvFromString(
+      "name,__weight__\na,not_a_number\n", "w.csv");
+  ASSERT_FALSE(bad_weight.ok());
+  EXPECT_NE(bad_weight.status().message().find("__weight__"),
+            std::string::npos);
+  EXPECT_NE(bad_weight.status().message().find("line 2"),
+            std::string::npos);
+
+  auto bad_entity = ReadCsvFromString(
+      "name,__entity__\na,12abc\n", "e.csv");
+  ASSERT_FALSE(bad_entity.ok());
+  EXPECT_NE(bad_entity.status().message().find("__entity__"),
+            std::string::npos);
+}
+
+TEST(CsvFuzzTest, MultilineQuotedFieldTracksLineNumbers) {
+  // The quoted field spans lines 2-3; the ragged row after it is line 4.
+  auto result =
+      ReadCsvFromString("a,b\n\"x\ny\",2\n1,2,3\n", "m.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(CsvFuzzTest, ValidInputStillRoundTrips) {
+  auto result = ReadCsvFromString(
+      "name,__weight__,__entity__\n\"doe, jane\",2.5,11\nsmith,1,12\n",
+      "ok.csv");
+  ASSERT_TRUE(result.ok());
+  const Dataset& data = result.value();
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[0].field(0), "doe, jane");
+  EXPECT_DOUBLE_EQ(data[0].weight, 2.5);
+  EXPECT_EQ(data[0].entity_id, 11);
+  EXPECT_EQ(data.schema().field_count(), 1u);
+}
+
+}  // namespace
+}  // namespace topkdup::record

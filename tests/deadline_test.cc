@@ -1,0 +1,349 @@
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <map>
+#include <optional>
+#include <thread>
+
+#include "common/timer.h"
+#include "datagen/citation_gen.h"
+#include "dedup/pruned_dedup.h"
+#include "predicates/citation.h"
+#include "predicates/corpus.h"
+#include "predicates/generic.h"
+#include "sim/similarity.h"
+#include "text/tokenize.h"
+#include "topk/topk_query.h"
+
+namespace topkdup {
+namespace {
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.Expired());
+  EXPECT_FALSE(d.ExpiredUrgent());
+  d.ChargeWork(1'000'000'000ull);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.reason(), DeadlineReason::kNone);
+}
+
+TEST(DeadlineTest, WorkBudgetExpiresOnlyOnFullCheck) {
+  Deadline d = Deadline::WithWorkBudget(100);
+  d.ChargeWork(99);
+  EXPECT_FALSE(d.Expired());
+  d.ChargeWork(1);
+  // Urgent checks never consult the work budget (that is what keeps a
+  // work-limited run deterministic at any thread count).
+  EXPECT_FALSE(d.ExpiredUrgent());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.reason(), DeadlineReason::kWorkBudget);
+  // Latched: every subsequent check, urgent included, now agrees.
+  EXPECT_TRUE(d.ExpiredUrgent());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.work_charged(), 100u);
+}
+
+TEST(DeadlineTest, WallClockExpires) {
+  Deadline d = Deadline::AfterMillis(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.ExpiredUrgent());
+  EXPECT_EQ(d.reason(), DeadlineReason::kWallClock);
+}
+
+TEST(DeadlineTest, CancelTokenOutranksBudgets) {
+  CancelToken token;
+  Deadline d = Deadline::WithWorkBudget(0);  // Any charge would expire it.
+  d.set_cancel_token(&token);
+  token.Cancel();
+  d.ChargeWork(10);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.reason(), DeadlineReason::kCancelled);
+}
+
+TEST(DeadlineTest, ReasonNames) {
+  EXPECT_STREQ(DeadlineReasonName(DeadlineReason::kNone), "none");
+  EXPECT_STREQ(DeadlineReasonName(DeadlineReason::kWallClock), "wall_clock");
+  EXPECT_STREQ(DeadlineReasonName(DeadlineReason::kWorkBudget),
+               "work_budget");
+  EXPECT_STREQ(DeadlineReasonName(DeadlineReason::kCancelled), "cancelled");
+}
+
+TEST(SoftFailHandlerTest, InnermostHandlerReceivesFirstStatus) {
+  ScopedSoftFailHandler outer;
+  {
+    ScopedSoftFailHandler inner;
+    EXPECT_TRUE(
+        ScopedSoftFailHandler::Report(Status::Internal("first fault")));
+    EXPECT_TRUE(
+        ScopedSoftFailHandler::Report(Status::Internal("second fault")));
+    EXPECT_TRUE(inner.triggered());
+    EXPECT_EQ(inner.status().message(), "first fault");
+    EXPECT_FALSE(outer.triggered());
+  }
+  EXPECT_TRUE(ScopedSoftFailHandler::Report(Status::Internal("to outer")));
+  EXPECT_TRUE(outer.triggered());
+  EXPECT_EQ(outer.status().message(), "to outer");
+}
+
+TEST(SoftFailHandlerTest, NoHandlerReturnsFalse) {
+  EXPECT_FALSE(ScopedSoftFailHandler::Report(Status::Internal("dropped")));
+}
+
+/// Shared pipeline fixture over certified citation data: the generator
+/// guarantees S1/S2 never merge across entities and N1/N2 hold on every
+/// duplicate pair, so ground-truth entity counts are recoverable.
+class DeadlinePipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::CitationGenOptions gen;
+    gen.num_records = 3000;
+    gen.num_authors = 600;
+    gen.seed = 20090324;
+    auto data_or = datagen::GenerateCitations(gen);
+    ASSERT_TRUE(data_or.ok());
+    data_ = std::move(data_or).value();
+    auto corpus_or = predicates::Corpus::Build(&data_, {});
+    ASSERT_TRUE(corpus_or.ok());
+    corpus_.emplace(std::move(corpus_or).value());
+    s1_.emplace(&*corpus_, predicates::CitationFields{},
+                0.75 * corpus_->MaxIdf(0));
+    s2_.emplace(&*corpus_, predicates::CitationFields{});
+    n1_.emplace(&*corpus_, 0, 0.6);
+    n2_.emplace(&*corpus_, 0, 0.6, true);
+  }
+
+  std::vector<dedup::PredicateLevel> Levels() {
+    return {{&*s1_, &*n1_}, {&*s2_, &*n2_}};
+  }
+
+  topk::PairScoreFn Scorer() {
+    return [this](size_t a, size_t b) {
+      const double jw =
+          sim::JaroWinkler(text::NormalizeText(data_[a].field(0)),
+                           text::NormalizeText(data_[b].field(0)));
+      return (jw - 0.85) * 10.0;
+    };
+  }
+
+  /// Total work a full (never-expiring) run charges, measured once.
+  uint64_t MeasureFullRunWork() {
+    Deadline probe = Deadline::WithWorkBudget(
+        std::numeric_limits<uint64_t>::max());
+    dedup::PrunedDedupOptions options;
+    options.k = 10;
+    options.deadline = &probe;
+    auto result_or = dedup::PrunedDedup(data_, Levels(), options);
+    EXPECT_TRUE(result_or.ok());
+    EXPECT_FALSE(result_or.value().degradation.degraded);
+    return probe.work_charged();
+  }
+
+  record::Dataset data_;
+  std::optional<predicates::Corpus> corpus_;
+  std::optional<predicates::CitationS1> s1_;
+  std::optional<predicates::CitationS2> s2_;
+  std::optional<predicates::QGramOverlapPredicate> n1_;
+  std::optional<predicates::QGramOverlapPredicate> n2_;
+};
+
+TEST_F(DeadlinePipelineTest, WorkBudgetDegradesButReturnsConsistentState) {
+  const uint64_t full_work = MeasureFullRunWork();
+  ASSERT_GT(full_work, 0u);
+
+  Deadline deadline = Deadline::WithWorkBudget(full_work / 2);
+  dedup::PrunedDedupOptions options;
+  options.k = 10;
+  options.deadline = &deadline;
+  auto result_or = dedup::PrunedDedup(data_, Levels(), options);
+  ASSERT_TRUE(result_or.ok());
+  const dedup::PrunedDedupResult& result = result_or.value();
+  EXPECT_TRUE(result.degradation.degraded);
+  EXPECT_EQ(result.degradation.reason, DeadlineReason::kWorkBudget);
+  EXPECT_FALSE(result.degradation.stage.empty());
+  EXPECT_EQ(result.degradation.work_budget, full_work / 2);
+  EXPECT_FALSE(result.groups.empty());
+  // Bounds either align with the groups or were invalidated — never stale.
+  EXPECT_TRUE(result.upper_bounds.empty() ||
+              result.upper_bounds.size() == result.groups.size());
+}
+
+/// The headline determinism contract: a query stopped by a fixed work
+/// budget returns byte-identical groups, bounds, stats, and explain output
+/// at 1, 2, and 8 threads.
+TEST_F(DeadlinePipelineTest, WorkBudgetStopIsIdenticalAcrossThreadCounts) {
+  const uint64_t full_work = MeasureFullRunWork();
+  const uint64_t budget = full_work / 2;
+
+  std::vector<dedup::PrunedDedupResult> results;
+  std::vector<std::string> explain_json;
+  for (int threads : {1, 2, 8}) {
+    Deadline deadline = Deadline::WithWorkBudget(budget);
+    dedup::PrunedDedupOptions options;
+    options.k = 10;
+    options.threads = threads;
+    options.explain = true;
+    options.deadline = &deadline;
+    auto result_or = dedup::PrunedDedup(data_, Levels(), options);
+    ASSERT_TRUE(result_or.ok()) << "threads=" << threads;
+    explain_json.push_back(result_or.value().explain->ToJson());
+    results.push_back(std::move(result_or).value());
+  }
+
+  const dedup::PrunedDedupResult& base = results[0];
+  EXPECT_TRUE(base.degradation.degraded);
+  for (size_t r = 1; r < results.size(); ++r) {
+    const dedup::PrunedDedupResult& other = results[r];
+    EXPECT_EQ(base.degradation.stage, other.degradation.stage);
+    EXPECT_EQ(base.degradation.level, other.degradation.level);
+    EXPECT_EQ(base.degradation.reason, other.degradation.reason);
+    EXPECT_EQ(base.degradation.partial_stage, other.degradation.partial_stage);
+    ASSERT_EQ(base.levels.size(), other.levels.size());
+    for (size_t l = 0; l < base.levels.size(); ++l) {
+      EXPECT_EQ(base.levels[l].n_after_collapse,
+                other.levels[l].n_after_collapse);
+      EXPECT_EQ(base.levels[l].m, other.levels[l].m);
+      EXPECT_EQ(base.levels[l].M, other.levels[l].M);
+      EXPECT_EQ(base.levels[l].n_after_prune, other.levels[l].n_after_prune);
+    }
+    ASSERT_EQ(base.groups.size(), other.groups.size());
+    for (size_t g = 0; g < base.groups.size(); ++g) {
+      EXPECT_EQ(base.groups[g].rep, other.groups[g].rep);
+      EXPECT_EQ(base.groups[g].weight, other.groups[g].weight);
+      EXPECT_EQ(base.groups[g].members, other.groups[g].members);
+    }
+    EXPECT_EQ(base.upper_bounds, other.upper_bounds);
+    EXPECT_EQ(explain_json[0], explain_json[r]);  // Byte-identical.
+  }
+}
+
+TEST_F(DeadlinePipelineTest, QueryIntervalsContainGroundTruthCounts) {
+  // Ground truth: total mention weight per entity.
+  std::map<int64_t, double> entity_weight;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    entity_weight[data_[i].entity_id] += data_[i].weight;
+  }
+
+  const uint64_t full_work = MeasureFullRunWork();
+  // Squeeze the budget until the query degrades; start where collapse has
+  // run but the lower-bound search cannot finish.
+  topk::TopKCountResult result;
+  bool degraded = false;
+  for (uint64_t budget = full_work / 2; budget > 0; budget /= 2) {
+    Deadline deadline = Deadline::WithWorkBudget(budget);
+    topk::TopKCountOptions options;
+    options.k = 10;
+    options.explain = true;
+    options.deadline = &deadline;
+    auto result_or =
+        topk::TopKCountQuery(data_, Levels(), Scorer(), options);
+    ASSERT_TRUE(result_or.ok());
+    if (result_or.value().quality != topk::AnswerQuality::kExact) {
+      result = std::move(result_or).value();
+      degraded = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(degraded);
+  ASSERT_FALSE(result.answers.empty());
+  EXPECT_TRUE(result.degradation.degraded);
+  EXPECT_FALSE(result.degradation.stage.empty());
+
+  // Every returned group unifies mentions of one entity (the generator
+  // certifies the sufficient predicates); its interval must contain that
+  // entity's true total count.
+  const topk::TopKAnswerSet& answer = result.answers[0];
+  ASSERT_FALSE(answer.groups.empty());
+  for (const topk::AnswerGroup& g : answer.groups) {
+    ASSERT_FALSE(g.members.empty());
+    const int64_t entity = data_[g.members.front()].entity_id;
+    for (size_t m : g.members) {
+      ASSERT_EQ(data_[m].entity_id, entity);
+    }
+    const double truth = entity_weight.at(entity);
+    EXPECT_LE(g.count_lower, truth + 1e-9);
+    EXPECT_GE(g.count_upper, truth - 1e-9);
+    EXPECT_LE(g.count_lower, g.count_upper);
+  }
+
+  // The explain report names the degraded stage.
+  ASSERT_NE(result.explain, nullptr);
+  EXPECT_TRUE(result.explain->has_degradation);
+  EXPECT_EQ(result.explain->degradation.stage, result.degradation.stage);
+  EXPECT_NE(result.explain->ToJson().find("\"degradation\""),
+            std::string::npos);
+}
+
+TEST_F(DeadlinePipelineTest, NoDeadlineExplainHasNoDegradationSection) {
+  topk::TopKCountOptions options;
+  options.k = 10;
+  options.explain = true;
+  auto result_or = topk::TopKCountQuery(data_, Levels(), Scorer(), options);
+  ASSERT_TRUE(result_or.ok());
+  const topk::TopKCountResult& result = result_or.value();
+  EXPECT_EQ(result.quality, topk::AnswerQuality::kExact);
+  EXPECT_FALSE(result.degradation.degraded);
+  ASSERT_NE(result.explain, nullptr);
+  EXPECT_FALSE(result.explain->has_degradation);
+  EXPECT_EQ(result.explain->ToJson().find("\"degradation\""),
+            std::string::npos);
+  for (const topk::TopKAnswerSet& answer : result.answers) {
+    for (const topk::AnswerGroup& g : answer.groups) {
+      EXPECT_EQ(g.count_lower, g.weight);
+      EXPECT_EQ(g.count_upper, g.weight);
+    }
+  }
+}
+
+TEST_F(DeadlinePipelineTest, CancelledQueryReturnsPartialAnswer) {
+  CancelToken token;
+  token.Cancel();  // Cancelled before the query even starts.
+  Deadline deadline;
+  deadline.set_cancel_token(&token);
+  topk::TopKCountOptions options;
+  options.k = 10;
+  options.deadline = &deadline;
+  auto result_or = topk::TopKCountQuery(data_, Levels(), Scorer(), options);
+  ASSERT_TRUE(result_or.ok());
+  const topk::TopKCountResult& result = result_or.value();
+  EXPECT_NE(result.quality, topk::AnswerQuality::kExact);
+  EXPECT_TRUE(result.degradation.degraded);
+  EXPECT_EQ(result.degradation.reason, DeadlineReason::kCancelled);
+}
+
+TEST_F(DeadlinePipelineTest, WallClockDeadlineReturnsPromptly) {
+  constexpr int kDeadlineMillis = 100;
+  Deadline deadline = Deadline::AfterMillis(kDeadlineMillis);
+  topk::TopKCountOptions options;
+  options.k = 10;
+  options.deadline = &deadline;
+  Timer timer;
+  auto result_or = topk::TopKCountQuery(data_, Levels(), Scorer(), options);
+  const double elapsed = timer.ElapsedSeconds();
+  ASSERT_TRUE(result_or.ok());
+  // Generous CI margin; the cooperative checks land far more often than
+  // this. A hang or an abort, not slow degradation, is the failure mode
+  // guarded here.
+  EXPECT_LT(elapsed, 10.0);
+  const topk::TopKCountResult& result = result_or.value();
+  if (result.quality != topk::AnswerQuality::kExact) {
+    EXPECT_TRUE(result.degradation.degraded);
+    EXPECT_FALSE(result.answers.empty());
+  }
+}
+
+TEST_F(DeadlinePipelineTest, AnswerQualityNames) {
+  EXPECT_STREQ(topk::AnswerQualityName(topk::AnswerQuality::kExact),
+               "exact");
+  EXPECT_STREQ(topk::AnswerQualityName(topk::AnswerQuality::kBoundsOnly),
+               "bounds_only");
+  EXPECT_STREQ(
+      topk::AnswerQualityName(topk::AnswerQuality::kTruncatedLevel),
+      "truncated_level");
+}
+
+}  // namespace
+}  // namespace topkdup

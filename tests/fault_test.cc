@@ -1,0 +1,215 @@
+#include "common/faultpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "datagen/citation_gen.h"
+#include "dedup/pruned_dedup.h"
+#include "predicates/citation.h"
+#include "predicates/corpus.h"
+#include "predicates/generic.h"
+#include "record/csv.h"
+#include "sim/similarity.h"
+#include "text/tokenize.h"
+#include "topk/topk_query.h"
+
+namespace topkdup {
+namespace {
+
+/// Kills the process if the test binary wedges: the acceptance contract is
+/// "zero aborts, zero hangs" — a deadlocked pipeline must fail the test
+/// run, not stall CI until its global timeout.
+class Watchdog {
+ public:
+  explicit Watchdog(int seconds) {
+    thread_ = std::thread([this, seconds] {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait_for(lock, std::chrono::seconds(seconds),
+                        [this] { return done_; })) {
+        std::fprintf(stderr, "fault_test watchdog fired after %d s\n",
+                     seconds);
+        std::abort();
+      }
+    });
+  }
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+/// Disarms every site on scope exit so one test's faults never leak into
+/// the next.
+struct ScopedDisarm {
+  ~ScopedDisarm() { fault::DisarmAllForTest(); }
+};
+
+TEST(FaultPointTest, DisabledByDefault) {
+  ScopedDisarm disarm;
+  fault::DisarmAllForTest();
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_FALSE(fault::Fires("some.site"));
+  EXPECT_TRUE(fault::ArmedSites().empty());
+}
+
+TEST(FaultPointTest, DrawsAreDeterministicPerSeed) {
+  ScopedDisarm disarm;
+  const auto draw_sequence = [] {
+    fault::ArmForTest("draw.site", 0.5, 42);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(fault::Fires("draw.site"));
+    }
+    return fires;
+  };
+  const std::vector<bool> first = draw_sequence();
+  const std::vector<bool> second = draw_sequence();
+  EXPECT_EQ(first, second);
+  // A fair-ish coin at p=0.5: both outcomes must appear.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 200);
+
+  fault::ArmForTest("draw.site", 0.5, 43);
+  std::vector<bool> reseeded;
+  for (int i = 0; i < 200; ++i) {
+    reseeded.push_back(fault::Fires("draw.site"));
+  }
+  EXPECT_NE(first, reseeded);  // A different seed draws differently.
+}
+
+TEST(FaultPointTest, ProbabilityOneAlwaysFiresAndCounts) {
+  ScopedDisarm disarm;
+  fault::ArmForTest("always.site", 1.0, 7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(fault::Fires("always.site"));
+  }
+  EXPECT_EQ(fault::FireCount("always.site"), 10u);
+  EXPECT_EQ(fault::ArmedSites(), std::vector<std::string>{"always.site"});
+}
+
+TEST(FaultPointTest, ReturnMacroConvertsFireToStatus) {
+  ScopedDisarm disarm;
+  fault::ArmForTest("macro.site", 1.0, 1);
+  const auto poisoned = []() -> Status {
+    TOPKDUP_FAULT_RETURN_IF("macro.site");
+    return Status::OK();
+  };
+  const Status status = poisoned();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("macro.site"), std::string::npos);
+
+  fault::DisarmAllForTest();
+  EXPECT_TRUE(poisoned().ok());
+}
+
+/// End-to-end: forcing each pipeline fault site must surface as a non-OK
+/// Status at the query API — never an abort, never a hang.
+class PipelineFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::DisarmAllForTest();
+    datagen::CitationGenOptions gen;
+    gen.num_records = 800;
+    gen.num_authors = 200;
+    gen.seed = 20090324;
+    auto data_or = datagen::GenerateCitations(gen);
+    ASSERT_TRUE(data_or.ok());
+    data_ = std::move(data_or).value();
+    auto corpus_or = predicates::Corpus::Build(&data_, {});
+    ASSERT_TRUE(corpus_or.ok());
+    corpus_.emplace(std::move(corpus_or).value());
+    s1_.emplace(&*corpus_, predicates::CitationFields{},
+                0.75 * corpus_->MaxIdf(0));
+    n1_.emplace(&*corpus_, 0, 0.6);
+  }
+
+  void TearDown() override { fault::DisarmAllForTest(); }
+
+  StatusOr<topk::TopKCountResult> RunQuery(int threads = 0) {
+    topk::TopKCountOptions options;
+    options.k = 5;
+    options.threads = threads;
+    return topk::TopKCountQuery(
+        data_, {{&*s1_, &*n1_}},
+        [this](size_t a, size_t b) {
+          return (sim::JaroWinkler(text::NormalizeText(data_[a].field(0)),
+                                   text::NormalizeText(data_[b].field(0))) -
+                  0.85) *
+                 10.0;
+        },
+        options);
+  }
+
+  record::Dataset data_;
+  std::optional<predicates::Corpus> corpus_;
+  std::optional<predicates::CitationS1> s1_;
+  std::optional<predicates::QGramOverlapPredicate> n1_;
+};
+
+TEST_F(PipelineFaultTest, EachPipelineSiteYieldsStatusNotAbort) {
+  Watchdog watchdog(120);
+  const char* kSites[] = {"dedup.collapse", "dedup.lower_bound",
+                          "dedup.prune", "topk.pair_scoring",
+                          "topk.segment_dp"};
+  for (const char* site : kSites) {
+    fault::DisarmAllForTest();
+    fault::ArmForTest(site, 1.0, 99);
+    auto result_or = RunQuery();
+    EXPECT_FALSE(result_or.ok()) << "site " << site << " did not propagate";
+    EXPECT_NE(result_or.status().message().find("fault injected"),
+              std::string::npos)
+        << "site " << site;
+    EXPECT_GE(fault::FireCount(site), 1u) << "site " << site;
+  }
+  // Disarmed, the same query succeeds: the sites cost nothing when off.
+  fault::DisarmAllForTest();
+  auto clean_or = RunQuery();
+  EXPECT_TRUE(clean_or.ok());
+}
+
+TEST_F(PipelineFaultTest, ParallelRegionFaultPropagatesViaSoftFailHandler) {
+  Watchdog watchdog(120);
+  fault::ArmForTest("parallel.region", 1.0, 5);
+  // Needs a real pool region: force multiple threads.
+  auto result_or = RunQuery(/*threads=*/4);
+  EXPECT_FALSE(result_or.ok());
+  EXPECT_NE(result_or.status().message().find("parallel.region"),
+            std::string::npos);
+}
+
+TEST(CsvFaultTest, CsvReadSiteYieldsStatus) {
+  ScopedDisarm disarm;
+  fault::ArmForTest("csv.read", 1.0, 3);
+  auto data_or = record::ReadCsvFromString("name\na\n", "fault.csv");
+  EXPECT_FALSE(data_or.ok());
+  EXPECT_NE(data_or.status().message().find("csv.read"), std::string::npos);
+  fault::DisarmAllForTest();
+  auto clean_or = record::ReadCsvFromString("name\na\n", "fault.csv");
+  EXPECT_TRUE(clean_or.ok());
+  EXPECT_EQ(clean_or.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace topkdup
