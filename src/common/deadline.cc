@@ -62,28 +62,31 @@ void Deadline::Latch(DeadlineReason reason) const {
 
 namespace {
 
-// Innermost-last stack of live handlers. Registration and delivery are rare
-// (per-query, per-fault), so one global mutex is fine.
-std::mutex& HandlerMutex() {
+// Delivery can cross threads (a pool worker reporting into a handler
+// delegated from the region-launching thread), so status_ writes are
+// serialized by one global mutex; delivery is rare (per-fault), while
+// registration stays lock-free on the thread-local stack below.
+std::mutex& DeliveryMutex() {
   static std::mutex* mu = new std::mutex;
   return *mu;
 }
 
+// Innermost-last stack of handlers visible to *this thread*: the ones it
+// registered itself plus any delegated to it for the duration of a
+// parallel-region shard. Thread-local so a fault fired under query A can
+// never land in concurrently running query B's handler.
 std::vector<ScopedSoftFailHandler*>& HandlerStack() {
-  static std::vector<ScopedSoftFailHandler*>* stack =
-      new std::vector<ScopedSoftFailHandler*>;
-  return *stack;
+  thread_local std::vector<ScopedSoftFailHandler*> stack;
+  return stack;
 }
 
 }  // namespace
 
 ScopedSoftFailHandler::ScopedSoftFailHandler() {
-  std::lock_guard<std::mutex> lock(HandlerMutex());
   HandlerStack().push_back(this);
 }
 
 ScopedSoftFailHandler::~ScopedSoftFailHandler() {
-  std::lock_guard<std::mutex> lock(HandlerMutex());
   auto& stack = HandlerStack();
   for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
     if (*it == this) {
@@ -93,22 +96,24 @@ ScopedSoftFailHandler::~ScopedSoftFailHandler() {
   }
 }
 
-bool ScopedSoftFailHandler::Report(Status status) {
-  {
-    std::lock_guard<std::mutex> lock(HandlerMutex());
-    auto& stack = HandlerStack();
-    if (!stack.empty()) {
-      ScopedSoftFailHandler* handler = stack.back();
-      if (!handler->triggered_.load(std::memory_order_relaxed)) {
-        handler->status_ = std::move(status);
-        handler->triggered_.store(true, std::memory_order_release);
-      }
-      return true;
-    }
+void ScopedSoftFailHandler::Deliver(Status status) {
+  std::lock_guard<std::mutex> lock(DeliveryMutex());
+  if (!triggered_.load(std::memory_order_relaxed)) {
+    status_ = std::move(status);
+    triggered_.store(true, std::memory_order_release);
   }
-  TOPKDUP_LOG(Warning) << "soft failure with no handler registered: "
-                       << status.ToString();
-  return false;
+}
+
+bool ScopedSoftFailHandler::Report(Status status) {
+  ScopedSoftFailHandler* handler = internal::CurrentSoftFailHandler();
+  if (handler == nullptr) {
+    TOPKDUP_LOG(Warning)
+        << "soft failure with no handler registered on this thread: "
+        << status.ToString();
+    return false;
+  }
+  handler->Deliver(std::move(status));
+  return true;
 }
 
 bool ScopedSoftFailHandler::triggered() const {
@@ -116,8 +121,26 @@ bool ScopedSoftFailHandler::triggered() const {
 }
 
 Status ScopedSoftFailHandler::status() const {
-  std::lock_guard<std::mutex> lock(HandlerMutex());
+  std::lock_guard<std::mutex> lock(DeliveryMutex());
   return triggered_.load(std::memory_order_relaxed) ? status_ : Status::OK();
 }
+
+namespace internal {
+
+ScopedSoftFailHandler* CurrentSoftFailHandler() {
+  auto& stack = HandlerStack();
+  return stack.empty() ? nullptr : stack.back();
+}
+
+ScopedSoftFailDelegate::ScopedSoftFailDelegate(ScopedSoftFailHandler* handler)
+    : installed_(handler != nullptr) {
+  if (installed_) HandlerStack().push_back(handler);
+}
+
+ScopedSoftFailDelegate::~ScopedSoftFailDelegate() {
+  if (installed_) HandlerStack().pop_back();
+}
+
+}  // namespace internal
 
 }  // namespace topkdup

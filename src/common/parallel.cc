@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/check.h"
 #include "common/deadline.h"
 #include "common/faultpoint.h"
 #include "common/metrics.h"
@@ -190,11 +191,17 @@ void RunShards(size_t num_shards, const std::function<void(size_t)>& fn) {
   }
 
   // The pool has no Status channel back to its caller, so this fault is
-  // delivered through the soft-failure handler stack; the region is
-  // skipped, and the driver surfaces the Status at its next stage check.
+  // delivered through the calling thread's soft-failure handler; the
+  // region is skipped, and the driver surfaces the Status at its next
+  // stage check. Skipping a region with nobody to deliver to would
+  // silently corrupt the caller's results, so a missing handler — a
+  // query entry point that forgot to register one — is a programmer
+  // error and fails hard rather than quietly.
   if (fault::Enabled() && fault::Fires("parallel.region")) {
-    ScopedSoftFailHandler::Report(
+    const bool delivered = ScopedSoftFailHandler::Report(
         Status::Internal("fault injected at parallel.region"));
+    TOPKDUP_CHECK(delivered &&
+                  "parallel.region fired with no ScopedSoftFailHandler");
     return;
   }
 
@@ -224,7 +231,12 @@ void RunShards(size_t num_shards, const std::function<void(size_t)>& fn) {
   span.AddArg("shards", static_cast<int64_t>(num_shards));
   span.AddArg("threads", threads);
 
+  // Workers must deliver soft failures reported from inside `fn` to the
+  // handler of the thread launching this region — their own thread-local
+  // stacks belong to whatever query last ran on them.
+  ScopedSoftFailHandler* soft_fail_sink = CurrentSoftFailHandler();
   const auto instrumented = [&](size_t s) {
+    ScopedSoftFailDelegate soft_fail_delegate(soft_fail_sink);
     // `s` is claimed in increasing order, so num_shards - s approximates
     // the shards still queued when this task starts.
     queue_depth->Set(static_cast<double>(num_shards - 1 - s));

@@ -55,6 +55,7 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
 
   const Deadline* deadline = options.deadline;
   PruneResult result;
+  result.unconditional_bounds = exact_bounds && options.passes == 1;
 
   // uint8_t, not vector<bool>: parallel writers touch distinct slots,
   // which packed bits would turn into racy read-modify-writes.
@@ -159,6 +160,7 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
     alive.swap(next_alive);
     if (pass_skipped.load(std::memory_order_relaxed)) {
       result.degraded = true;
+      result.pass_skipped = true;
     } else {
       ++result.passes_completed;
     }

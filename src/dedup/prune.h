@@ -39,8 +39,22 @@ struct PruneResult {
   /// True when the deadline stopped pruning early (fewer passes, or a pass
   /// with skipped shards). Surviving groups and bounds are still sound.
   bool degraded = false;
+  /// True only when an urgent deadline check skipped shards mid-pass (the
+  /// skipped shards kept their previous-pass state). A clean stop at a
+  /// between-pass boundary leaves `degraded` true but this false: the
+  /// surviving state is exactly the last completed pass's, fully
+  /// consistent.
+  bool pass_skipped = false;
   /// Passes that ran to completion over every shard.
   int passes_completed = 0;
+  /// True when every entry of `upper_bounds` is an unconditional §4.3
+  /// first-pass bound on its group's true duplicate count (a full
+  /// neighbor-weight sum, or +inf for an urgent-skipped shard). Requires
+  /// `exact_bounds` (an early-exited sum proves only "> M") and a single
+  /// pass (later passes restrict the sum to surviving neighbors, which
+  /// bounds groups exceeding M but not the true count unconditionally).
+  /// When false the bounds are valid for pruning against M only.
+  bool unconditional_bounds = false;
 };
 
 /// Prunes every group whose recursively tightened upper bound on the

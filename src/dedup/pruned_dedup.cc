@@ -144,6 +144,7 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
         MarkDegraded(*deadline, "collapse", level_1based,
                      /*partial_stage=*/true, &result.degradation);
         result.upper_bounds.clear();
+        result.upper_bounds_unconditional = false;
         stopped = true;
       }
     } else if (recorder != nullptr) {
@@ -174,6 +175,7 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
         MarkDegraded(*deadline, "lower_bound", level_1based,
                      /*partial_stage=*/lb.degraded, &result.degradation);
         result.upper_bounds.clear();
+        result.upper_bounds_unconditional = false;
         stopped = true;
       }
 
@@ -191,12 +193,16 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
         stats.groups_pruned = groups.size() - pruned.groups.size();
         groups = std::move(pruned.groups);
         result.upper_bounds = std::move(pruned.upper_bounds);
+        result.upper_bounds_unconditional = pruned.unconditional_bounds;
         if (pruned.degraded ||
             (deadline != nullptr && deadline->Expired())) {
           // A degraded prune only under-prunes; its survivors and bounds
-          // are consistent, so they stand as the final state.
+          // are consistent, so they stand as the final state. Only a
+          // mid-pass shard skip makes the stage itself partial — a stop
+          // at a between-pass boundary (or a budget exhausted during the
+          // final pass) leaves a cleanly completed prune state.
           MarkDegraded(*deadline, "prune", level_1based,
-                       /*partial_stage=*/pruned.degraded,
+                       /*partial_stage=*/pruned.pass_skipped,
                        &result.degradation);
           stopped = true;
         }
@@ -205,6 +211,7 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
       stats.m = groups.size();
       stats.M = groups.empty() ? 0.0 : groups.back().weight;
       result.upper_bounds.assign(groups.size(), 0.0);
+      result.upper_bounds_unconditional = false;
     }
     stats.n_after_prune = groups.size();
     stats.blocking_probes = counters.blocking_probes->Value() - probes_before;

@@ -52,6 +52,13 @@ struct PrunedDedupResult {
   /// Final-pass upper bounds aligned with `groups` (exact when
   /// Options::exact_bounds).
   std::vector<double> upper_bounds;
+  /// True when `upper_bounds` are unconditional first-pass §4.3 bounds
+  /// (PruneResult::unconditional_bounds): each entry caps its group's true
+  /// duplicate count. False for early-exit-truncated or survivor-restricted
+  /// multi-pass bounds, which are valid for pruning against M but must not
+  /// be used as count intervals — callers needing intervals then recompute
+  /// via ComputeGroupUpperBounds (prune.h).
+  bool upper_bounds_unconditional = false;
   std::vector<LevelStats> levels;
   /// True when pruning reduced the data to exactly K groups, in which case
   /// `groups` *is* the TopK answer and no final clustering is needed.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/deadline.h"
 #include "dedup/collapse.h"
 #include "dedup/prune.h"
 #include "predicates/blocked_index.h"
@@ -39,6 +40,10 @@ StatusOr<TopKRankResult> TopKRankQuery(
     return Status::InvalidArgument(
         "TopKRankQuery: the last level must carry a necessary predicate");
   }
+  // Receives faults reported from parallel regions run under this query
+  // (PrunedDedup registers its own inner handler; this one backstops any
+  // region launched after it returns).
+  ScopedSoftFailHandler soft_fail;
   dedup::PrunedDedupOptions prune_options;
   prune_options.k = options.k;
   prune_options.prune_passes = options.prune_passes;
@@ -107,6 +112,7 @@ StatusOr<TopKRankResult> TopKRankQuery(
     result.ranked.push_back(std::move(rg));
   }
   result.pruning = std::move(pruning);
+  if (soft_fail.triggered()) return soft_fail.status();
   return result;
 }
 
@@ -125,12 +131,17 @@ StatusOr<ThresholdedRankResult> ThresholdedRankQuery(
   }
   const double T = options.threshold;
 
+  // Collapse and PruneGroups run parallel regions directly under this
+  // query; their soft failures (the pool's fault site) need a sink here
+  // or the skipped regions would silently produce wrong rankings.
+  ScopedSoftFailHandler soft_fail;
   std::vector<dedup::Group> groups =
       dedup::MakeSingletonGroups(data);
   std::vector<double> ub(groups.size(), 0.0);
   for (const dedup::PredicateLevel& level : levels) {
     if (level.sufficient != nullptr) {
       groups = dedup::Collapse(groups, *level.sufficient);
+      if (soft_fail.triggered()) return soft_fail.status();
     }
     if (level.necessary != nullptr) {
       dedup::PruneOptions prune_options;
@@ -138,6 +149,7 @@ StatusOr<ThresholdedRankResult> ThresholdedRankQuery(
       dedup::PruneResult pruned =
           dedup::PruneGroups(groups, *level.necessary, T, prune_options,
                              /*exact_bounds=*/true);
+      if (soft_fail.triggered()) return soft_fail.status();
       groups = std::move(pruned.groups);
       ub = std::move(pruned.upper_bounds);
     }

@@ -64,10 +64,12 @@ void MarkQueryDegraded(const Deadline& deadline, const char* stage,
 /// Synthesizes the best bound-carrying answer available once the pipeline
 /// can no longer run the clustering stages: the K heaviest dedup groups,
 /// each with the sound count interval [observed weight, §4.3 upper bound].
-/// Pruning's final-pass bounds are reused when they still align with
-/// `groups`; otherwise the bounds are recomputed for just the K answer
-/// groups (still under the deadline — urgent-skipped groups fall back to
-/// +inf, a valid if useless bound).
+/// Pruning's final-pass bounds are reused only when they are unconditional
+/// (exact single-pass — an early-exit-truncated or survivor-restricted
+/// multi-pass sum proves "> M", not a cap on the true count) and still
+/// align with `groups`; otherwise the first-pass bounds are recomputed for
+/// just the K answer groups (urgent-skipped groups fall back to +inf, a
+/// valid if useless bound).
 TopKAnswerSet SynthesizeBoundedAnswer(
     const dedup::PrunedDedupResult& pruning,
     const predicates::PairPredicate& necessary, int k,
@@ -77,13 +79,24 @@ TopKAnswerSet SynthesizeBoundedAnswer(
       std::min(groups.size(), static_cast<size_t>(std::max(k, 0)));
   std::vector<double> upper(count,
                             std::numeric_limits<double>::infinity());
-  if (pruning.upper_bounds.size() == groups.size()) {
+  if (pruning.upper_bounds_unconditional &&
+      pruning.upper_bounds.size() == groups.size()) {
     for (size_t i = 0; i < count; ++i) upper[i] = pruning.upper_bounds[i];
   } else if (count > 0) {
     std::vector<size_t> indices(count);
     for (size_t i = 0; i < count; ++i) indices[i] = i;
+    // A latched work-budget expiry would urgent-skip every shard below
+    // (expiry is latched, and urgent checks honor the latch), leaving
+    // only +inf bounds; this K-group recomputation is small, bounded,
+    // and thread-count deterministic, so it runs unmetered. Wall-clock
+    // and cancel expiry keep the deadline — the prompt-return guarantee
+    // outranks bound tightness there.
+    const Deadline* recompute_deadline =
+        deadline != nullptr && deadline->reason() == DeadlineReason::kWorkBudget
+            ? nullptr
+            : deadline;
     upper = dedup::ComputeGroupUpperBounds(groups, necessary, indices,
-                                           deadline);
+                                           recompute_deadline);
   }
 
   TopKAnswerSet answer;
@@ -221,6 +234,7 @@ StatusOr<TopKCountResult> TopKCountQuery(
     result.degradation = pruning.degradation;
     result.answers.push_back(SynthesizeBoundedAnswer(
         pruning, necessary, options.k, deadline, recorder.get()));
+    if (soft_fail.triggered()) return soft_fail.status();
     result.pruning = std::move(pruning);
     finish_metrics(&result);
     finish_explain(&result);
@@ -278,6 +292,7 @@ StatusOr<TopKCountResult> TopKCountQuery(
     }
     result.answers.push_back(SynthesizeBoundedAnswer(
         pruning, necessary, options.k, deadline, recorder.get()));
+    if (soft_fail.triggered()) return soft_fail.status();
     result.pruning = std::move(pruning);
     finish_metrics(&result);
     finish_explain(&result);
@@ -328,6 +343,7 @@ StatusOr<TopKCountResult> TopKCountQuery(
       result.quality = AnswerQuality::kBoundsOnly;
       result.answers.push_back(SynthesizeBoundedAnswer(
           pruning, necessary, options.k, deadline, recorder.get()));
+      if (soft_fail.triggered()) return soft_fail.status();
       result.pruning = std::move(pruning);
       finish_metrics(&result);
       finish_explain(&result);
@@ -431,6 +447,10 @@ StatusOr<TopKCountResult> TopKCountQuery(
     }
   }
   result.pruning = std::move(pruning);
+  // Final sweep: a soft failure reported from any parallel region after
+  // the last stage checkpoint must still fail the query, not leak an OK
+  // result past a fault-injection run.
+  if (soft_fail.triggered()) return soft_fail.status();
   finish_metrics(&result);
   finish_explain(&result);
   return result;

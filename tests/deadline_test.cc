@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <optional>
 #include <thread>
 
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "datagen/citation_gen.h"
 #include "dedup/pruned_dedup.h"
@@ -91,6 +94,37 @@ TEST(SoftFailHandlerTest, InnermostHandlerReceivesFirstStatus) {
 
 TEST(SoftFailHandlerTest, NoHandlerReturnsFalse) {
   EXPECT_FALSE(ScopedSoftFailHandler::Report(Status::Internal("dropped")));
+}
+
+TEST(SoftFailHandlerTest, HandlersAreThreadScoped) {
+  ScopedSoftFailHandler handler;
+  bool delivered = true;
+  std::thread other([&] {
+    // A bare thread has no handler: the report must not cross into this
+    // thread's handler (concurrent queries would corrupt each other).
+    delivered =
+        ScopedSoftFailHandler::Report(Status::Internal("other thread"));
+  });
+  other.join();
+  EXPECT_FALSE(delivered);
+  EXPECT_FALSE(handler.triggered());
+}
+
+TEST(SoftFailHandlerTest, ParallelWorkersInheritLaunchingThreadsHandler) {
+  ScopedParallelism parallelism(4);
+  ScopedSoftFailHandler handler;
+  std::atomic<int> delivered{0};
+  // Many single-element shards so pool workers (not just the caller) run
+  // some of them; every report must land in this thread's handler.
+  ParallelFor(0, 256, 1, [&](size_t i) {
+    if (i % 64 == 0 &&
+        ScopedSoftFailHandler::Report(Status::Internal("from shard"))) {
+      delivered.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(delivered.load(), 4);
+  EXPECT_TRUE(handler.triggered());
+  EXPECT_EQ(handler.status().message(), "from shard");
 }
 
 /// Shared pipeline fixture over certified citation data: the generator
@@ -220,6 +254,40 @@ TEST_F(DeadlinePipelineTest, WorkBudgetStopIsIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST_F(DeadlinePipelineTest, PruneStageStopIsCleanAndBoundsStayConditional) {
+  // Scan budgets downward for one that stops the pipeline inside the
+  // prune stage. Work-budget expiry is only decided between prune passes,
+  // so such a stop must report a clean stage boundary (partial_stage ==
+  // false), and the early-exit-truncated bounds it kept must not be
+  // advertised as unconditional count caps.
+  const uint64_t full_work = MeasureFullRunWork();
+  bool found = false;
+  for (uint64_t budget = full_work - 1; budget > 0; budget = budget * 3 / 4) {
+    Deadline deadline = Deadline::WithWorkBudget(budget);
+    dedup::PrunedDedupOptions options;
+    options.k = 10;
+    options.deadline = &deadline;
+    auto result_or = dedup::PrunedDedup(data_, Levels(), options);
+    ASSERT_TRUE(result_or.ok());
+    const dedup::PrunedDedupResult& result = result_or.value();
+    if (!result.degradation.degraded) continue;
+    if (result.degradation.stage == "prune" &&
+        result.degradation.reason == DeadlineReason::kWorkBudget) {
+      EXPECT_FALSE(result.degradation.partial_stage);
+      EXPECT_FALSE(result.upper_bounds_unconditional);
+      found = true;
+      break;
+    }
+    // Below a mid-collapse stop of level 1 no smaller budget can reach a
+    // later stage; stop scanning.
+    if (result.degradation.level == 1 &&
+        result.degradation.stage == "collapse") {
+      break;
+    }
+  }
+  EXPECT_TRUE(found) << "no budget stopped the pipeline in the prune stage";
+}
+
 TEST_F(DeadlinePipelineTest, QueryIntervalsContainGroundTruthCounts) {
   // Ground truth: total mention weight per entity.
   std::map<int64_t, double> entity_weight;
@@ -267,6 +335,9 @@ TEST_F(DeadlinePipelineTest, QueryIntervalsContainGroundTruthCounts) {
     EXPECT_LE(g.count_lower, truth + 1e-9);
     EXPECT_GE(g.count_upper, truth - 1e-9);
     EXPECT_LE(g.count_lower, g.count_upper);
+    // Work-budget expiry is latched, but the K-group bound recomputation
+    // runs unmetered: the intervals must be informative, not all +inf.
+    EXPECT_TRUE(std::isfinite(g.count_upper));
   }
 
   // The explain report names the degraded stage.
