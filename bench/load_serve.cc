@@ -1,0 +1,336 @@
+// Load generator for the resident QueryService (src/serve/): drives
+// concurrent TopK count queries at configurable arrival rates and fault
+// probabilities and reports goodput, shed rate, degraded fraction, and
+// p50/p95/p99 latency per phase.
+//
+// Phases:
+//   closed   `--clients` threads issue `--requests` queries back-to-back.
+//            With --clients=1 and a fixed --fault-seed the answered /
+//            error / retry / shed counts are exact replays — the
+//            deterministic keys the CI perf gate pins.
+//   rate<R>  One open-loop phase per `--rates=R1,R2,...` entry: requests
+//            are submitted at R per second regardless of completion, so
+//            rates above saturation exercise queue eviction and
+//            predicted-miss shedding. Latencies and shed counts here are
+//            machine-dependent and stay in the gate's loose band.
+//
+// Every response must be an answer (exact or degraded) or a typed
+// rejection (ResourceExhausted / FailedPrecondition / Internal); anything
+// else exits nonzero, so a CI smoke run with TOPKDUP_FAULTS armed proves
+// the service degrades instead of crashing.
+//
+//   load_serve --records=600 --requests=100 --rates=50,400 \
+//       --fault-prob=0.25 --json=BENCH_serve.json
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "common/faultpoint.h"
+#include "common/status.h"
+#include "datagen/citation_gen.h"
+#include "predicates/citation.h"
+#include "predicates/corpus.h"
+#include "predicates/generic.h"
+#include "serve/service.h"
+#include "sim/similarity.h"
+#include "text/tokenize.h"
+
+namespace topkdup {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+serve::DatasetBundle MakeCitationBundle(int records, uint64_t seed) {
+  datagen::CitationGenOptions gen;
+  gen.num_records = records;
+  gen.num_authors = std::max(1, records / 4);
+  gen.seed = seed;
+  auto data_or = datagen::GenerateCitations(gen);
+  TOPKDUP_CHECK(data_or.ok());
+
+  serve::DatasetBundle bundle;
+  bundle.data =
+      std::make_unique<record::Dataset>(std::move(data_or).value());
+  auto corpus_or = predicates::Corpus::Build(bundle.data.get(), {});
+  TOPKDUP_CHECK(corpus_or.ok());
+  bundle.corpus =
+      std::make_unique<predicates::Corpus>(std::move(corpus_or).value());
+  auto s1 = std::make_unique<predicates::CitationS1>(
+      bundle.corpus.get(), predicates::CitationFields{},
+      0.75 * bundle.corpus->MaxIdf(0));
+  auto n1 = std::make_unique<predicates::QGramOverlapPredicate>(
+      bundle.corpus.get(), 0, 0.6);
+  bundle.levels = {{s1.get(), n1.get()}};
+  bundle.predicates.push_back(std::move(s1));
+  bundle.predicates.push_back(std::move(n1));
+  const record::Dataset* data = bundle.data.get();
+  bundle.scorer = [data](size_t a, size_t b) {
+    return (sim::JaroWinkler(text::NormalizeText((*data)[a].field(0)),
+                             text::NormalizeText((*data)[b].field(0))) -
+            0.85) *
+           10.0;
+  };
+  return bundle;
+}
+
+struct PhaseStats {
+  std::string label;
+  int requests = 0;
+  double wall_seconds = 0.0;
+  int exact = 0;
+  int degraded = 0;          // Deadline-degraded answers.
+  int breaker_degraded = 0;  // Bounds-only cached answers.
+  int shed = 0;
+  int errors = 0;  // Typed errors (exhausted retries, breaker strict).
+  int invalid = 0;  // Untyped / unexpected — fails the run.
+  uint64_t retries = 0;  // serve.retries delta over the phase.
+  std::vector<double> latencies;  // Answered requests only.
+
+  int answered() const { return exact + degraded + breaker_degraded; }
+  double goodput_qps() const {
+    return wall_seconds > 0.0 ? answered() / wall_seconds : 0.0;
+  }
+};
+
+void Absorb(PhaseStats& stats, const serve::QueryResponse& response) {
+  if (response.status.ok()) {
+    switch (response.outcome) {
+      case serve::ServedOutcome::kExact:
+        ++stats.exact;
+        break;
+      case serve::ServedOutcome::kDegraded:
+        ++stats.degraded;
+        break;
+      case serve::ServedOutcome::kBreakerDegraded:
+        ++stats.breaker_degraded;
+        break;
+      default:
+        ++stats.invalid;
+        return;
+    }
+    stats.latencies.push_back(response.latency_seconds);
+    return;
+  }
+  switch (response.status.code()) {
+    case StatusCode::kResourceExhausted:
+      ++stats.shed;
+      break;
+    case StatusCode::kInternal:
+    case StatusCode::kFailedPrecondition:
+      ++stats.errors;
+      break;
+    default:
+      ++stats.invalid;
+      std::fprintf(stderr, "unexpected response: %s\n",
+                   response.status.ToString().c_str());
+      break;
+  }
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = std::min(
+      values.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values.size())));
+  return values[index];
+}
+
+serve::QueryRequest MakeRequest(const bench::Flags& flags) {
+  serve::QueryRequest request;
+  request.dataset = "cites";
+  request.kind = serve::QueryKind::kTopKCount;
+  request.k = static_cast<int>(flags.GetInt("k", 5));
+  request.deadline_ms = flags.GetInt("deadline-ms", 1000);
+  return request;
+}
+
+/// Closed loop: each client issues its share back-to-back.
+PhaseStats RunClosedLoop(serve::QueryService& service,
+                         const bench::Flags& flags, int requests,
+                         int clients) {
+  PhaseStats stats;
+  stats.label = "closed";
+  stats.requests = requests;
+  const uint64_t retries_before = service.Health().retries;
+  std::vector<std::vector<serve::QueryResponse>> per_client(clients);
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    const int share = requests / clients + (c < requests % clients ? 1 : 0);
+    threads.emplace_back([&service, &flags, &per_client, c, share] {
+      for (int i = 0; i < share; ++i) {
+        per_client[c].push_back(service.Execute(MakeRequest(flags)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  stats.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (const auto& responses : per_client) {
+    for (const auto& response : responses) Absorb(stats, response);
+  }
+  stats.retries = service.Health().retries - retries_before;
+  return stats;
+}
+
+/// Open loop: submissions are paced at `rate` per second no matter how
+/// the service keeps up — the overload probe.
+PhaseStats RunOpenLoop(serve::QueryService& service,
+                       const bench::Flags& flags, int requests, int rate) {
+  PhaseStats stats;
+  stats.label = "rate" + std::to_string(rate);
+  stats.requests = requests;
+  const uint64_t retries_before = service.Health().retries;
+  std::vector<std::future<serve::QueryResponse>> futures;
+  futures.reserve(requests);
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        static_cast<double>(i) / rate)));
+    futures.push_back(service.Submit(MakeRequest(flags)));
+  }
+  for (auto& future : futures) Absorb(stats, future.get());
+  stats.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  stats.retries = service.Health().retries - retries_before;
+  return stats;
+}
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const int records = static_cast<int>(flags.GetInt("records", 600));
+  const int requests = static_cast<int>(flags.GetInt("requests", 100));
+  const int clients = static_cast<int>(flags.GetInt("clients", 1));
+  const double fault_prob = flags.GetDouble("fault-prob", 0.0);
+  const int64_t fault_seed = flags.GetInt("fault-seed", 20090324);
+  std::vector<int> rates = {50, 400};
+  rates = flags.GetIntList("rates", rates);
+  bench::Observability obs = bench::ApplyObservabilityFlags(flags);
+
+  serve::ServiceOptions options;
+  options.workers = static_cast<int>(flags.GetInt("workers", 2));
+  options.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue-capacity", 16));
+  options.default_deadline_ms = flags.GetInt("deadline-ms", 1000);
+  serve::QueryService service(options);
+  // Register (and calibrate) before arming programmatic faults so the
+  // cost estimate and the breaker's degraded-answer cache start clean.
+  // Env-armed faults (TOPKDUP_FAULTS) hit calibration too — that is the
+  // smoke configuration, and the service must survive it.
+  Status registered =
+      service.RegisterDataset("cites", MakeCitationBundle(records, 7));
+  if (!registered.ok()) {
+    std::fprintf(stderr, "RegisterDataset: %s\n",
+                 registered.ToString().c_str());
+    return 1;
+  }
+  if (fault_prob > 0.0) {
+    fault::ArmForTest("serve.query", fault_prob,
+                      static_cast<uint64_t>(fault_seed));
+  }
+
+  std::vector<PhaseStats> phases;
+  phases.push_back(RunClosedLoop(service, flags, requests, clients));
+  for (int rate : rates) {
+    phases.push_back(RunOpenLoop(service, flags, requests, rate));
+  }
+  service.Drain();
+  fault::DisarmAllForTest();
+
+  bench::TablePrinter table(
+      {"phase", "reqs", "goodput", "shed%", "degr%", "err", "p50ms",
+       "p95ms", "p99ms"},
+      {9, 6, 9, 7, 7, 5, 8, 8, 8});
+  table.PrintHeader();
+  for (const PhaseStats& p : phases) {
+    table.PrintRow({p.label, std::to_string(p.requests),
+                    bench::Num(p.goodput_qps(), 1),
+                    bench::Pct(p.shed, p.requests),
+                    bench::Pct(p.degraded + p.breaker_degraded, p.requests),
+                    std::to_string(p.errors),
+                    bench::Num(1e3 * Percentile(p.latencies, 0.50), 1),
+                    bench::Num(1e3 * Percentile(p.latencies, 0.95), 1),
+                    bench::Num(1e3 * Percentile(p.latencies, 0.99), 1)});
+  }
+
+  const serve::HealthSnapshot health = service.Health();
+  std::printf("serve.retries=%llu serve.admitted=%llu serve.shed=%llu\n",
+              static_cast<unsigned long long>(health.retries),
+              static_cast<unsigned long long>(health.admitted),
+              static_cast<unsigned long long>(health.shed));
+
+  std::vector<std::pair<std::string, double>> params = {
+      {"records", static_cast<double>(records)},
+      {"requests", static_cast<double>(requests)},
+      {"clients", static_cast<double>(clients)},
+      {"workers", static_cast<double>(options.workers)},
+      {"queue_capacity", static_cast<double>(options.queue_capacity)},
+      {"deadline_ms", static_cast<double>(options.default_deadline_ms)},
+      {"k", static_cast<double>(flags.GetInt("k", 5))},
+      {"fault_prob", fault_prob},
+      {"fault_seed", static_cast<double>(fault_seed)},
+  };
+  for (size_t i = 0; i < rates.size(); ++i) {
+    params.emplace_back("rate." + std::to_string(i),
+                        static_cast<double>(rates[i]));
+  }
+  // One run entry per phase: k = arrival rate (0 for the closed loop),
+  // seconds = phase wall time — the gate's loose latency band. The
+  // closed-loop counters are exact-replay deterministic and are pinned by
+  // the gate's --exact-scalars list.
+  std::vector<bench::BenchRun> runs;
+  std::vector<std::pair<std::string, double>> scalars;
+  int invalid = 0;
+  for (const PhaseStats& p : phases) {
+    bench::BenchRun run;
+    run.k = p.label == "closed" ? 0 : std::stoi(p.label.substr(4));
+    run.seconds = p.wall_seconds;
+    runs.push_back(std::move(run));
+    scalars.emplace_back(p.label + ".requests", p.requests);
+    scalars.emplace_back(p.label + ".answered", p.answered());
+    scalars.emplace_back(p.label + ".degraded",
+                         p.degraded + p.breaker_degraded);
+    scalars.emplace_back(p.label + ".shed", p.shed);
+    scalars.emplace_back(p.label + ".errors", p.errors);
+    scalars.emplace_back(p.label + ".retries",
+                         static_cast<double>(p.retries));
+    scalars.emplace_back(p.label + ".goodput_qps", p.goodput_qps());
+    scalars.emplace_back(p.label + ".p50_seconds",
+                         Percentile(p.latencies, 0.50));
+    scalars.emplace_back(p.label + ".p95_seconds",
+                         Percentile(p.latencies, 0.95));
+    scalars.emplace_back(p.label + ".p99_seconds",
+                         Percentile(p.latencies, 0.99));
+    invalid += p.invalid;
+  }
+  bench::ExportBenchArtifacts(flags.GetString("json", ""), obs,
+                              "serve_load", params, scalars, runs);
+
+  if (invalid > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d response(s) were neither an answer nor a typed "
+                 "rejection\n",
+                 invalid);
+    return 1;
+  }
+  std::printf("OK: every response was an answer or a typed rejection\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace topkdup
+
+int main(int argc, char** argv) { return topkdup::Main(argc, argv); }

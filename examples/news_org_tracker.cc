@@ -105,7 +105,10 @@ int main(int argc, char** argv) {
       const Organization& org = orgs[popularity.Sample(&rng)];
       record::Record r;
       r.fields = {org.variants[rng.Uniform(org.variants.size())]};
-      stream.AddMention(std::move(r));
+      if (Status st = stream.AddMention(std::move(r)); !st.ok()) {
+        std::fprintf(stderr, "ingest: %s\n", st.ToString().c_str());
+        return 1;
+      }
     }
     const double ingest_seconds = ingest_timer.ElapsedSeconds();
 

@@ -13,7 +13,9 @@ namespace topkdup::fault {
 /// Named, deterministically-seeded fault-injection sites.
 ///
 /// Production code plants sites at error-path boundaries (the CSV reader,
-/// the thread pool, each pipeline stage) with TOPKDUP_FAULT_RETURN_IF; when
+/// the thread pool, each pipeline stage, the rank query, streaming
+/// ingestion — `online.ingest` — and the resident query service —
+/// `serve.query`) with TOPKDUP_FAULT_RETURN_IF; when
 /// a site fires it returns an Internal Status naming the site, so tests and
 /// CI can prove every error path propagates instead of crashing or hanging.
 ///

@@ -27,15 +27,16 @@ void DefaultSink(LogSeverity severity, const char* file, int line,
 LogSeverity SeverityFromEnv() {
   const char* env = std::getenv("TOPKDUP_LOG_LEVEL");
   if (env == nullptr) return LogSeverity::kInfo;
-  const std::string value = ToLowerAscii(env);
-  if (value == "debug" || value == "0") return LogSeverity::kDebug;
-  if (value == "info" || value == "1") return LogSeverity::kInfo;
-  if (value == "warning" || value == "warn" || value == "2") {
-    return LogSeverity::kWarning;
+  LogSeverity severity = LogSeverity::kInfo;
+  if (!ParseLogSeverity(env, &severity)) {
+    // Plain stderr, not TOPKDUP_LOG: this runs while the min-severity
+    // static is being initialized, and logging would re-enter it.
+    std::fprintf(stderr,
+                 "[WARNING] ignoring unparseable TOPKDUP_LOG_LEVEL value "
+                 "\"%s\"; defaulting to info\n",
+                 env);
   }
-  if (value == "error" || value == "3") return LogSeverity::kError;
-  if (value == "fatal" || value == "4") return LogSeverity::kFatal;
-  return LogSeverity::kInfo;
+  return severity;
 }
 
 std::atomic<int>& MinSeverityStorage() {
@@ -59,6 +60,24 @@ const char* LogSeverityName(LogSeverity severity) {
       return "FATAL";
   }
   return "UNKNOWN";
+}
+
+bool ParseLogSeverity(std::string_view value, LogSeverity* severity) {
+  const std::string v = ToLowerAscii(value);
+  if (v == "debug" || v == "0") {
+    *severity = LogSeverity::kDebug;
+  } else if (v == "info" || v == "1") {
+    *severity = LogSeverity::kInfo;
+  } else if (v == "warning" || v == "warn" || v == "2") {
+    *severity = LogSeverity::kWarning;
+  } else if (v == "error" || v == "3") {
+    *severity = LogSeverity::kError;
+  } else if (v == "fatal" || v == "4") {
+    *severity = LogSeverity::kFatal;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 void SetLogSink(LogSink sink) { GlobalSink() = std::move(sink); }

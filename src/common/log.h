@@ -32,10 +32,17 @@ void SetLogSink(LogSink sink);
 
 /// Messages below this severity are discarded before formatting. The
 /// initial value comes from the TOPKDUP_LOG_LEVEL environment variable
-/// ("debug" | "info" | "warning" | "error" | "fatal", or 0-4), defaulting
-/// to Info. Fatal messages are never discarded.
+/// ("debug" | "info" | "warning" | "error" | "fatal", or 0-4). Unset
+/// defaults to Info; an unparseable value warns on stderr and defaults to
+/// Info rather than silently changing verbosity. Fatal messages are never
+/// discarded.
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
+
+/// Strict parse of a TOPKDUP_LOG_LEVEL value: the severity names above
+/// (case-insensitive; "warn" also accepted) or the digits 0-4. Returns
+/// false — leaving `severity` untouched — on anything else.
+bool ParseLogSeverity(std::string_view value, LogSeverity* severity);
 
 namespace log_internal {
 

@@ -8,14 +8,33 @@
 #include <mutex>
 #include <thread>
 
+#include <cerrno>
+#include <limits>
+
 #include "common/check.h"
 #include "common/deadline.h"
 #include "common/faultpoint.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "common/trace.h"
 
 namespace topkdup {
+
+namespace internal {
+
+bool ParseThreadsEnvValue(const char* value, int* threads) {
+  if (value == nullptr || *value == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (errno == ERANGE || end == value || *end != '\0') return false;
+  if (parsed < 1 || parsed > std::numeric_limits<int>::max()) return false;
+  *threads = static_cast<int>(parsed);
+  return true;
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -25,8 +44,16 @@ constexpr int kMaxThreads = 256;
 
 int HardwareDefault() {
   if (const char* env = std::getenv("TOPKDUP_THREADS")) {
-    const int v = std::atoi(env);
-    if (v >= 1) return std::min(v, kMaxThreads);
+    int v = 0;
+    if (internal::ParseThreadsEnvValue(env, &v)) {
+      return std::min(v, kMaxThreads);
+    }
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      TOPKDUP_LOG(Warning)
+          << "ignoring unparseable TOPKDUP_THREADS value \"" << env
+          << "\"; using the hardware default";
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : std::min<int>(static_cast<int>(hw), kMaxThreads);

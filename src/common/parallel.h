@@ -68,6 +68,13 @@ size_t DefaultGrain(size_t n);
 
 namespace internal {
 
+/// Strict parse of a TOPKDUP_THREADS value: base-10 integer, whole string,
+/// >= 1 (values above the worker ceiling are accepted and clamped by the
+/// caller). Returns false on garbage, emptiness, zero/negatives, or
+/// overflow — the caller then warns once and keeps the hardware default
+/// rather than silently running single-threaded on a typo.
+bool ParseThreadsEnvValue(const char* value, int* threads);
+
 /// Runs fn(shard) for every shard in [0, num_shards) on the shared pool,
 /// blocking until all complete. The calling thread participates. Shards
 /// are claimed from an atomic counter (self-scheduling, no stealing);

@@ -1,0 +1,51 @@
+#ifndef TOPKDUP_SERVE_RETRY_H_
+#define TOPKDUP_SERVE_RETRY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace topkdup::serve {
+
+/// Jittered exponential retry schedule for transient query failures.
+///
+/// Only Status::Internal is retryable: it is the code the fault-injection
+/// sites (common/faultpoint.h) and the thread pool's soft-fail channel
+/// produce for transient mid-pipeline failures. Everything else — invalid
+/// arguments, shed/breaker rejections (ResourceExhausted,
+/// FailedPrecondition), not-found datasets — is deterministic and retrying
+/// it would only burn the caller's budget.
+///
+/// The jitter draw is a pure function of (seed, request_id, attempt) via
+/// splitmix64, so a service configured with a fixed seed replays the same
+/// backoff schedule run over run — which is what lets the load bench's
+/// retry counters be gated as deterministic keys.
+struct RetryPolicy {
+  /// Retries beyond the first attempt (0 disables retrying).
+  int max_retries = 2;
+  /// Pre-jitter delay before the first retry.
+  int64_t base_backoff_ms = 5;
+  /// Exponential growth factor per additional retry.
+  double multiplier = 2.0;
+  /// Pre-jitter cap on any single delay.
+  int64_t max_backoff_ms = 250;
+  /// Fraction of the delay drawn uniformly: the actual delay lies in
+  /// [(1 - jitter) * d, d). 0 = fully deterministic delays, 1 = full
+  /// jitter. Jitter decorrelates retry storms across queued requests.
+  double jitter = 0.5;
+  /// Seed for the deterministic jitter draws.
+  uint64_t seed = 1;
+
+  /// True when a failure with this code is transient and worth retrying.
+  static bool IsRetryable(StatusCode code) {
+    return code == StatusCode::kInternal;
+  }
+
+  /// Backoff in milliseconds before retry number `attempt` (1-based: 1 is
+  /// the first retry) of request `request_id`. Always >= 0.
+  int64_t BackoffMillis(uint64_t request_id, int attempt) const;
+};
+
+}  // namespace topkdup::serve
+
+#endif  // TOPKDUP_SERVE_RETRY_H_

@@ -1,0 +1,689 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/faultpoint.h"
+#include "common/log.h"
+#include "common/parallel.h"
+
+namespace topkdup::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int64_t MillisUntil(Clock::time_point when) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(when -
+                                                               Clock::now())
+      .count();
+}
+
+bool ValidDatasetName(std::string_view name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ServedOutcomeName(ServedOutcome outcome) {
+  switch (outcome) {
+    case ServedOutcome::kExact:
+      return "exact";
+    case ServedOutcome::kDegraded:
+      return "degraded";
+    case ServedOutcome::kBreakerDegraded:
+      return "breaker_degraded";
+    case ServedOutcome::kShed:
+      return "shed";
+    case ServedOutcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+/// Everything the service tracks per registered dataset. Heap-allocated
+/// and never removed, so raw pointers into the map stay valid for the
+/// service lifetime.
+struct QueryService::DatasetState {
+  DatasetState(std::string name_in, const BreakerOptions& breaker_options)
+      : name(std::move(name_in)), breaker(breaker_options) {}
+
+  std::string name;
+  bool online = false;
+  DatasetBundle bundle;                      // Static datasets.
+  std::unique_ptr<topk::OnlineTopK> stream;  // Online datasets.
+  /// Writer side: AddMention / TakeSnapshot (both mutate the stream).
+  /// Reader side: total_weight() peeks. Queries hold it only for the
+  /// snapshot, never for execution.
+  mutable std::shared_mutex stream_mu;
+
+  CircuitBreaker breaker;
+  metrics::Gauge* breaker_gauge = nullptr;
+
+  // Rolling execution-cost samples (seconds) for the predicted-miss shed.
+  mutable std::mutex stats_mu;
+  std::vector<double> samples;
+  size_t next_sample = 0;
+
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> shed{0};
+
+  // Last exact answer, served bounds-only while the breaker is open.
+  mutable std::mutex cache_mu;
+  bool has_cache = false;
+  topk::TopKCountResult last_good;
+  /// Stream weight when `last_good` was captured (0 for static): the
+  /// ingested-since-capture delta is the sound widening of every cached
+  /// upper bound.
+  double cached_total_weight = 0.0;
+
+  static constexpr size_t kMaxSamples = 64;
+
+  void RecordSample(double seconds) {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    if (samples.size() < kMaxSamples) {
+      samples.push_back(seconds);
+    } else {
+      samples[next_sample] = seconds;
+      next_sample = (next_sample + 1) % kMaxSamples;
+    }
+  }
+
+  double P50Seconds() const {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    if (samples.empty()) return 0.0;
+    std::vector<double> sorted = samples;
+    const size_t mid = sorted.size() / 2;
+    std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+    return sorted[mid];
+  }
+};
+
+struct QueryService::Pending {
+  QueryRequest request;
+  uint64_t id = 0;
+  DatasetState* ds = nullptr;
+  int64_t budget_ms = 0;
+  CircuitBreaker::Decision decision = CircuitBreaker::Decision::kProceed;
+  Clock::time_point admitted_at{};
+  double queue_seconds = 0.0;
+  std::promise<QueryResponse> promise;
+};
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(std::move(options)) {
+  auto& registry = metrics::Registry::Global();
+  admitted_counter_ = registry.GetCounter("serve.admitted");
+  retries_counter_ = registry.GetCounter("serve.retries");
+  completed_counter_ = registry.GetCounter("serve.completed");
+  errors_counter_ = registry.GetCounter("serve.errors");
+  breaker_degraded_counter_ = registry.GetCounter("serve.breaker_degraded");
+  queue_depth_gauge_ = registry.GetGauge("serve.queue_depth");
+  inflight_gauge_ = registry.GetGauge("serve.inflight");
+  queue_seconds_ = registry.GetHistogram("serve.queue_seconds",
+                                         metrics::LatencySecondsBounds());
+
+  if (options_.workers <= 0) {
+    options_.workers = std::max(1, ParallelismLevel() / 2);
+  }
+  options_.queue_capacity = std::max<size_t>(options_.queue_capacity, 1);
+  options_.default_deadline_ms =
+      std::max<int64_t>(options_.default_deadline_ms, 1);
+  options_.max_deadline_ms =
+      std::max(options_.max_deadline_ms, options_.default_deadline_ms);
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  std::vector<std::unique_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+    while (!queue_.empty()) {
+      orphans.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    queue_depth_gauge_->Set(0.0);
+  }
+  queue_cv_.notify_all();
+  for (std::unique_ptr<Pending>& pending : orphans) {
+    if (pending->ds != nullptr) {
+      pending->ds->breaker.OnAbandon(pending->decision);
+    }
+    FinishResponse(*pending, ShedResponse(pending->ds, "shutdown",
+                                          "service shutting down"));
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+Status QueryService::RegisterDataset(std::string name, DatasetBundle bundle) {
+  if (!ValidDatasetName(name)) {
+    return Status::InvalidArgument(
+        "RegisterDataset: name must be 1-128 chars of [A-Za-z0-9_-]");
+  }
+  if (bundle.data == nullptr || bundle.corpus == nullptr) {
+    return Status::InvalidArgument(
+        "RegisterDataset: bundle needs data and corpus");
+  }
+  if (bundle.data->size() == 0) {
+    return Status::InvalidArgument("RegisterDataset: dataset is empty");
+  }
+  if (bundle.levels.empty() || bundle.levels.back().necessary == nullptr) {
+    return Status::InvalidArgument(
+        "RegisterDataset: the last level must carry a necessary predicate");
+  }
+  if (!bundle.scorer) {
+    return Status::InvalidArgument("RegisterDataset: scorer must be set");
+  }
+  auto state = std::make_unique<DatasetState>(name, options_.breaker);
+  state->bundle = std::move(bundle);
+  state->breaker_gauge = metrics::Registry::Global().GetGauge(
+      "serve.breaker_state." + name);
+  DatasetState* raw = state.get();
+  {
+    std::unique_lock<std::shared_mutex> lock(datasets_mu_);
+    if (datasets_.find(name) != datasets_.end()) {
+      return Status::FailedPrecondition(
+          "RegisterDataset: name already registered");
+    }
+    datasets_.emplace(std::move(name), std::move(state));
+  }
+  UpdateBreakerGauge(*raw);
+  if (options_.calibrate_on_register) Calibrate(*raw);
+  return Status::OK();
+}
+
+Status QueryService::RegisterOnline(std::string name,
+                                    std::unique_ptr<topk::OnlineTopK> stream) {
+  if (!ValidDatasetName(name)) {
+    return Status::InvalidArgument(
+        "RegisterOnline: name must be 1-128 chars of [A-Za-z0-9_-]");
+  }
+  if (stream == nullptr) {
+    return Status::InvalidArgument("RegisterOnline: stream must be set");
+  }
+  auto state = std::make_unique<DatasetState>(name, options_.breaker);
+  state->online = true;
+  state->stream = std::move(stream);
+  state->breaker_gauge = metrics::Registry::Global().GetGauge(
+      "serve.breaker_state." + name);
+  DatasetState* raw = state.get();
+  {
+    std::unique_lock<std::shared_mutex> lock(datasets_mu_);
+    if (datasets_.find(name) != datasets_.end()) {
+      return Status::FailedPrecondition(
+          "RegisterOnline: name already registered");
+    }
+    datasets_.emplace(std::move(name), std::move(state));
+  }
+  UpdateBreakerGauge(*raw);
+  bool calibrate = options_.calibrate_on_register;
+  {
+    std::shared_lock<std::shared_mutex> lock(raw->stream_mu);
+    calibrate = calibrate && raw->stream->group_count() > 0;
+  }
+  if (calibrate) Calibrate(*raw);
+  return Status::OK();
+}
+
+Status QueryService::Ingest(std::string_view dataset, record::Record mention) {
+  DatasetState* ds = FindDataset(dataset);
+  if (ds == nullptr) {
+    return Status::NotFound("Ingest: unknown dataset '" +
+                            std::string(dataset) + "'");
+  }
+  if (!ds->online) {
+    return Status::FailedPrecondition("Ingest: dataset '" + ds->name +
+                                      "' is not an online stream");
+  }
+  std::unique_lock<std::shared_mutex> lock(ds->stream_mu);
+  return ds->stream->AddMention(std::move(mention));
+}
+
+std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  pending->admitted_at = Clock::now();
+  std::future<QueryResponse> future = pending->promise.get_future();
+  const QueryRequest& req = pending->request;
+
+  if (req.k < 1 || req.r < 1) {
+    QueryResponse response;
+    response.status =
+        Status::InvalidArgument("Submit: k and r must be >= 1");
+    FinishResponse(*pending, std::move(response));
+    return future;
+  }
+  DatasetState* ds = FindDataset(req.dataset);
+  if (ds == nullptr) {
+    QueryResponse response;
+    response.status =
+        Status::NotFound("Submit: unknown dataset '" + req.dataset + "'");
+    FinishResponse(*pending, std::move(response));
+    return future;
+  }
+  if (req.kind == QueryKind::kTopKRank && ds->online) {
+    QueryResponse response;
+    response.status = Status::InvalidArgument(
+        "Submit: rank queries require a static dataset");
+    FinishResponse(*pending, std::move(response));
+    return future;
+  }
+  pending->ds = ds;
+  const int64_t requested =
+      req.deadline_ms > 0 ? req.deadline_ms : options_.default_deadline_ms;
+  pending->budget_ms =
+      std::max<int64_t>(1, std::min(requested, options_.max_deadline_ms));
+
+  // Breaker first: an open breaker answers from the cache at ~zero cost,
+  // so it must pre-empt the predicted-miss shed.
+  pending->decision = ds->breaker.Admit();
+  UpdateBreakerGauge(*ds);
+  if (pending->decision == CircuitBreaker::Decision::kReject) {
+    FinishResponse(*pending, DegradedFromCache(*ds, req));
+    return future;
+  }
+
+  if (options_.shed_on_predicted_miss && req.work_budget == 0) {
+    const double p50 = ds->P50Seconds();
+    if (p50 * 1000.0 > static_cast<double>(pending->budget_ms)) {
+      ds->breaker.OnAbandon(pending->decision);
+      FinishResponse(*pending,
+                     ShedResponse(ds, "predicted_miss",
+                                  "Submit: budget below observed p50 cost"));
+      return future;
+    }
+  }
+
+  std::unique_ptr<Pending> evicted;
+  bool rejected_for_shutdown = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) {
+      rejected_for_shutdown = true;
+    } else {
+      if (queue_.size() >= options_.queue_capacity) {
+        // Evict the *oldest* waiting request: workers serve newest-first,
+        // so the stalest budget is the least likely to finish anyway.
+        evicted = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      queue_.push_back(std::move(pending));
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
+  }
+  if (rejected_for_shutdown) {
+    ds->breaker.OnAbandon(pending->decision);
+    FinishResponse(*pending,
+                   ShedResponse(ds, "shutdown", "service shutting down"));
+    return future;
+  }
+  admitted_counter_->Increment();
+  admitted_total_.fetch_add(1, std::memory_order_relaxed);
+  queue_cv_.notify_one();
+  if (evicted != nullptr) {
+    if (evicted->ds != nullptr) {
+      evicted->ds->breaker.OnAbandon(evicted->decision);
+    }
+    FinishResponse(*evicted, ShedResponse(evicted->ds, "queue_full",
+                                          "Submit: admission queue full"));
+  }
+  return future;
+}
+
+QueryResponse QueryService::Execute(QueryRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  drain_cv_.wait(lock, [&] { return queue_.empty() && inflight_ == 0; });
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    std::unique_ptr<Pending> pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      pending = std::move(queue_.back());  // LIFO: newest budget first.
+      queue_.pop_back();
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+      ++inflight_;
+      inflight_gauge_->Set(static_cast<double>(inflight_));
+    }
+    Process(*pending);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --inflight_;
+      inflight_gauge_->Set(static_cast<double>(inflight_));
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void QueryService::Process(Pending& pending) {
+  pending.queue_seconds = SecondsSince(pending.admitted_at);
+  queue_seconds_->Observe(pending.queue_seconds);
+  DatasetState& ds = *pending.ds;
+
+  const int64_t remaining_ms =
+      pending.budget_ms -
+      static_cast<int64_t>(pending.queue_seconds * 1000.0);
+  if (remaining_ms <= 0) {
+    ds.breaker.OnAbandon(pending.decision);
+    FinishResponse(pending,
+                   ShedResponse(&ds, "expired_in_queue",
+                                "budget expired while queued"));
+    return;
+  }
+
+  // The breaker may have tripped while this request waited; serve the
+  // cheap degraded answer instead of burning a worker. Probes always
+  // execute — testing the dataset is their purpose.
+  if (pending.decision == CircuitBreaker::Decision::kProceed &&
+      pending.request.kind == QueryKind::kTopKCount &&
+      ds.breaker.state() == BreakerState::kOpen) {
+    FinishResponse(pending, DegradedFromCache(ds, pending.request));
+    return;
+  }
+
+  QueryResponse response;
+  RunAttempts(ds, pending, pending.decision, &response);
+  FinishResponse(pending, std::move(response));
+}
+
+void QueryService::RunAttempts(DatasetState& ds, Pending& pending,
+                               CircuitBreaker::Decision decision,
+                               QueryResponse* response) {
+  const Clock::time_point deadline_at =
+      pending.admitted_at + std::chrono::milliseconds(pending.budget_ms);
+  Status last_error;
+  for (int attempt = 0;; ++attempt) {
+    // Each attempt runs under a fresh slice of whatever budget is left, so
+    // the retry loop can never exceed the caller's original deadline.
+    const int64_t remaining = MillisUntil(deadline_at);
+    if (attempt > 0 && remaining <= 0) break;
+    Deadline deadline =
+        pending.request.work_budget > 0
+            ? Deadline::WithWorkBudget(pending.request.work_budget)
+            : Deadline::AfterMillis(std::max<int64_t>(1, remaining));
+    if (pending.request.cancel != nullptr) {
+      deadline.set_cancel_token(pending.request.cancel);
+    }
+    const Clock::time_point start = Clock::now();
+    StatusOr<QueryResponse> attempt_or =
+        RunOnce(ds, pending.request, deadline);
+    const double exec_seconds = SecondsSince(start);
+    if (attempt_or.ok()) {
+      *response = std::move(attempt_or).value();
+      response->attempts = attempt + 1;
+      ds.RecordSample(exec_seconds);
+      ds.served.fetch_add(1, std::memory_order_relaxed);
+      ds.breaker.OnSuccess(decision);
+      UpdateBreakerGauge(ds);
+      completed_counter_->Increment();
+      completed_total_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    last_error = attempt_or.status();
+    if (!RetryPolicy::IsRetryable(last_error.code()) ||
+        attempt >= options_.retry.max_retries) {
+      break;
+    }
+    const int64_t backoff =
+        options_.retry.BackoffMillis(pending.id, attempt + 1);
+    if (backoff >= MillisUntil(deadline_at)) break;  // Cannot afford it.
+    retries_counter_->Increment();
+    retries_total_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
+  response->status = std::move(last_error);
+  response->outcome = ServedOutcome::kError;
+  ds.errors.fetch_add(1, std::memory_order_relaxed);
+  errors_counter_->Increment();
+  ds.breaker.OnFailure(decision);
+  UpdateBreakerGauge(ds);
+}
+
+StatusOr<QueryResponse> QueryService::RunOnce(DatasetState& ds,
+                                              const QueryRequest& request,
+                                              const Deadline& deadline) {
+  TOPKDUP_FAULT_RETURN_IF("serve.query");
+  QueryResponse response;
+  response.status = Status::OK();
+  if (request.kind == QueryKind::kTopKRank) {
+    topk::TopKRankOptions rank_options;
+    rank_options.k = request.k;
+    rank_options.prune_passes = options_.rank_prune_passes;
+    rank_options.deadline = &deadline;
+    TOPKDUP_ASSIGN_OR_RETURN(
+        topk::TopKRankResult rank,
+        topk::TopKRankQuery(*ds.bundle.data, ds.bundle.levels,
+                            rank_options));
+    response.outcome = rank.degradation.degraded
+                           ? ServedOutcome::kDegraded
+                           : ServedOutcome::kExact;
+    response.rank = std::move(rank);
+    return response;
+  }
+
+  topk::TopKCountOptions query_options = options_.count_defaults;
+  query_options.r = request.r;
+  query_options.deadline = &deadline;
+  // The parallel pool is process-wide and regions already serialize;
+  // per-query overrides from concurrent workers would race, so leave the
+  // global level alone.
+  query_options.threads = 0;
+  double snapshot_weight = 0.0;
+  if (ds.online) {
+    topk::OnlineTopK::Snapshot snapshot;
+    {
+      std::unique_lock<std::shared_mutex> lock(ds.stream_mu);
+      snapshot = ds.stream->TakeSnapshot();
+    }
+    snapshot_weight = snapshot.total_weight;
+    if (snapshot.reps.size() == 0) {
+      return Status::FailedPrecondition("RunOnce: stream '" + ds.name +
+                                        "' has no mentions yet");
+    }
+    query_options.k = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(request.k), snapshot.reps.size()));
+    TOPKDUP_ASSIGN_OR_RETURN(
+        response.result,
+        ds.stream->QuerySnapshot(snapshot, query_options));
+  } else {
+    query_options.k = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(request.k), ds.bundle.data->size()));
+    TOPKDUP_ASSIGN_OR_RETURN(
+        response.result,
+        topk::TopKCountQuery(*ds.bundle.data, ds.bundle.levels,
+                             ds.bundle.scorer, query_options));
+  }
+  response.outcome = response.result.quality == topk::AnswerQuality::kExact
+                         ? ServedOutcome::kExact
+                         : ServedOutcome::kDegraded;
+  if (response.result.quality == topk::AnswerQuality::kExact) {
+    std::lock_guard<std::mutex> lock(ds.cache_mu);
+    ds.last_good = response.result;
+    ds.cached_total_weight = snapshot_weight;
+    ds.has_cache = true;
+  }
+  return response;
+}
+
+QueryResponse QueryService::DegradedFromCache(DatasetState& ds,
+                                              const QueryRequest& request) {
+  QueryResponse response;
+  if (request.kind != QueryKind::kTopKCount || !request.allow_degraded) {
+    response.status = Status::FailedPrecondition(
+        "circuit breaker open for dataset '" + ds.name + "'");
+    return response;
+  }
+  // Read the live stream weight before touching the cache so the two
+  // mutexes never nest (lock-order freedom).
+  double current_weight = 0.0;
+  if (ds.online) {
+    std::shared_lock<std::shared_mutex> lock(ds.stream_mu);
+    current_weight = ds.stream->total_weight();
+  }
+  topk::TopKCountResult cached;
+  double widen = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(ds.cache_mu);
+    if (!ds.has_cache) {
+      response.status = Status::FailedPrecondition(
+          "circuit breaker open for dataset '" + ds.name +
+          "' and no cached answer is available");
+      return response;
+    }
+    cached = ds.last_good;
+    if (ds.online) {
+      widen = std::max(0.0, current_weight - ds.cached_total_weight);
+    }
+  }
+  // The stream is append-only with non-negative weights, so a captured
+  // group can only have grown, and by at most the weight ingested since
+  // capture: [captured, captured + widen] contains the true count.
+  for (topk::TopKAnswerSet& answer : cached.answers) {
+    if (answer.groups.size() > static_cast<size_t>(request.k)) {
+      answer.groups.resize(static_cast<size_t>(request.k));
+    }
+    for (topk::AnswerGroup& group : answer.groups) {
+      group.count_upper += widen;
+    }
+  }
+  cached.quality = topk::AnswerQuality::kBoundsOnly;
+  cached.exact_from_pruning = false;
+  cached.degradation.degraded = true;
+  cached.degradation.stage = "serve_breaker";
+  cached.degradation.partial_stage = false;
+  response.result = std::move(cached);
+  response.status = Status::OK();
+  response.outcome = ServedOutcome::kBreakerDegraded;
+  breaker_degraded_counter_->Increment();
+  return response;
+}
+
+QueryResponse QueryService::ShedResponse(DatasetState* ds,
+                                         const std::string& reason,
+                                         std::string message) {
+  QueryResponse response;
+  response.status = Status::ResourceExhausted(std::move(message));
+  response.outcome = ServedOutcome::kShed;
+  metrics::Registry::Global().GetCounter("serve.shed." + reason)->Increment();
+  shed_total_.fetch_add(1, std::memory_order_relaxed);
+  if (ds != nullptr) {
+    ds->shed.fetch_add(1, std::memory_order_relaxed);
+    if (reason != "shutdown") {
+      // Overload counts toward tripping just like errors: a dataset
+      // drowning in traffic should brown out to cached answers.
+      ds->breaker.OnShed();
+      UpdateBreakerGauge(*ds);
+    }
+  }
+  return response;
+}
+
+void QueryService::FinishResponse(Pending& pending, QueryResponse response) {
+  response.queue_seconds = pending.queue_seconds;
+  response.latency_seconds = SecondsSince(pending.admitted_at);
+  metrics::Registry::Global()
+      .GetHistogram(std::string("serve.latency_seconds.") +
+                        ServedOutcomeName(response.outcome),
+                    metrics::LatencySecondsBounds())
+      ->Observe(response.latency_seconds);
+  pending.promise.set_value(std::move(response));
+}
+
+QueryService::DatasetState* QueryService::FindDataset(std::string_view name) {
+  std::shared_lock<std::shared_mutex> lock(datasets_mu_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second.get();
+}
+
+void QueryService::Calibrate(DatasetState& ds) {
+  // One bounded query seeds the cost estimate and the degraded-answer
+  // cache so the breaker has something to serve from its first trip.
+  QueryRequest request;
+  request.dataset = ds.name;
+  request.kind = QueryKind::kTopKCount;
+  request.k = 5;
+  request.r = 1;
+  Deadline deadline = Deadline::AfterMillis(options_.default_deadline_ms);
+  const Clock::time_point start = Clock::now();
+  StatusOr<QueryResponse> response = RunOnce(ds, request, deadline);
+  if (response.ok()) {
+    ds.RecordSample(SecondsSince(start));
+  } else {
+    TOPKDUP_LOG(Warning) << "calibration query for dataset '" << ds.name
+                         << "' failed: "
+                         << response.status().ToString();
+  }
+}
+
+void QueryService::UpdateBreakerGauge(DatasetState& ds) {
+  ds.breaker_gauge->Set(
+      static_cast<double>(static_cast<int>(ds.breaker.state())));
+}
+
+HealthSnapshot QueryService::Health() const {
+  HealthSnapshot health;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    health.queue_depth = queue_.size();
+    health.inflight = inflight_;
+  }
+  health.workers = options_.workers;
+  health.admitted = admitted_total_.load(std::memory_order_relaxed);
+  health.shed = shed_total_.load(std::memory_order_relaxed);
+  health.retries = retries_total_.load(std::memory_order_relaxed);
+  health.completed = completed_total_.load(std::memory_order_relaxed);
+  bool any_serving = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(datasets_mu_);
+    health.datasets.reserve(datasets_.size());
+    for (const auto& [name, state] : datasets_) {
+      DatasetHealth ds;
+      ds.name = name;
+      ds.online = state->online;
+      if (state->online) {
+        std::shared_lock<std::shared_mutex> stream_lock(state->stream_mu);
+        ds.records = state->stream->mention_count();
+      } else {
+        ds.records = state->bundle.data->size();
+      }
+      ds.breaker = state->breaker.state();
+      ds.p50_seconds = state->P50Seconds();
+      ds.served = state->served.load(std::memory_order_relaxed);
+      ds.errors = state->errors.load(std::memory_order_relaxed);
+      ds.shed = state->shed.load(std::memory_order_relaxed);
+      if (ds.breaker != BreakerState::kOpen) any_serving = true;
+      health.datasets.push_back(std::move(ds));
+    }
+  }
+  health.ready = any_serving && !workers_.empty();
+  return health;
+}
+
+}  // namespace topkdup::serve

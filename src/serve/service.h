@@ -1,0 +1,295 @@
+#ifndef TOPKDUP_SERVE_SERVICE_H_
+#define TOPKDUP_SERVE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "dedup/pruned_dedup.h"
+#include "predicates/corpus.h"
+#include "predicates/pair_predicate.h"
+#include "record/record.h"
+#include "serve/breaker.h"
+#include "serve/retry.h"
+#include "topk/online.h"
+#include "topk/rank_query.h"
+#include "topk/topk_query.h"
+
+namespace topkdup::serve {
+
+/// What kind of query a request asks for.
+enum class QueryKind : int {
+  kTopKCount = 0,  // Algorithm 2 + §5 (TopKCountQuery / OnlineTopK).
+  kTopKRank = 1,   // §7.1 (TopKRankQuery; static datasets only).
+};
+
+/// One query against a registered dataset.
+struct QueryRequest {
+  std::string dataset;
+  QueryKind kind = QueryKind::kTopKCount;
+  int k = 10;
+  /// Plausible answers (the paper's R; count queries only).
+  int r = 1;
+  /// Caller's wall-clock budget. 0 uses the service default; any value is
+  /// clamped to ServiceOptions::max_deadline_ms. The budget covers queue
+  /// wait, every execution attempt, and every retry backoff — a retried
+  /// request never exceeds it.
+  int64_t deadline_ms = 0;
+  /// When nonzero, each execution attempt runs under this deterministic
+  /// work-unit budget instead of a wall-clock slice (tests and
+  /// reproducible benches; the wall budget still governs queueing and
+  /// retries).
+  uint64_t work_budget = 0;
+  /// Optional cooperative cancellation (not owned; must outlive the
+  /// response future).
+  const CancelToken* cancel = nullptr;
+  /// Accept a bounds-only cached answer when the dataset's breaker is
+  /// open. When false an open breaker yields FailedPrecondition instead.
+  bool allow_degraded = true;
+};
+
+/// How the service disposed of a request.
+enum class ServedOutcome : int {
+  kExact = 0,            // Full-quality answer.
+  kDegraded = 1,         // Deadline-degraded answer with sound intervals.
+  kBreakerDegraded = 2,  // Bounds-only cached answer; breaker open.
+  kShed = 3,             // Load-shed before execution (ResourceExhausted).
+  kError = 4,            // Typed error (breaker, validation, or exhausted
+                         // retries of a transient failure).
+};
+
+const char* ServedOutcomeName(ServedOutcome outcome);
+
+struct QueryResponse {
+  /// OK for kExact / kDegraded / kBreakerDegraded; the typed rejection or
+  /// failure otherwise (ResourceExhausted = shed, FailedPrecondition =
+  /// breaker open with no cached answer, Internal = transient failure
+  /// surviving every retry).
+  Status status;
+  /// Count-query answer (kind == kTopKCount and status.ok()).
+  topk::TopKCountResult result;
+  /// Rank-query answer (kind == kTopKRank and status.ok()).
+  std::optional<topk::TopKRankResult> rank;
+  ServedOutcome outcome = ServedOutcome::kError;
+  /// Execution attempts made (0 when shed before execution; retries make
+  /// this > 1).
+  int attempts = 0;
+  /// Seconds spent queued before execution began.
+  double queue_seconds = 0.0;
+  /// Admission-to-response wall seconds (queue + attempts + backoffs).
+  double latency_seconds = 0.0;
+};
+
+/// Everything the service must own for a resident static dataset. The
+/// predicates reference `corpus`, which references `data`; all three are
+/// heap-allocated so the bundle can move without invalidating them.
+struct DatasetBundle {
+  std::unique_ptr<record::Dataset> data;
+  std::unique_ptr<predicates::Corpus> corpus;
+  /// Owning storage for the level predicates (any order).
+  std::vector<std::unique_ptr<predicates::PairPredicate>> predicates;
+  /// Levels for PrunedDedup, pointing into `predicates`. The last level
+  /// must carry a necessary predicate.
+  std::vector<dedup::PredicateLevel> levels;
+  /// Pair scorer bound to `data`.
+  topk::PairScoreFn scorer;
+};
+
+struct ServiceOptions {
+  /// Query worker threads — the concurrency limiter. Each worker runs one
+  /// query at a time; queries fan out internally on the shared pool
+  /// (common/parallel.h), which serializes parallel regions, so workers
+  /// beyond the pool's thread count only add queueing, not speed.
+  /// <= 0 sizes against the pool: max(1, ParallelismLevel() / 2).
+  int workers = 2;
+  /// Bounded admission queue. Arrivals beyond capacity evict the oldest
+  /// waiting request (LIFO service order — see Submit).
+  size_t queue_capacity = 64;
+  /// Per-request wall budget when the caller does not set one.
+  int64_t default_deadline_ms = 1000;
+  /// Upper clamp on any caller-requested budget.
+  int64_t max_deadline_ms = 10000;
+  /// Reject a request up front (ResourceExhausted) when its budget cannot
+  /// cover the dataset's observed p50 execution cost.
+  bool shed_on_predicted_miss = true;
+  /// Retry/backoff schedule for transient (Internal) failures.
+  RetryPolicy retry;
+  /// Per-dataset circuit breaker configuration.
+  BreakerOptions breaker;
+  /// Run one calibration query at registration to seed the dataset's cost
+  /// estimate and the bounds cache the breaker serves while open.
+  bool calibrate_on_register = true;
+  /// Defaults applied to every count query (k, r, and deadline are always
+  /// overridden per request; threads stays 0 — the service must not fight
+  /// over the process-wide parallelism).
+  topk::TopKCountOptions count_defaults;
+  /// prune_passes applied to rank queries.
+  int rank_prune_passes = 2;
+};
+
+/// Health snapshot suitable for a readiness probe.
+struct DatasetHealth {
+  std::string name;
+  bool online = false;
+  size_t records = 0;  // Records (static) or mentions (online).
+  BreakerState breaker = BreakerState::kClosed;
+  /// Observed p50 execution seconds (0 until a sample lands).
+  double p50_seconds = 0.0;
+  uint64_t served = 0;
+  uint64_t errors = 0;
+  uint64_t shed = 0;
+};
+
+struct HealthSnapshot {
+  /// Accepting work: running, and at least one dataset has a closed or
+  /// half-open breaker.
+  bool ready = false;
+  size_t queue_depth = 0;
+  size_t inflight = 0;
+  int workers = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t retries = 0;
+  uint64_t completed = 0;
+  std::vector<DatasetHealth> datasets;
+};
+
+/// A thread-safe resident query service over registered datasets.
+///
+/// Admission path for Submit():
+///   1. Validation (dataset exists, k/r sane) — immediate typed error.
+///   2. Budget derivation: caller deadline_ms or the service default,
+///      clamped to max_deadline_ms. The budget covers everything.
+///   3. Circuit breaker: an open breaker short-circuits to a bounds-only
+///      cached answer (kBreakerDegraded) or FailedPrecondition — the
+///      request never occupies a queue slot.
+///   4. Predicted-miss shed: budget < observed p50 execution cost →
+///      ResourceExhausted up front rather than queued to die.
+///   5. Bounded queue: when full, the *oldest* waiting request is evicted
+///      (ResourceExhausted) in favor of the arrival — combined with
+///      workers popping newest-first (LIFO), fresh requests with live
+///      budgets are served and stale ones absorb the shedding.
+///
+/// Execution (worker threads): re-shed if the budget expired in queue,
+/// then run attempts under a fresh Deadline slice per attempt — wall
+/// budget = remaining request budget, so a retried request can never
+/// exceed its original budget. Transient (Internal) failures retry with
+/// jittered exponential backoff; degraded-but-OK answers are answers and
+/// are never retried. Every decision lands in the metrics registry
+/// (serve.admitted, serve.shed.<reason>, serve.retries,
+/// serve.breaker_state.<dataset>, serve.queue_depth, per-outcome latency
+/// histograms).
+///
+/// Ingestion: online datasets take a writer lock per mention; queries
+/// snapshot under the same lock and execute lock-free on the snapshot
+/// (topk::OnlineTopK::QuerySnapshot), so ingest stalls are bounded by
+/// snapshot cost, never query cost.
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options = {});
+  /// Sheds every queued request (reason "shutdown") and joins the
+  /// workers. In-flight queries run to completion.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers a resident static dataset. Validates the bundle (data,
+  /// corpus, last-level necessary predicate, scorer) and optionally runs
+  /// the calibration query.
+  Status RegisterDataset(std::string name, DatasetBundle bundle);
+
+  /// Registers an online (streaming) dataset. `stream` may already hold
+  /// mentions.
+  Status RegisterOnline(std::string name,
+                        std::unique_ptr<topk::OnlineTopK> stream);
+
+  /// Ingests one mention into an online dataset (writer-locked).
+  Status Ingest(std::string_view dataset, record::Record mention);
+
+  /// Admits a query; the future resolves when it is served, shed, or
+  /// fails. Never blocks on query execution (immediate rejections resolve
+  /// the future before returning).
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Submit + wait.
+  QueryResponse Execute(QueryRequest request);
+
+  /// Blocks until the queue is empty and no query is in flight.
+  void Drain();
+
+  HealthSnapshot Health() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct DatasetState;
+  struct Pending;
+
+  void WorkerLoop();
+  void Process(Pending& pending);
+  /// Runs the retry loop for one admitted request; fills the response.
+  void RunAttempts(DatasetState& ds, Pending& pending,
+                   CircuitBreaker::Decision decision,
+                   QueryResponse* response);
+  /// One execution attempt under a fresh deadline slice.
+  StatusOr<QueryResponse> RunOnce(DatasetState& ds,
+                                  const QueryRequest& request,
+                                  const Deadline& deadline);
+  /// Bounds-only answer from the dataset's cache (breaker open).
+  QueryResponse DegradedFromCache(DatasetState& ds,
+                                  const QueryRequest& request);
+  QueryResponse ShedResponse(DatasetState* ds, const std::string& reason,
+                             std::string message);
+  void FinishResponse(Pending& pending, QueryResponse response);
+  DatasetState* FindDataset(std::string_view name);
+  void Calibrate(DatasetState& ds);
+  void UpdateBreakerGauge(DatasetState& ds);
+
+  ServiceOptions options_;
+
+  mutable std::shared_mutex datasets_mu_;
+  std::map<std::string, std::unique_ptr<DatasetState>, std::less<>>
+      datasets_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  size_t inflight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> next_request_id_{0};
+  std::atomic<uint64_t> admitted_total_{0};
+  std::atomic<uint64_t> shed_total_{0};
+  std::atomic<uint64_t> retries_total_{0};
+  std::atomic<uint64_t> completed_total_{0};
+
+  // Registry handles resolved once.
+  metrics::Counter* admitted_counter_;
+  metrics::Counter* retries_counter_;
+  metrics::Counter* completed_counter_;
+  metrics::Counter* errors_counter_;
+  metrics::Counter* breaker_degraded_counter_;
+  metrics::Gauge* queue_depth_gauge_;
+  metrics::Gauge* inflight_gauge_;
+  metrics::Histogram* queue_seconds_;
+};
+
+}  // namespace topkdup::serve
+
+#endif  // TOPKDUP_SERVE_SERVICE_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/faultpoint.h"
 
 namespace topkdup::topk {
 
@@ -19,24 +20,33 @@ OnlineTopK::OnlineTopK(record::Schema schema, Config config)
       });
 }
 
-void OnlineTopK::AddMention(record::Record mention) {
+Status OnlineTopK::AddMention(record::Record mention) {
+  TOPKDUP_FAULT_RETURN_IF("online.ingest");
   const std::vector<std::string> signature =
       config_.sufficient_signature(mention);
   const double weight = mention.weight;
   mentions_.Add(std::move(mention));
+  total_weight_ += weight;
   collapse_->Insert(signature, weight);
+  return Status::OK();
 }
 
-StatusOr<TopKCountResult> OnlineTopK::Query(
-    const TopKCountOptions& options) {
+OnlineTopK::Snapshot OnlineTopK::TakeSnapshot() {
+  Snapshot snapshot;
+  snapshot.reps = record::Dataset(schema_);
+  snapshot.mention_count = mentions_.size();
+  snapshot.total_weight = total_weight_;
+  snapshot.mention_weights.reserve(mentions_.size());
+  for (size_t i = 0; i < mentions_.size(); ++i) {
+    snapshot.mention_weights.push_back(mentions_[i].weight);
+  }
+
   // Materialize one representative record per collapsed group; its weight
   // is the group's total weight, so downstream pruning and the TopK DP see
   // the stream's true counts.
   const std::vector<dedup::StreamingCollapse::GroupView> groups =
       collapse_->Groups();
-  record::Dataset reps(schema_);
-  std::vector<std::vector<size_t>> group_members;
-  group_members.reserve(groups.size());
+  snapshot.group_members.reserve(groups.size());
   for (const auto& group : groups) {
     // Heaviest member as representative.
     size_t best = group.members.front();
@@ -45,29 +55,34 @@ StatusOr<TopKCountResult> OnlineTopK::Query(
     }
     record::Record rep = mentions_[best];
     rep.weight = group.weight;
-    reps.Add(std::move(rep));
-    group_members.push_back(group.members);
+    snapshot.reps.Add(std::move(rep));
+    snapshot.group_members.push_back(group.members);
   }
+  return snapshot;
+}
 
-  auto corpus_or = predicates::Corpus::Build(&reps, {});
+StatusOr<TopKCountResult> OnlineTopK::QuerySnapshot(
+    const Snapshot& snapshot, const TopKCountOptions& options) const {
+  auto corpus_or = predicates::Corpus::Build(&snapshot.reps, {});
   TOPKDUP_RETURN_IF_ERROR(corpus_or.status());
   const predicates::Corpus& corpus = corpus_or.value();
   std::unique_ptr<predicates::PairPredicate> necessary =
       config_.necessary_factory(corpus);
-  const PairScoreFn scorer = config_.scorer_factory(reps);
+  const PairScoreFn scorer = config_.scorer_factory(snapshot.reps);
 
   // The collapse already happened incrementally: run pruning + clustering
   // with a necessary-only level over the representative dataset.
   TOPKDUP_ASSIGN_OR_RETURN(
       TopKCountResult result,
-      TopKCountQuery(reps, {{nullptr, necessary.get()}}, scorer, options));
+      TopKCountQuery(snapshot.reps, {{nullptr, necessary.get()}}, scorer,
+                     options));
 
   // Translate representative-dataset member ids back to mention ids.
   for (TopKAnswerSet& answer : result.answers) {
     for (AnswerGroup& group : answer.groups) {
       std::vector<size_t> mention_ids;
       for (size_t rep_id : group.members) {
-        const auto& members = group_members[rep_id];
+        const auto& members = snapshot.group_members[rep_id];
         mention_ids.insert(mention_ids.end(), members.begin(),
                            members.end());
       }
@@ -76,12 +91,18 @@ StatusOr<TopKCountResult> OnlineTopK::Query(
       // heaviest underlying mention.
       size_t best = group.members.front();
       for (size_t m : group.members) {
-        if (mentions_[m].weight > mentions_[best].weight) best = m;
+        if (snapshot.mention_weights[m] > snapshot.mention_weights[best]) {
+          best = m;
+        }
       }
       group.representative = best;
     }
   }
   return result;
+}
+
+StatusOr<TopKCountResult> OnlineTopK::Query(const TopKCountOptions& options) {
+  return QuerySnapshot(TakeSnapshot(), options);
 }
 
 }  // namespace topkdup::topk

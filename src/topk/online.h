@@ -26,6 +26,13 @@ namespace topkdup::topk {
 ///    (evaluated incrementally on raw records), and
 ///  - factories that bind a necessary predicate and a pairwise scorer to
 ///    the small representative corpus rebuilt per query.
+///
+/// Concurrency discipline (what the resident QueryService relies on):
+/// AddMention and TakeSnapshot mutate the stream and must be serialized by
+/// the caller (a writer lock); QuerySnapshot is const, touches only the
+/// snapshot and the Config factories, and may run concurrently with
+/// ingestion and with other QuerySnapshot calls. The factories must
+/// therefore be safe to invoke concurrently (stateless closures are).
 class OnlineTopK {
  public:
   struct Config {
@@ -46,24 +53,54 @@ class OnlineTopK {
 
   OnlineTopK(record::Schema schema, Config config);
 
-  /// Ingests one mention. O(signature-postings) amortized.
-  void AddMention(record::Record mention);
+  /// Ingests one mention. O(signature-postings) amortized. The only error
+  /// path is the `online.ingest` fault-injection site — ingestion itself
+  /// cannot fail — so production callers may TOPKDUP_CHECK the result
+  /// while the fault harness proves the path propagates.
+  Status AddMention(record::Record mention);
 
   size_t mention_count() const { return mentions_.size(); }
   size_t group_count() const { return collapse_->group_count(); }
+  /// Total weight ingested so far.
+  double total_weight() const { return total_weight_; }
 
   /// The i-th ingested mention (answer member ids index into this).
   const record::Record& mention(size_t i) const { return mentions_[i]; }
 
-  /// Answers the TopK count query over everything ingested so far. Member
-  /// ids in the result refer to ingestion order. Cost is a function of the
-  /// current number of *groups*, not mentions.
+  /// Frozen view of the collapsed stream: everything QuerySnapshot needs,
+  /// detached from the live ingest state.
+  struct Snapshot {
+    /// One representative record per collapsed group, weight = the
+    /// group's total weight.
+    record::Dataset reps;
+    /// Mention ids per representative (parallel to `reps`).
+    std::vector<std::vector<size_t>> group_members;
+    /// Per-mention weights at capture (for answer id translation).
+    std::vector<double> mention_weights;
+    size_t mention_count = 0;
+    double total_weight = 0.0;
+  };
+
+  /// Materializes the current groups. Mutates internal union-find state
+  /// (path compression): serialize with AddMention under the same writer
+  /// lock. Cost is O(mentions), far below a query over the groups.
+  Snapshot TakeSnapshot();
+
+  /// Answers the TopK count query over a snapshot. Member ids in the
+  /// result refer to ingestion order at capture. Const and safe to run
+  /// concurrently with ingestion — cost is a function of the snapshot's
+  /// *group* count, not mentions.
+  StatusOr<TopKCountResult> QuerySnapshot(const Snapshot& snapshot,
+                                          const TopKCountOptions& options) const;
+
+  /// TakeSnapshot + QuerySnapshot in one call (single-threaded use).
   StatusOr<TopKCountResult> Query(const TopKCountOptions& options);
 
  private:
   record::Schema schema_;
   Config config_;
   record::Dataset mentions_;
+  double total_weight_ = 0.0;
   std::unique_ptr<dedup::StreamingCollapse> collapse_;
 };
 

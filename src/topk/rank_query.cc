@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/deadline.h"
+#include "common/faultpoint.h"
 #include "dedup/collapse.h"
 #include "dedup/prune.h"
 #include "predicates/blocked_index.h"
@@ -48,25 +49,67 @@ StatusOr<TopKRankResult> TopKRankQuery(
   prune_options.k = options.k;
   prune_options.prune_passes = options.prune_passes;
   prune_options.exact_bounds = true;  // Bounds are compared across groups.
+  prune_options.deadline = options.deadline;
   TOPKDUP_ASSIGN_OR_RETURN(
       dedup::PrunedDedupResult pruning,
       dedup::PrunedDedup(data, levels, prune_options));
 
   TopKRankResult result;
   const std::vector<dedup::Group>& groups = pruning.groups;
-  const std::vector<double>& ub = pruning.upper_bounds;
   const size_t n = groups.size();
   const double M = pruning.levels.empty() ? 0.0 : pruning.levels.back().M;
-
   const predicates::PairPredicate& necessary = *levels.back().necessary;
+
+  TOPKDUP_FAULT_RETURN_IF("topk.rank_query");
+
+  // A degraded prune cannot certify the cross-group bound comparisons the
+  // §7.1 resolved-group rule relies on (its bounds may be missing, stale,
+  // or restricted to surviving neighbors). Skip the extra pruning — less
+  // pruning is always sound — and hand back every surviving group with a
+  // recomputed unconditional §4.3 bound so the (c_i, u_i) pairs still cap
+  // the true counts. The recomputation is urgent-polled only (work-budget
+  // expiry is already latched; metering it again would zero out every
+  // interval to +inf).
+  if (pruning.degradation.degraded || options.deadline != nullptr) {
+    const bool expired = options.deadline != nullptr &&
+                         (pruning.degradation.degraded ||
+                          options.deadline->Expired());
+    if (expired) {
+      std::vector<size_t> all(n);
+      for (size_t i = 0; i < n; ++i) all[i] = i;
+      std::vector<double> bounds =
+          pruning.upper_bounds_unconditional &&
+                  pruning.upper_bounds.size() == n
+              ? pruning.upper_bounds
+              : dedup::ComputeGroupUpperBounds(groups, necessary, all);
+      result.ranked.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        result.ranked.push_back(RankedGroup{groups[i], bounds[i]});
+      }
+      result.degradation = pruning.degradation;
+      result.pruning = std::move(pruning);
+      if (soft_fail.triggered()) return soft_fail.status();
+      return result;
+    }
+  }
+
+  const std::vector<double>& ub = pruning.upper_bounds;
   const std::vector<std::vector<uint32_t>> adj =
       NeighborLists(groups, necessary);
 
   // §7.1: a group j is resolved when it has no ranking conflict with any
-  // non-neighbor and none of its neighbors can outgrow M without it.
+  // non-neighbor and none of its neighbors can outgrow M without it. The
+  // loop is O(n^2): poll the deadline urgently per row and wind down with
+  // rows conservatively unresolved (sound — unresolved groups only ever
+  // suppress extra pruning).
   std::vector<bool> is_neighbor(n, false);
   std::vector<bool> resolved(n, false);
+  bool resolution_complete = true;
   for (size_t j = 0; j < n; ++j) {
+    if (options.deadline != nullptr && options.deadline->ExpiredUrgent()) {
+      resolution_complete = false;
+      break;
+    }
     for (uint32_t g : adj[j]) is_neighbor[g] = true;
     bool ok = true;
     for (size_t g = 0; g < n && ok; ++g) {
@@ -110,6 +153,17 @@ StatusOr<TopKRankResult> TopKRankQuery(
     rg.group = groups[i];
     rg.upper_bound = ub[i];
     result.ranked.push_back(std::move(rg));
+  }
+  result.degradation = pruning.degradation;
+  if (!resolution_complete && !result.degradation.degraded) {
+    result.degradation.degraded = true;
+    result.degradation.stage = "rank_resolution";
+    result.degradation.reason = options.deadline->reason();
+    result.degradation.partial_stage = true;
+    result.degradation.work_done = options.deadline->work_charged();
+    result.degradation.work_budget =
+        options.deadline->has_work_budget() ? options.deadline->work_budget()
+                                            : 0;
   }
   result.pruning = std::move(pruning);
   if (soft_fail.triggered()) return soft_fail.status();

@@ -18,16 +18,29 @@ struct RankedGroup {
 
 struct TopKRankResult {
   /// Groups surviving all pruning, by decreasing weight, with bounds.
+  /// On a degraded run every upper_bound is still a valid unconditional
+  /// cap on its group's true duplicate count (recomputed first-pass §4.3
+  /// bounds when the pruning stage could not finish in budget).
   std::vector<RankedGroup> ranked;
   /// Number of groups the §7.1 resolved-group rule pruned beyond the
-  /// standard §4.3 prune.
+  /// standard §4.3 prune. Always 0 on a degraded run: the resolved-group
+  /// rule compares exact bounds across groups, which a partial prune
+  /// cannot certify, so it is skipped rather than risk unsound pruning.
   size_t resolved_pruned = 0;
   dedup::PrunedDedupResult pruning;
+  /// Degradation verdict (mirrors pruning.degradation): degraded == false
+  /// means the full §7.1 pipeline ran.
+  DegradationInfo degradation;
 };
 
 struct TopKRankOptions {
   int k = 10;
   int prune_passes = 2;
+  /// Query budget (not owned; null = unlimited). On expiry the query
+  /// returns OK with its best partial ranking: surviving groups with
+  /// sound unconditional upper bounds and `degradation` filled. See
+  /// common/deadline.h.
+  const Deadline* deadline = nullptr;
 };
 
 /// The TopK *rank* query of §7.1: like the count query, but since only the

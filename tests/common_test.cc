@@ -3,6 +3,8 @@
 #include <cmath>
 #include <set>
 
+#include "common/log.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -203,6 +205,55 @@ TEST(StringsTest, StartsWith) {
 TEST(StringsTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(EnvKnobTest, ParseThreadsAcceptsStrictIntegers) {
+  int threads = 0;
+  EXPECT_TRUE(internal::ParseThreadsEnvValue("1", &threads));
+  EXPECT_EQ(threads, 1);
+  EXPECT_TRUE(internal::ParseThreadsEnvValue("64", &threads));
+  EXPECT_EQ(threads, 64);
+  // Above the worker ceiling still parses; the caller clamps.
+  EXPECT_TRUE(internal::ParseThreadsEnvValue("100000", &threads));
+  EXPECT_EQ(threads, 100000);
+}
+
+TEST(EnvKnobTest, ParseThreadsRejectsGarbage) {
+  int threads = -1;
+  EXPECT_FALSE(internal::ParseThreadsEnvValue(nullptr, &threads));
+  EXPECT_FALSE(internal::ParseThreadsEnvValue("", &threads));
+  EXPECT_FALSE(internal::ParseThreadsEnvValue("abc", &threads));
+  EXPECT_FALSE(internal::ParseThreadsEnvValue("8x", &threads));
+  EXPECT_FALSE(internal::ParseThreadsEnvValue("4.5", &threads));
+  EXPECT_FALSE(internal::ParseThreadsEnvValue("0", &threads));
+  EXPECT_FALSE(internal::ParseThreadsEnvValue("-2", &threads));
+  EXPECT_FALSE(
+      internal::ParseThreadsEnvValue("99999999999999999999", &threads));
+  EXPECT_EQ(threads, -1);  // Rejections never touch the output.
+}
+
+TEST(EnvKnobTest, ParseLogSeverityAcceptsNamesAndDigits) {
+  LogSeverity severity = LogSeverity::kInfo;
+  EXPECT_TRUE(ParseLogSeverity("debug", &severity));
+  EXPECT_EQ(severity, LogSeverity::kDebug);
+  EXPECT_TRUE(ParseLogSeverity("WARNING", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  EXPECT_TRUE(ParseLogSeverity("warn", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  EXPECT_TRUE(ParseLogSeverity("3", &severity));
+  EXPECT_EQ(severity, LogSeverity::kError);
+  EXPECT_TRUE(ParseLogSeverity("4", &severity));
+  EXPECT_EQ(severity, LogSeverity::kFatal);
+}
+
+TEST(EnvKnobTest, ParseLogSeverityRejectsGarbage) {
+  LogSeverity severity = LogSeverity::kError;
+  EXPECT_FALSE(ParseLogSeverity("", &severity));
+  EXPECT_FALSE(ParseLogSeverity("verbose", &severity));
+  EXPECT_FALSE(ParseLogSeverity("5", &severity));
+  EXPECT_FALSE(ParseLogSeverity("-1", &severity));
+  EXPECT_FALSE(ParseLogSeverity("info ", &severity));
+  EXPECT_EQ(severity, LogSeverity::kError);  // Untouched on failure.
 }
 
 }  // namespace

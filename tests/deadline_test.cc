@@ -19,6 +19,8 @@
 #include "predicates/generic.h"
 #include "sim/similarity.h"
 #include "text/tokenize.h"
+#include "topk/online.h"
+#include "topk/rank_query.h"
 #include "topk/topk_query.h"
 
 namespace topkdup {
@@ -403,6 +405,115 @@ TEST_F(DeadlinePipelineTest, WallClockDeadlineReturnsPromptly) {
   if (result.quality != topk::AnswerQuality::kExact) {
     EXPECT_TRUE(result.degradation.degraded);
     EXPECT_FALSE(result.answers.empty());
+  }
+}
+
+TEST_F(DeadlinePipelineTest, RankQueryDegradesSoundlyUnderWorkBudget) {
+  std::map<int64_t, double> entity_weight;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    entity_weight[data_[i].entity_id] += data_[i].weight;
+  }
+
+  // Unlimited run as the reference: full pipeline, no degradation.
+  topk::TopKRankOptions full_options;
+  full_options.k = 10;
+  auto full_or = topk::TopKRankQuery(data_, Levels(), full_options);
+  ASSERT_TRUE(full_or.ok());
+  EXPECT_FALSE(full_or.value().degradation.degraded);
+
+  const uint64_t full_work = MeasureFullRunWork();
+  ASSERT_GT(full_work, 0u);
+  for (const uint64_t budget : {full_work / 10, full_work / 2}) {
+    Deadline deadline = Deadline::WithWorkBudget(budget);
+    topk::TopKRankOptions options;
+    options.k = 10;
+    options.deadline = &deadline;
+    auto result_or = topk::TopKRankQuery(data_, Levels(), options);
+    ASSERT_TRUE(result_or.ok()) << "budget " << budget;
+    const topk::TopKRankResult& result = result_or.value();
+    if (!result.degradation.degraded) continue;
+    EXPECT_EQ(result.degradation.reason, DeadlineReason::kWorkBudget);
+    // The resolved-group rule must be skipped on a degraded run: it
+    // compares bounds a partial prune cannot certify.
+    EXPECT_EQ(result.resolved_pruned, 0u);
+    EXPECT_FALSE(result.ranked.empty());
+    const double M = result.pruning.levels.empty()
+                         ? 0.0
+                         : result.pruning.levels.back().M;
+    for (const topk::RankedGroup& rg : result.ranked) {
+      // Certified data: every group's members share one entity, so the
+      // true maximal duplicate group containing it is that entity's total
+      // weight. A degraded (c_i, u_i) must still bracket it. Entities
+      // entirely below the prune threshold M may have had siblings soundly
+      // pruned (they provably cannot rank), so the upper-bound guarantee
+      // applies to the candidates that can still win: truth >= M.
+      const double truth =
+          entity_weight.at(data_[rg.group.rep].entity_id);
+      EXPECT_LE(rg.group.weight, truth + 1e-9);
+      if (truth >= M) {
+        EXPECT_GE(rg.upper_bound, truth - 1e-9)
+            << "unsound upper bound under budget " << budget;
+      }
+    }
+  }
+}
+
+TEST_F(DeadlinePipelineTest, OnlineQueryDegradesSoundlyUnderWorkBudget) {
+  // A stream with known ground truth: key i is ingested i+1 times, so the
+  // true counts are 1..30 and exact-equality collapse recovers them.
+  topk::OnlineTopK::Config config;
+  config.sufficient_signature = [](const record::Record& r) {
+    return std::vector<std::string>{r.field(0)};
+  };
+  config.sufficient_match = [](const record::Record& a,
+                               const record::Record& b) {
+    return a.field(0) == b.field(0);
+  };
+  config.necessary_factory = [](const predicates::Corpus& corpus) {
+    return std::make_unique<predicates::CommonWordsPredicate>(
+        &corpus, std::vector<int>{0}, 1);
+  };
+  config.scorer_factory = [](const record::Dataset&) {
+    return [](size_t, size_t) { return -1.0; };
+  };
+  topk::OnlineTopK stream(record::Schema({"key"}), std::move(config));
+  constexpr int kKeys = 30;
+  std::map<std::string, double> truth;
+  for (int round = 0; round < kKeys; ++round) {
+    // Interleave keys so ingestion order does not mirror the counts.
+    for (int key = round; key < kKeys; ++key) {
+      record::Record r;
+      r.fields = {"key" + std::to_string(key)};
+      ASSERT_TRUE(stream.AddMention(std::move(r)).ok());
+      truth["key" + std::to_string(key)] += 1.0;
+    }
+  }
+
+  const std::vector<uint64_t> budgets = {
+      1, 50, 5000, std::numeric_limits<uint64_t>::max()};
+  for (const uint64_t budget : budgets) {
+    Deadline deadline = Deadline::WithWorkBudget(budget);
+    topk::TopKCountOptions options;
+    options.k = 5;
+    options.r = 1;
+    options.deadline = &deadline;
+    auto result_or = stream.Query(options);
+    ASSERT_TRUE(result_or.ok()) << "budget " << budget;
+    const topk::TopKCountResult& result = result_or.value();
+    if (budget == std::numeric_limits<uint64_t>::max()) {
+      EXPECT_EQ(result.quality, topk::AnswerQuality::kExact);
+    }
+    ASSERT_FALSE(result.answers.empty()) << "budget " << budget;
+    for (const topk::AnswerGroup& group : result.answers[0].groups) {
+      const double t = truth.at(stream.mention(group.representative).field(0));
+      // The count interval must bracket the true stream count at every
+      // budget; on the exact run it must pin it.
+      EXPECT_LE(group.count_lower, t + 1e-9) << "budget " << budget;
+      EXPECT_GE(group.count_upper, t - 1e-9) << "budget " << budget;
+      if (result.quality == topk::AnswerQuality::kExact) {
+        EXPECT_NEAR(group.weight, t, 1e-9);
+      }
+    }
   }
 }
 

@@ -23,6 +23,8 @@
 #include "record/csv.h"
 #include "sim/similarity.h"
 #include "text/tokenize.h"
+#include "topk/online.h"
+#include "topk/rank_query.h"
 #include "topk/topk_query.h"
 
 namespace topkdup {
@@ -197,6 +199,59 @@ TEST_F(PipelineFaultTest, ParallelRegionFaultPropagatesViaSoftFailHandler) {
   EXPECT_FALSE(result_or.ok());
   EXPECT_NE(result_or.status().message().find("parallel.region"),
             std::string::npos);
+}
+
+TEST_F(PipelineFaultTest, RankQuerySiteYieldsStatusNotAbort) {
+  Watchdog watchdog(120);
+  fault::ArmForTest("topk.rank_query", 1.0, 11);
+  topk::TopKRankOptions options;
+  options.k = 5;
+  auto result_or = topk::TopKRankQuery(data_, {{&*s1_, &*n1_}}, options);
+  EXPECT_FALSE(result_or.ok());
+  EXPECT_NE(result_or.status().message().find("topk.rank_query"),
+            std::string::npos);
+  EXPECT_GE(fault::FireCount("topk.rank_query"), 1u);
+  fault::DisarmAllForTest();
+  auto clean_or = topk::TopKRankQuery(data_, {{&*s1_, &*n1_}}, options);
+  EXPECT_TRUE(clean_or.ok());
+  EXPECT_FALSE(clean_or.value().ranked.empty());
+}
+
+TEST(OnlineFaultTest, IngestSiteYieldsStatusNotAbort) {
+  ScopedDisarm disarm;
+  Watchdog watchdog(60);
+  topk::OnlineTopK::Config config;
+  config.sufficient_signature = [](const record::Record& r) {
+    return std::vector<std::string>{r.field(0)};
+  };
+  config.sufficient_match = [](const record::Record& a,
+                               const record::Record& b) {
+    return a.field(0) == b.field(0);
+  };
+  config.necessary_factory = [](const predicates::Corpus& corpus) {
+    return std::make_unique<predicates::CommonWordsPredicate>(
+        &corpus, std::vector<int>{0}, 1);
+  };
+  config.scorer_factory = [](const record::Dataset&) {
+    return [](size_t, size_t) { return 1.0; };
+  };
+  topk::OnlineTopK stream(record::Schema({"name"}), std::move(config));
+  record::Record first;
+  first.fields = {"alpha beta"};
+  ASSERT_TRUE(stream.AddMention(first).ok());
+
+  fault::ArmForTest("online.ingest", 1.0, 13);
+  record::Record second;
+  second.fields = {"gamma delta"};
+  Status status = stream.AddMention(second);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("online.ingest"), std::string::npos);
+  // The failed ingest must leave no partial state behind.
+  EXPECT_EQ(stream.mention_count(), 1u);
+
+  fault::DisarmAllForTest();
+  EXPECT_TRUE(stream.AddMention(second).ok());
+  EXPECT_EQ(stream.mention_count(), 2u);
 }
 
 TEST(CsvFaultTest, CsvReadSiteYieldsStatus) {

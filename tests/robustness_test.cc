@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cluster/pair_scores.h"
+#include "common/log.h"
+#include "common/parallel.h"
 #include "common/status.h"
 #include "dedup/pruned_dedup.h"
 #include "predicates/corpus.h"
@@ -225,6 +229,74 @@ TEST_F(RobustnessTest, ValidQueryStillSucceedsAfterConversions) {
   ASSERT_TRUE(result_or.ok());
   EXPECT_EQ(result_or.value().quality, AnswerQuality::kExact);
   ASSERT_FALSE(result_or.value().answers.empty());
+}
+
+/// Saves/restores an environment variable around a test body.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* name) : name_(name) {
+    if (const char* value = std::getenv(name)) {
+      saved_ = value;
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  void Set(const char* value) { ::setenv(name_, value, 1); }
+  void Unset() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(EnvKnobRobustnessTest, GarbageThreadsEnvWarnsAndKeepsHardwareDefault) {
+  ScopedEnv env("TOPKDUP_THREADS");
+  SetParallelism(0);  // Clear any programmatic override.
+  env.Unset();
+  const int hardware_default = ParallelismLevel();
+  ASSERT_GE(hardware_default, 1);
+
+  std::vector<std::string> warnings;
+  SetLogSink([&](LogSeverity severity, const char*, int,
+                 std::string_view message) {
+    if (severity == LogSeverity::kWarning) warnings.emplace_back(message);
+  });
+  env.Set("not-a-number");
+  // Garbage must not abort, and must not silently run single-threaded: the
+  // hardware default stays in force.
+  EXPECT_EQ(ParallelismLevel(), hardware_default);
+  SetLogSink({});
+  bool mentioned = false;
+  for (const std::string& w : warnings) {
+    if (w.find("TOPKDUP_THREADS") != std::string::npos) mentioned = true;
+  }
+  // The warning is emitted once per process; an earlier test may have
+  // consumed it, so only require it when this was the first offender.
+  if (!warnings.empty()) EXPECT_TRUE(mentioned);
+
+  env.Set("3");
+  EXPECT_EQ(ParallelismLevel(), 3);  // Valid values still apply.
+}
+
+TEST(EnvKnobRobustnessTest, LogLevelKnobParsesStrictly) {
+  // The latched min-severity static makes re-running the env read
+  // unobservable here; the strict parser it uses is the contract.
+  LogSeverity severity = LogSeverity::kInfo;
+  EXPECT_FALSE(ParseLogSeverity("chatty", &severity));
+  EXPECT_FALSE(ParseLogSeverity("00", &severity));
+  EXPECT_EQ(severity, LogSeverity::kInfo);
+  EXPECT_TRUE(ParseLogSeverity("error", &severity));
+  EXPECT_EQ(severity, LogSeverity::kError);
+  // SetMinLogSeverity still governs the runtime filter.
+  const LogSeverity before = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(before);
 }
 
 }  // namespace

@@ -1,0 +1,644 @@
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/faultpoint.h"
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "datagen/citation_gen.h"
+#include "predicates/citation.h"
+#include "predicates/corpus.h"
+#include "predicates/generic.h"
+#include "sim/similarity.h"
+#include "text/tokenize.h"
+#include "topk/online.h"
+
+namespace topkdup::serve {
+namespace {
+
+/// Kills the process if the test binary wedges: the acceptance contract is
+/// "zero aborts, zero hangs" — a deadlocked service must fail the test
+/// run, not stall CI until its global timeout.
+class Watchdog {
+ public:
+  explicit Watchdog(int seconds) {
+    thread_ = std::thread([this, seconds] {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait_for(lock, std::chrono::seconds(seconds),
+                        [this] { return done_; })) {
+        std::fprintf(stderr, "serve_test watchdog fired after %d s\n",
+                     seconds);
+        std::abort();
+      }
+    });
+  }
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+/// Disarms every site on scope exit so one test's faults never leak into
+/// the next.
+struct ScopedDisarm {
+  ~ScopedDisarm() { fault::DisarmAllForTest(); }
+};
+
+/// Builds a self-owned bundle over a fresh copy of the certified citation
+/// data: each registration gets its own Dataset/Corpus/predicates so the
+/// service's ownership contract is exercised for real.
+DatasetBundle MakeCitationBundle(const record::Dataset& source) {
+  DatasetBundle bundle;
+  bundle.data = std::make_unique<record::Dataset>(source);
+  auto corpus_or = predicates::Corpus::Build(bundle.data.get(), {});
+  TOPKDUP_CHECK(corpus_or.ok());
+  bundle.corpus =
+      std::make_unique<predicates::Corpus>(std::move(corpus_or).value());
+  auto s1 = std::make_unique<predicates::CitationS1>(
+      bundle.corpus.get(), predicates::CitationFields{},
+      0.75 * bundle.corpus->MaxIdf(0));
+  auto n1 = std::make_unique<predicates::QGramOverlapPredicate>(
+      bundle.corpus.get(), 0, 0.6);
+  bundle.levels = {{s1.get(), n1.get()}};
+  bundle.predicates.push_back(std::move(s1));
+  bundle.predicates.push_back(std::move(n1));
+  const record::Dataset* data = bundle.data.get();
+  bundle.scorer = [data](size_t a, size_t b) {
+    return (sim::JaroWinkler(text::NormalizeText((*data)[a].field(0)),
+                             text::NormalizeText((*data)[b].field(0))) -
+            0.85) *
+           10.0;
+  };
+  return bundle;
+}
+
+/// Exact-key online stream: mentions collapse iff field 0 matches exactly
+/// and never merge further (scorer is always negative), so every group's
+/// true count is its key's ingest multiplicity — exact ground truth for
+/// concurrency tests.
+std::unique_ptr<topk::OnlineTopK> MakeExactKeyStream() {
+  topk::OnlineTopK::Config config;
+  config.sufficient_signature = [](const record::Record& r) {
+    return std::vector<std::string>{r.field(0)};
+  };
+  config.sufficient_match = [](const record::Record& a,
+                               const record::Record& b) {
+    return a.field(0) == b.field(0);
+  };
+  config.necessary_factory = [](const predicates::Corpus& corpus) {
+    return std::make_unique<predicates::CommonWordsPredicate>(
+        &corpus, std::vector<int>{0}, 1);
+  };
+  config.scorer_factory = [](const record::Dataset&) {
+    return [](size_t, size_t) { return -1.0; };
+  };
+  return std::make_unique<topk::OnlineTopK>(record::Schema({"name"}),
+                                            std::move(config));
+}
+
+record::Record KeyMention(const std::string& key) {
+  record::Record r;
+  r.fields = {key};
+  return r;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::DisarmAllForTest();
+    datagen::CitationGenOptions gen;
+    gen.num_records = 800;
+    gen.num_authors = 200;
+    gen.seed = 20090324;
+    auto data_or = datagen::GenerateCitations(gen);
+    ASSERT_TRUE(data_or.ok());
+    data_ = std::move(data_or).value();
+  }
+
+  void TearDown() override { fault::DisarmAllForTest(); }
+
+  /// Test-friendly defaults: tiny backoffs, a breaker that will not trip
+  /// unless a test configures it to, and generous budgets.
+  ServiceOptions QuietOptions() {
+    ServiceOptions options;
+    options.workers = 2;
+    options.default_deadline_ms = 3000;
+    options.max_deadline_ms = 10000;
+    options.retry.max_retries = 2;
+    options.retry.base_backoff_ms = 1;
+    options.retry.max_backoff_ms = 4;
+    options.breaker.window = 64;
+    options.breaker.min_samples = 10000;  // Effectively never trips.
+    return options;
+  }
+
+  QueryRequest CountRequest(const std::string& dataset, int k = 5) {
+    QueryRequest request;
+    request.dataset = dataset;
+    request.kind = QueryKind::kTopKCount;
+    request.k = k;
+    return request;
+  }
+
+  record::Dataset data_;
+};
+
+TEST_F(ServeTest, ServedOutcomeNamesAreDistinct) {
+  EXPECT_STREQ(ServedOutcomeName(ServedOutcome::kExact), "exact");
+  EXPECT_STREQ(ServedOutcomeName(ServedOutcome::kDegraded), "degraded");
+  EXPECT_STREQ(ServedOutcomeName(ServedOutcome::kBreakerDegraded),
+               "breaker_degraded");
+  EXPECT_STREQ(ServedOutcomeName(ServedOutcome::kShed), "shed");
+  EXPECT_STREQ(ServedOutcomeName(ServedOutcome::kError), "error");
+}
+
+TEST_F(ServeTest, RegisterExactQueryAndHealth) {
+  Watchdog watchdog(120);
+  QueryService service(QuietOptions());
+  ASSERT_TRUE(
+      service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+
+  QueryResponse response = service.Execute(CountRequest("cites"));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.outcome, ServedOutcome::kExact);
+  EXPECT_EQ(response.attempts, 1);
+  ASSERT_FALSE(response.result.answers.empty());
+  ASSERT_FALSE(response.result.answers[0].groups.empty());
+  for (const auto& group : response.result.answers[0].groups) {
+    // Exact answers carry tight intervals.
+    EXPECT_DOUBLE_EQ(group.count_lower, group.weight);
+    EXPECT_DOUBLE_EQ(group.count_upper, group.weight);
+  }
+  EXPECT_GE(response.latency_seconds, 0.0);
+
+  HealthSnapshot health = service.Health();
+  EXPECT_TRUE(health.ready);
+  EXPECT_EQ(health.workers, 2);
+  ASSERT_EQ(health.datasets.size(), 1u);
+  EXPECT_EQ(health.datasets[0].name, "cites");
+  EXPECT_FALSE(health.datasets[0].online);
+  EXPECT_EQ(health.datasets[0].breaker, BreakerState::kClosed);
+  EXPECT_GE(health.datasets[0].served, 1u);
+  // Calibration seeded the cost estimate.
+  EXPECT_GT(health.datasets[0].p50_seconds, 0.0);
+}
+
+TEST_F(ServeTest, ValidationAndTypedErrors) {
+  Watchdog watchdog(120);
+  QueryService service(QuietOptions());
+  ASSERT_TRUE(
+      service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+  ASSERT_TRUE(service.RegisterOnline("stream", MakeExactKeyStream()).ok());
+
+  // Unknown dataset.
+  QueryResponse missing = service.Execute(CountRequest("nope"));
+  EXPECT_EQ(missing.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(missing.outcome, ServedOutcome::kError);
+
+  // Bad k / r.
+  QueryRequest bad_k = CountRequest("cites");
+  bad_k.k = 0;
+  EXPECT_EQ(service.Execute(bad_k).status.code(),
+            StatusCode::kInvalidArgument);
+  QueryRequest bad_r = CountRequest("cites");
+  bad_r.r = 0;
+  EXPECT_EQ(service.Execute(bad_r).status.code(),
+            StatusCode::kInvalidArgument);
+
+  // Rank queries require a static dataset.
+  QueryRequest rank_online = CountRequest("stream");
+  rank_online.kind = QueryKind::kTopKRank;
+  EXPECT_EQ(service.Execute(rank_online).status.code(),
+            StatusCode::kInvalidArgument);
+
+  // Duplicate registration is rejected without clobbering the original.
+  EXPECT_EQ(service.RegisterDataset("cites", MakeCitationBundle(data_))
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.RegisterOnline("stream", MakeExactKeyStream()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(service.Execute(CountRequest("cites")).status.ok());
+
+  // Ingest into a static dataset is a typed error too.
+  EXPECT_EQ(service.Ingest("cites", KeyMention("x")).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Rank queries on the static dataset do work.
+  QueryRequest rank = CountRequest("cites");
+  rank.kind = QueryKind::kTopKRank;
+  QueryResponse ranked = service.Execute(rank);
+  ASSERT_TRUE(ranked.status.ok()) << ranked.status.ToString();
+  ASSERT_TRUE(ranked.rank.has_value());
+  EXPECT_FALSE(ranked.rank->ranked.empty());
+}
+
+TEST_F(ServeTest, WorkBudgetYieldsSoundDegradedAnswer) {
+  Watchdog watchdog(120);
+  QueryService service(QuietOptions());
+  ASSERT_TRUE(
+      service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+
+  QueryRequest starved = CountRequest("cites");
+  starved.work_budget = 1;  // Deterministically expires immediately.
+  QueryResponse response = service.Execute(starved);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.outcome, ServedOutcome::kDegraded);
+  EXPECT_NE(response.result.quality, topk::AnswerQuality::kExact);
+  EXPECT_TRUE(response.result.degradation.degraded);
+  ASSERT_FALSE(response.result.answers.empty());
+  for (const auto& group : response.result.answers[0].groups) {
+    // Degraded intervals stay ordered and bracket the observed weight.
+    EXPECT_LE(group.count_lower, group.weight + 1e-9);
+    EXPECT_GE(group.count_upper, group.weight - 1e-9);
+  }
+}
+
+TEST_F(ServeTest, TransientFaultsAreRetriedWithinBudget) {
+  ScopedDisarm disarm;
+  Watchdog watchdog(120);
+  ServiceOptions options = QuietOptions();
+  options.retry.max_retries = 3;
+  QueryService service(options);
+  // Register (and calibrate) before arming so only served queries fault.
+  ASSERT_TRUE(
+      service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+
+  const uint64_t retries_before = service.Health().retries;
+  fault::ArmForTest("serve.query", 0.45, 7);
+  int ok_count = 0;
+  int retried_responses = 0;
+  for (int i = 0; i < 12; ++i) {
+    QueryResponse response = service.Execute(CountRequest("cites"));
+    if (response.status.ok()) {
+      ++ok_count;
+      EXPECT_TRUE(response.outcome == ServedOutcome::kExact ||
+                  response.outcome == ServedOutcome::kDegraded)
+          << ServedOutcomeName(response.outcome);
+    } else {
+      // Only the injected transient failure may surface, and only after
+      // the retry schedule is exhausted.
+      EXPECT_EQ(response.status.code(), StatusCode::kInternal);
+      EXPECT_EQ(response.attempts, options.retry.max_retries + 1);
+    }
+    if (response.attempts > 1) ++retried_responses;
+  }
+  // At p=0.45 with 3 retries, the vast majority of queries succeed and
+  // some needed more than one attempt. (Read the fire count before
+  // disarming — DisarmAllForTest resets it.)
+  EXPECT_GE(fault::FireCount("serve.query"), 1u);
+  fault::DisarmAllForTest();
+  EXPECT_GT(ok_count, 6);
+  EXPECT_GE(retried_responses, 1);
+  EXPECT_GT(service.Health().retries, retries_before);
+
+  // Degraded-but-OK answers are answers: a work-budget query under faults
+  // disarmed never reports attempts > 1 from degradation alone.
+  QueryRequest starved = CountRequest("cites");
+  starved.work_budget = 1;
+  QueryResponse degraded = service.Execute(starved);
+  ASSERT_TRUE(degraded.status.ok());
+  EXPECT_EQ(degraded.attempts, 1);
+}
+
+TEST_F(ServeTest, BreakerTripsServesCachedBoundsAndRecovers) {
+  ScopedDisarm disarm;
+  Watchdog watchdog(120);
+  auto clock_ms = std::make_shared<std::atomic<int64_t>>(0);
+  ServiceOptions options = QuietOptions();
+  options.retry.max_retries = 0;  // Each failure costs one attempt.
+  options.breaker.window = 8;
+  options.breaker.min_samples = 4;
+  options.breaker.trip_ratio = 0.5;
+  options.breaker.cooldown_ms = 1000;
+  options.breaker.probe_quota = 1;
+  options.breaker.now_ms = [clock_ms] { return clock_ms->load(); };
+  QueryService service(options);
+  // Calibration runs clean and seeds the bounds cache the open breaker
+  // will serve from.
+  ASSERT_TRUE(
+      service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+  QueryResponse baseline = service.Execute(CountRequest("cites"));
+  ASSERT_TRUE(baseline.status.ok());
+  const double exact_top = baseline.result.answers[0].groups[0].weight;
+
+  // Trip the breaker with forced failures. The calibration/baseline
+  // successes already sit in the window, so the exact trip point varies;
+  // every pre-trip response must still be the typed transient error.
+  fault::ArmForTest("serve.query", 1.0, 21);
+  int failures_seen = 0;
+  for (int i = 0; i < 16; ++i) {
+    QueryResponse failed = service.Execute(CountRequest("cites"));
+    if (service.Health().datasets[0].breaker == BreakerState::kOpen) break;
+    ASSERT_FALSE(failed.status.ok());
+    EXPECT_EQ(failed.status.code(), StatusCode::kInternal);
+    EXPECT_EQ(failed.outcome, ServedOutcome::kError);
+    ++failures_seen;
+  }
+  HealthSnapshot tripped = service.Health();
+  ASSERT_EQ(tripped.datasets.size(), 1u);
+  EXPECT_EQ(tripped.datasets[0].breaker, BreakerState::kOpen);
+  EXPECT_GE(failures_seen, 1);
+  EXPECT_EQ(metrics::Registry::Global()
+                .GetGauge("serve.breaker_state.cites")
+                ->Value(),
+            static_cast<double>(BreakerState::kOpen));
+
+  // Open breaker: bounds-only cached answer, no execution (faults still
+  // armed yet the answer is OK and the fire count does not grow).
+  const uint64_t fires_while_open = fault::FireCount("serve.query");
+  QueryResponse degraded = service.Execute(CountRequest("cites"));
+  ASSERT_TRUE(degraded.status.ok()) << degraded.status.ToString();
+  EXPECT_EQ(degraded.outcome, ServedOutcome::kBreakerDegraded);
+  EXPECT_EQ(degraded.result.quality, topk::AnswerQuality::kBoundsOnly);
+  EXPECT_EQ(degraded.attempts, 0);
+  ASSERT_FALSE(degraded.result.answers.empty());
+  ASSERT_FALSE(degraded.result.answers[0].groups.empty());
+  const auto& top = degraded.result.answers[0].groups[0];
+  // The cached interval still brackets the true (static) top count.
+  EXPECT_LE(top.count_lower, exact_top + 1e-9);
+  EXPECT_GE(top.count_upper, exact_top - 1e-9);
+  EXPECT_EQ(fault::FireCount("serve.query"), fires_while_open);
+
+  // Callers that refuse degraded answers get the typed rejection.
+  QueryRequest strict = CountRequest("cites");
+  strict.allow_degraded = false;
+  EXPECT_EQ(service.Execute(strict).status.code(),
+            StatusCode::kFailedPrecondition);
+
+  // Cooldown elapses on the injected clock; the clean probe closes it.
+  fault::DisarmAllForTest();
+  clock_ms->store(options.breaker.cooldown_ms + 1);
+  QueryResponse probe = service.Execute(CountRequest("cites"));
+  ASSERT_TRUE(probe.status.ok()) << probe.status.ToString();
+  EXPECT_EQ(probe.outcome, ServedOutcome::kExact);
+  HealthSnapshot recovered = service.Health();
+  EXPECT_EQ(recovered.datasets[0].breaker, BreakerState::kClosed);
+  EXPECT_TRUE(recovered.ready);
+  EXPECT_EQ(metrics::Registry::Global()
+                .GetGauge("serve.breaker_state.cites")
+                ->Value(),
+            static_cast<double>(BreakerState::kClosed));
+}
+
+TEST_F(ServeTest, QueueOverflowShedsTypedAndEveryFutureResolves) {
+  Watchdog watchdog(120);
+  ServiceOptions options = QuietOptions();
+  options.workers = 1;
+  options.queue_capacity = 2;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+
+  const uint64_t shed_before =
+      metrics::Registry::Global().GetCounter("serve.shed.queue_full")->Value();
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 24; ++i) {
+    futures.push_back(service.Submit(CountRequest("cites")));
+  }
+  int ok_count = 0;
+  int shed_count = 0;
+  for (auto& future : futures) {
+    QueryResponse response = future.get();
+    if (response.status.ok()) {
+      ++ok_count;
+      // A slow run (e.g. under TSan) may exhaust the wall slice
+      // mid-query and answer degraded — still an answer.
+      EXPECT_TRUE(response.outcome == ServedOutcome::kExact ||
+                  response.outcome == ServedOutcome::kDegraded)
+          << ServedOutcomeName(response.outcome);
+    } else {
+      ASSERT_EQ(response.status.code(), StatusCode::kResourceExhausted)
+          << response.status.ToString();
+      EXPECT_EQ(response.outcome, ServedOutcome::kShed);
+      ++shed_count;
+    }
+  }
+  // 24 arrivals against capacity 2 and one worker: some are served, the
+  // overflow is shed — and nothing is silently dropped.
+  EXPECT_GE(ok_count, 1);
+  EXPECT_GE(shed_count, 1);
+  EXPECT_EQ(ok_count + shed_count, 24);
+  EXPECT_GT(
+      metrics::Registry::Global().GetCounter("serve.shed.queue_full")->Value(),
+      shed_before);
+  HealthSnapshot health = service.Health();
+  EXPECT_GE(health.shed, static_cast<uint64_t>(shed_count));
+  service.Drain();
+  EXPECT_EQ(service.Health().queue_depth, 0u);
+}
+
+/// The ISSUE acceptance scenario: fault probability 0.3 at the service
+/// site, concurrent mixed queries (static count, starved count, rank,
+/// online count) racing online ingestion. Every request must come back as
+/// an exact answer, a sound degraded answer, or a typed rejection — no
+/// aborts, no hangs (watchdog), nothing silently lost.
+TEST_F(ServeTest, AcceptanceConcurrentQueriesUnderFaults) {
+  ScopedDisarm disarm;
+  Watchdog watchdog(120);
+  ServiceOptions options = QuietOptions();
+  options.workers = 4;
+  options.queue_capacity = 64;
+  options.default_deadline_ms = 5000;
+  options.retry.max_retries = 2;
+  options.breaker.window = 16;
+  options.breaker.min_samples = 8;
+  options.breaker.trip_ratio = 0.6;
+  options.breaker.cooldown_ms = 50;
+  options.breaker.probe_quota = 2;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+  ASSERT_TRUE(service.RegisterOnline("stream", MakeExactKeyStream()).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        service.Ingest("stream", KeyMention("seed" + std::to_string(i % 4)))
+            .ok());
+  }
+
+  fault::ArmForTest("serve.query", 0.3, 99);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 6;
+  std::mutex results_mu;
+  std::vector<QueryResponse> results;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        QueryRequest request;
+        switch ((t + i) % 4) {
+          case 0:
+            request = CountRequest("cites");
+            break;
+          case 1:
+            request = CountRequest("cites", 3);
+            request.work_budget = 500;  // Often degrades, always sound.
+            break;
+          case 2:
+            request = CountRequest("cites", 3);
+            request.kind = QueryKind::kTopKRank;
+            break;
+          default:
+            request = CountRequest("stream", 2);
+            break;
+        }
+        QueryResponse response = service.Execute(request);
+        // Keep the ingest side racing the queries.
+        (void)service.Ingest("stream",
+                             KeyMention("t" + std::to_string(t)));
+        std::lock_guard<std::mutex> lock(results_mu);
+        results.push_back(std::move(response));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  service.Drain();
+  // Read before disarming — DisarmAllForTest resets the counter.
+  const uint64_t fires = fault::FireCount("serve.query");
+  fault::DisarmAllForTest();
+
+  ASSERT_EQ(results.size(),
+            static_cast<size_t>(kThreads * kPerThread));
+  for (const QueryResponse& response : results) {
+    if (response.status.ok()) {
+      EXPECT_TRUE(response.outcome == ServedOutcome::kExact ||
+                  response.outcome == ServedOutcome::kDegraded ||
+                  response.outcome == ServedOutcome::kBreakerDegraded)
+          << ServedOutcomeName(response.outcome);
+      if (response.outcome == ServedOutcome::kBreakerDegraded) {
+        EXPECT_EQ(response.result.quality,
+                  topk::AnswerQuality::kBoundsOnly);
+      }
+    } else {
+      // Typed rejections only: transient failure surviving retries,
+      // load shed, or breaker-open with no degradable answer.
+      const StatusCode code = response.status.code();
+      EXPECT_TRUE(code == StatusCode::kInternal ||
+                  code == StatusCode::kResourceExhausted ||
+                  code == StatusCode::kFailedPrecondition)
+          << response.status.ToString();
+    }
+  }
+  // The fault mix actually exercised the retry path.
+  EXPECT_GE(fires, 1u);
+  EXPECT_GE(service.Health().retries, 1u);
+  EXPECT_GE(service.Health().admitted, 1u);
+}
+
+TEST_F(ServeTest, OnlineIngestRacesQueriesAndEndsConsistent) {
+  Watchdog watchdog(120);
+  QueryService service(QuietOptions());
+  ASSERT_TRUE(service.RegisterOnline("stream", MakeExactKeyStream()).ok());
+  ASSERT_TRUE(service.Ingest("stream", KeyMention("hot")).ok());
+
+  const std::vector<std::string> keys = {"a", "b", "c", "d", "e"};
+  constexpr int kIngestThreads = 2;
+  constexpr int kPerIngestThread = 150;
+  std::atomic<int> query_failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kIngestThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerIngestThread; ++i) {
+        Status status =
+            service.Ingest("stream", KeyMention(keys[i % keys.size()]));
+        if (!status.ok()) query_failures.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        QueryResponse response = service.Execute(CountRequest("stream", 3));
+        // Every racing query sees a consistent snapshot: an answer, never
+        // a crash or torn state.
+        if (!response.status.ok() ||
+            response.result.answers.empty()) {
+          query_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  service.Drain();
+  EXPECT_EQ(query_failures.load(), 0);
+
+  // Final state is exact: each key was ingested 2 * 150 / 5 = 60 times.
+  // Ask for k = all six groups — with k below the group count the
+  // segmentation DP may merge zero-score non-candidate groups, which is
+  // query semantics, not an ingest consistency question.
+  EXPECT_EQ(service.Health().datasets[0].records, 301u);
+  QueryResponse final_response = service.Execute(CountRequest("stream", 6));
+  ASSERT_TRUE(final_response.status.ok());
+  EXPECT_EQ(final_response.outcome, ServedOutcome::kExact);
+  ASSERT_FALSE(final_response.result.answers.empty());
+  ASSERT_EQ(final_response.result.answers[0].groups.size(), 6u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(final_response.result.answers[0].groups[i].weight, 60.0);
+  }
+  EXPECT_DOUBLE_EQ(final_response.result.answers[0].groups[5].weight, 1.0);
+}
+
+TEST_F(ServeTest, SaturatingLoadAnsweredWithinBudgetShedAbsorbsRest) {
+  Watchdog watchdog(120);
+  ServiceOptions options = QuietOptions();
+  options.workers = 2;
+  options.queue_capacity = 8;
+  options.default_deadline_ms = 1500;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(service.Submit(CountRequest("cites")));
+  }
+  int answered = 0;
+  int shed = 0;
+  double worst_answered_latency = 0.0;
+  for (auto& future : futures) {
+    QueryResponse response = future.get();
+    if (response.status.ok()) {
+      ++answered;
+      worst_answered_latency =
+          std::max(worst_answered_latency, response.latency_seconds);
+    } else {
+      EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(answered + shed, 40);
+  EXPECT_GE(answered, 1);
+  // LIFO service + eviction + expired-in-queue shedding keep answered
+  // requests inside their wall budget (slack covers one execution already
+  // in flight when the deadline lands).
+  EXPECT_LE(worst_answered_latency,
+            options.default_deadline_ms / 1000.0 + 1.0);
+  service.Drain();
+}
+
+}  // namespace
+}  // namespace topkdup::serve

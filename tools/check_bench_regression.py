@@ -17,12 +17,20 @@ status 1 with a readable report — when the fresh run regresses:
   * Per-run wall time (`seconds`) may grow up to --time-threshold
     (fraction; default 0.15). CI runs cross-machine, so its workflow
     passes a much looser bound; the default suits same-machine use.
+  * Scalars listed in --exact-scalars (comma-separated keys) must match
+    the baseline EXACTLY. The serve load generator's closed-loop counters
+    (answered / errors / retries under a fixed fault seed) are
+    deterministic replays, so any drift means the admission or retry
+    logic changed.
 
 Improvements (fewer seconds, less work) never fail the gate.
 
 Usage:
   check_bench_regression.py --fresh=BENCH_fig2.json \
       --baseline=tools/baselines/BENCH_fig2_ci.json [--time-threshold=3.0]
+  check_bench_regression.py --fresh=BENCH_serve.json \
+      --baseline=tools/baselines/BENCH_serve_ci.json \
+      --exact-scalars=closed.answered,closed.errors,closed.retries
   check_bench_regression.py --baseline=... --self-test
 
 --self-test ignores --fresh: it synthesizes a 20% wall-time regression
@@ -55,7 +63,8 @@ def runs_by_k(doc):
     return {run["k"]: run for run in doc["runs"]}
 
 
-def compare(baseline, fresh, time_threshold, work_threshold):
+def compare(baseline, fresh, time_threshold, work_threshold,
+            exact_scalars=()):
     """Returns a list of human-readable regression descriptions."""
     problems = []
     if baseline["figure"] != fresh["figure"]:
@@ -68,6 +77,19 @@ def compare(baseline, fresh, time_threshold, work_threshold):
             f"params mismatch (different run configuration): "
             f"baseline={baseline.get('params')} fresh={fresh.get('params')}")
         return problems
+
+    base_scalars = baseline.get("scalars", {})
+    fresh_scalars = fresh.get("scalars", {})
+    for key in exact_scalars:
+        if key not in base_scalars:
+            problems.append(f"scalar {key!r}: missing from baseline")
+        elif key not in fresh_scalars:
+            problems.append(f"scalar {key!r}: missing from fresh run")
+        elif base_scalars[key] != fresh_scalars[key]:
+            problems.append(
+                f"scalar {key!r}: deterministic value changed "
+                f"{base_scalars[key]} -> {fresh_scalars[key]} "
+                f"(must match exactly)")
 
     base_runs, fresh_runs = runs_by_k(baseline), runs_by_k(fresh)
     for k in sorted(base_runs):
@@ -104,11 +126,12 @@ def compare(baseline, fresh, time_threshold, work_threshold):
     return problems
 
 
-def self_test(baseline, time_threshold, work_threshold):
+def self_test(baseline, time_threshold, work_threshold, exact_scalars):
     """The gate must accept the baseline vs itself and reject a synthetic
-    20% wall-time regression of every run."""
+    20% wall-time regression of every run (plus a drifted deterministic
+    scalar when --exact-scalars is in play)."""
     clean = compare(baseline, copy.deepcopy(baseline), time_threshold,
-                    work_threshold)
+                    work_threshold, exact_scalars)
     if clean:
         print("SELF-TEST FAILED: baseline vs itself reported regressions:")
         for p in clean:
@@ -118,7 +141,11 @@ def self_test(baseline, time_threshold, work_threshold):
     regressed = copy.deepcopy(baseline)
     for run in regressed["runs"]:
         run["seconds"] *= 1.20
-    problems = compare(baseline, regressed, time_threshold, work_threshold)
+    if exact_scalars:
+        regressed.setdefault("scalars", {})[exact_scalars[0]] = (
+            baseline.get("scalars", {}).get(exact_scalars[0], 0) + 1)
+    problems = compare(baseline, regressed, time_threshold, work_threshold,
+                       exact_scalars)
     if not problems:
         print("SELF-TEST FAILED: synthetic +20% wall-time regression "
               f"passed the gate (time threshold {time_threshold})")
@@ -143,11 +170,16 @@ def main(argv):
     parser.add_argument("--work-threshold", type=float, default=0.5,
                         help="allowed fractional work-counter growth "
                              "(default 0.5)")
+    parser.add_argument("--exact-scalars", default="",
+                        help="comma-separated scalar keys that must match "
+                             "the baseline exactly (deterministic serve "
+                             "counters)")
     parser.add_argument("--self-test", action="store_true",
                         help="synthesize a 20%% wall-time regression from "
                              "the baseline and assert the gate rejects it")
     args = parser.parse_args(argv)
 
+    exact_scalars = [k for k in args.exact_scalars.split(",") if k]
     baseline = load(args.baseline)
     if args.self_test:
         # The synthetic regression is +20%; the check only proves the gate
@@ -156,13 +188,14 @@ def main(argv):
             print(f"SELF-TEST FAILED: --time-threshold={args.time_threshold} "
                   "is >= 0.20, the synthetic regression would pass")
             return 1
-        return self_test(baseline, args.time_threshold, args.work_threshold)
+        return self_test(baseline, args.time_threshold, args.work_threshold,
+                         exact_scalars)
 
     if not args.fresh:
         parser.error("--fresh is required unless --self-test is given")
     fresh = load(args.fresh)
     problems = compare(baseline, fresh, args.time_threshold,
-                       args.work_threshold)
+                       args.work_threshold, exact_scalars)
     if problems:
         print(f"PERF REGRESSION: {args.fresh} vs {args.baseline} "
               f"({len(problems)} finding(s)):")
