@@ -158,12 +158,16 @@ void AppendLevelJson(std::string* out, const dedup::LevelStats& lv) {
       "\"records_collapsed\": %zu, \"groups_pruned\": %zu, "
       "\"cpn_growth_iterations\": %zu, \"cpn_edges_examined\": %zu, "
       "\"blocking_probes\": %zu, \"predicate_evals\": %zu, "
+      "\"postings_scanned\": %zu, \"postings_decoded\": %zu, "
+      "\"blocks_decoded\": %zu, \"blocks_skipped\": %zu, "
       "\"collapse_seconds\": %.6f, \"lower_bound_seconds\": %.6f, "
       "\"prune_seconds\": %.6f}",
       lv.n_after_collapse, lv.m, lv.M, lv.n_after_prune,
       lv.records_collapsed, lv.groups_pruned, lv.cpn_growth_iterations,
       lv.cpn_edges_examined, lv.blocking_probes, lv.predicate_evals,
-      lv.collapse_seconds, lv.lower_bound_seconds, lv.prune_seconds);
+      lv.postings_scanned, lv.postings_decoded, lv.blocks_decoded,
+      lv.blocks_skipped, lv.collapse_seconds, lv.lower_bound_seconds,
+      lv.prune_seconds);
 }
 
 }  // namespace
@@ -285,16 +289,19 @@ void WriteExplainText(const std::string& path, const std::string& figure,
 void PrintLevelCounters(const std::vector<BenchRun>& runs) {
   if (runs.empty()) return;
   std::printf("\nPer-level instrumentation (collapsed / pruned / CPN iters "
-              "/ CPN edges / probes / predicate evals):\n");
+              "/ CPN edges / probes / predicate evals / index decode "
+              "work):\n");
   for (const BenchRun& run : runs) {
     for (size_t l = 0; l < run.levels.size(); ++l) {
       const dedup::LevelStats& lv = run.levels[l];
       std::printf(
           "  K=%-5d L%zu: collapsed=%zu pruned=%zu cpn_iters=%zu "
-          "cpn_edges=%zu probes=%zu evals=%zu\n",
+          "cpn_edges=%zu probes=%zu evals=%zu scanned=%zu decoded=%zu "
+          "dblocks=%zu skipped=%zu\n",
           run.k, l + 1, lv.records_collapsed, lv.groups_pruned,
           lv.cpn_growth_iterations, lv.cpn_edges_examined,
-          lv.blocking_probes, lv.predicate_evals);
+          lv.blocking_probes, lv.predicate_evals, lv.postings_scanned,
+          lv.postings_decoded, lv.blocks_decoded, lv.blocks_skipped);
     }
   }
 }

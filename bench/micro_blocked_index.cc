@@ -1,11 +1,25 @@
-// Micro benchmark: blocked candidate-pair enumeration — the machinery
-// every predicate evaluation in the pipeline flows through. Measures
-// index construction and full pair enumeration at several block-density
-// regimes (controlled by how many distinct surnames the records draw on).
-#include <benchmark/benchmark.h>
+// Micro benchmark: the compressed blocked index — the machinery every
+// predicate evaluation in the pipeline flows through. For several block
+// density regimes (controlled by how many distinct surnames the records
+// draw on) it measures build time, compression (bytes per stored
+// posting), decode work and skip ratio during a full candidate-pair
+// enumeration, enumeration throughput, and the candidate-memo replay
+// (repeat enumerations must decode nothing).
+//
+// Everything except wall time is deterministic for fixed seeds, so the
+// JSON dump doubles as a CI regression gate: see
+// tools/baselines/BENCH_blocked_index_ci.json and ci.yml.
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_common.h"
+#include "common/check.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/timer.h"
 #include "datagen/lexicon.h"
 #include "predicates/blocked_index.h"
 #include "predicates/corpus.h"
@@ -33,44 +47,159 @@ record::Dataset NameData(size_t records, size_t distinct_surnames,
   return data;
 }
 
-void BM_BlockedIndexBuild(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  record::Dataset data = NameData(n, n / 8, 3);
-  auto corpus = predicates::Corpus::Build(&data, {}).value();
-  predicates::QGramOverlapPredicate pred(&corpus, 0, 0.6);
-  std::vector<size_t> items(n);
-  for (size_t i = 0; i < n; ++i) items[i] = i;
-  for (auto _ : state) {
-    predicates::BlockedIndex index(pred, items);
-    benchmark::DoNotOptimize(index.item_count());
-  }
-}
-BENCHMARK(BM_BlockedIndexBuild)->Arg(2048)->Arg(16384);
+struct Config {
+  size_t records;
+  size_t surnames;
+  const char* label;
+};
 
-void BM_CandidatePairEnumeration(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  const size_t surnames = static_cast<size_t>(state.range(1));
-  record::Dataset data = NameData(n, surnames, 5);
-  auto corpus = predicates::Corpus::Build(&data, {}).value();
-  predicates::QGramOverlapPredicate pred(&corpus, 0, 0.6);
-  std::vector<size_t> items(n);
-  for (size_t i = 0; i < n; ++i) items[i] = i;
-  predicates::BlockedIndex index(pred, items);
-  int64_t pairs = 0;
-  for (auto _ : state) {
-    pairs = 0;
-    index.ForEachCandidatePair([&](size_t, size_t) { ++pairs; });
-    benchmark::DoNotOptimize(pairs);
+struct IndexCounters {
+  metrics::Counter* scanned;
+  metrics::Counter* decoded;
+  metrics::Counter* blocks_decoded;
+  metrics::Counter* blocks_skipped;
+
+  static IndexCounters Get() {
+    auto& registry = metrics::Registry::Global();
+    return {
+        registry.GetCounter("predicates.blocked_index.postings_scanned"),
+        registry.GetCounter("predicates.blocked_index.postings_decoded"),
+        registry.GetCounter("predicates.blocked_index.blocks_decoded"),
+        registry.GetCounter("predicates.blocked_index.blocks_skipped"),
+    };
   }
-  state.counters["candidate_pairs"] = static_cast<double>(pairs);
+};
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const std::string json_path =
+      flags.GetString("json", "BENCH_blocked_index.json");
+  const int enum_reps = static_cast<int>(flags.GetInt("enum-reps", 3));
+
+  const std::vector<Config> configs = {
+      {2048, 2048 / 4, "sparse-2k"},
+      {2048, 64, "dense-2k"},
+      {8192, 8192 / 4, "sparse-8k"},
+      {8192, 128, "dense-8k"},
+  };
+  const IndexCounters counters = IndexCounters::Get();
+
+  bench::TablePrinter table(
+      {"config", "records", "build_ms", "B/posting", "pairs", "scanned",
+       "decoded", "skip%", "Mpost/s"},
+      {9, 8, 9, 9, 10, 11, 10, 6, 8});
+  table.PrintHeader();
+
+  std::vector<std::pair<std::string, double>> scalars;
+  std::vector<bench::BenchRun> runs;
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    const Config& config = configs[ci];
+    record::Dataset data = NameData(config.records, config.surnames, 5);
+    auto corpus = predicates::Corpus::Build(&data, {}).value();
+    predicates::QGramOverlapPredicate pred(&corpus, 0, 0.6);
+    std::vector<size_t> items(config.records);
+    for (size_t i = 0; i < items.size(); ++i) items[i] = i;
+
+    Timer build_timer;
+    predicates::BlockedIndex index(pred, items);
+    const double build_seconds = build_timer.ElapsedSeconds();
+
+    // One serialized round trip per config keeps the loader honest on
+    // realistic images (the property tests cover equivalence in depth).
+    auto reloaded = predicates::BlockedIndex::Deserialize(
+        pred, config.records, index.Serialize());
+    TOPKDUP_CHECK(reloaded.ok());
+
+    const uint64_t scanned0 = counters.scanned->Value();
+    const uint64_t decoded0 = counters.decoded->Value();
+    const uint64_t dblocks0 = counters.blocks_decoded->Value();
+    const uint64_t sblocks0 = counters.blocks_skipped->Value();
+    uint64_t pairs = 0;
+    Timer enum_timer;
+    for (int rep = 0; rep < enum_reps; ++rep) {
+      pairs = 0;
+      index.ForEachCandidatePair([&](size_t, size_t) { ++pairs; });
+    }
+    const double enum_seconds = enum_timer.ElapsedSeconds() / enum_reps;
+    const uint64_t scanned =
+        (counters.scanned->Value() - scanned0) / enum_reps;
+    const uint64_t decoded =
+        (counters.decoded->Value() - decoded0) / enum_reps;
+    const uint64_t blocks_decoded =
+        (counters.blocks_decoded->Value() - dblocks0) / enum_reps;
+    const uint64_t blocks_skipped =
+        (counters.blocks_skipped->Value() - sblocks0) / enum_reps;
+
+    // Memo replay: after a first full pass fills the per-item lists, a
+    // second pass must decode zero postings.
+    index.EnableCandidateMemo();
+    predicates::BlockedIndex::QueryScratch scratch;
+    for (size_t p = 0; p < config.records; ++p) {
+      index.ForEachCandidate(p, &scratch, [](size_t) { return true; });
+    }
+    const uint64_t decoded_before_replay = counters.decoded->Value();
+    for (size_t p = 0; p < config.records; ++p) {
+      index.ForEachCandidate(p, &scratch, [](size_t) { return true; });
+    }
+    const uint64_t replay_decoded =
+        counters.decoded->Value() - decoded_before_replay;
+
+    const double bytes_per_posting =
+        index.posting_count() == 0
+            ? 0.0
+            : static_cast<double>(index.compressed_bytes()) /
+                  static_cast<double>(index.posting_count());
+    const double skip_fraction =
+        blocks_decoded + blocks_skipped == 0
+            ? 0.0
+            : static_cast<double>(blocks_skipped) /
+                  static_cast<double>(blocks_decoded + blocks_skipped);
+    const double postings_per_second =
+        enum_seconds > 0.0 ? static_cast<double>(decoded) / enum_seconds
+                           : 0.0;
+
+    table.PrintRow({config.label, std::to_string(config.records),
+                    bench::Num(build_seconds * 1000.0, 2),
+                    bench::Num(bytes_per_posting, 3),
+                    std::to_string(pairs), std::to_string(scanned),
+                    std::to_string(decoded),
+                    bench::Num(skip_fraction * 100.0, 1),
+                    bench::Num(postings_per_second / 1e6, 2)});
+
+    const std::string prefix = StrFormat("cfg%zu.", ci);
+    scalars.emplace_back(prefix + "pairs", static_cast<double>(pairs));
+    scalars.emplace_back(prefix + "posting_count",
+                         static_cast<double>(index.posting_count()));
+    scalars.emplace_back(prefix + "compressed_bytes",
+                         static_cast<double>(index.compressed_bytes()));
+    scalars.emplace_back(prefix + "postings_scanned",
+                         static_cast<double>(scanned));
+    scalars.emplace_back(prefix + "postings_decoded",
+                         static_cast<double>(decoded));
+    scalars.emplace_back(prefix + "blocks_decoded",
+                         static_cast<double>(blocks_decoded));
+    scalars.emplace_back(prefix + "blocks_skipped",
+                         static_cast<double>(blocks_skipped));
+    scalars.emplace_back(prefix + "replay_decoded",
+                         static_cast<double>(replay_decoded));
+
+    bench::BenchRun run;
+    run.k = static_cast<int>(ci);
+    run.seconds = build_seconds + enum_seconds * enum_reps;
+    runs.push_back(run);
+  }
+  table.PrintRule();
+
+  if (!json_path.empty()) {
+    bench::WriteBenchJson(json_path, "micro_blocked_index",
+                          {{"configs", static_cast<double>(configs.size())},
+                           {"enum_reps", static_cast<double>(enum_reps)}},
+                          scalars, runs);
+  }
+  return 0;
 }
-BENCHMARK(BM_CandidatePairEnumeration)
-    ->Args({2048, 2048 / 4})   // Sparse blocks.
-    ->Args({2048, 64})         // Dense blocks.
-    ->Args({8192, 8192 / 4})
-    ->Args({8192, 128});
 
 }  // namespace
 }  // namespace topkdup
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return topkdup::Main(argc, argv); }

@@ -1,0 +1,48 @@
+#ifndef TOPKDUP_COMMON_FUNCTION_REF_H_
+#define TOPKDUP_COMMON_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace topkdup {
+
+/// A non-owning, trivially copyable reference to a callable — the hot-path
+/// replacement for `const std::function&` parameters (no allocation at the
+/// call site, one indirect call per invocation, nothing to destroy).
+///
+/// A FunctionRef does not extend the lifetime of the callable it refers
+/// to: it is only valid while that callable is alive, so use it strictly
+/// as a function parameter type (binding a temporary lambda to a
+/// parameter keeps the lambda alive for the full call, which is exactly
+/// the contract the enumeration APIs need).
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  FunctionRef(F&& f)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        invoke_([](void* obj, Args... args) -> R {
+          return static_cast<R>((*static_cast<std::remove_reference_t<F>*>(
+              obj))(std::forward<Args>(args)...));
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace topkdup
+
+#endif  // TOPKDUP_COMMON_FUNCTION_REF_H_

@@ -9,6 +9,7 @@
 #include "common/trace.h"
 #include "dedup/union_find.h"
 #include "predicates/blocked_index.h"
+#include "predicates/index_cache.h"
 
 namespace topkdup::dedup {
 
@@ -59,14 +60,16 @@ void CollectEdges(const predicates::BlockedIndex& index,
 std::vector<Group> Collapse(const std::vector<Group>& groups,
                             const predicates::PairPredicate& sufficient,
                             obs::ExplainRecorder* recorder,
-                            const Deadline* deadline) {
+                            const Deadline* deadline,
+                            predicates::IndexCache* index_cache) {
   const size_t n = groups.size();
   trace::Span span("dedup.collapse");
   span.AddArg("groups_in", static_cast<int64_t>(n));
   std::vector<size_t> reps(n);
   for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
 
-  predicates::BlockedIndex index(sufficient, reps);
+  const predicates::IndexHandle index_handle(index_cache, sufficient, reps);
+  const predicates::BlockedIndex& index = index_handle.get();
   UnionFind uf(n);
   if (deadline == nullptr && ParallelismLevel() <= 1) {
     // Serial fast path: one global union-find skips every transitively

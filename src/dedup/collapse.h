@@ -8,6 +8,10 @@
 #include "obs/explain.h"
 #include "predicates/pair_predicate.h"
 
+namespace topkdup::predicates {
+class IndexCache;
+}  // namespace topkdup::predicates
+
 namespace topkdup::dedup {
 
 /// Collapses `groups` by the transitive closure of the sufficient predicate
@@ -31,10 +35,14 @@ namespace topkdup::dedup {
 /// deadline as work units; with a deadline present the closure always runs
 /// the shard-local edge-collection path (even single-threaded) so the
 /// charged work is identical at any thread count.
+/// `index_cache`, when non-null, shares the blocking index for the group
+/// representatives across calls (resident serving); null builds a
+/// call-local index, exactly as before.
 std::vector<Group> Collapse(const std::vector<Group>& groups,
                             const predicates::PairPredicate& sufficient,
                             obs::ExplainRecorder* recorder = nullptr,
-                            const Deadline* deadline = nullptr);
+                            const Deadline* deadline = nullptr,
+                            predicates::IndexCache* index_cache = nullptr);
 
 }  // namespace topkdup::dedup
 

@@ -11,6 +11,7 @@
 #include "graph/clique_partition.h"
 #include "graph/graph.h"
 #include "predicates/blocked_index.h"
+#include "predicates/index_cache.h"
 
 namespace topkdup::dedup {
 
@@ -27,13 +28,13 @@ class PrefixCpn {
 
   PrefixCpn(const std::vector<Group>& groups,
             const predicates::PairPredicate& necessary,
-            const Deadline* deadline)
+            const Deadline* deadline, predicates::IndexCache* index_cache)
       : groups_(groups),
         necessary_(necessary),
         deadline_(deadline),
         reps_(groups.size()) {
     for (size_t i = 0; i < groups.size(); ++i) reps_[i] = groups[i].rep;
-    index_.emplace(necessary, reps_);
+    index_.emplace(index_cache, necessary, reps_);
   }
 
   /// CPN lower bound of the graph on groups[0..m), early-stopped at `k`;
@@ -81,7 +82,7 @@ class PrefixCpn {
           deadline_->ExpiredUrgent()) {
         return false;
       }
-      index_->ForEachCandidate(grown_, &scratch_, [&](size_t j) {
+      index_->get().ForEachCandidate(grown_, &scratch_, [&](size_t j) {
         if (j < grown_) {
           ++edges_examined_;
           if (necessary_.Evaluate(reps_[grown_], reps_[j])) {
@@ -99,7 +100,7 @@ class PrefixCpn {
   const predicates::PairPredicate& necessary_;
   const Deadline* deadline_;
   std::vector<size_t> reps_;
-  std::optional<predicates::BlockedIndex> index_;
+  std::optional<predicates::IndexHandle> index_;
   predicates::BlockedIndex::QueryScratch scratch_;
   std::vector<std::pair<uint32_t, uint32_t>> edges_;
   size_t grown_ = 0;
@@ -158,7 +159,7 @@ LowerBoundResult EstimateLowerBound(
   }
 
   const Deadline* deadline = options.deadline;
-  PrefixCpn cpn(groups, necessary, deadline);
+  PrefixCpn cpn(groups, necessary, deadline, options.index_cache);
   bool degraded = false;
   size_t edges_charged = 0;
 

@@ -9,6 +9,10 @@
 #include "obs/explain.h"
 #include "predicates/pair_predicate.h"
 
+namespace topkdup::predicates {
+class IndexCache;
+}  // namespace topkdup::predicates
+
 namespace topkdup::dedup {
 
 /// Result of the lower-bound estimation of paper §4.2.
@@ -67,6 +71,11 @@ struct LowerBoundOptions {
   /// distinctness, so partial probes never contribute. Necessary-predicate
   /// edge enumerations are charged as work units.
   const Deadline* deadline = nullptr;
+
+  /// When non-null, the blocking index over the group representatives is
+  /// shared through this cache (resident serving: the same weight-sorted
+  /// reps are probed on every request); null builds a call-local index.
+  predicates::IndexCache* index_cache = nullptr;
 };
 
 /// Estimates m and M for `groups` (sorted by decreasing weight) under the

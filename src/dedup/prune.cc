@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "common/trace.h"
 #include "predicates/blocked_index.h"
+#include "predicates/index_cache.h"
 
 namespace topkdup::dedup {
 
@@ -51,7 +52,9 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
 
   std::vector<size_t> reps(n);
   for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
-  predicates::BlockedIndex index(necessary, reps);
+  const predicates::IndexHandle index_handle(options.index_cache, necessary,
+                                             reps);
+  const predicates::BlockedIndex& index = index_handle.get();
 
   const Deadline* deadline = options.deadline;
   PruneResult result;
@@ -183,11 +186,13 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
 std::vector<double> ComputeGroupUpperBounds(
     const std::vector<Group>& groups,
     const predicates::PairPredicate& necessary,
-    const std::vector<size_t>& indices, const Deadline* deadline) {
+    const std::vector<size_t>& indices, const Deadline* deadline,
+    predicates::IndexCache* index_cache) {
   const size_t n = groups.size();
   std::vector<size_t> reps(n);
   for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
-  predicates::BlockedIndex index(necessary, reps);
+  const predicates::IndexHandle index_handle(index_cache, necessary, reps);
+  const predicates::BlockedIndex& index = index_handle.get();
 
   std::vector<double> bounds(indices.size(),
                              std::numeric_limits<double>::infinity());

@@ -8,6 +8,10 @@
 #include "obs/explain.h"
 #include "predicates/pair_predicate.h"
 
+namespace topkdup::predicates {
+class IndexCache;
+}  // namespace topkdup::predicates
+
 namespace topkdup::dedup {
 
 struct PruneOptions {
@@ -27,6 +31,10 @@ struct PruneOptions {
   /// under-prunes — never discards a potential answer group. Necessary-
   /// predicate evaluations are charged as work units.
   const Deadline* deadline = nullptr;
+  /// When non-null, shares the blocking index over the group
+  /// representatives across calls (resident serving); null builds a
+  /// call-local index.
+  predicates::IndexCache* index_cache = nullptr;
 };
 
 struct PruneResult {
@@ -80,7 +88,8 @@ PruneResult PruneGroups(const std::vector<Group>& groups,
 std::vector<double> ComputeGroupUpperBounds(
     const std::vector<Group>& groups,
     const predicates::PairPredicate& necessary,
-    const std::vector<size_t>& indices, const Deadline* deadline = nullptr);
+    const std::vector<size_t>& indices, const Deadline* deadline = nullptr,
+    predicates::IndexCache* index_cache = nullptr);
 
 }  // namespace topkdup::dedup
 

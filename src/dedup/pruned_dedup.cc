@@ -23,6 +23,10 @@ struct StageCounters {
   metrics::Counter* collapse_evals;
   metrics::Counter* lower_bound_evals;
   metrics::Counter* prune_evals;
+  metrics::Counter* postings_scanned;
+  metrics::Counter* postings_decoded;
+  metrics::Counter* blocks_decoded;
+  metrics::Counter* blocks_skipped;
 
   static const StageCounters& Get() {
     auto& registry = metrics::Registry::Global();
@@ -31,6 +35,10 @@ struct StageCounters {
         registry.GetCounter("dedup.collapse.pair_evals"),
         registry.GetCounter("dedup.lower_bound.pair_evals"),
         registry.GetCounter("dedup.prune.pair_evals"),
+        registry.GetCounter("predicates.blocked_index.postings_scanned"),
+        registry.GetCounter("predicates.blocked_index.postings_decoded"),
+        registry.GetCounter("predicates.blocked_index.blocks_decoded"),
+        registry.GetCounter("predicates.blocked_index.blocks_skipped"),
     };
     return counters;
   }
@@ -121,6 +129,10 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
     level_span.AddArg("level", static_cast<int64_t>(level_index));
     const uint64_t probes_before = counters.blocking_probes->Value();
     const uint64_t evals_before = counters.TotalEvals();
+    const uint64_t scanned_before = counters.postings_scanned->Value();
+    const uint64_t decoded_before = counters.postings_decoded->Value();
+    const uint64_t dblocks_before = counters.blocks_decoded->Value();
+    const uint64_t sblocks_before = counters.blocks_skipped->Value();
     const size_t groups_before = groups.size();
     if (recorder != nullptr) {
       recorder->BeginLevel(
@@ -135,7 +147,8 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
 
     if (level.sufficient != nullptr) {
       TOPKDUP_FAULT_RETURN_IF("dedup.collapse");
-      groups = Collapse(groups, *level.sufficient, recorder, deadline);
+      groups = Collapse(groups, *level.sufficient, recorder, deadline,
+                        options.index_cache);
       if (soft_fail.triggered()) return soft_fail.status();
       if (deadline != nullptr && deadline->Expired()) {
         // The closure may be missing edges from skipped shards: a valid
@@ -160,6 +173,7 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
       LowerBoundOptions lb_options = options.lower_bound;
       lb_options.recorder = recorder;
       lb_options.deadline = deadline;
+      lb_options.index_cache = options.index_cache;
       const LowerBoundResult lb =
           EstimateLowerBound(groups, *level.necessary, options.k,
                              lb_options);
@@ -186,6 +200,7 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
         prune_options.passes = options.prune_passes;
         prune_options.recorder = recorder;
         prune_options.deadline = deadline;
+        prune_options.index_cache = options.index_cache;
         PruneResult pruned = PruneGroups(groups, *level.necessary, lb.M,
                                          prune_options, options.exact_bounds);
         if (soft_fail.triggered()) return soft_fail.status();
@@ -216,6 +231,12 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
     stats.n_after_prune = groups.size();
     stats.blocking_probes = counters.blocking_probes->Value() - probes_before;
     stats.predicate_evals = counters.TotalEvals() - evals_before;
+    stats.postings_scanned =
+        counters.postings_scanned->Value() - scanned_before;
+    stats.postings_decoded =
+        counters.postings_decoded->Value() - decoded_before;
+    stats.blocks_decoded = counters.blocks_decoded->Value() - dblocks_before;
+    stats.blocks_skipped = counters.blocks_skipped->Value() - sblocks_before;
     TOPKDUP_LOG(Debug) << "PrunedDedup level " << level_index
                        << ": n=" << stats.n_after_collapse
                        << " m=" << stats.m << " M=" << stats.M

@@ -15,6 +15,10 @@
 #include "predicates/pair_predicate.h"
 #include "record/record.h"
 
+namespace topkdup::predicates {
+class IndexCache;
+}  // namespace topkdup::predicates
+
 namespace topkdup::dedup {
 
 /// One (sufficient, necessary) predicate pair of increasing cost and
@@ -44,6 +48,14 @@ struct LevelStats {
   size_t cpn_edges_examined = 0;     // N_l edges enumerated for the CPN.
   size_t blocking_probes = 0;        // Blocked-index candidates enumerated.
   size_t predicate_evals = 0;        // Pair-predicate evaluations paid.
+  // Compressed-index work behind the probes: postings an uncompressed
+  // scan of the touched lists would have read, postings/blocks actually
+  // decoded, and blocks the skip machinery (metadata gates, rank limits,
+  // candidate memo) never opened.
+  size_t postings_scanned = 0;
+  size_t postings_decoded = 0;
+  size_t blocks_decoded = 0;
+  size_t blocks_skipped = 0;
 };
 
 struct PrunedDedupResult {
@@ -110,6 +122,11 @@ struct PrunedDedupOptions {
   /// pure work budget the stopping point — and therefore every output —
   /// is bit-identical at any thread count.
   const Deadline* deadline = nullptr;
+  /// When non-null, every stage's blocking index resolves through this
+  /// cache (resident serving builds each index once per dataset and
+  /// reuses it — memoized — across requests and retries); null keeps the
+  /// historical build-per-stage behavior.
+  predicates::IndexCache* index_cache = nullptr;
 };
 
 /// Algorithm 2 (PrunedDedup): for each predicate level, collapse with S_l,

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "common/faultpoint.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "predicates/blocked_index.h"
+#include "predicates/index_cache.h"
 
 namespace topkdup::serve {
 
@@ -30,6 +33,32 @@ bool ValidDatasetName(std::string_view name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '_' || c == '-';
     if (!ok) return false;
+  }
+  return true;
+}
+
+/// Stable tag naming a predicate's persisted index file: FNV-1a of the
+/// predicate name, in hex, so distinct predicates of one dataset never
+/// collide and the name survives process restarts.
+std::string PredFileTag(const predicates::PairPredicate& pred) {
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : pred.name()) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
+
+/// A persisted image is reusable only when it covers the identity item set
+/// 0..n-1 (the full corpus, i.e. MakeSingletonGroups representatives);
+/// anything else falls back to a fresh build.
+bool CoversIdentityItems(const predicates::BlockedIndex& index, size_t n) {
+  if (index.item_count() != n) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (index.record_id(i) != i) return false;
   }
   return true;
 }
@@ -67,6 +96,12 @@ struct QueryService::DatasetState {
   /// Reader side: total_weight() peeks. Queries hold it only for the
   /// snapshot, never for execution.
   mutable std::shared_mutex stream_mu;
+
+  /// Per-dataset blocking-index cache: every stage of every query on this
+  /// dataset resolves its index here, so each (predicate, item-set) pair
+  /// is built once — at registration for the full-corpus indexes — and
+  /// reused, memoized, across requests and retries.
+  predicates::IndexCache index_cache;
 
   CircuitBreaker breaker;
   metrics::Gauge* breaker_gauge = nullptr;
@@ -204,6 +239,7 @@ Status QueryService::RegisterDataset(std::string name, DatasetBundle bundle) {
     datasets_.emplace(std::move(name), std::move(state));
   }
   UpdateBreakerGauge(*raw);
+  WarmIndexes(*raw);
   if (options_.calibrate_on_register) Calibrate(*raw);
   return Status::OK();
 }
@@ -477,6 +513,7 @@ StatusOr<QueryResponse> QueryService::RunOnce(DatasetState& ds,
     rank_options.k = request.k;
     rank_options.prune_passes = options_.rank_prune_passes;
     rank_options.deadline = &deadline;
+    rank_options.index_cache = &ds.index_cache;
     TOPKDUP_ASSIGN_OR_RETURN(
         topk::TopKRankResult rank,
         topk::TopKRankQuery(*ds.bundle.data, ds.bundle.levels,
@@ -515,6 +552,10 @@ StatusOr<QueryResponse> QueryService::RunOnce(DatasetState& ds,
   } else {
     query_options.k = static_cast<int>(std::min<size_t>(
         static_cast<size_t>(request.k), ds.bundle.data->size()));
+    // Static datasets resolve every stage's blocking index through the
+    // dataset cache warmed at registration; online snapshots change their
+    // item sets per snapshot and keep the per-query build.
+    query_options.index_cache = &ds.index_cache;
     TOPKDUP_ASSIGN_OR_RETURN(
         response.result,
         topk::TopKCountQuery(*ds.bundle.data, ds.bundle.levels,
@@ -620,6 +661,56 @@ QueryService::DatasetState* QueryService::FindDataset(std::string_view name) {
   std::shared_lock<std::shared_mutex> lock(datasets_mu_);
   auto it = datasets_.find(name);
   return it == datasets_.end() ? nullptr : it->second.get();
+}
+
+void QueryService::WarmIndexes(DatasetState& ds) {
+  auto& registry = metrics::Registry::Global();
+  metrics::Counter* loaded_counter = registry.GetCounter("serve.index_loaded");
+  metrics::Counter* built_counter = registry.GetCounter("serve.index_built");
+  const size_t n = ds.bundle.data->size();
+  // The item set every first-stage collapse (and the calibration query)
+  // enumerates: the full corpus as MakeSingletonGroups representatives.
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  std::vector<const predicates::PairPredicate*> preds;
+  for (const dedup::PredicateLevel& level : ds.bundle.levels) {
+    for (const predicates::PairPredicate* pred :
+         {level.sufficient, level.necessary}) {
+      if (pred == nullptr) continue;
+      if (std::find(preds.begin(), preds.end(), pred) != preds.end()) {
+        continue;
+      }
+      preds.push_back(pred);
+    }
+  }
+  for (const predicates::PairPredicate* pred : preds) {
+    std::string path;
+    if (!options_.index_dir.empty()) {
+      path = options_.index_dir + "/" + ds.name + "-" + PredFileTag(*pred) +
+             ".idx";
+      StatusOr<predicates::BlockedIndex> from_disk =
+          predicates::BlockedIndex::LoadFromFile(*pred, n, path);
+      if (from_disk.ok() && CoversIdentityItems(from_disk.value(), n)) {
+        ds.index_cache.Put(*pred, all, std::move(from_disk).value());
+        loaded_counter->Increment();
+        continue;
+      }
+      if (!from_disk.ok()) {
+        TOPKDUP_LOG(Debug) << "no persisted index at " << path << ": "
+                           << from_disk.status().ToString();
+      }
+    }
+    std::shared_ptr<const predicates::BlockedIndex> built =
+        ds.index_cache.GetOrBuild(*pred, all);
+    built_counter->Increment();
+    if (!path.empty()) {
+      const Status persisted = built->SerializeToFile(path);
+      if (!persisted.ok()) {
+        TOPKDUP_LOG(Warning) << "failed to persist index to " << path
+                             << ": " << persisted.ToString();
+      }
+    }
+  }
 }
 
 void QueryService::Calibrate(DatasetState& ds) {

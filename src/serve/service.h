@@ -138,6 +138,13 @@ struct ServiceOptions {
   topk::TopKCountOptions count_defaults;
   /// prune_passes applied to rank queries.
   int rank_prune_passes = 2;
+  /// Directory for persisted blocking-index images. When set,
+  /// RegisterDataset loads each level predicate's full-corpus index from
+  /// `<index_dir>/<dataset>-<tag>.idx` when a valid image exists
+  /// (serve.index_loaded) and persists freshly built ones back
+  /// (serve.index_built), so later process starts skip the builds
+  /// entirely. Empty keeps indexes purely in-memory.
+  std::string index_dir;
 };
 
 /// Health snapshot suitable for a readiness probe.
@@ -256,6 +263,10 @@ class QueryService {
                              std::string message);
   void FinishResponse(Pending& pending, QueryResponse response);
   DatasetState* FindDataset(std::string_view name);
+  /// Builds (or loads from options_.index_dir) the full-corpus blocking
+  /// index of every distinct level predicate into the dataset's cache, so
+  /// no request ever pays an index build.
+  void WarmIndexes(DatasetState& ds);
   void Calibrate(DatasetState& ds);
   void UpdateBreakerGauge(DatasetState& ds);
 

@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "common/trace.h"
 #include "predicates/blocked_index.h"
+#include "predicates/index_cache.h"
 
 namespace topkdup::topk {
 
@@ -30,7 +31,9 @@ cluster::PairScores BuildGroupPairScores(
   for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
 
   cluster::PairScores scores(n, options.default_score);
-  predicates::BlockedIndex index(necessary, reps);
+  const predicates::IndexHandle index_handle(options.index_cache, necessary,
+                                             reps);
+  const predicates::BlockedIndex& index = index_handle.get();
   // Predicate evaluation + scoring dominate; fan them out per shard into
   // (p, q, score) triples and fold into the sparse matrix serially. The
   // shard layout is thread-count independent, so the insertion order —

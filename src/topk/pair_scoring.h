@@ -9,6 +9,10 @@
 #include "dedup/group.h"
 #include "predicates/pair_predicate.h"
 
+namespace topkdup::predicates {
+class IndexCache;
+}  // namespace topkdup::predicates
+
 namespace topkdup::topk {
 
 /// Signed pairwise scoring function over two *record ids* (typically group
@@ -44,6 +48,10 @@ struct PairScoringOptions {
   /// pairs on the default score — a consistent, merely less informed,
   /// score matrix. Enumerated pairs are charged as work.
   const Deadline* deadline = nullptr;
+  /// When non-null, shares the blocking index over the group
+  /// representatives across calls (resident serving); null builds a
+  /// call-local index.
+  predicates::IndexCache* index_cache = nullptr;
 };
 
 /// Builds the sparse pairwise score matrix over `groups` (indexed by group

@@ -8,6 +8,7 @@
 #include "dedup/collapse.h"
 #include "dedup/prune.h"
 #include "predicates/blocked_index.h"
+#include "predicates/index_cache.h"
 
 namespace topkdup::topk {
 
@@ -16,11 +17,13 @@ namespace {
 /// Materializes the N-neighbor lists among `groups` (positions).
 std::vector<std::vector<uint32_t>> NeighborLists(
     const std::vector<dedup::Group>& groups,
-    const predicates::PairPredicate& necessary) {
+    const predicates::PairPredicate& necessary,
+    predicates::IndexCache* index_cache) {
   const size_t n = groups.size();
   std::vector<size_t> reps(n);
   for (size_t i = 0; i < n; ++i) reps[i] = groups[i].rep;
-  predicates::BlockedIndex index(necessary, reps);
+  const predicates::IndexHandle index_handle(index_cache, necessary, reps);
+  const predicates::BlockedIndex& index = index_handle.get();
   std::vector<std::vector<uint32_t>> adj(n);
   index.ForEachCandidatePair([&](size_t p, size_t q) {
     if (necessary.Evaluate(reps[p], reps[q])) {
@@ -50,6 +53,7 @@ StatusOr<TopKRankResult> TopKRankQuery(
   prune_options.prune_passes = options.prune_passes;
   prune_options.exact_bounds = true;  // Bounds are compared across groups.
   prune_options.deadline = options.deadline;
+  prune_options.index_cache = options.index_cache;
   TOPKDUP_ASSIGN_OR_RETURN(
       dedup::PrunedDedupResult pruning,
       dedup::PrunedDedup(data, levels, prune_options));
@@ -81,7 +85,9 @@ StatusOr<TopKRankResult> TopKRankQuery(
           pruning.upper_bounds_unconditional &&
                   pruning.upper_bounds.size() == n
               ? pruning.upper_bounds
-              : dedup::ComputeGroupUpperBounds(groups, necessary, all);
+              : dedup::ComputeGroupUpperBounds(groups, necessary, all,
+                                               /*deadline=*/nullptr,
+                                               options.index_cache);
       result.ranked.reserve(n);
       for (size_t i = 0; i < n; ++i) {
         result.ranked.push_back(RankedGroup{groups[i], bounds[i]});
@@ -95,7 +101,7 @@ StatusOr<TopKRankResult> TopKRankQuery(
 
   const std::vector<double>& ub = pruning.upper_bounds;
   const std::vector<std::vector<uint32_t>> adj =
-      NeighborLists(groups, necessary);
+      NeighborLists(groups, necessary, options.index_cache);
 
   // §7.1: a group j is resolved when it has no ranking conflict with any
   // non-neighbor and none of its neighbors can outgrow M without it. The
@@ -194,12 +200,15 @@ StatusOr<ThresholdedRankResult> ThresholdedRankQuery(
   std::vector<double> ub(groups.size(), 0.0);
   for (const dedup::PredicateLevel& level : levels) {
     if (level.sufficient != nullptr) {
-      groups = dedup::Collapse(groups, *level.sufficient);
+      groups = dedup::Collapse(groups, *level.sufficient,
+                               /*recorder=*/nullptr, /*deadline=*/nullptr,
+                               options.index_cache);
       if (soft_fail.triggered()) return soft_fail.status();
     }
     if (level.necessary != nullptr) {
       dedup::PruneOptions prune_options;
       prune_options.passes = options.prune_passes;
+      prune_options.index_cache = options.index_cache;
       dedup::PruneResult pruned =
           dedup::PruneGroups(groups, *level.necessary, T, prune_options,
                              /*exact_bounds=*/true);
@@ -219,7 +228,7 @@ StatusOr<ThresholdedRankResult> ThresholdedRankQuery(
   // certainly-ordered groups of weight >= T...
   const predicates::PairPredicate& necessary = *levels.back().necessary;
   const std::vector<std::vector<uint32_t>> adj =
-      NeighborLists(groups, necessary);
+      NeighborLists(groups, necessary, options.index_cache);
   size_t k = 0;
   while (k < n && groups[k].weight >= T &&
          (k == 0 || groups[k - 1].weight >= ub[k])) {

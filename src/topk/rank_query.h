@@ -41,6 +41,10 @@ struct TopKRankOptions {
   /// sound unconditional upper bounds and `degradation` filled. See
   /// common/deadline.h.
   const Deadline* deadline = nullptr;
+  /// When non-null, every stage's blocking index resolves through this
+  /// cache (predicates/index_cache.h); the serve path sets one per
+  /// dataset.
+  predicates::IndexCache* index_cache = nullptr;
 };
 
 /// The TopK *rank* query of §7.1: like the count query, but since only the
@@ -66,6 +70,8 @@ struct ThresholdedRankResult {
 struct ThresholdedRankOptions {
   double threshold = 0.0;  // The user's T.
   int prune_passes = 2;
+  /// See TopKRankOptions::index_cache.
+  predicates::IndexCache* index_cache = nullptr;
 };
 
 /// The thresholded rank query of §7.2: M is fixed to the user threshold T

@@ -73,7 +73,8 @@ void MarkQueryDegraded(const Deadline& deadline, const char* stage,
 TopKAnswerSet SynthesizeBoundedAnswer(
     const dedup::PrunedDedupResult& pruning,
     const predicates::PairPredicate& necessary, int k,
-    const Deadline* deadline, obs::ExplainRecorder* recorder) {
+    const Deadline* deadline, obs::ExplainRecorder* recorder,
+    predicates::IndexCache* index_cache) {
   const std::vector<dedup::Group>& groups = pruning.groups;
   const size_t count =
       std::min(groups.size(), static_cast<size_t>(std::max(k, 0)));
@@ -96,7 +97,7 @@ TopKAnswerSet SynthesizeBoundedAnswer(
             ? nullptr
             : deadline;
     upper = dedup::ComputeGroupUpperBounds(groups, necessary, indices,
-                                           recompute_deadline);
+                                           recompute_deadline, index_cache);
   }
 
   TopKAnswerSet answer;
@@ -215,6 +216,7 @@ StatusOr<TopKCountResult> TopKCountQuery(
   prune_options.prune_passes = options.prune_passes;
   prune_options.explain_recorder = recorder.get();
   prune_options.deadline = deadline;
+  prune_options.index_cache = options.index_cache;
   TOPKDUP_ASSIGN_OR_RETURN(
       dedup::PrunedDedupResult pruning,
       dedup::PrunedDedup(data, levels, prune_options));
@@ -233,7 +235,8 @@ StatusOr<TopKCountResult> TopKCountQuery(
                          : AnswerQuality::kBoundsOnly;
     result.degradation = pruning.degradation;
     result.answers.push_back(SynthesizeBoundedAnswer(
-        pruning, necessary, options.k, deadline, recorder.get()));
+        pruning, necessary, options.k, deadline, recorder.get(),
+        options.index_cache));
     if (soft_fail.triggered()) return soft_fail.status();
     result.pruning = std::move(pruning);
     finish_metrics(&result);
@@ -280,6 +283,7 @@ StatusOr<TopKCountResult> TopKCountQuery(
   TOPKDUP_FAULT_RETURN_IF("topk.pair_scoring");
   PairScoringOptions scoring_options = options.scoring;
   scoring_options.deadline = deadline;
+  scoring_options.index_cache = options.index_cache;
   cluster::PairScores scores =
       BuildGroupPairScores(groups, necessary, scorer, scoring_options);
   if (soft_fail.triggered()) return soft_fail.status();
@@ -291,7 +295,8 @@ StatusOr<TopKCountResult> TopKCountQuery(
       recorder->RecordDegradation(result.degradation);
     }
     result.answers.push_back(SynthesizeBoundedAnswer(
-        pruning, necessary, options.k, deadline, recorder.get()));
+        pruning, necessary, options.k, deadline, recorder.get(),
+        options.index_cache));
     if (soft_fail.triggered()) return soft_fail.status();
     result.pruning = std::move(pruning);
     finish_metrics(&result);
@@ -342,7 +347,8 @@ StatusOr<TopKCountResult> TopKCountQuery(
       // bound-carrying dedup answer.
       result.quality = AnswerQuality::kBoundsOnly;
       result.answers.push_back(SynthesizeBoundedAnswer(
-          pruning, necessary, options.k, deadline, recorder.get()));
+          pruning, necessary, options.k, deadline, recorder.get(),
+        options.index_cache));
       if (soft_fail.triggered()) return soft_fail.status();
       result.pruning = std::move(pruning);
       finish_metrics(&result);

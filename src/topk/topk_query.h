@@ -110,6 +110,10 @@ struct TopKCountOptions {
   /// `quality != kExact`, and `degradation` naming the stopped stage.
   /// Never an error, never an abort. See common/deadline.h.
   const Deadline* deadline = nullptr;
+  /// When non-null, every stage's blocking index (dedup levels, pair
+  /// scoring, bound recomputation) resolves through this cache; see
+  /// predicates/index_cache.h. The serve path sets one per dataset.
+  predicates::IndexCache* index_cache = nullptr;
 };
 
 /// The paper's end-to-end TopK count query (Algorithm 2 + §5): prune and

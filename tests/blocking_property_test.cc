@@ -5,8 +5,14 @@
 // realistic corpora rather than hand-picked rows.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "datagen/address_gen.h"
 #include "datagen/citation_gen.h"
@@ -122,6 +128,197 @@ TEST_P(AddressBlockingSweep, AllPredicatesConservative) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AddressBlockingSweep,
                          ::testing::Range(0, 4));
+
+/// Reference implementation of the candidate contract: an uncompressed
+/// scan over the raw signatures. For item p it returns every other item
+/// sharing at least MinCommon(|sig_p|, |sig_q|) tokens, as a sorted set.
+std::vector<size_t> ReferenceCandidates(const PairPredicate& pred,
+                                        size_t p, size_t n) {
+  const std::vector<text::TokenId>& sp = pred.Signature(p);
+  std::vector<size_t> out;
+  for (size_t q = 0; q < n; ++q) {
+    if (q == p) continue;
+    const std::vector<text::TokenId>& sq = pred.Signature(q);
+    size_t common = 0, i = 0, j = 0;
+    while (i < sp.size() && j < sq.size()) {
+      if (sp[i] == sq[j]) {
+        ++common, ++i, ++j;
+      } else if (sp[i] < sq[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    if (!sp.empty() && !sq.empty() &&
+        common >= static_cast<size_t>(pred.MinCommon(sp.size(), sq.size()))) {
+      out.push_back(q);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> IndexCandidates(const BlockedIndex& index,
+                                    BlockedIndex::QueryScratch* scratch,
+                                    size_t p) {
+  std::vector<size_t> out;
+  index.ForEachCandidate(p, scratch, [&](size_t q) {
+    out.push_back(q);
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The compressed, skip-capable index must enumerate, for every item,
+/// exactly the candidate *set* the uncompressed reference scan produces —
+/// at every MinCommon regime the pipelines use.
+class IndexEquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IndexEquivalenceSweep, MatchesUncompressedScan) {
+  const int seed = std::get<0>(GetParam());
+  const int min_common = std::get<1>(GetParam());
+  datagen::CitationGenOptions gen;
+  gen.num_records = 250;
+  gen.num_authors = 50;
+  gen.seed = 11000 + seed;
+  auto data_or = datagen::GenerateCitations(gen);
+  ASSERT_TRUE(data_or.ok());
+  const record::Dataset& data = data_or.value();
+  auto corpus_or = Corpus::Build(&data, {});
+  ASSERT_TRUE(corpus_or.ok());
+  const Corpus& corpus = corpus_or.value();
+  // min_common == 1 exercises the fractional-overlap thresholds (the
+  // serve predicate); 2 and 3 pin the fixed-count regime.
+  std::unique_ptr<PairPredicate> pred;
+  if (min_common == 1) {
+    pred = std::make_unique<QGramOverlapPredicate>(&corpus, 0, 0.6);
+  } else {
+    pred = std::make_unique<CommonWordsPredicate>(
+        &corpus, std::vector<int>{0}, min_common);
+  }
+  std::vector<size_t> items(data.size());
+  for (size_t i = 0; i < items.size(); ++i) items[i] = i;
+  BlockedIndex index(*pred, items);
+  BlockedIndex::QueryScratch scratch;
+  for (size_t p = 0; p < data.size(); ++p) {
+    EXPECT_EQ(IndexCandidates(index, &scratch, p),
+              ReferenceCandidates(*pred, p, data.size()))
+        << pred->name() << " item " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByMinCommon, IndexEquivalenceSweep,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Values(1, 2, 3)));
+
+/// Serialize -> Deserialize and SerializeToFile -> LoadFromFile must both
+/// reproduce the built index's enumeration byte-for-byte: same candidates
+/// in the same (deterministic) order for every item, and identical pair
+/// enumeration.
+TEST(IndexRoundTripTest, SerializedEnumerationIsIdentical) {
+  datagen::CitationGenOptions gen;
+  gen.num_records = 220;
+  gen.num_authors = 44;
+  gen.seed = 12001;
+  auto data_or = datagen::GenerateCitations(gen);
+  ASSERT_TRUE(data_or.ok());
+  const record::Dataset& data = data_or.value();
+  auto corpus_or = Corpus::Build(&data, {});
+  ASSERT_TRUE(corpus_or.ok());
+  const Corpus& corpus = corpus_or.value();
+  QGramOverlapPredicate pred(&corpus, 0, 0.6);
+  std::vector<size_t> items(data.size());
+  for (size_t i = 0; i < items.size(); ++i) items[i] = i;
+  const BlockedIndex built(pred, items);
+
+  auto from_bytes =
+      BlockedIndex::Deserialize(pred, data.size(), built.Serialize());
+  ASSERT_TRUE(from_bytes.ok()) << from_bytes.status().ToString();
+  const std::string path =
+      ::testing::TempDir() + "/blocking_property_roundtrip.idx";
+  ASSERT_TRUE(built.SerializeToFile(path).ok());
+  auto from_file = BlockedIndex::LoadFromFile(pred, data.size(), path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  std::remove(path.c_str());
+
+  for (const BlockedIndex* loaded :
+       {&from_bytes.value(), &from_file.value()}) {
+    ASSERT_EQ(loaded->item_count(), built.item_count());
+    EXPECT_EQ(loaded->posting_count(), built.posting_count());
+    BlockedIndex::QueryScratch s1, s2;
+    for (size_t p = 0; p < built.item_count(); ++p) {
+      // In-order comparison (no sort): the enumeration order itself must
+      // survive the round trip.
+      std::vector<size_t> a, b;
+      built.ForEachCandidate(p, &s1, [&](size_t q) {
+        a.push_back(q);
+        return true;
+      });
+      loaded->ForEachCandidate(p, &s2, [&](size_t q) {
+        b.push_back(q);
+        return true;
+      });
+      ASSERT_EQ(a, b) << "item " << p;
+    }
+    std::vector<std::pair<size_t, size_t>> pairs_built, pairs_loaded;
+    built.ForEachCandidatePair(
+        [&](size_t p, size_t q) { pairs_built.push_back({p, q}); });
+    loaded->ForEachCandidatePair(
+        [&](size_t p, size_t q) { pairs_loaded.push_back({p, q}); });
+    EXPECT_EQ(pairs_built, pairs_loaded);
+  }
+}
+
+/// With the candidate memo enabled, the second enumeration of an item
+/// must replay the first one identically (order included) — including
+/// when the first enumeration was cut short by an early-exiting consumer.
+TEST(IndexMemoTest, ReplayIsIdenticalAndEarlyExitSafe) {
+  datagen::CitationGenOptions gen;
+  gen.num_records = 200;
+  gen.num_authors = 40;
+  gen.seed = 12002;
+  auto data_or = datagen::GenerateCitations(gen);
+  ASSERT_TRUE(data_or.ok());
+  const record::Dataset& data = data_or.value();
+  auto corpus_or = Corpus::Build(&data, {});
+  ASSERT_TRUE(corpus_or.ok());
+  const Corpus& corpus = corpus_or.value();
+  QGramOverlapPredicate pred(&corpus, 0, 0.6);
+  std::vector<size_t> items(data.size());
+  for (size_t i = 0; i < items.size(); ++i) items[i] = i;
+  BlockedIndex plain(pred, items);
+  BlockedIndex memoized(pred, items);
+  memoized.EnableCandidateMemo();
+  ASSERT_TRUE(memoized.candidate_memo_enabled());
+
+  BlockedIndex::QueryScratch s1, s2;
+  for (size_t p = 0; p < data.size(); ++p) {
+    std::vector<size_t> reference, first, replay;
+    plain.ForEachCandidate(p, &s1, [&](size_t q) {
+      reference.push_back(q);
+      return true;
+    });
+    // First touch fills the memo; on even items stop after one candidate
+    // to prove a truncated consumer still records the full list.
+    const bool truncate = (p % 2 == 0) && !reference.empty();
+    memoized.ForEachCandidate(p, &s2, [&](size_t q) {
+      first.push_back(q);
+      return !truncate;
+    });
+    if (truncate) {
+      ASSERT_EQ(first.size(), 1u);
+      EXPECT_EQ(first[0], reference[0]);
+    } else {
+      EXPECT_EQ(first, reference);
+    }
+    memoized.ForEachCandidate(p, &s2, [&](size_t q) {
+      replay.push_back(q);
+      return true;
+    });
+    EXPECT_EQ(replay, reference) << "item " << p;
+  }
+}
 
 }  // namespace
 }  // namespace topkdup::predicates

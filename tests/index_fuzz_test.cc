@@ -1,0 +1,252 @@
+// Seeded mutation fuzzer for the serialized blocked-index decoder. The
+// invariant is the one blocked_index.h promises: every byte image, however
+// mangled — truncated, bit-flipped, checksum-broken, or with oversized
+// section counts — comes back from Deserialize/LoadFromFile as a typed
+// Status, never UB, never an abort, never an out-of-bounds read (the CI
+// asan-ubsan job runs this whole file under ASan+UBSan). Seeds and
+// mutations are pure functions of the iteration index, so any failure
+// reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "datagen/citation_gen.h"
+#include "predicates/blocked_index.h"
+#include "predicates/corpus.h"
+#include "predicates/generic.h"
+
+namespace topkdup::predicates {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// One corpus + predicate + its serialized index image, shared across the
+/// fuzz iterations (building it is the expensive part).
+struct SeedIndex {
+  record::Dataset data;
+  std::unique_ptr<Corpus> corpus;
+  std::unique_ptr<PairPredicate> pred;
+  std::string image;
+  size_t record_count = 0;
+};
+
+SeedIndex MakeSeedIndex(size_t records, uint64_t seed, int min_common) {
+  SeedIndex out;
+  datagen::CitationGenOptions gen;
+  gen.num_records = records;
+  gen.num_authors = records / 5 + 2;
+  gen.seed = seed;
+  auto data_or = datagen::GenerateCitations(gen);
+  TOPKDUP_CHECK(data_or.ok());
+  out.data = std::move(data_or).value();
+  auto corpus_or = Corpus::Build(&out.data, {});
+  TOPKDUP_CHECK(corpus_or.ok());
+  out.corpus = std::make_unique<Corpus>(std::move(corpus_or).value());
+  if (min_common <= 1) {
+    out.pred =
+        std::make_unique<QGramOverlapPredicate>(out.corpus.get(), 0, 0.6);
+  } else {
+    out.pred = std::make_unique<CommonWordsPredicate>(
+        out.corpus.get(), std::vector<int>{0}, min_common);
+  }
+  out.record_count = out.data.size();
+  std::vector<size_t> items(out.record_count);
+  for (size_t i = 0; i < items.size(); ++i) items[i] = i;
+  BlockedIndex index(*out.pred, std::move(items));
+  out.image = index.Serialize();
+  return out;
+}
+
+std::string Mutate(const std::string& base, uint64_t seed) {
+  std::string out = base;
+  const int mutations = 1 + static_cast<int>(SplitMix64(seed) % 6);
+  uint64_t state = seed;
+  for (int m = 0; m < mutations; ++m) {
+    state = SplitMix64(state);
+    const uint64_t op = state % 6;
+    const size_t pos = out.empty() ? 0 : SplitMix64(state + 1) % out.size();
+    switch (op) {
+      case 0:  // Single bit flip.
+        if (!out.empty()) out[pos] ^= static_cast<char>(1u << (state % 8));
+        break;
+      case 1:  // Overwrite with an extreme byte (0x00 / 0xff / 0x7f).
+        if (!out.empty()) {
+          const char kBytes[] = {'\x00', '\xff', '\x7f', '\x80', '\x01'};
+          out[pos] = kBytes[SplitMix64(state + 2) % sizeof(kBytes)];
+        }
+        break;
+      case 2:  // Truncate.
+        out.resize(pos);
+        break;
+      case 3: {  // Stamp an oversized 64-bit count over 8 bytes.
+        if (out.size() >= pos + 8) {
+          const uint64_t huge = ~(SplitMix64(state + 3) >> (state % 32));
+          std::memcpy(&out[pos], &huge, 8);
+        }
+        break;
+      }
+      case 4:  // Duplicate a slice (grows the image).
+        if (!out.empty()) {
+          const size_t len = std::min<size_t>(
+              out.size() - pos, 1 + SplitMix64(state + 4) % 64);
+          out.insert(pos, out.substr(pos, len));
+        }
+        break;
+      case 5:  // Delete a slice.
+        if (!out.empty()) {
+          const size_t len = std::min<size_t>(
+              out.size() - pos, 1 + SplitMix64(state + 5) % 16);
+          out.erase(pos, len);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// A decode that claims success must yield a queryable index: every
+/// enumerated position in range, enumeration terminating. (With the body
+/// checksummed this is nearly always the unmutated image, but the check
+/// keeps the "ok means usable" half of the contract honest.)
+void ExpectUsable(BlockedIndex index) {
+  const size_t n = index.item_count();
+  BlockedIndex::QueryScratch scratch;
+  for (size_t pos = 0; pos < std::min<size_t>(n, 16); ++pos) {
+    index.ForEachCandidate(pos, &scratch, [&](size_t other) {
+      EXPECT_LT(other, n);
+      EXPECT_NE(other, pos);
+      return true;
+    });
+  }
+}
+
+TEST(IndexFuzzTest, MutatedImagesAlwaysReturnTypedStatus) {
+  const SeedIndex seed = MakeSeedIndex(120, 0xf00d, 1);
+  constexpr int kIterations = 4000;
+  int ok_count = 0;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    std::string mutated = Mutate(seed.image, 0x1d0000ULL + iter);
+    auto result = BlockedIndex::Deserialize(*seed.pred, seed.record_count,
+                                            std::move(mutated));
+    if (result.ok()) {
+      ++ok_count;
+      ExpectUsable(std::move(result).value());
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << "iter " << iter << ": " << result.status().ToString();
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+  // The checksums make accidental acceptance of a damaged image
+  // astronomically unlikely; any ok() here passed ExpectUsable above.
+  (void)ok_count;
+}
+
+TEST(IndexFuzzTest, EveryTruncationLengthIsRejected) {
+  const SeedIndex seed = MakeSeedIndex(60, 0xbeef, 1);
+  // Every prefix strictly shorter than the image must be rejected: the
+  // header carries the expected body size and both are checksummed.
+  const size_t stride = std::max<size_t>(1, seed.image.size() / 512);
+  for (size_t len = 0; len < seed.image.size(); len += stride) {
+    auto result = BlockedIndex::Deserialize(*seed.pred, seed.record_count,
+                                            seed.image.substr(0, len));
+    ASSERT_FALSE(result.ok()) << "truncation to " << len << " bytes parsed";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(IndexFuzzTest, EverySingleBitFlipInHeaderIsRejected) {
+  const SeedIndex seed = MakeSeedIndex(60, 0xcafe, 2);
+  // The 96-byte header is fully checksummed, so every single-bit flip in
+  // it must surface as InvalidArgument (flipping the stored predicate
+  // hash or version included).
+  for (size_t bit = 0; bit < 96 * 8; ++bit) {
+    std::string flipped = seed.image;
+    flipped[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    auto result = BlockedIndex::Deserialize(*seed.pred, seed.record_count,
+                                            std::move(flipped));
+    ASSERT_FALSE(result.ok()) << "header bit " << bit << " flip parsed";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(IndexFuzzTest, BodyCorruptionIsRejected) {
+  const SeedIndex seed = MakeSeedIndex(80, 0xd00d, 1);
+  // Flip one byte at a sweep of body positions: the body checksum must
+  // catch every one.
+  const size_t body_begin = 96;
+  const size_t stride =
+      std::max<size_t>(1, (seed.image.size() - body_begin) / 256);
+  for (size_t pos = body_begin; pos < seed.image.size(); pos += stride) {
+    std::string corrupt = seed.image;
+    corrupt[pos] ^= '\x40';
+    auto result = BlockedIndex::Deserialize(*seed.pred, seed.record_count,
+                                            std::move(corrupt));
+    ASSERT_FALSE(result.ok()) << "body byte " << pos << " flip parsed";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(IndexFuzzTest, WrongPredicateAndWrongCorpusAreRejected) {
+  const SeedIndex seed = MakeSeedIndex(60, 0xaaaa, 1);
+  // A different predicate (different name hash) must not adopt the image.
+  CommonWordsPredicate other(seed.corpus.get(), std::vector<int>{0}, 2);
+  auto wrong_pred =
+      BlockedIndex::Deserialize(other, seed.record_count, seed.image);
+  ASSERT_FALSE(wrong_pred.ok());
+  EXPECT_EQ(wrong_pred.status().code(), StatusCode::kInvalidArgument);
+  // A smaller corpus invalidates the stored record ids.
+  auto wrong_corpus =
+      BlockedIndex::Deserialize(*seed.pred, seed.record_count / 2,
+                                seed.image);
+  ASSERT_FALSE(wrong_corpus.ok());
+  EXPECT_EQ(wrong_corpus.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IndexFuzzTest, GarbageAndEmptyInputsAreRejected) {
+  const SeedIndex seed = MakeSeedIndex(40, 0xbbbb, 1);
+  for (const std::string& input :
+       {std::string(), std::string("short"), std::string(96, '\0'),
+        std::string(4096, '\xff'),
+        std::string("TKDPDX1!") + std::string(200, 'x')}) {
+    auto result =
+        BlockedIndex::Deserialize(*seed.pred, seed.record_count, input);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(IndexFuzzTest, LoadFromFileRejectsMissingAndCorruptFiles) {
+  const SeedIndex seed = MakeSeedIndex(50, 0xcccc, 1);
+  auto missing = BlockedIndex::LoadFromFile(*seed.pred, seed.record_count,
+                                            "/nonexistent/dir/index.idx");
+  EXPECT_FALSE(missing.ok());
+
+  const std::string path =
+      ::testing::TempDir() + "/index_fuzz_corrupt.idx";
+  std::string corrupt = seed.image;
+  corrupt[corrupt.size() / 2] ^= '\x01';
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(corrupt.data(), 1, corrupt.size(), f);
+  std::fclose(f);
+  auto loaded =
+      BlockedIndex::LoadFromFile(*seed.pred, seed.record_count, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace topkdup::predicates

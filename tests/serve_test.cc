@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -206,6 +209,45 @@ TEST_F(ServeTest, RegisterExactQueryAndHealth) {
   EXPECT_GE(health.datasets[0].served, 1u);
   // Calibration seeded the cost estimate.
   EXPECT_GT(health.datasets[0].p50_seconds, 0.0);
+}
+
+TEST_F(ServeTest, PersistedIndexesLoadAcrossServiceRestarts) {
+  Watchdog watchdog(120);
+  auto& registry = metrics::Registry::Global();
+  metrics::Counter* built = registry.GetCounter("serve.index_built");
+  metrics::Counter* loaded = registry.GetCounter("serve.index_loaded");
+  const std::string dir = ::testing::TempDir() + "/serve_idx_" +
+                          std::to_string(::getpid());
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  ServiceOptions options = QuietOptions();
+  options.calibrate_on_register = false;
+  options.index_dir = dir;
+
+  const uint64_t built_before = built->Value();
+  const uint64_t loaded_before = loaded->Value();
+  {
+    QueryService service(options);
+    ASSERT_TRUE(
+        service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+    // Cold directory: both level predicates (S1, N1) built and persisted.
+    EXPECT_EQ(built->Value() - built_before, 2u);
+    EXPECT_EQ(loaded->Value(), loaded_before);
+    QueryResponse response = service.Execute(CountRequest("cites"));
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.outcome, ServedOutcome::kExact);
+  }
+  // A fresh service over the same directory maps the persisted images
+  // instead of rebuilding, and answers identically.
+  {
+    QueryService service(options);
+    ASSERT_TRUE(
+        service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+    EXPECT_EQ(loaded->Value() - loaded_before, 2u);
+    EXPECT_EQ(built->Value() - built_before, 2u);
+    QueryResponse response = service.Execute(CountRequest("cites"));
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.outcome, ServedOutcome::kExact);
+  }
 }
 
 TEST_F(ServeTest, ValidationAndTypedErrors) {

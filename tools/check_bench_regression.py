@@ -47,7 +47,9 @@ import sys
 EXACT_LEVEL_KEYS = ("n", "m", "M", "n_prime", "records_collapsed",
                     "groups_pruned")
 WORK_LEVEL_KEYS = ("cpn_growth_iterations", "cpn_edges_examined",
-                   "blocking_probes", "predicate_evals")
+                   "blocking_probes", "predicate_evals",
+                   "postings_scanned", "postings_decoded",
+                   "blocks_decoded", "blocks_skipped")
 
 
 def load(path):
@@ -117,6 +119,10 @@ def compare(baseline, fresh, time_threshold, work_threshold,
                         f"K={k} level {l + 1}: deterministic key {key!r} "
                         f"changed {bl[key]} -> {nl[key]} (must match exactly)")
             for key in WORK_LEVEL_KEYS:
+                # Newer keys (the blocked-index decode counters) may be
+                # absent from baselines captured before they existed.
+                if key not in bl or key not in nl:
+                    continue
                 if bl[key] > 0 and nl[key] > bl[key] * (1.0 + work_threshold):
                     problems.append(
                         f"K={k} level {l + 1}: work counter {key!r} regressed "
