@@ -36,11 +36,14 @@
 #include "bench_common.h"
 #include "common/check.h"
 #include "common/faultpoint.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "datagen/citation_gen.h"
+#include "obs/admin_server.h"
 #include "predicates/citation.h"
 #include "predicates/corpus.h"
 #include "predicates/generic.h"
+#include "serve/admin_endpoints.h"
 #include "serve/service.h"
 #include "sim/similarity.h"
 #include "text/tokenize.h"
@@ -225,6 +228,14 @@ int Main(int argc, char** argv) {
   options.queue_capacity =
       static_cast<size_t>(flags.GetInt("queue-capacity", 16));
   options.default_deadline_ms = flags.GetInt("deadline-ms", 1000);
+  // Introspection-plane knobs. None of these enter the exported params:
+  // they must not invalidate pinned baselines, and with the defaults
+  // (admin off, memory-only log, slow detection off) the workload and its
+  // deterministic counters are byte-identical to a build without them.
+  options.request_log.path = flags.GetString("request-log", "");
+  options.request_log.ok_sample_every =
+      static_cast<uint64_t>(flags.GetInt("log-sample", 16));
+  options.request_log.slow_ms = flags.GetInt("slow-ms", 0);
   serve::QueryService service(options);
   // Register (and calibrate) before arming programmatic faults so the
   // cost estimate and the breaker's degraded-answer cache start clean.
@@ -237,18 +248,43 @@ int Main(int argc, char** argv) {
                  registered.ToString().c_str());
     return 1;
   }
+  // --admin-port=-1 (default) keeps the admin plane entirely off;
+  // --admin-port=0 binds an ephemeral port and prints it, which is how
+  // the CI endpoint smoke attaches without port collisions.
+  const int admin_port = static_cast<int>(flags.GetInt("admin-port", -1));
+  obs::AdminServer admin({admin_port < 0 ? 0 : admin_port});
+  if (admin_port >= 0) {
+    serve::RegisterAdminEndpoints(admin, service);
+    Status started = admin.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "admin server: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("admin.port=%d\n", admin.port());
+    std::fflush(stdout);
+  }
   if (fault_prob > 0.0) {
     fault::ArmForTest("serve.query", fault_prob,
                       static_cast<uint64_t>(fault_seed));
   }
 
   std::vector<PhaseStats> phases;
+  const uint64_t log_emitted_before = service.request_log().emitted();
   phases.push_back(RunClosedLoop(service, flags, requests, clients));
+  const uint64_t closed_log_emitted =
+      service.request_log().emitted() - log_emitted_before;
   for (int rate : rates) {
     phases.push_back(RunOpenLoop(service, flags, requests, rate));
   }
   service.Drain();
   fault::DisarmAllForTest();
+  // Keep the admin endpoints answering after the workload drains so an
+  // external prober (the CI smoke) can finish scraping a quiesced,
+  // self-consistent state.
+  const int64_t linger_ms = flags.GetInt("linger-ms", 0);
+  if (admin_port >= 0 && linger_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
 
   bench::TablePrinter table(
       {"phase", "reqs", "goodput", "shed%", "degr%", "err", "p50ms",
@@ -316,6 +352,16 @@ int Main(int argc, char** argv) {
                          Percentile(p.latencies, 0.99));
     invalid += p.invalid;
   }
+  // Deterministic introspection counters the CI gate pins exactly: the
+  // closed loop's request-log emission set replays with the workload (ids
+  // are sequential, sampling is a pure hash), and admin.requests is 0
+  // whenever no external prober was pointed at the admin port.
+  scalars.emplace_back("closed.requestlog_emitted",
+                       static_cast<double>(closed_log_emitted));
+  scalars.emplace_back(
+      "admin.requests",
+      static_cast<double>(metrics::Registry::Global().Snapshot().CounterValue(
+          "obs.admin.requests")));
   bench::ExportBenchArtifacts(flags.GetString("json", ""), obs,
                               "serve_load", params, scalars, runs);
 

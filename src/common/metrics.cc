@@ -370,38 +370,139 @@ std::string PromNumber(double v) {
   return StrFormat("%.17g", v);
 }
 
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline; anything else (UTF-8 included) passes through.
+std::string PromLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// The rule folding `name` into a labeled family, or null. A match
+/// requires a strict "<prefix>.<rest>" shape with a non-empty rest; the
+/// exact name `prefix` itself stays an unlabeled series.
+const PromLabelRule* MatchLabelRule(const std::vector<PromLabelRule>& rules,
+                                    std::string_view name) {
+  for (const PromLabelRule& rule : rules) {
+    if (name.size() > rule.prefix.size() + 1 &&
+        name.compare(0, rule.prefix.size(), rule.prefix) == 0 &&
+        name[rule.prefix.size()] == '.') {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+/// Resolved naming for one sample: the exposition family name and the
+/// `label="value",` fragment (empty when unlabeled). Snapshot samples are
+/// sorted by registry name, so all members of one family are contiguous
+/// and a single `last_family` string suffices to emit each TYPE line
+/// exactly once.
+struct PromSeries {
+  std::string family;
+  std::string labels;
+};
+
+PromSeries ResolveSeries(const std::vector<PromLabelRule>& rules,
+                         std::string_view name) {
+  PromSeries series;
+  const PromLabelRule* rule = MatchLabelRule(rules, name);
+  if (rule == nullptr) {
+    series.family = PromName(name);
+    return series;
+  }
+  series.family = PromName(rule->prefix);
+  const std::string_view rest = name.substr(rule->prefix.size() + 1);
+  series.labels = StrFormat("%s=\"%s\"", rule->label.c_str(),
+                            PromLabelValue(rest).c_str());
+  return series;
+}
+
+void EmitTypeLine(std::string& out, const std::string& family,
+                  const char* type, std::string& last_family) {
+  if (family == last_family) return;
+  out += StrFormat("# TYPE %s %s\n", family.c_str(), type);
+  last_family = family;
+}
+
 }  // namespace
 
+const std::vector<PromLabelRule>& DefaultPromLabelRules() {
+  static const std::vector<PromLabelRule>* rules =
+      new std::vector<PromLabelRule>{
+          {"serve.breaker_state", "dataset"},
+          {"serve.shed", "reason"},
+          {"serve.latency_seconds", "outcome"},
+          {"obs.admin.endpoint", "endpoint"},
+      };
+  return *rules;
+}
+
 std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  return PrometheusText(snapshot, DefaultPromLabelRules());
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot,
+                           const std::vector<PromLabelRule>& rules) {
   std::string out;
+  std::string last_family;
   for (const CounterSample& c : snapshot.counters) {
-    const std::string name = PromName(c.name) + "_total";
-    out += StrFormat("# TYPE %s counter\n", name.c_str());
-    out += StrFormat("%s %llu\n", name.c_str(),
+    PromSeries series = ResolveSeries(rules, c.name);
+    series.family += "_total";
+    EmitTypeLine(out, series.family, "counter", last_family);
+    const std::string braces =
+        series.labels.empty() ? "" : "{" + series.labels + "}";
+    out += StrFormat("%s%s %llu\n", series.family.c_str(), braces.c_str(),
                      static_cast<unsigned long long>(c.value));
   }
   for (const GaugeSample& g : snapshot.gauges) {
-    const std::string name = PromName(g.name);
-    out += StrFormat("# TYPE %s gauge\n", name.c_str());
-    out += StrFormat("%s %s\n", name.c_str(), PromNumber(g.value).c_str());
+    const PromSeries series = ResolveSeries(rules, g.name);
+    EmitTypeLine(out, series.family, "gauge", last_family);
+    const std::string braces =
+        series.labels.empty() ? "" : "{" + series.labels + "}";
+    out += StrFormat("%s%s %s\n", series.family.c_str(), braces.c_str(),
+                     PromNumber(g.value).c_str());
   }
   for (const HistogramSample& h : snapshot.histograms) {
-    const std::string name = PromName(h.name);
-    out += StrFormat("# TYPE %s histogram\n", name.c_str());
+    const PromSeries series = ResolveSeries(rules, h.name);
+    EmitTypeLine(out, series.family, "histogram", last_family);
+    const std::string name = series.family;
+    // The family label (if any) precedes `le` on every bucket line.
+    const std::string label_prefix =
+        series.labels.empty() ? "" : series.labels + ",";
     // Registry buckets are inclusive upper bounds (metrics.h), which is
     // exactly Prometheus's `le` semantics; only cumulation is needed.
     uint64_t cumulative = 0;
     for (size_t b = 0; b < h.bounds.size(); ++b) {
       cumulative += b < h.counts.size() ? h.counts[b] : 0;
-      out += StrFormat("%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+      out += StrFormat("%s_bucket{%sle=\"%s\"} %llu\n", name.c_str(),
+                       label_prefix.c_str(),
                        PromNumber(h.bounds[b]).c_str(),
                        static_cast<unsigned long long>(cumulative));
     }
-    out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+    out += StrFormat("%s_bucket{%sle=\"+Inf\"} %llu\n", name.c_str(),
+                     label_prefix.c_str(),
                      static_cast<unsigned long long>(h.count));
-    out += StrFormat("%s_sum %s\n", name.c_str(),
+    const std::string braces =
+        series.labels.empty() ? "" : "{" + series.labels + "}";
+    out += StrFormat("%s_sum%s %s\n", name.c_str(), braces.c_str(),
                      PromNumber(h.sum).c_str());
-    out += StrFormat("%s_count %llu\n", name.c_str(),
+    out += StrFormat("%s_count%s %llu\n", name.c_str(), braces.c_str(),
                      static_cast<unsigned long long>(h.count));
   }
   return out;

@@ -267,6 +267,12 @@ void RunShards(size_t num_shards, const std::function<void(size_t)>& fn) {
     // `s` is claimed in increasing order, so num_shards - s approximates
     // the shards still queued when this task starts.
     queue_depth->Set(static_cast<double>(num_shards - 1 - s));
+    // Per-shard span on the *executing* thread — the caller-side
+    // "parallel.region" span above cannot show which worker lane ran
+    // which shard, so without this the pool's threads have no spans at
+    // all and a trace shows fan-out as a single opaque block.
+    trace::Span shard_span("parallel.shard");
+    shard_span.AddArg("shard", static_cast<int64_t>(s));
     Timer timer;
     fn(s);
     shard_seconds->Observe(timer.ElapsedSeconds());

@@ -27,22 +27,15 @@ double NowMicros() {
       .count();
 }
 
-struct Event {
-  const char* name;
-  double ts_us;
-  double dur_us;
-  int tid;
-  int nargs;
-  std::array<std::pair<const char*, int64_t>, 4> args;
-};
-
-/// Per-thread event sink. The buffer outlives its thread (owned by the
-/// global registry below), so pool workers that never exit and threads
-/// that do both work. The mutex is uncontended on the hot path — only the
-/// owning thread appends; the exporter locks each buffer when draining.
+/// Per-thread event sink for the recording buffers. The buffer outlives
+/// its thread (owned by the global registry below), so pool workers that
+/// stay parked between regions — and at process exit — still have their
+/// tail drained by WriteChromeTrace. The mutex is uncontended on the hot
+/// path — only the owning thread appends; the exporter locks each buffer
+/// when draining.
 struct ThreadBuffer {
   std::mutex mu;
-  std::vector<Event> events;
+  std::vector<TraceEvent> events;
   int tid = 0;
 };
 
@@ -70,11 +63,65 @@ ThreadBuffer& LocalBuffer() {
 
 std::atomic<bool> g_recording{false};
 
+constexpr size_t kDefaultRingCapacity = 4096;
+
+/// The always-on bounded ring of recent completed spans. One process-wide
+/// mutex: spans are stage/level/shard-grained (never per-pair hot loops),
+/// so contention is negligible next to the work a span brackets. Leaked so
+/// spans destroyed during static destruction stay safe.
+struct Ring {
+  std::mutex mu;
+  size_t capacity = 0;            // Capacity `slots` was configured for.
+  std::vector<TraceEvent> slots;  // Grows to `capacity`, then wraps.
+  size_t next = 0;                // Next slot to overwrite once full.
+  uint64_t total = 0;             // Spans ever pushed.
+};
+
+Ring& GlobalRing() {
+  static Ring* ring = new Ring;
+  return *ring;
+}
+
+std::atomic<size_t> g_ring_capacity{kDefaultRingCapacity};
+
+void RingPush(const TraceEvent& event) {
+  const size_t capacity = g_ring_capacity.load(std::memory_order_relaxed);
+  if (capacity == 0) return;
+  Ring& ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.capacity != capacity) {
+    // Capacity changed (or first use): restart the ring at the new size.
+    ring.capacity = capacity;
+    ring.slots.clear();
+    ring.slots.reserve(capacity);
+    ring.next = 0;
+  }
+  if (ring.slots.size() < capacity) {
+    ring.slots.push_back(event);
+  } else {
+    ring.slots[ring.next] = event;
+    ring.next = (ring.next + 1) % capacity;
+  }
+  ++ring.total;
+}
+
+/// Chronological order with a deterministic tie-break, so two renderings
+/// of the same events are byte-identical regardless of which thread's
+/// buffer was drained first.
+void SortEvents(std::vector<TraceEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.tid < b.tid;
+                   });
+}
+
 /// TOPKDUP_TRACE=PATH turns recording on for the whole process and flushes
 /// the Chrome trace to PATH at exit — no code changes or harness flags
 /// needed. The registration runs from a static initializer; Buffers() and
 /// BuffersMutex() are leaked, so the atexit write is safe during static
-/// destruction.
+/// destruction and drains every thread's buffer, parked pool workers
+/// included.
 struct EnvTraceExporter {
   EnvTraceExporter() {
     const char* path = std::getenv("TOPKDUP_TRACE");
@@ -121,8 +168,62 @@ size_t EventCount() {
   return total;
 }
 
+size_t RingCapacity() {
+  return g_ring_capacity.load(std::memory_order_relaxed);
+}
+
+void SetRingCapacity(size_t capacity) {
+  Ring& ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  g_ring_capacity.store(capacity, std::memory_order_relaxed);
+  ring.capacity = capacity;
+  ring.slots.clear();
+  ring.slots.reserve(capacity);
+  ring.next = 0;
+}
+
+uint64_t RingTotal() {
+  Ring& ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  return ring.total;
+}
+
+std::vector<TraceEvent> RingSnapshot() {
+  std::vector<TraceEvent> events;
+  {
+    Ring& ring = GlobalRing();
+    std::lock_guard<std::mutex> lock(ring.mu);
+    events = ring.slots;
+  }
+  SortEvents(events);
+  return events;
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += StrFormat(
+        "{\"name\":\"%s\",\"cat\":\"topkdup\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
+        e.name, e.tid, e.ts_us, e.dur_us);
+    if (e.nargs > 0) {
+      out += ",\"args\":{";
+      for (int a = 0; a < e.nargs; ++a) {
+        if (a > 0) out += ",";
+        out += StrFormat("\"%s\":%lld", e.args[a].first,
+                         static_cast<long long>(e.args[a].second));
+      }
+      out += "}";
+    }
+    out += i + 1 == events.size() ? "}\n" : "},\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
 bool WriteChromeTrace(const std::string& path) {
-  std::vector<Event> events;
+  std::vector<TraceEvent> events;
   {
     std::lock_guard<std::mutex> lock(BuffersMutex());
     for (const auto& buffer : Buffers()) {
@@ -131,40 +232,24 @@ bool WriteChromeTrace(const std::string& path) {
                     buffer->events.end());
     }
   }
-  std::sort(events.begin(), events.end(),
-            [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+  SortEvents(events);
 
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     TOPKDUP_LOG(Error) << "trace: cannot write " << path;
     return false;
   }
-  std::fputs("{\"traceEvents\":[\n", out);
-  for (size_t i = 0; i < events.size(); ++i) {
-    const Event& e = events[i];
-    std::string line = StrFormat(
-        "{\"name\":\"%s\",\"cat\":\"topkdup\",\"ph\":\"X\",\"pid\":1,"
-        "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
-        e.name, e.tid, e.ts_us, e.dur_us);
-    if (e.nargs > 0) {
-      line += ",\"args\":{";
-      for (int a = 0; a < e.nargs; ++a) {
-        if (a > 0) line += ",";
-        line += StrFormat("\"%s\":%lld", e.args[a].first,
-                          static_cast<long long>(e.args[a].second));
-      }
-      line += "}";
-    }
-    line += i + 1 == events.size() ? "}\n" : "},\n";
-    std::fputs(line.c_str(), out);
-  }
-  std::fputs("]}\n", out);
+  const std::string json = ChromeTraceJson(events);
+  std::fputs(json.c_str(), out);
   std::fclose(out);
   return true;
 }
 
 Span::Span(const char* name) : name_(name) {
-  if (!IsRecording()) return;
+  if (!IsRecording() &&
+      g_ring_capacity.load(std::memory_order_relaxed) == 0) {
+    return;
+  }
   active_ = true;
   start_us_ = NowMicros();
 }
@@ -173,9 +258,13 @@ Span::~Span() {
   if (!active_) return;
   const double end_us = NowMicros();
   ThreadBuffer& buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer.mu);
-  buffer.events.push_back(
-      {name_, start_us_, end_us - start_us_, buffer.tid, nargs_, args_});
+  const TraceEvent event{name_,       start_us_, end_us - start_us_,
+                         buffer.tid,  nargs_,    args_};
+  if (IsRecording()) {
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    buffer.events.push_back(event);
+  }
+  RingPush(event);
 }
 
 void Span::AddArg(const char* key, int64_t value) {

@@ -6,21 +6,40 @@
 #include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace topkdup::trace {
 
 /// Scoped trace spans emitting Chrome trace_event JSON, loadable in
-/// chrome://tracing or https://ui.perfetto.dev. Recording is off by
-/// default; a disabled Span costs one relaxed atomic load. Spans record
-/// the calling thread's id, so work fanned out by common/parallel.h shows
-/// up per worker lane, nested under whatever span was open on that thread.
+/// chrome://tracing or https://ui.perfetto.dev. Spans record the calling
+/// thread's id, so work fanned out by common/parallel.h shows up per
+/// worker lane, nested under whatever span was open on that thread.
 ///
-/// Setting TOPKDUP_TRACE=PATH in the environment enables recording for
-/// the whole process and writes the Chrome trace to PATH at exit, so any
-/// binary can be traced without flags or code changes. Explicit
-/// StartRecording/StopRecording calls still work alongside it.
+/// Two sinks consume completed spans independently:
+///
+///  - The *recording* buffers (StartRecording/WriteChromeTrace): unbounded
+///    per-thread buffers drained into a Chrome-trace file, for offline
+///    analysis of a whole run. Off by default; TOPKDUP_TRACE=PATH turns it
+///    on for the process and flushes at exit.
+///  - The *ring* (RingSnapshot): a bounded, always-on buffer of the most
+///    recent completed spans, so a resident server can answer "what ran
+///    just now" on demand (the admin server's /tracez endpoint) without
+///    ever having been told to record. SetRingCapacity(0) disables it,
+///    restoring the historical one-relaxed-load cost for a disabled Span.
 
-/// True while spans are being captured.
+/// One completed span, as copied out of either sink: the unit of both the
+/// Chrome-trace file export and a live ring snapshot. `name` and arg keys
+/// are the string literals the Span was built with.
+struct TraceEvent {
+  const char* name;
+  double ts_us;   // Start, microseconds since the process trace epoch.
+  double dur_us;  // Duration, microseconds.
+  int tid;
+  int nargs;
+  std::array<std::pair<const char*, int64_t>, 6> args;
+};
+
+/// True while spans are being captured into the recording buffers.
 bool IsRecording();
 
 /// Discards previously captured events and starts capturing.
@@ -29,21 +48,43 @@ void StartRecording();
 /// Stops capturing; already-captured events are kept for WriteChromeTrace.
 void StopRecording();
 
-/// Drops all captured events (recording state unchanged).
+/// Drops all captured recording events (recording state and the ring are
+/// unchanged).
 void Clear();
 
-/// Number of completed spans captured so far.
+/// Number of completed spans captured in the recording buffers so far.
 size_t EventCount();
 
-/// Writes the captured spans as a Chrome trace_event JSON document
+/// Capacity of the always-on recent-span ring (default 4096 spans; 0 =
+/// disabled).
+size_t RingCapacity();
+
+/// Resizes the ring, discarding its current contents. Thread-safe.
+void SetRingCapacity(size_t capacity);
+
+/// Total spans ever pushed into the ring (monotonic; exceeds RingCapacity
+/// once the ring has wrapped and old spans were overwritten).
+uint64_t RingTotal();
+
+/// Copies the ring's current contents, oldest first (stable-sorted by
+/// start timestamp, then thread id, so concurrent snapshots of the same
+/// state render identically).
+std::vector<TraceEvent> RingSnapshot();
+
+/// Renders completed spans as a Chrome trace_event JSON document
 /// ({"traceEvents":[...]}, "X" complete events with microsecond
-/// timestamps). Returns false (and logs an error) when the file cannot be
-/// written.
+/// timestamps). Shared by WriteChromeTrace and the admin /tracez endpoint.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Writes the recording buffers' spans — every registered thread's,
+/// including pool workers parked between regions — as a Chrome trace_event
+/// JSON document. Returns false (and logs an error) when the file cannot
+/// be written.
 bool WriteChromeTrace(const std::string& path);
 
 /// RAII span: records [construction, destruction) under `name` on the
 /// calling thread. `name` must outlive the recording session (string
-/// literals in practice). Up to four integer args are attached to the
+/// literals in practice). Up to six integer args are attached to the
 /// emitted event ("args" in the trace viewer).
 class Span {
  public:
@@ -52,7 +93,7 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
-  /// Attaches key=value to the event; silently ignored past four args or
+  /// Attaches key=value to the event; silently ignored past six args or
   /// when the span is inactive. `key` must be a string literal.
   void AddArg(const char* key, int64_t value);
 
@@ -61,7 +102,7 @@ class Span {
   double start_us_ = 0.0;
   bool active_ = false;
   int nargs_ = 0;
-  std::array<std::pair<const char*, int64_t>, 4> args_;
+  std::array<std::pair<const char*, int64_t>, 6> args_;
 };
 
 }  // namespace topkdup::trace

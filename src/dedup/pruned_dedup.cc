@@ -100,6 +100,10 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
   pipeline_span.AddArg("k", options.k);
   pipeline_span.AddArg("levels", static_cast<int64_t>(levels.size()));
   pipeline_span.AddArg("groups_in", static_cast<int64_t>(groups.size()));
+  if (options.query_id != 0) {
+    pipeline_span.AddArg("query_id",
+                         static_cast<int64_t>(options.query_id));
+  }
 
   // The recorder is owned here unless the caller (e.g. TopKCountQuery)
   // supplied one to compose a whole-query report.
@@ -108,6 +112,9 @@ StatusOr<PrunedDedupResult> PrunedDedupFromGroups(
   if (recorder == nullptr && options.explain) {
     owned_recorder =
         std::make_unique<obs::ExplainRecorder>(options.explain_sample_rate);
+    if (options.query_id != 0) {
+      owned_recorder->set_query_id(options.query_id);
+    }
     recorder = owned_recorder.get();
   }
 

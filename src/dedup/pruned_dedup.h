@@ -93,6 +93,11 @@ struct PrunedDedupResult {
 struct PrunedDedupOptions {
   int k = 10;
   int prune_passes = 2;
+  /// Owning service query id (serve::QueryResponse::query_id), stamped on
+  /// the pipeline's trace spans and explain report so live introspection
+  /// joins them to the request-log line. 0 (the non-serve paths) adds
+  /// nothing to spans or reports.
+  uint64_t query_id = 0;
   /// Compute exact (no early-exit) upper bounds in the final prune pass;
   /// required by the rank queries.
   bool exact_bounds = false;

@@ -1,0 +1,227 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+
+namespace topkdup::obs {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+/// "/debug/queries" -> "debug_queries": the per-endpoint counter key, fed
+/// through the obs.admin.endpoint Prometheus label rule.
+std::string EndpointKey(std::string_view path) {
+  std::string key;
+  key.reserve(path.size());
+  for (char c : path) {
+    const bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9');
+    if (alnum) {
+      key.push_back(c);
+    } else if (!key.empty() && key.back() != '_') {
+      key.push_back('_');
+    }
+  }
+  while (!key.empty() && key.back() == '_') key.pop_back();
+  return key.empty() ? "root" : key;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void WriteResponse(int fd, const AdminResponse& response) {
+  std::string out = StrFormat(
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      response.status, ReasonPhrase(response.status),
+      response.content_type.c_str(), response.body.size());
+  out += response.body;
+  SendAll(fd, out);
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerOptions options)
+    : options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Handle(std::string path, AdminHandler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status AdminServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("AdminServer: already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("AdminServer: socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(
+        StrFormat("AdminServer: cannot bind %s:%d",
+                  options_.bind_address.c_str(), options_.port));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("AdminServer: listen() failed");
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    port_ = options_.port;
+  }
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  TOPKDUP_LOG(Info) << "admin server listening on " << options_.bind_address
+                    << ":" << port_;
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void AdminServer::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    // The 100ms poll bound is the Stop() latency ceiling.
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    timeval io_timeout;
+    io_timeout.tv_sec = options_.io_timeout_ms / 1000;
+    io_timeout.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &io_timeout,
+                 sizeof(io_timeout));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &io_timeout,
+                 sizeof(io_timeout));
+    ServeConnection(client);
+    ::close(client);
+  }
+}
+
+void AdminServer::ServeConnection(int fd) {
+  auto& registry = metrics::Registry::Global();
+  metrics::Counter* requests = registry.GetCounter("obs.admin.requests");
+  metrics::Counter* errors = registry.GetCounter("obs.admin.errors");
+
+  // Read until the end of the request head. Bodies are never read: every
+  // admin endpoint is a GET, and 8KB bounds a hostile or confused client.
+  std::string head;
+  char buf[2048];
+  while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) {
+    // Not even one full request line: drop without a counter tick — this
+    // is a connect-and-hang probe, not a request.
+    return;
+  }
+  requests->Increment();
+
+  const std::string request_line = head.substr(0, line_end);
+  const size_t method_end = request_line.find(' ');
+  const size_t target_end = request_line.find(' ', method_end + 1);
+  if (method_end == std::string::npos || target_end == std::string::npos) {
+    errors->Increment();
+    WriteResponse(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+  const std::string method = request_line.substr(0, method_end);
+  std::string target =
+      request_line.substr(method_end + 1, target_end - method_end - 1);
+  const size_t query_pos = target.find('?');
+  if (query_pos != std::string::npos) target.resize(query_pos);
+
+  if (method != "GET") {
+    errors->Increment();
+    WriteResponse(fd,
+                  {405, "text/plain; charset=utf-8", "GET only\n"});
+    return;
+  }
+  const auto it = handlers_.find(target);
+  if (it == handlers_.end()) {
+    errors->Increment();
+    WriteResponse(fd, {404, "text/plain; charset=utf-8", "not found\n"});
+    return;
+  }
+  registry.GetCounter("obs.admin.endpoint." + EndpointKey(target))
+      ->Increment();
+  AdminResponse response = it->second();
+  if (response.status >= 400) errors->Increment();
+  WriteResponse(fd, response);
+}
+
+}  // namespace topkdup::obs

@@ -1,0 +1,98 @@
+#ifndef TOPKDUP_OBS_ADMIN_SERVER_H_
+#define TOPKDUP_OBS_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace topkdup::obs {
+
+/// Options for the embedded admin HTTP server.
+struct AdminServerOptions {
+  /// TCP port to listen on. 0 asks the kernel for an ephemeral port;
+  /// port() reports the bound port after Start() succeeds — the pattern
+  /// CI smoke jobs use to avoid port collisions.
+  int port = 0;
+  /// Listen address. The default binds loopback only: the admin plane
+  /// exposes metrics, health, traces, and query debug payloads, none of
+  /// which should face a network without an operator opting in.
+  std::string bind_address = "127.0.0.1";
+  int backlog = 16;
+  /// Per-connection socket receive/send timeout — a stuck client can
+  /// stall the single accept loop for at most this long.
+  int io_timeout_ms = 2000;
+};
+
+/// One endpoint's reply. Handlers return the full body; the server frames
+/// it as an HTTP/1.1 response with Content-Length and Connection: close.
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using AdminHandler = std::function<AdminResponse()>;
+
+/// Dependency-free embedded HTTP/1.1 server for live introspection:
+/// plain POSIX sockets, one blocking accept loop on its own thread, one
+/// connection served at a time, GET only, exact-path routing. This is an
+/// admin plane, not a web server — the load it must survive is a handful
+/// of scrapers and an operator with curl, and the simplest correct thing
+/// is a serial loop that can never interleave handler state.
+///
+/// Lifecycle: construct → Handle() for each endpoint → Start() → Stop()
+/// (or destruction). Handlers must be registered before Start(); the
+/// routing table is read-only while the loop runs, which is what makes
+/// concurrent registration-free serving lock-free.
+///
+/// The loop polls the listen socket with a 100ms timeout between accepts
+/// so Stop() is honored promptly without signals or self-pipes.
+///
+/// Counters: obs.admin.requests (every parsed request),
+/// obs.admin.endpoint.<key> (per matched endpoint; key is the path with
+/// non-alphanumerics folded to '_'), obs.admin.errors (any non-2xx
+/// disposition: bad parse, wrong method, unknown path, handler failure).
+class AdminServer {
+ public:
+  explicit AdminServer(AdminServerOptions options = {});
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers `handler` for exact path `path` (e.g. "/metrics").
+  /// Must be called before Start().
+  void Handle(std::string path, AdminHandler handler);
+
+  /// Binds, listens, and starts the accept loop thread. Fails if the
+  /// port is taken or the server already started.
+  Status Start();
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  /// The bound port after a successful Start() (resolves port 0), or 0.
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void Loop();
+  void ServeConnection(int fd);
+
+  AdminServerOptions options_;
+  std::map<std::string, AdminHandler> handlers_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace topkdup::obs
+
+#endif  // TOPKDUP_OBS_ADMIN_SERVER_H_

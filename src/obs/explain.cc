@@ -81,8 +81,14 @@ const char* PruneVerdictName(PruneVerdict verdict) {
 
 std::string ExplainReport::ToJson() const {
   std::string out;
-  out += StrFormat("{\"schema_version\":%d,\"sample_rate\":%s",
-                   kSchemaVersion, JsonNumber(sample_rate).c_str());
+  out += StrFormat("{\"schema_version\":%d", kSchemaVersion);
+  // Conditional so reports from non-serve paths (query_id == 0) stay
+  // byte-identical to documents rendered before the field existed.
+  if (query_id != 0) {
+    out += StrFormat(",\"query_id\":%llu",
+                     static_cast<unsigned long long>(query_id));
+  }
+  out += StrFormat(",\"sample_rate\":%s", JsonNumber(sample_rate).c_str());
   out += ",\"levels\":[";
   for (size_t l = 0; l < levels.size(); ++l) {
     const LevelExplain& lv = levels[l];
@@ -210,6 +216,10 @@ std::string ExplainReport::ToText() const {
   std::string out;
   out += StrFormat("explain report (schema v%d, sample_rate=%.3f)\n",
                    kSchemaVersion, sample_rate);
+  if (query_id != 0) {
+    out += StrFormat("query_id %llu\n",
+                     static_cast<unsigned long long>(query_id));
+  }
   for (const LevelExplain& lv : levels) {
     out += StrFormat("level %d\n", lv.level);
     out += StrFormat("  collapse [%s]: %zu -> %zu groups\n",
@@ -319,6 +329,11 @@ std::string ExplainReport::ToText() const {
 ExplainRecorder::ExplainRecorder(double sample_rate)
     : sample_rate_(sample_rate) {
   report_.sample_rate = sample_rate;
+}
+
+void ExplainRecorder::set_query_id(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  report_.query_id = query_id;
 }
 
 bool ExplainRecorder::SampleKey(uint64_t key) const {

@@ -175,6 +175,12 @@ struct AnswerExplain {
 struct ExplainReport {
   static constexpr int kSchemaVersion = 1;
 
+  /// Service-assigned query id (serve::QueryResponse::query_id), so a
+  /// report fished out of the admin server's slow-query capture joins
+  /// against the same query's request-log line and trace spans. 0 — the
+  /// non-serve paths — renders nothing, keeping standalone reports
+  /// byte-identical to pre-serve builds.
+  uint64_t query_id = 0;
   double sample_rate = 1.0;
   std::vector<LevelExplain> levels;
   bool has_embedding = false;
@@ -205,6 +211,10 @@ class ExplainRecorder {
   explicit ExplainRecorder(double sample_rate = 1.0);
 
   double sample_rate() const { return sample_rate_; }
+
+  /// Stamps the report with the owning service query id (see
+  /// ExplainReport::query_id). Serial (driver) only.
+  void set_query_id(uint64_t query_id);
 
   /// Deterministic sampling decision for a stable event key: true for the
   /// same keys at any thread count or interleaving.

@@ -97,4 +97,13 @@ size_t IndexCache::size() const {
   return entries_.size();
 }
 
+size_t IndexCache::TotalSerializedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const Entry& entry : entries_) {
+    total += entry.index->serialized_bytes();
+  }
+  return total;
+}
+
 }  // namespace topkdup::predicates

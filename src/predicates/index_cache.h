@@ -56,6 +56,10 @@ class IndexCache {
 
   size_t size() const;
 
+  /// Sum of the cached indexes' serialized byte sizes — the "warmed-index
+  /// bytes" a resident dataset is holding, as reported by /statusz.
+  size_t TotalSerializedBytes() const;
+
  private:
   struct Entry {
     const PairPredicate* pred;

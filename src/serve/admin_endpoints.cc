@@ -1,0 +1,158 @@
+#include "serve/admin_endpoints.h"
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "common/trace.h"
+
+namespace topkdup::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// The /statusz payload. schema_version gates CI validation: bump it when
+/// a field changes meaning, add freely without bumping.
+std::string StatuszJson(const QueryService& service,
+                        Clock::time_point started_at) {
+  const HealthSnapshot health = service.Health();
+  const metrics::MetricsSnapshot snapshot =
+      metrics::Registry::Global().Snapshot();
+  const double uptime =
+      std::chrono::duration<double>(Clock::now() - started_at).count();
+  const uint64_t cache_hits =
+      snapshot.CounterValue("predicates.index_cache.hits");
+  const uint64_t cache_misses =
+      snapshot.CounterValue("predicates.index_cache.misses");
+  const uint64_t cache_lookups = cache_hits + cache_misses;
+
+  std::string out;
+  out.reserve(1024);
+  out += "{\"schema_version\":1,\"build\":{\"compiler\":";
+#if defined(__VERSION__)
+  AppendJsonString(out, __VERSION__);
+#else
+  out += "\"unknown\"";
+#endif
+#if defined(NDEBUG)
+  out += ",\"optimized\":true}";
+#else
+  out += ",\"optimized\":false}";
+#endif
+  out += StrFormat(",\"uptime_seconds\":%.3f", uptime);
+  out += StrFormat(
+      ",\"serve\":{\"ready\":%s,\"queue_depth\":%zu,\"inflight\":%zu,"
+      "\"workers\":%d,\"admitted\":%llu,\"completed\":%llu,\"shed\":%llu,"
+      "\"retries\":%llu}",
+      health.ready ? "true" : "false", health.queue_depth, health.inflight,
+      health.workers, static_cast<unsigned long long>(health.admitted),
+      static_cast<unsigned long long>(health.completed),
+      static_cast<unsigned long long>(health.shed),
+      static_cast<unsigned long long>(health.retries));
+  out += StrFormat(
+      ",\"index_cache\":{\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.4f,"
+      "\"evictions\":%llu}",
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      cache_lookups == 0
+          ? 0.0
+          : static_cast<double>(cache_hits) /
+                static_cast<double>(cache_lookups),
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("predicates.index_cache.evictions")));
+  out += StrFormat(
+      ",\"request_log\":{\"emitted\":%llu,\"sampled_out\":%llu,"
+      "\"slow_captured\":%llu}",
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.requestlog.emitted")),
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.requestlog.sampled_out")),
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.requestlog.slow_captured")));
+  out += StrFormat(",\"trace\":{\"ring_capacity\":%zu,\"ring_total\":%llu}",
+                   trace::RingCapacity(),
+                   static_cast<unsigned long long>(trace::RingTotal()));
+  out += ",\"datasets\":[";
+  for (size_t i = 0; i < health.datasets.size(); ++i) {
+    const DatasetHealth& ds = health.datasets[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":";
+    AppendJsonString(out, ds.name);
+    out += StrFormat(
+        ",\"online\":%s,\"records\":%zu,\"breaker\":\"%s\","
+        "\"p50_seconds\":%.6f,\"served\":%llu,\"errors\":%llu,"
+        "\"shed\":%llu,\"index_bytes\":%llu}",
+        ds.online ? "true" : "false", ds.records,
+        BreakerStateName(ds.breaker), ds.p50_seconds,
+        static_cast<unsigned long long>(ds.served),
+        static_cast<unsigned long long>(ds.errors),
+        static_cast<unsigned long long>(ds.shed),
+        static_cast<unsigned long long>(ds.index_bytes));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+void RegisterAdminEndpoints(obs::AdminServer& server,
+                            const QueryService& service) {
+  const Clock::time_point started_at = Clock::now();
+  server.Handle("/metrics", [] {
+    obs::AdminResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body =
+        metrics::PrometheusText(metrics::Registry::Global().Snapshot());
+    return response;
+  });
+  server.Handle("/healthz", [] {
+    return obs::AdminResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  server.Handle("/readyz", [&service] {
+    const bool ready = service.Health().ready;
+    return obs::AdminResponse{ready ? 200 : 503,
+                              "text/plain; charset=utf-8",
+                              ready ? "ready\n" : "unready\n"};
+  });
+  server.Handle("/statusz", [&service, started_at] {
+    return obs::AdminResponse{200, "application/json",
+                              StatuszJson(service, started_at)};
+  });
+  server.Handle("/tracez", [] {
+    return obs::AdminResponse{200, "application/json",
+                              trace::ChromeTraceJson(trace::RingSnapshot())};
+  });
+  server.Handle("/debug/queries", [&service] {
+    return obs::AdminResponse{200, "application/json",
+                              service.request_log().DebugQueriesJson()};
+  });
+}
+
+}  // namespace topkdup::serve

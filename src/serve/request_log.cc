@@ -1,0 +1,197 @@
+#include "serve/request_log.h"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace topkdup::serve {
+
+namespace {
+
+/// splitmix64 finalizer — the same deterministic mixing the explain
+/// sampler uses, so the 1-in-N head sample is uniform over sequential
+/// query ids instead of a stride.
+uint64_t MixKey(uint64_t key) {
+  uint64_t z = key + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out.push_back('"');
+  AppendJsonEscaped(out, text);
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string RequestLogEvent::ToJsonLine() const {
+  std::string out;
+  out.reserve(384);
+  out += StrFormat("{\"event\":\"query\",\"query_id\":%llu,\"dataset\":",
+                   static_cast<unsigned long long>(query_id));
+  AppendJsonString(out, dataset);
+  out += ",\"kind\":";
+  AppendJsonString(out, kind);
+  out += StrFormat(",\"k\":%d,\"r\":%d,\"status\":", k, r);
+  AppendJsonString(out, status);
+  out += ",\"outcome\":";
+  AppendJsonString(out, outcome);
+  out += ",\"quality\":";
+  AppendJsonString(out, quality);
+  out += StrFormat(",\"degraded\":%s", degraded ? "true" : "false");
+  if (!degradation_stage.empty()) {
+    out += ",\"degradation_stage\":";
+    AppendJsonString(out, degradation_stage);
+  }
+  if (!degradation_reason.empty()) {
+    out += ",\"degradation_reason\":";
+    AppendJsonString(out, degradation_reason);
+  }
+  if (!shed_reason.empty()) {
+    out += ",\"shed_reason\":";
+    AppendJsonString(out, shed_reason);
+  }
+  out += StrFormat(",\"attempts\":%d,\"retries\":%d", attempts, retries);
+  out += StrFormat(",\"queue_seconds\":%.6f,\"latency_seconds\":%.6f",
+                   queue_seconds, latency_seconds);
+  out += ",\"attempt_seconds\":[";
+  for (size_t i = 0; i < attempt_seconds.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("%.6f", attempt_seconds[i]);
+  }
+  out += "],\"work\":{";
+  for (size_t i = 0; i < work.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("\"%s\":%llu", work[i].first,
+                     static_cast<unsigned long long>(work[i].second));
+  }
+  out += StrFormat("},\"slow\":%s}", slow ? "true" : "false");
+  return out;
+}
+
+RequestLog::RequestLog(RequestLogOptions options)
+    : options_(std::move(options)) {
+  auto& registry = metrics::Registry::Global();
+  emitted_ = registry.GetCounter("serve.requestlog.emitted");
+  sampled_out_ = registry.GetCounter("serve.requestlog.sampled_out");
+  slow_captured_ = registry.GetCounter("serve.requestlog.slow_captured");
+  options_.recent_capacity = std::max<size_t>(options_.recent_capacity, 1);
+  options_.slow_capacity = std::max<size_t>(options_.slow_capacity, 1);
+  if (options_.enabled && !options_.path.empty()) {
+    file_ = std::fopen(options_.path.c_str(), "w");
+    if (file_ == nullptr) {
+      TOPKDUP_LOG(Error) << "request log: cannot open " << options_.path;
+    }
+  }
+}
+
+RequestLog::~RequestLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+bool RequestLog::AdmitOk(uint64_t query_id) const {
+  if (options_.ok_sample_every == 0) return false;
+  if (options_.ok_sample_every == 1) return true;
+  return MixKey(query_id) % options_.ok_sample_every == 0;
+}
+
+bool RequestLog::Record(const RequestLogEvent& event) {
+  if (!options_.enabled) return false;
+  const bool healthy = event.status == "ok" && !event.degraded &&
+                       !event.slow && event.outcome == "exact";
+  if (healthy && !AdmitOk(event.query_id)) {
+    sampled_out_->Increment();
+    return false;
+  }
+  std::string line = event.ToJsonLine();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ != nullptr) {
+      std::fputs(line.c_str(), file_);
+      std::fputc('\n', file_);
+      std::fflush(file_);
+    }
+    recent_.push_back(std::move(line));
+    while (recent_.size() > options_.recent_capacity) recent_.pop_front();
+  }
+  emitted_->Increment();
+  return true;
+}
+
+void RequestLog::CaptureSlow(const RequestLogEvent& event,
+                             std::shared_ptr<const obs::ExplainReport> report) {
+  if (!options_.enabled) return;
+  SlowCapture capture;
+  capture.event_json = event.ToJsonLine();
+  capture.report = std::move(report);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slow_.push_back(std::move(capture));
+    while (slow_.size() > options_.slow_capacity) slow_.pop_front();
+  }
+  slow_captured_->Increment();
+}
+
+std::vector<std::string> RequestLog::RecentLines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(recent_.begin(), recent_.end());
+}
+
+std::string RequestLog::DebugQueriesJson() const {
+  std::string out = "{\"schema_version\":1,\"slow\":[";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < slow_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "{\"query\":";
+      out += slow_[i].event_json;
+      out += ",\"explain\":";
+      out += slow_[i].report != nullptr ? slow_[i].report->ToJson() : "null";
+      out += "}";
+    }
+    out += "],\"recent\":[";
+    for (size_t i = 0; i < recent_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += recent_[i];
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace topkdup::serve

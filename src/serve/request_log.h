@@ -1,0 +1,148 @@
+#ifndef TOPKDUP_SERVE_REQUEST_LOG_H_
+#define TOPKDUP_SERVE_REQUEST_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "obs/explain.h"
+
+namespace topkdup::serve {
+
+/// Wide-event request logging for the resident service: one structured
+/// JSON line per terminal query disposition, carrying everything an
+/// operator needs to answer "what happened to query N" without
+/// correlating five systems — id, dataset, shape (k/r), outcome, answer
+/// quality, degradation stage/reason, shed reason, retries, queue wait,
+/// per-attempt execution latency, and the per-stage work counters the
+/// query charged.
+///
+/// Emission policy (the wide-event discipline): anything unusual — a
+/// degraded, shed, errored, or slow query — is ALWAYS emitted; healthy
+/// exact answers are head-sampled 1-in-`ok_sample_every` by a
+/// deterministic hash of the query id, so steady-state volume is bounded
+/// while every emitted line is a complete, self-contained event. The
+/// sampling hash has no RNG: replaying a workload replays its exact
+/// emission set, which is what lets CI pin `serve.requestlog.emitted`.
+struct RequestLogOptions {
+  /// Master switch. Off, the service skips event assembly entirely.
+  bool enabled = true;
+  /// JSONL sink path; empty keeps events in memory only (the ring below).
+  std::string path;
+  /// Healthy exact answers emit when MixKey(query_id) % ok_sample_every
+  /// == 0. 1 emits every query; 0 suppresses all healthy-query lines.
+  uint64_t ok_sample_every = 16;
+  /// Latency threshold marking a query "slow" (always emitted, and its
+  /// explain report — when one was armed — is captured for
+  /// /debug/queries). 0 disables slow detection AND explain arming, the
+  /// default: slow verdicts depend on wall time, so deterministic-replay
+  /// configurations (the CI serve gate) must keep this off.
+  int64_t slow_ms = 0;
+  /// Detail sample rate for explain reports armed on count queries while
+  /// slow capture is enabled (ExplainReport section summaries stay exact
+  /// at any rate).
+  double slow_explain_sample_rate = 0.1;
+  /// Most recent emitted lines kept in memory for /debug/queries.
+  size_t recent_capacity = 256;
+  /// Captured slow-query explain reports kept for /debug/queries.
+  size_t slow_capacity = 32;
+};
+
+/// One terminal query event. The service fills this in FinishResponse —
+/// the single point every Submit() passes through exactly once — so line
+/// count identities against serve.admitted/serve.shed.* hold by
+/// construction.
+struct RequestLogEvent {
+  uint64_t query_id = 0;
+  std::string dataset;
+  std::string kind;     // "topk_count" | "topk_rank".
+  int k = 0;
+  int r = 0;
+  std::string status;   // StatusCode name, lowercase ("ok", "internal").
+  std::string outcome;  // ServedOutcomeName.
+  std::string quality;  // "exact" | "bounds_only" | "truncated_level".
+  bool degraded = false;
+  std::string degradation_stage;
+  std::string degradation_reason;
+  std::string shed_reason;  // Non-empty only for shed outcomes.
+  int attempts = 0;
+  int retries = 0;
+  double queue_seconds = 0.0;
+  double latency_seconds = 0.0;
+  /// Wall seconds of each execution attempt, in order.
+  std::vector<double> attempt_seconds;
+  /// Per-stage work counters charged by this query (best-effort under
+  /// concurrency — the registry is process-global, so overlapping queries
+  /// can bleed into each other's deltas).
+  std::vector<std::pair<const char*, uint64_t>> work;
+  bool slow = false;
+
+  /// The event as one JSON object (no trailing newline).
+  std::string ToJsonLine() const;
+};
+
+class RequestLog {
+ public:
+  explicit RequestLog(RequestLogOptions options);
+  ~RequestLog();
+
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  const RequestLogOptions& options() const { return options_; }
+  bool enabled() const { return options_.enabled; }
+  /// True when slow detection (and therefore explain arming) is on.
+  bool slow_enabled() const {
+    return options_.enabled && options_.slow_ms > 0;
+  }
+  int64_t slow_ms() const { return options_.slow_ms; }
+
+  /// Deterministic head-sampling verdict for a healthy exact answer.
+  bool AdmitOk(uint64_t query_id) const;
+
+  /// Applies the emission policy to one terminal event: emits the JSON
+  /// line (counter serve.requestlog.emitted, the recent ring, and the
+  /// JSONL file when configured) unless the event is a healthy exact
+  /// answer sampled out (serve.requestlog.sampled_out). Returns whether a
+  /// line was emitted. Thread-safe.
+  bool Record(const RequestLogEvent& event);
+
+  /// Stores a slow query's event + explain report for /debug/queries
+  /// (bounded; oldest evicted). Thread-safe.
+  void CaptureSlow(const RequestLogEvent& event,
+                   std::shared_ptr<const obs::ExplainReport> report);
+
+  /// Most recent emitted lines, oldest first.
+  std::vector<std::string> RecentLines() const;
+
+  /// {"schema_version":1,"slow":[{...,"explain":{...}}],"recent":[...]}
+  /// — the /debug/queries payload.
+  std::string DebugQueriesJson() const;
+
+  uint64_t emitted() const { return emitted_->Value(); }
+
+ private:
+  RequestLogOptions options_;
+  metrics::Counter* emitted_;
+  metrics::Counter* sampled_out_;
+  metrics::Counter* slow_captured_;
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::deque<std::string> recent_;
+  struct SlowCapture {
+    std::string event_json;
+    std::shared_ptr<const obs::ExplainReport> report;
+  };
+  std::deque<SlowCapture> slow_;
+};
+
+}  // namespace topkdup::serve
+
+#endif  // TOPKDUP_SERVE_REQUEST_LOG_H_

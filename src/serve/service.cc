@@ -8,6 +8,7 @@
 #include "common/faultpoint.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "predicates/blocked_index.h"
 #include "predicates/index_cache.h"
 
@@ -154,6 +155,9 @@ struct QueryService::Pending {
   CircuitBreaker::Decision decision = CircuitBreaker::Decision::kProceed;
   Clock::time_point admitted_at{};
   double queue_seconds = 0.0;
+  /// Wall seconds of each execution attempt, in submission order; feeds
+  /// the wide-event request-log line.
+  std::vector<double> attempt_seconds;
   std::promise<QueryResponse> promise;
 };
 
@@ -169,6 +173,7 @@ QueryService::QueryService(ServiceOptions options)
   inflight_gauge_ = registry.GetGauge("serve.inflight");
   queue_seconds_ = registry.GetHistogram("serve.queue_seconds",
                                          metrics::LatencySecondsBounds());
+  request_log_ = std::make_unique<RequestLog>(options_.request_log);
 
   if (options_.workers <= 0) {
     options_.workers = std::max(1, ParallelismLevel() / 2);
@@ -455,6 +460,7 @@ void QueryService::RunAttempts(DatasetState& ds, Pending& pending,
   const Clock::time_point deadline_at =
       pending.admitted_at + std::chrono::milliseconds(pending.budget_ms);
   Status last_error;
+  int attempts_run = 0;
   for (int attempt = 0;; ++attempt) {
     // Each attempt runs under a fresh slice of whatever budget is left, so
     // the retry loop can never exceed the caller's original deadline.
@@ -469,8 +475,10 @@ void QueryService::RunAttempts(DatasetState& ds, Pending& pending,
     }
     const Clock::time_point start = Clock::now();
     StatusOr<QueryResponse> attempt_or =
-        RunOnce(ds, pending.request, deadline);
+        RunOnce(ds, pending.request, deadline, pending.id);
     const double exec_seconds = SecondsSince(start);
+    pending.attempt_seconds.push_back(exec_seconds);
+    attempts_run = attempt + 1;
     if (attempt_or.ok()) {
       *response = std::move(attempt_or).value();
       response->attempts = attempt + 1;
@@ -496,6 +504,9 @@ void QueryService::RunAttempts(DatasetState& ds, Pending& pending,
   }
   response->status = std::move(last_error);
   response->outcome = ServedOutcome::kError;
+  // Error responses previously reported attempts == 0; the wide-event
+  // retries field made that visible, so report the attempts actually run.
+  response->attempts = attempts_run;
   ds.errors.fetch_add(1, std::memory_order_relaxed);
   errors_counter_->Increment();
   ds.breaker.OnFailure(decision);
@@ -504,8 +515,15 @@ void QueryService::RunAttempts(DatasetState& ds, Pending& pending,
 
 StatusOr<QueryResponse> QueryService::RunOnce(DatasetState& ds,
                                               const QueryRequest& request,
-                                              const Deadline& deadline) {
+                                              const Deadline& deadline,
+                                              uint64_t query_id) {
   TOPKDUP_FAULT_RETURN_IF("serve.query");
+  // The query_id arg on this span is the join key back to the request-log
+  // line and any captured explain report for this query.
+  trace::Span span("serve.query");
+  if (query_id != 0) {
+    span.AddArg("query_id", static_cast<int64_t>(query_id));
+  }
   QueryResponse response;
   response.status = Status::OK();
   if (request.kind == QueryKind::kTopKRank) {
@@ -514,6 +532,7 @@ StatusOr<QueryResponse> QueryService::RunOnce(DatasetState& ds,
     rank_options.prune_passes = options_.rank_prune_passes;
     rank_options.deadline = &deadline;
     rank_options.index_cache = &ds.index_cache;
+    rank_options.query_id = query_id;
     TOPKDUP_ASSIGN_OR_RETURN(
         topk::TopKRankResult rank,
         topk::TopKRankQuery(*ds.bundle.data, ds.bundle.levels,
@@ -528,6 +547,15 @@ StatusOr<QueryResponse> QueryService::RunOnce(DatasetState& ds,
   topk::TopKCountOptions query_options = options_.count_defaults;
   query_options.r = request.r;
   query_options.deadline = &deadline;
+  query_options.query_id = query_id;
+  // Slow-query capture needs an explain report to snapshot, so arm one
+  // (sampled) whenever slow detection is on and the caller's defaults
+  // didn't already ask for it.
+  if (request_log_->slow_enabled() && !query_options.explain) {
+    query_options.explain = true;
+    query_options.explain_sample_rate =
+        options_.request_log.slow_explain_sample_rate;
+  }
   // The parallel pool is process-wide and regions already serialize;
   // per-query overrides from concurrent workers would race, so leave the
   // global level alone.
@@ -632,6 +660,7 @@ QueryResponse QueryService::ShedResponse(DatasetState* ds,
   QueryResponse response;
   response.status = Status::ResourceExhausted(std::move(message));
   response.outcome = ServedOutcome::kShed;
+  response.shed_reason = reason;
   metrics::Registry::Global().GetCounter("serve.shed." + reason)->Increment();
   shed_total_.fetch_add(1, std::memory_order_relaxed);
   if (ds != nullptr) {
@@ -647,6 +676,7 @@ QueryResponse QueryService::ShedResponse(DatasetState* ds,
 }
 
 void QueryService::FinishResponse(Pending& pending, QueryResponse response) {
+  response.query_id = pending.id;
   response.queue_seconds = pending.queue_seconds;
   response.latency_seconds = SecondsSince(pending.admitted_at);
   metrics::Registry::Global()
@@ -654,6 +684,66 @@ void QueryService::FinishResponse(Pending& pending, QueryResponse response) {
                         ServedOutcomeName(response.outcome),
                     metrics::LatencySecondsBounds())
       ->Observe(response.latency_seconds);
+  if (request_log_->enabled()) {
+    RequestLogEvent event;
+    event.query_id = pending.id;
+    event.dataset = pending.request.dataset;
+    event.kind = pending.request.kind == QueryKind::kTopKRank ? "topk_rank"
+                                                              : "topk_count";
+    event.k = pending.request.k;
+    event.r = pending.request.r;
+    event.status = response.status.ok() ? "ok"
+                                        : StatusCodeName(response.status.code());
+    event.outcome = ServedOutcomeName(response.outcome);
+    // Per-query work deltas travel inside the result; pick the snapshot
+    // matching the query kind.
+    const metrics::MetricsSnapshot* work = nullptr;
+    if (pending.request.kind == QueryKind::kTopKRank) {
+      if (response.rank.has_value()) {
+        work = &response.rank->pruning.metrics;
+        event.degraded = response.rank->degradation.degraded;
+        event.quality = event.degraded ? "bounds_only" : "exact";
+        if (event.degraded) {
+          event.degradation_stage = response.rank->degradation.stage;
+          event.degradation_reason =
+              DeadlineReasonName(response.rank->degradation.reason);
+        }
+      }
+    } else if (response.status.ok()) {
+      work = &response.result.metrics;
+      event.quality = topk::AnswerQualityName(response.result.quality);
+      event.degraded = response.result.degradation.degraded;
+      if (event.degraded) {
+        event.degradation_stage = response.result.degradation.stage;
+        event.degradation_reason =
+            DeadlineReasonName(response.result.degradation.reason);
+      }
+    }
+    if (work != nullptr) {
+      for (const char* name :
+           {"dedup.collapse.pair_evals", "dedup.prune.pair_evals",
+            "dedup.lower_bound.cpn_evals",
+            "predicates.blocked_index.postings_decoded",
+            "predicates.blocked_index.candidates",
+            "segment.scorer.cells_filled"}) {
+        const uint64_t value = work->CounterValue(name);
+        if (value != 0) event.work.emplace_back(name, value);
+      }
+    }
+    event.shed_reason = response.shed_reason;
+    event.attempts = response.attempts;
+    event.retries = std::max(0, response.attempts - 1);
+    event.queue_seconds = response.queue_seconds;
+    event.latency_seconds = response.latency_seconds;
+    event.attempt_seconds = pending.attempt_seconds;
+    event.slow = request_log_->slow_ms() > 0 &&
+                 response.latency_seconds * 1000.0 >=
+                     static_cast<double>(request_log_->slow_ms());
+    request_log_->Record(event);
+    if (event.slow && response.result.explain != nullptr) {
+      request_log_->CaptureSlow(event, response.result.explain);
+    }
+  }
   pending.promise.set_value(std::move(response));
 }
 
@@ -723,7 +813,8 @@ void QueryService::Calibrate(DatasetState& ds) {
   request.r = 1;
   Deadline deadline = Deadline::AfterMillis(options_.default_deadline_ms);
   const Clock::time_point start = Clock::now();
-  StatusOr<QueryResponse> response = RunOnce(ds, request, deadline);
+  StatusOr<QueryResponse> response =
+      RunOnce(ds, request, deadline, /*query_id=*/0);
   if (response.ok()) {
     ds.RecordSample(SecondsSince(start));
   } else {
@@ -764,6 +855,7 @@ HealthSnapshot QueryService::Health() const {
       } else {
         ds.records = state->bundle.data->size();
       }
+      ds.index_bytes = state->index_cache.TotalSerializedBytes();
       ds.breaker = state->breaker.state();
       ds.p50_seconds = state->P50Seconds();
       ds.served = state->served.load(std::memory_order_relaxed);

@@ -23,6 +23,7 @@
 #include "predicates/pair_predicate.h"
 #include "record/record.h"
 #include "serve/breaker.h"
+#include "serve/request_log.h"
 #include "serve/retry.h"
 #include "topk/online.h"
 #include "topk/rank_query.h"
@@ -84,6 +85,14 @@ struct QueryResponse {
   /// Rank-query answer (kind == kTopKRank and status.ok()).
   std::optional<topk::TopKRankResult> rank;
   ServedOutcome outcome = ServedOutcome::kError;
+  /// Service-assigned id, unique per Submit for the process lifetime. The
+  /// same id is stamped on the query's trace spans, request-log line, and
+  /// explain report, so a response in hand joins directly against the
+  /// introspection plane.
+  uint64_t query_id = 0;
+  /// Shed reason ("queue_full", "predicted_miss", "expired_in_queue",
+  /// "shutdown") when outcome == kShed; empty otherwise.
+  std::string shed_reason;
   /// Execution attempts made (0 when shed before execution; retries make
   /// this > 1).
   int attempts = 0;
@@ -138,6 +147,10 @@ struct ServiceOptions {
   topk::TopKCountOptions count_defaults;
   /// prune_passes applied to rank queries.
   int rank_prune_passes = 2;
+  /// Wide-event request logging (serve/request_log.h): one JSON line per
+  /// query disposition, head-sampled for healthy answers, always emitted
+  /// for degraded/shed/error/slow outcomes.
+  RequestLogOptions request_log;
   /// Directory for persisted blocking-index images. When set,
   /// RegisterDataset loads each level predicate's full-corpus index from
   /// `<index_dir>/<dataset>-<tag>.idx` when a valid image exists
@@ -158,6 +171,9 @@ struct DatasetHealth {
   uint64_t served = 0;
   uint64_t errors = 0;
   uint64_t shed = 0;
+  /// Serialized size of the dataset's warmed blocking indexes (0 for
+  /// online streams, which build per-snapshot).
+  uint64_t index_bytes = 0;
 };
 
 struct HealthSnapshot {
@@ -242,6 +258,10 @@ class QueryService {
 
   const ServiceOptions& options() const { return options_; }
 
+  /// The service's request log — never null; disabled logs answer with
+  /// empty snapshots. The admin server reads /debug/queries through this.
+  const RequestLog& request_log() const { return *request_log_; }
+
  private:
   struct DatasetState;
   struct Pending;
@@ -252,10 +272,13 @@ class QueryService {
   void RunAttempts(DatasetState& ds, Pending& pending,
                    CircuitBreaker::Decision decision,
                    QueryResponse* response);
-  /// One execution attempt under a fresh deadline slice.
+  /// One execution attempt under a fresh deadline slice. `query_id` is
+  /// stamped on the attempt's spans and (for armed count queries) its
+  /// explain report; 0 for calibration runs.
   StatusOr<QueryResponse> RunOnce(DatasetState& ds,
                                   const QueryRequest& request,
-                                  const Deadline& deadline);
+                                  const Deadline& deadline,
+                                  uint64_t query_id);
   /// Bounds-only answer from the dataset's cache (breaker open).
   QueryResponse DegradedFromCache(DatasetState& ds,
                                   const QueryRequest& request);
@@ -271,6 +294,7 @@ class QueryService {
   void UpdateBreakerGauge(DatasetState& ds);
 
   ServiceOptions options_;
+  std::unique_ptr<RequestLog> request_log_;
 
   mutable std::shared_mutex datasets_mu_;
   std::map<std::string, std::unique_ptr<DatasetState>, std::less<>>

@@ -51,6 +51,7 @@ StatusOr<TopKRankResult> TopKRankQuery(
   dedup::PrunedDedupOptions prune_options;
   prune_options.k = options.k;
   prune_options.prune_passes = options.prune_passes;
+  prune_options.query_id = options.query_id;
   prune_options.exact_bounds = true;  // Bounds are compared across groups.
   prune_options.deadline = options.deadline;
   prune_options.index_cache = options.index_cache;

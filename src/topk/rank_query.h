@@ -36,6 +36,8 @@ struct TopKRankResult {
 struct TopKRankOptions {
   int k = 10;
   int prune_passes = 2;
+  /// Owning service query id; see TopKCountOptions::query_id.
+  uint64_t query_id = 0;
   /// Query budget (not owned; null = unlimited). On expiry the query
   /// returns OK with its best partial ranking: surviving groups with
   /// sound unconditional upper bounds and `degradation` filled. See

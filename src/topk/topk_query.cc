@@ -193,6 +193,9 @@ StatusOr<TopKCountResult> TopKCountQuery(
   trace::Span query_span("topk.query");
   query_span.AddArg("k", options.k);
   query_span.AddArg("r", options.r);
+  if (options.query_id != 0) {
+    query_span.AddArg("query_id", static_cast<int64_t>(options.query_id));
+  }
   const auto finish_metrics = [&](TopKCountResult* out) {
     out->metrics = metrics::MetricsSnapshot::Delta(
         snapshot_before, metrics::Registry::Global().Snapshot());
@@ -204,6 +207,7 @@ StatusOr<TopKCountResult> TopKCountQuery(
   if (options.explain) {
     recorder =
         std::make_unique<obs::ExplainRecorder>(options.explain_sample_rate);
+    if (options.query_id != 0) recorder->set_query_id(options.query_id);
   }
   const auto finish_explain = [&](TopKCountResult* out) {
     if (recorder != nullptr) {
@@ -214,6 +218,7 @@ StatusOr<TopKCountResult> TopKCountQuery(
   dedup::PrunedDedupOptions prune_options;
   prune_options.k = options.k;
   prune_options.prune_passes = options.prune_passes;
+  prune_options.query_id = options.query_id;
   prune_options.explain_recorder = recorder.get();
   prune_options.deadline = deadline;
   prune_options.index_cache = options.index_cache;

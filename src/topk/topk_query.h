@@ -84,6 +84,11 @@ struct TopKCountOptions {
   int k = 10;
   /// Number of plausible answers to return (the paper's R).
   int r = 1;
+  /// Owning service query id (serve::QueryResponse::query_id), stamped on
+  /// the query's trace spans and explain report so live introspection
+  /// joins them to the request-log line. 0 (the non-serve paths) adds
+  /// nothing anywhere.
+  uint64_t query_id = 0;
   int prune_passes = 2;
   /// Linear-embedding aging factor (Eq. 3).
   double embedding_alpha = 0.5;

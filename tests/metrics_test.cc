@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -345,6 +347,145 @@ TEST(PrometheusTextTest, WriteMatchesInMemoryRendering) {
   std::fclose(in);
   std::remove(path.c_str());
   EXPECT_EQ(contents, metrics::PrometheusText(snapshot));
+}
+
+TEST(PrometheusTextTest, LabeledFamiliesNeverMergeDistinctDatasets) {
+  // Before label rules, name sanitization folded '.', '-', and anything
+  // non-alphanumeric to '_': serve.breaker_state.team-a and
+  // serve.breaker_state.team.a and serve.breaker_state.team_a all rendered
+  // as ONE series, silently summing unrelated datasets. The label rules
+  // route the suffix into a label value, where it survives verbatim.
+  MetricsSnapshot snapshot;
+  snapshot.gauges.push_back({"serve.breaker_state.team-a", 1.0});
+  snapshot.gauges.push_back({"serve.breaker_state.team.a", 2.0});
+  snapshot.gauges.push_back({"serve.breaker_state.team_a", 0.0});
+  snapshot.gauges.push_back({"serve.breaker_state.caf\xc3\xa9", 1.0});
+  snapshot.counters.push_back({"serve.shed.queue_full", 3});
+  snapshot.counters.push_back({"serve.shed.queue-full", 4});
+
+  const std::string text = metrics::PrometheusText(snapshot);
+  std::map<std::string, std::string> by_series;
+  for (const auto& [series, value] : ParsePromSamples(text)) {
+    by_series[series] = value;
+  }
+
+  // All four breaker gauges survive as distinct labeled series.
+  EXPECT_EQ(by_series.at("topkdup_serve_breaker_state{dataset=\"team-a\"}"),
+            "1");
+  EXPECT_EQ(by_series.at("topkdup_serve_breaker_state{dataset=\"team.a\"}"),
+            "2");
+  EXPECT_EQ(by_series.at("topkdup_serve_breaker_state{dataset=\"team_a\"}"),
+            "0");
+  EXPECT_EQ(
+      by_series.at("topkdup_serve_breaker_state{dataset=\"caf\xc3\xa9\"}"),
+      "1");
+  // Counters keep the _total convention on the family, label intact.
+  EXPECT_EQ(by_series.at("topkdup_serve_shed_total{reason=\"queue_full\"}"),
+            "3");
+  EXPECT_EQ(by_series.at("topkdup_serve_shed_total{reason=\"queue-full\"}"),
+            "4");
+  // Exactly one TYPE line per family, not one per series.
+  const std::string breaker_type =
+      "# TYPE topkdup_serve_breaker_state gauge";
+  EXPECT_EQ(text.find(breaker_type), text.rfind(breaker_type));
+  const std::string shed_type = "# TYPE topkdup_serve_shed_total counter";
+  EXPECT_EQ(text.find(shed_type), text.rfind(shed_type));
+}
+
+TEST(PrometheusTextTest, LabelValuesEscapeQuotesAndBackslashes) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"serve.shed.why\"not\\this", 1});
+  const std::string text = metrics::PrometheusText(snapshot);
+  EXPECT_NE(
+      text.find("topkdup_serve_shed_total{reason=\"why\\\"not\\\\this\"} 1"),
+      std::string::npos);
+}
+
+TEST(TraceRingTest, AlwaysOnRingCapturesWithoutRecording) {
+  ASSERT_FALSE(trace::IsRecording());
+  trace::SetRingCapacity(8);
+  const uint64_t total_before = trace::RingTotal();
+  for (int i = 0; i < 12; ++i) {
+    trace::Span span("test.ring.span");
+    span.AddArg("i", i);
+  }
+  EXPECT_EQ(trace::RingTotal() - total_before, 12u);
+  const std::vector<trace::TraceEvent> events = trace::RingSnapshot();
+  // Bounded: the 12 pushes wrapped an 8-slot ring.
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);  // Sorted snapshot.
+  }
+  // The survivors are the NEWEST 8 (i = 4..11), not the first 8.
+  EXPECT_EQ(events.front().args[0].second, 4);
+  EXPECT_EQ(events.back().args[0].second, 11);
+  // Ring capture never leaks into the recording buffers.
+  EXPECT_EQ(trace::EventCount(), 0u);
+  // The shared renderer produces loadable Chrome-trace JSON.
+  const std::string json = trace::ChromeTraceJson(events);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.ring.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"i\":11"), std::string::npos);
+  trace::SetRingCapacity(4096);
+}
+
+TEST(TraceRingTest, ZeroCapacityDisablesRingEntirely) {
+  ASSERT_FALSE(trace::IsRecording());
+  trace::SetRingCapacity(0);
+  const uint64_t total_before = trace::RingTotal();
+  { trace::Span span("test.ring.disabled"); }
+  EXPECT_EQ(trace::RingTotal(), total_before);
+  EXPECT_TRUE(trace::RingSnapshot().empty());
+  trace::SetRingCapacity(4096);
+}
+
+TEST(TraceTest, ParallelForWorkerSpansReachRecordingBuffers) {
+  // Regression: pool workers used to emit no spans at all — a traced
+  // ParallelFor showed one opaque caller-side block. Every executed shard
+  // must now appear as a parallel.shard span, recorded from whichever
+  // thread (worker or caller) ran it, and the export must drain parked
+  // worker buffers without the workers exiting first.
+  ScopedParallelism parallelism(8);
+  trace::StartRecording();
+  std::atomic<int> sink{0};
+  // Each shard sleeps long enough that the calling thread cannot race
+  // through all 64 before a single pool worker wakes — otherwise the
+  // multi-lane assertion below is flaky-by-speed.
+  ParallelFor(0, 64, 1, [&](size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    sink.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  trace::StopRecording();
+  const std::string path = ::testing::TempDir() + "/trace_parallel.json";
+  ASSERT_TRUE(trace::WriteChromeTrace(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 20, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"parallel.region\""), std::string::npos);
+  size_t shard_spans = 0;
+  std::set<std::string> tids;
+  size_t pos = 0;
+  while ((pos = content.find("\"parallel.shard\"", pos)) !=
+         std::string::npos) {
+    ++shard_spans;
+    // Each event line carries "tid":N; collect the executing threads.
+    const size_t line_start = content.rfind('\n', pos) + 1;
+    const size_t tid_pos = content.find("\"tid\":", line_start);
+    ASSERT_NE(tid_pos, std::string::npos);
+    const size_t tid_end = content.find(',', tid_pos);
+    tids.insert(content.substr(tid_pos + 6, tid_end - tid_pos - 6));
+    ++pos;
+  }
+  // 64 items at grain 1 = 64 shards, each exactly one span.
+  EXPECT_EQ(shard_spans, 64u);
+  // With 8 threads and 64 shards, more than one lane must have executed
+  // work — proof the flush reached parked worker buffers, not just the
+  // calling thread's.
+  EXPECT_GT(tids.size(), 1u);
+  trace::Clear();
 }
 
 TEST(PrometheusTextTest, LiveRegistryMetricsAppearInExposition) {

@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "datagen/citation_gen.h"
 #include "predicates/citation.h"
 #include "predicates/corpus.h"
@@ -680,6 +682,147 @@ TEST_F(ServeTest, SaturatingLoadAnsweredWithinBudgetShedAbsorbsRest) {
   EXPECT_LE(worst_answered_latency,
             options.default_deadline_ms / 1000.0 + 1.0);
   service.Drain();
+}
+
+TEST_F(ServeTest, RequestLogEmitsExactlyOneLinePerUnusualQuery) {
+  ScopedDisarm disarm;
+  Watchdog watchdog(120);
+  ServiceOptions options = QuietOptions();
+  options.request_log.ok_sample_every = 0;  // Suppress all healthy lines.
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+
+  // Healthy exact answer: sampled out, no line.
+  QueryResponse healthy = service.Execute(CountRequest("cites"));
+  ASSERT_TRUE(healthy.status.ok());
+  ASSERT_EQ(healthy.outcome, ServedOutcome::kExact);
+  EXPECT_TRUE(service.request_log().RecentLines().empty());
+
+  // Degraded answer: always exactly one line, carrying the degradation
+  // stage and the response's query id.
+  QueryRequest starved = CountRequest("cites");
+  starved.work_budget = 1;
+  QueryResponse degraded = service.Execute(starved);
+  ASSERT_TRUE(degraded.status.ok());
+  ASSERT_EQ(degraded.outcome, ServedOutcome::kDegraded);
+  std::vector<std::string> lines = service.request_log().RecentLines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"query_id\":" +
+                          std::to_string(degraded.query_id)),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"outcome\":\"degraded\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"degradation_stage\""), std::string::npos);
+
+  // Errored query (fault fires every attempt): one line, non-ok status,
+  // retries consistent with attempts.
+  fault::ArmForTest("serve.query", 1.0, 11);
+  QueryResponse errored = service.Execute(CountRequest("cites"));
+  fault::DisarmAllForTest();
+  ASSERT_FALSE(errored.status.ok());
+  lines = service.request_log().RecentLines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"query_id\":" +
+                          std::to_string(errored.query_id)),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("\"outcome\":\"error\""), std::string::npos);
+  EXPECT_NE(
+      lines[1].find("\"retries\":" + std::to_string(errored.attempts - 1)),
+      std::string::npos);
+
+  // Rejected-at-submit (unknown dataset): still exactly one line.
+  QueryResponse rejected = service.Execute(CountRequest("nope"));
+  ASSERT_EQ(rejected.status.code(), StatusCode::kNotFound);
+  lines = service.request_log().RecentLines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[2].find("\"query_id\":" +
+                          std::to_string(rejected.query_id)),
+            std::string::npos);
+
+  // Every emitted line is one valid single-line JSON object.
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+  }
+  EXPECT_EQ(service.request_log().emitted() >= 3, true);
+}
+
+TEST_F(ServeTest, RequestLogHeadSamplingIsDeterministic) {
+  // The 1-in-N verdict is a pure hash of the query id: the same id always
+  // gets the same verdict, the emission rate is roughly 1/N, and
+  // every-query / no-query modes behave as documented.
+  RequestLogOptions options;
+  options.ok_sample_every = 16;
+  RequestLog log(options);
+  int admitted = 0;
+  for (uint64_t id = 1; id <= 1600; ++id) {
+    const bool verdict = log.AdmitOk(id);
+    EXPECT_EQ(verdict, log.AdmitOk(id));  // Stable per id.
+    if (verdict) ++admitted;
+  }
+  EXPECT_GT(admitted, 50);   // ~100 expected at 1/16.
+  EXPECT_LT(admitted, 200);
+  RequestLogOptions all;
+  all.ok_sample_every = 1;
+  RequestLog log_all(all);
+  EXPECT_TRUE(log_all.AdmitOk(123));
+  RequestLogOptions none;
+  none.ok_sample_every = 0;
+  RequestLog log_none(none);
+  EXPECT_FALSE(log_none.AdmitOk(123));
+}
+
+TEST_F(ServeTest, QueryIdJoinsSpansRequestLogAndExplainCapture) {
+  Watchdog watchdog(120);
+  ServiceOptions options = QuietOptions();
+  options.request_log.ok_sample_every = 1;
+  options.request_log.slow_ms = 1;  // Every real query counts as slow.
+  options.request_log.slow_explain_sample_rate = 1.0;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+
+  QueryResponse response = service.Execute(CountRequest("cites"));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_NE(response.query_id, 0u);
+  const std::string id_key =
+      "\"query_id\":" + std::to_string(response.query_id);
+
+  // The always-on trace ring holds a serve.query span whose query_id arg
+  // is the response's id — the span side of the join.
+  bool span_found = false;
+  for (const trace::TraceEvent& event : trace::RingSnapshot()) {
+    if (std::string_view(event.name) != "serve.query") continue;
+    for (int a = 0; a < event.nargs; ++a) {
+      if (std::string_view(event.args[a].first) == "query_id" &&
+          event.args[a].second ==
+              static_cast<int64_t>(response.query_id)) {
+        span_found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(span_found);
+
+  // The request-log side: one line with the same id, marked slow.
+  bool line_found = false;
+  for (const std::string& line : service.request_log().RecentLines()) {
+    if (line.find(id_key) != std::string::npos) {
+      line_found = true;
+      EXPECT_NE(line.find("\"slow\":true"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(line_found);
+
+  // The slow capture pairs that line with the armed explain report, and
+  // the report itself carries the id (obs::ExplainReport::query_id).
+  const std::string debug = service.request_log().DebugQueriesJson();
+  EXPECT_NE(debug.find("\"slow\":["), std::string::npos);
+  EXPECT_NE(debug.find(id_key), std::string::npos);
+  EXPECT_NE(debug.find("\"explain\":{"), std::string::npos);
+  const size_t explain_pos = debug.find("\"explain\":{");
+  EXPECT_NE(debug.find(id_key, explain_pos), std::string::npos);
 }
 
 }  // namespace
