@@ -27,15 +27,27 @@ double NowMicros() {
       .count();
 }
 
-/// Per-thread event sink for the recording buffers. The buffer outlives
-/// its thread (owned by the global registry below), so pool workers that
+constexpr size_t kDefaultRingCapacity = 4096;
+
+/// Per-thread event sink for both span sinks. The buffer outlives its
+/// thread (owned by the global registry below), so pool workers that
 /// stay parked between regions — and at process exit — still have their
 /// tail drained by WriteChromeTrace. The mutex is uncontended on the hot
-/// path — only the owning thread appends; the exporter locks each buffer
-/// when draining.
+/// path — only the owning thread appends; drains (trace export, ring
+/// snapshots, capacity changes) lock each buffer briefly.
+///
+/// `events` holds recording-session spans (unbounded, off by default).
+/// `ring_*` is this thread's slice of the always-on recent-span ring:
+/// striping the ring per thread means span completion never contends on
+/// a process-global lock, no matter how many pool workers finish shard
+/// spans at once. RingSnapshot merges the slices and keeps the globally
+/// newest `RingCapacity()` spans by push sequence.
 struct ThreadBuffer {
   std::mutex mu;
   std::vector<TraceEvent> events;
+  std::vector<TraceEvent> ring_slots;  // Grows to ring_capacity, then wraps.
+  size_t ring_capacity = 0;            // Capacity ring_slots was sized for.
+  size_t ring_next = 0;                // Next slot to overwrite once full.
   int tid = 0;
 };
 
@@ -63,46 +75,32 @@ ThreadBuffer& LocalBuffer() {
 
 std::atomic<bool> g_recording{false};
 
-constexpr size_t kDefaultRingCapacity = 4096;
-
-/// The always-on bounded ring of recent completed spans. One process-wide
-/// mutex: spans are stage/level/shard-grained (never per-pair hot loops),
-/// so contention is negligible next to the work a span brackets. Leaked so
-/// spans destroyed during static destruction stay safe.
-struct Ring {
-  std::mutex mu;
-  size_t capacity = 0;            // Capacity `slots` was configured for.
-  std::vector<TraceEvent> slots;  // Grows to `capacity`, then wraps.
-  size_t next = 0;                // Next slot to overwrite once full.
-  uint64_t total = 0;             // Spans ever pushed.
-};
-
-Ring& GlobalRing() {
-  static Ring* ring = new Ring;
-  return *ring;
-}
-
 std::atomic<size_t> g_ring_capacity{kDefaultRingCapacity};
 
-void RingPush(const TraceEvent& event) {
-  const size_t capacity = g_ring_capacity.load(std::memory_order_relaxed);
+/// Spans ever pushed into any thread's ring slice; doubles as the push
+/// sequence RingSnapshot uses to pick the globally newest spans.
+std::atomic<uint64_t> g_ring_total{0};
+
+/// Pushes into the calling thread's ring slice. `buffer.mu` must be held.
+/// The capacity is re-read from g_ring_capacity INSIDE the lock: a stale
+/// pre-lock read racing with SetRingCapacity could restart the slice at
+/// the old size, silently reverting the resize.
+void RingPushLocked(ThreadBuffer& buffer, TraceEvent event) {
+  const size_t capacity = g_ring_capacity.load(std::memory_order_acquire);
   if (capacity == 0) return;
-  Ring& ring = GlobalRing();
-  std::lock_guard<std::mutex> lock(ring.mu);
-  if (ring.capacity != capacity) {
-    // Capacity changed (or first use): restart the ring at the new size.
-    ring.capacity = capacity;
-    ring.slots.clear();
-    ring.slots.reserve(capacity);
-    ring.next = 0;
+  if (buffer.ring_capacity != capacity) {
+    // Capacity changed (or first use): restart this slice at the new size.
+    buffer.ring_capacity = capacity;
+    buffer.ring_slots.clear();
+    buffer.ring_next = 0;
   }
-  if (ring.slots.size() < capacity) {
-    ring.slots.push_back(event);
+  event.seq = g_ring_total.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (buffer.ring_slots.size() < capacity) {
+    buffer.ring_slots.push_back(event);
   } else {
-    ring.slots[ring.next] = event;
-    ring.next = (ring.next + 1) % capacity;
+    buffer.ring_slots[buffer.ring_next] = event;
+    buffer.ring_next = (buffer.ring_next + 1) % capacity;
   }
-  ++ring.total;
 }
 
 /// Chronological order with a deterministic tie-break, so two renderings
@@ -173,27 +171,46 @@ size_t RingCapacity() {
 }
 
 void SetRingCapacity(size_t capacity) {
-  Ring& ring = GlobalRing();
-  std::lock_guard<std::mutex> lock(ring.mu);
-  g_ring_capacity.store(capacity, std::memory_order_relaxed);
-  ring.capacity = capacity;
-  ring.slots.clear();
-  ring.slots.reserve(capacity);
-  ring.next = 0;
+  g_ring_capacity.store(capacity, std::memory_order_release);
+  // Restart every thread's slice at the new size. A slice whose owner is
+  // mid-push settles on the new capacity itself (RingPushLocked re-reads
+  // g_ring_capacity under the slice lock); clearing here just discards
+  // pre-resize contents, matching the documented "discards its current
+  // contents" contract.
+  std::lock_guard<std::mutex> lock(BuffersMutex());
+  for (const auto& buffer : Buffers()) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->ring_capacity = capacity;
+    buffer->ring_slots.clear();
+    buffer->ring_next = 0;
+  }
 }
 
 uint64_t RingTotal() {
-  Ring& ring = GlobalRing();
-  std::lock_guard<std::mutex> lock(ring.mu);
-  return ring.total;
+  return g_ring_total.load(std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent> RingSnapshot() {
+  const size_t capacity = g_ring_capacity.load(std::memory_order_acquire);
   std::vector<TraceEvent> events;
+  if (capacity == 0) return events;
   {
-    Ring& ring = GlobalRing();
-    std::lock_guard<std::mutex> lock(ring.mu);
-    events = ring.slots;
+    std::lock_guard<std::mutex> lock(BuffersMutex());
+    for (const auto& buffer : Buffers()) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      events.insert(events.end(), buffer->ring_slots.begin(),
+                    buffer->ring_slots.end());
+    }
+  }
+  // Each slice holds up to `capacity` spans; keep the globally newest
+  // `capacity` by push sequence so the merged snapshot honors the
+  // configured bound.
+  if (events.size() > capacity) {
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return a.seq > b.seq;
+              });
+    events.resize(capacity);
   }
   SortEvents(events);
   return events;
@@ -260,11 +277,9 @@ Span::~Span() {
   ThreadBuffer& buffer = LocalBuffer();
   const TraceEvent event{name_,       start_us_, end_us - start_us_,
                          buffer.tid,  nargs_,    args_};
-  if (IsRecording()) {
-    std::lock_guard<std::mutex> lock(buffer.mu);
-    buffer.events.push_back(event);
-  }
-  RingPush(event);
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (IsRecording()) buffer.events.push_back(event);
+  RingPushLocked(buffer, event);
 }
 
 void Span::AddArg(const char* key, int64_t value) {

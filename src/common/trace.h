@@ -24,8 +24,14 @@ namespace topkdup::trace {
 ///  - The *ring* (RingSnapshot): a bounded, always-on buffer of the most
 ///    recent completed spans, so a resident server can answer "what ran
 ///    just now" on demand (the admin server's /tracez endpoint) without
-///    ever having been told to record. SetRingCapacity(0) disables it,
-///    restoring the historical one-relaxed-load cost for a disabled Span.
+///    ever having been told to record. The ring is striped per thread —
+///    each thread keeps its own bounded slice, guarded by a lock only
+///    that thread takes on the hot path — so concurrent pool workers
+///    finishing shard spans never serialize on a shared mutex; snapshots
+///    merge the slices and keep the globally newest RingCapacity() spans.
+///    (Worst-case retention memory is threads × capacity events; slices
+///    grow on demand.) SetRingCapacity(0) disables it, restoring the
+///    historical one-relaxed-load cost for a disabled Span.
 
 /// One completed span, as copied out of either sink: the unit of both the
 /// Chrome-trace file export and a live ring snapshot. `name` and arg keys
@@ -37,6 +43,10 @@ struct TraceEvent {
   int tid;
   int nargs;
   std::array<std::pair<const char*, int64_t>, 6> args;
+  /// Ring push sequence (1-based, process-wide); 0 for recording-buffer
+  /// events. RingSnapshot uses it to pick the newest spans across the
+  /// per-thread ring slices.
+  uint64_t seq = 0;
 };
 
 /// True while spans are being captured into the recording buffers.
@@ -56,7 +66,8 @@ void Clear();
 size_t EventCount();
 
 /// Capacity of the always-on recent-span ring (default 4096 spans; 0 =
-/// disabled).
+/// disabled). Snapshots are bounded by this; each thread's slice retains
+/// at most this many spans.
 size_t RingCapacity();
 
 /// Resizes the ring, discarding its current contents. Thread-safe.

@@ -111,7 +111,7 @@ RequestLog::RequestLog(RequestLogOptions options)
   options_.recent_capacity = std::max<size_t>(options_.recent_capacity, 1);
   options_.slow_capacity = std::max<size_t>(options_.slow_capacity, 1);
   if (options_.enabled && !options_.path.empty()) {
-    file_ = std::fopen(options_.path.c_str(), "w");
+    file_ = std::fopen(options_.path.c_str(), "a");
     if (file_ == nullptr) {
       TOPKDUP_LOG(Error) << "request log: cannot open " << options_.path;
     }

@@ -34,6 +34,8 @@ struct RequestLogOptions {
   /// Master switch. Off, the service skips event assembly entirely.
   bool enabled = true;
   /// JSONL sink path; empty keeps events in memory only (the ring below).
+  /// Opened in append mode, so a restart investigates with the previous
+  /// process's wide-event history still in place.
   std::string path;
   /// Healthy exact answers emit when MixKey(query_id) % ok_sample_every
   /// == 0. 1 emits every query; 0 suppresses all healthy-query lines.
@@ -64,7 +66,10 @@ struct RequestLogEvent {
   std::string kind;     // "topk_count" | "topk_rank".
   int k = 0;
   int r = 0;
-  std::string status;   // StatusCode name, lowercase ("ok", "internal").
+  /// "ok" for success; otherwise the CamelCase StatusCodeName exactly as
+  /// Status::ToString prints it ("Internal", "ResourceExhausted"), so one
+  /// grep token matches both the request log and the text logs.
+  std::string status;
   std::string outcome;  // ServedOutcomeName.
   std::string quality;  // "exact" | "bounds_only" | "truncated_level".
   bool degraded = false;
