@@ -236,6 +236,8 @@ int Main(int argc, char** argv) {
   options.request_log.ok_sample_every =
       static_cast<uint64_t>(flags.GetInt("log-sample", 16));
   options.request_log.slow_ms = flags.GetInt("slow-ms", 0);
+  options.request_log.max_bytes = static_cast<uint64_t>(
+      flags.GetInt("request-log-max-bytes", 0));
   serve::QueryService service(options);
   // Register (and calibrate) before arming programmatic faults so the
   // cost estimate and the breaker's degraded-answer cache start clean.

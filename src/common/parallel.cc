@@ -16,6 +16,7 @@
 #include "common/faultpoint.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/resource_meter.h"
 #include "common/timer.h"
 #include "common/trace.h"
 
@@ -262,8 +263,15 @@ void RunShards(size_t num_shards, const std::function<void(size_t)>& fn) {
   // handler of the thread launching this region — their own thread-local
   // stacks belong to whatever query last ran on them.
   ScopedSoftFailHandler* soft_fail_sink = CurrentSoftFailHandler();
+  // Same delegation for resource attribution: shard CPU is charged to
+  // the launching thread's meter under the stage that was current at
+  // region launch, so fan-out doesn't lose per-query CPU accounting.
+  const resource::internal::Attribution meter_sink =
+      resource::internal::CurrentAttribution();
   const auto instrumented = [&](size_t s) {
     ScopedSoftFailDelegate soft_fail_delegate(soft_fail_sink);
+    resource::ScopedMeterAttach meter_attach(meter_sink.meter,
+                                             meter_sink.stage);
     // `s` is claimed in increasing order, so num_shards - s approximates
     // the shards still queued when this task starts.
     queue_depth->Set(static_cast<double>(num_shards - 1 - s));

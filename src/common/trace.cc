@@ -263,6 +263,10 @@ bool WriteChromeTrace(const std::string& path) {
 }
 
 Span::Span(const char* name) : name_(name) {
+  // Stage-boundary hook first: attribution must fire even when both
+  // trace sinks are off (one thread-local load when no meter is
+  // attached).
+  stage_token_ = resource::internal::OnSpanBegin(name);
   if (!IsRecording() &&
       g_ring_capacity.load(std::memory_order_relaxed) == 0) {
     return;
@@ -272,6 +276,7 @@ Span::Span(const char* name) : name_(name) {
 }
 
 Span::~Span() {
+  resource::internal::OnSpanEnd(stage_token_);
   if (!active_) return;
   const double end_us = NowMicros();
   ThreadBuffer& buffer = LocalBuffer();

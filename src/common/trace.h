@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/resource_meter.h"
+
 namespace topkdup::trace {
 
 /// Scoped trace spans emitting Chrome trace_event JSON, loadable in
@@ -114,6 +116,10 @@ class Span {
   bool active_ = false;
   int nargs_ = 0;
   std::array<std::pair<const char*, int64_t>, 6> args_;
+  /// Resource-attribution stage boundary (common/resource_meter.h): set
+  /// even when both trace sinks are off, so per-query CPU attribution
+  /// does not depend on tracing being enabled.
+  resource::internal::SpanToken stage_token_;
 };
 
 }  // namespace topkdup::trace

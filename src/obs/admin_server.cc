@@ -64,17 +64,45 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
-void WriteResponse(int fd, const AdminResponse& response) {
+/// Frames and sends `response`. For HEAD requests (`head_only`) the body
+/// is measured for Content-Length but not sent, so HEAD answers are
+/// byte-for-byte the headers of the matching GET.
+void WriteResponse(int fd, const AdminResponse& response, bool head_only) {
   std::string out = StrFormat(
       "HTTP/1.1 %d %s\r\n"
       "Content-Type: %s\r\n"
       "Content-Length: %zu\r\n"
-      "Connection: close\r\n"
-      "\r\n",
+      "Connection: close\r\n",
       response.status, ReasonPhrase(response.status),
       response.content_type.c_str(), response.body.size());
-  out += response.body;
+  for (const auto& [name, value] : response.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  if (!head_only) out += response.body;
   SendAll(fd, out);
+}
+
+/// Splits "a=1&b=2" into params; bare keys map to "".
+void ParseQueryParams(AdminRequest& request) {
+  size_t pos = 0;
+  while (pos <= request.query.size()) {
+    size_t amp = request.query.find('&', pos);
+    if (amp == std::string::npos) amp = request.query.size();
+    if (amp > pos) {
+      const std::string pair = request.query.substr(pos, amp - pos);
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        request.params[pair] = "";
+      } else {
+        request.params[pair.substr(0, eq)] = pair.substr(eq + 1);
+      }
+    }
+    pos = amp + 1;
+  }
 }
 
 }  // namespace
@@ -86,6 +114,14 @@ AdminServer::~AdminServer() { Stop(); }
 
 void AdminServer::Handle(std::string path, AdminHandler handler) {
   handlers_[std::move(path)] = std::move(handler);
+}
+
+void AdminServer::Handle(std::string path,
+                         std::function<AdminResponse()> handler) {
+  handlers_[std::move(path)] =
+      [handler = std::move(handler)](const AdminRequest&) {
+        return handler();
+      };
 }
 
 Status AdminServer::Start() {
@@ -196,32 +232,45 @@ void AdminServer::ServeConnection(int fd) {
   const size_t target_end = request_line.find(' ', method_end + 1);
   if (method_end == std::string::npos || target_end == std::string::npos) {
     errors->Increment();
-    WriteResponse(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    WriteResponse(fd, {400, "text/plain; charset=utf-8", "bad request\n", {}},
+                  false);
     return;
   }
-  const std::string method = request_line.substr(0, method_end);
-  std::string target =
+  AdminRequest request;
+  request.method = request_line.substr(0, method_end);
+  request.path =
       request_line.substr(method_end + 1, target_end - method_end - 1);
-  const size_t query_pos = target.find('?');
-  if (query_pos != std::string::npos) target.resize(query_pos);
+  const size_t query_pos = request.path.find('?');
+  if (query_pos != std::string::npos) {
+    request.query = request.path.substr(query_pos + 1);
+    request.path.resize(query_pos);
+  }
+  ParseQueryParams(request);
 
-  if (method != "GET") {
+  // HEAD is answered exactly like GET minus the body, so probes and
+  // scrapers that preflight with HEAD see real headers instead of
+  // counting as obs.admin.errors.
+  const bool head_only = request.method == "HEAD";
+  if (request.method != "GET" && !head_only) {
     errors->Increment();
-    WriteResponse(fd,
-                  {405, "text/plain; charset=utf-8", "GET only\n"});
+    AdminResponse denied{405, "text/plain; charset=utf-8",
+                         "GET or HEAD only\n", {}};
+    denied.headers.emplace_back("Allow", "GET, HEAD");
+    WriteResponse(fd, denied, false);
     return;
   }
-  const auto it = handlers_.find(target);
+  const auto it = handlers_.find(request.path);
   if (it == handlers_.end()) {
     errors->Increment();
-    WriteResponse(fd, {404, "text/plain; charset=utf-8", "not found\n"});
+    WriteResponse(fd, {404, "text/plain; charset=utf-8", "not found\n", {}},
+                  head_only);
     return;
   }
-  registry.GetCounter("obs.admin.endpoint." + EndpointKey(target))
+  registry.GetCounter("obs.admin.endpoint." + EndpointKey(request.path))
       ->Increment();
-  AdminResponse response = it->second();
+  AdminResponse response = it->second(request);
   if (response.status >= 400) errors->Increment();
-  WriteResponse(fd, response);
+  WriteResponse(fd, response, head_only);
 }
 
 }  // namespace topkdup::obs

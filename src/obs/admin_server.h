@@ -7,6 +7,8 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -28,19 +30,43 @@ struct AdminServerOptions {
   int io_timeout_ms = 2000;
 };
 
+/// One parsed admin request, as handed to handlers. The target's query
+/// string is split into `params` with plain '&'/'=' splitting (admin URLs
+/// are operator-typed; no percent-decoding).
+struct AdminRequest {
+  std::string method;  // "GET" or "HEAD".
+  std::string path;    // Target with the query string stripped.
+  std::string query;   // Raw query string, without the '?'.
+  std::map<std::string, std::string> params;
+
+  /// Parameter value, or `fallback` when absent.
+  const std::string& Param(const std::string& key,
+                           const std::string& fallback) const {
+    const auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
+};
+
 /// One endpoint's reply. Handlers return the full body; the server frames
 /// it as an HTTP/1.1 response with Content-Length and Connection: close.
+/// For HEAD requests the body is measured for Content-Length but not
+/// sent, per RFC 9110 — handlers never see the difference.
 struct AdminResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Extra response headers (e.g. Allow on 405). Names must be valid
+  /// HTTP header names; the server emits them verbatim.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
-using AdminHandler = std::function<AdminResponse()>;
+using AdminHandler = std::function<AdminResponse(const AdminRequest&)>;
 
 /// Dependency-free embedded HTTP/1.1 server for live introspection:
 /// plain POSIX sockets, one blocking accept loop on its own thread, one
-/// connection served at a time, GET only, exact-path routing. This is an
+/// connection served at a time, GET and HEAD only (HEAD runs the handler
+/// and sends the headers it would have produced, body elided; anything
+/// else gets 405 with an Allow header), exact-path routing. This is an
 /// admin plane, not a web server — the load it must survive is a handful
 /// of scrapers and an operator with curl, and the simplest correct thing
 /// is a serial loop that can never interleave handler state.
@@ -68,6 +94,9 @@ class AdminServer {
   /// Registers `handler` for exact path `path` (e.g. "/metrics").
   /// Must be called before Start().
   void Handle(std::string path, AdminHandler handler);
+
+  /// Convenience overload for endpoints that ignore the request.
+  void Handle(std::string path, std::function<AdminResponse()> handler);
 
   /// Binds, listens, and starts the accept loop thread. Fails if the
   /// port is taken or the server already started.

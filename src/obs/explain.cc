@@ -208,6 +208,17 @@ std::string ExplainReport::ToJson() const {
         static_cast<unsigned long long>(degradation.work_budget),
         degradation.partial_stage ? "true" : "false");
   }
+  if (has_resources) {
+    out += StrFormat(",\"resources\":{\"cpu_ms\":%.4f,\"stages_ms\":{",
+                     resources.cpu_ms);
+    for (size_t i = 0; i < resources.stages_ms.size(); ++i) {
+      if (i > 0) out += ",";
+      out += StrFormat("%s:%.4f",
+                       JsonString(resources.stages_ms[i].first).c_str(),
+                       resources.stages_ms[i].second);
+    }
+    out += "}}";
+  }
   out += StrFormat(",\"events_dropped\":%zu}", events_dropped);
   return out;
 }
@@ -317,6 +328,12 @@ std::string ExplainReport::ToText() const {
                        static_cast<unsigned long long>(degradation.work_done),
                        static_cast<unsigned long long>(
                            degradation.work_budget));
+    }
+  }
+  if (has_resources) {
+    out += StrFormat("resources: %.4f ms CPU\n", resources.cpu_ms);
+    for (const auto& [stage, ms] : resources.stages_ms) {
+      out += StrFormat("  %s: %.4f ms\n", stage.c_str(), ms);
     }
   }
   if (events_dropped > 0) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/deadline.h"
@@ -152,6 +153,17 @@ struct DegradationExplain {
   bool partial_stage = false;  // Expired mid-stage vs at a stage boundary.
 };
 
+/// Measured resource consumption of the query, as stamped by the serve
+/// layer from its per-query ResourceMeter. Only rendered when
+/// `has_resources` is set, so reports from non-serve paths stay
+/// byte-identical to pre-attribution builds.
+struct ResourceExplain {
+  double cpu_ms = 0.0;
+  /// Per-stage CPU milliseconds, sorted by stage name; the stage sum
+  /// equals cpu_ms up to print rounding (see DESIGN.md §6i).
+  std::vector<std::pair<std::string, double>> stages_ms;
+};
+
 /// Per-group score decomposition of one returned answer.
 struct AnswerGroupExplain {
   double weight = 0.0;
@@ -190,6 +202,8 @@ struct ExplainReport {
   std::vector<AnswerExplain> answers;
   bool has_degradation = false;
   DegradationExplain degradation;
+  bool has_resources = false;
+  ResourceExplain resources;
   /// Detail events discarded after the per-report cap; summaries stay
   /// exact even when this is non-zero.
   size_t events_dropped = 0;

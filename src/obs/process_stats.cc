@@ -1,0 +1,46 @@
+#include "obs/process_stats.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "common/metrics.h"
+
+namespace topkdup::obs {
+
+ProcessSelfStats ReadProcessSelfStats() {
+  ProcessSelfStats stats;
+
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+    unsigned long long size_pages = 0;
+    unsigned long long resident_pages = 0;
+    if (std::fscanf(statm, "%llu %llu", &size_pages, &resident_pages) == 2) {
+      const long page = ::sysconf(_SC_PAGESIZE);
+      stats.rss_bytes =
+          resident_pages * static_cast<uint64_t>(page > 0 ? page : 4096);
+    }
+    std::fclose(statm);
+  }
+
+  if (DIR* fds = ::opendir("/proc/self/fd")) {
+    uint64_t count = 0;
+    while (dirent* entry = ::readdir(fds)) {
+      if (entry->d_name[0] == '.') continue;
+      ++count;
+    }
+    ::closedir(fds);
+    // Exclude the directory fd opendir itself holds.
+    stats.open_fds = count > 0 ? count - 1 : 0;
+  }
+
+  auto& registry = metrics::Registry::Global();
+  registry.GetGauge("process.rss_bytes")
+      ->Set(static_cast<double>(stats.rss_bytes));
+  registry.GetGauge("process.open_fds")
+      ->Set(static_cast<double>(stats.open_fds));
+  return stats;
+}
+
+}  // namespace topkdup::obs

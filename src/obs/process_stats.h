@@ -1,0 +1,25 @@
+#ifndef TOPKDUP_OBS_PROCESS_STATS_H_
+#define TOPKDUP_OBS_PROCESS_STATS_H_
+
+#include <cstdint>
+
+namespace topkdup::obs {
+
+/// Point-in-time process self-stats read from /proc/self, so memory
+/// growth and fd leaks are visible from /statusz without an external
+/// agent. Fields are 0 when the proc file is unavailable (non-Linux).
+struct ProcessSelfStats {
+  uint64_t rss_bytes = 0;
+  uint64_t open_fds = 0;
+};
+
+/// Reads RSS (from /proc/self/statm, resident pages × page size) and the
+/// open-fd count (entries in /proc/self/fd). Also publishes the gauges
+/// `process.rss_bytes` and `process.open_fds` in the global metrics
+/// registry, so scrapes pick them up whenever something (the /statusz
+/// handler in practice) samples.
+ProcessSelfStats ReadProcessSelfStats();
+
+}  // namespace topkdup::obs
+
+#endif  // TOPKDUP_OBS_PROCESS_STATS_H_

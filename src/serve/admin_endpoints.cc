@@ -1,12 +1,17 @@
 #include "serve/admin_endpoints.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "obs/process_stats.h"
+#include "obs/profiler.h"
 
 namespace topkdup::serve {
 
@@ -99,6 +104,25 @@ std::string StatuszJson(const QueryService& service,
   out += StrFormat(",\"trace\":{\"ring_capacity\":%zu,\"ring_total\":%llu}",
                    trace::RingCapacity(),
                    static_cast<unsigned long long>(trace::RingTotal()));
+  const obs::ProcessSelfStats self = obs::ReadProcessSelfStats();
+  out += StrFormat(",\"process\":{\"rss_bytes\":%llu,\"open_fds\":%llu}",
+                   static_cast<unsigned long long>(self.rss_bytes),
+                   static_cast<unsigned long long>(self.open_fds));
+  const auto append_consumers =
+      [&out](const std::vector<std::pair<std::string, double>>& top) {
+        for (size_t i = 0; i < top.size(); ++i) {
+          if (i > 0) out += ",";
+          out += "{\"name\":";
+          AppendJsonString(out, top[i].first);
+          out += StrFormat(",\"cpu_seconds\":%.6f}", top[i].second);
+        }
+      };
+  out += StrFormat(",\"top_cpu\":{\"window_seconds\":%.0f,\"datasets\":[",
+                   service.cpu_window_seconds());
+  append_consumers(service.TopCpuByDataset(5));
+  out += "],\"stages\":[";
+  append_consumers(service.TopCpuByStage(5));
+  out += "]}";
   out += ",\"datasets\":[";
   for (size_t i = 0; i < health.datasets.size(); ++i) {
     const DatasetHealth& ds = health.datasets[i];
@@ -108,13 +132,17 @@ std::string StatuszJson(const QueryService& service,
     out += StrFormat(
         ",\"online\":%s,\"records\":%zu,\"breaker\":\"%s\","
         "\"p50_seconds\":%.6f,\"served\":%llu,\"errors\":%llu,"
-        "\"shed\":%llu,\"index_bytes\":%llu}",
+        "\"shed\":%llu,\"index_bytes\":%llu",
         ds.online ? "true" : "false", ds.records,
         BreakerStateName(ds.breaker), ds.p50_seconds,
         static_cast<unsigned long long>(ds.served),
         static_cast<unsigned long long>(ds.errors),
         static_cast<unsigned long long>(ds.shed),
         static_cast<unsigned long long>(ds.index_bytes));
+    // cost_model_json is already a JSON object — splice, don't escape.
+    out += ",\"cost_model\":";
+    out += ds.cost_model_json.empty() ? "null" : ds.cost_model_json;
+    out += "}";
   }
   out += "]}";
   return out;
@@ -133,25 +161,53 @@ void RegisterAdminEndpoints(obs::AdminServer& server,
     return response;
   });
   server.Handle("/healthz", [] {
-    return obs::AdminResponse{200, "text/plain; charset=utf-8", "ok\n"};
+    return obs::AdminResponse{200, "text/plain; charset=utf-8", "ok\n", {}};
   });
   server.Handle("/readyz", [&service] {
     const bool ready = service.Health().ready;
     return obs::AdminResponse{ready ? 200 : 503,
                               "text/plain; charset=utf-8",
-                              ready ? "ready\n" : "unready\n"};
+                              ready ? "ready\n" : "unready\n",
+                              {}};
   });
   server.Handle("/statusz", [&service, started_at] {
     return obs::AdminResponse{200, "application/json",
-                              StatuszJson(service, started_at)};
+                              StatuszJson(service, started_at), {}};
   });
   server.Handle("/tracez", [] {
     return obs::AdminResponse{200, "application/json",
-                              trace::ChromeTraceJson(trace::RingSnapshot())};
+                              trace::ChromeTraceJson(trace::RingSnapshot()),
+                              {}};
   });
   server.Handle("/debug/queries", [&service] {
     return obs::AdminResponse{200, "application/json",
-                              service.request_log().DebugQueriesJson()};
+                              service.request_log().DebugQueriesJson(), {}};
+  });
+  server.Handle("/debug/profile", [](const obs::AdminRequest& request) {
+    // Copy: Param returns a reference that may alias the fallback
+    // temporary, which dies at the end of this full expression.
+    const std::string seconds_text = request.Param("seconds", "1");
+    char* end = nullptr;
+    const double seconds = std::strtod(seconds_text.c_str(), &end);
+    if (end == seconds_text.c_str() || seconds <= 0.0) {
+      return obs::AdminResponse{400, "text/plain; charset=utf-8",
+                                "bad seconds parameter\n", {}};
+    }
+    // Collect blocks the (serial) admin loop for the whole window —
+    // concurrent admin requests queue in the listen backlog. Query
+    // serving is unaffected: the profiler samples, it never blocks.
+    StatusOr<std::string> collapsed =
+        obs::Profiler::Global().Collect(seconds);
+    if (!collapsed.ok()) {
+      // FailedPrecondition == a concurrent session holds SIGPROF.
+      const int http =
+          collapsed.status().code() == StatusCode::kFailedPrecondition ? 409
+                                                                       : 500;
+      return obs::AdminResponse{http, "text/plain; charset=utf-8",
+                                collapsed.status().ToString() + "\n", {}};
+    }
+    return obs::AdminResponse{200, "text/plain; charset=utf-8",
+                              std::move(collapsed).value(), {}};
   });
 }
 

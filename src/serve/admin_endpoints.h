@@ -19,13 +19,24 @@ namespace topkdup::serve {
 ///                   workers).
 ///   /statusz        One JSON object: build info, uptime, queue depth,
 ///                   inflight, admission totals, index-cache hit rate,
-///                   warmed-index bytes and breaker state per dataset,
-///                   request-log counters, trace-ring occupancy.
+///                   warmed-index bytes, breaker state and measured cost
+///                   model per dataset, request-log counters, trace-ring
+///                   occupancy, process self-stats (RSS, open fds), and
+///                   the top CPU consumers (datasets/stages) over the
+///                   attribution window.
 ///   /tracez         Chrome-trace JSON snapshot of the always-on span
 ///                   ring (load in chrome://tracing or Perfetto).
 ///   /debug/queries  RequestLog::DebugQueriesJson() — captured slow
 ///                   queries with their explain reports, plus the recent
 ///                   emitted request-log lines.
+///   /debug/profile  On-demand sampling CPU profile: arms the SIGPROF
+///                   profiler for `?seconds=N` (default 1, clamped to
+///                   [0.05, 30]) and answers with collapsed-stack text
+///                   for flamegraph.pl. 409 when a session is already
+///                   armed. The admin plane serves one connection at a
+///                   time, so other admin requests queue in the backlog
+///                   for the window — query serving is unaffected (the
+///                   profiler only samples, never blocks workers).
 void RegisterAdminEndpoints(obs::AdminServer& server,
                             const QueryService& service);
 

@@ -98,7 +98,20 @@ std::string RequestLogEvent::ToJsonLine() const {
     out += StrFormat("\"%s\":%llu", work[i].first,
                      static_cast<unsigned long long>(work[i].second));
   }
-  out += StrFormat("},\"slow\":%s}", slow ? "true" : "false");
+  out += StrFormat("},\"cpu_ms\":%.4f,\"cpu_stages\":{", cpu_ms);
+  for (size_t i = 0; i < cpu_stages_ms.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    AppendJsonEscaped(out, cpu_stages_ms[i].first);
+    out += StrFormat("\":%.4f", cpu_stages_ms[i].second);
+  }
+  out += "}";
+  if (shed_predicted_ms > 0.0) {
+    out += StrFormat(
+        ",\"shed_predicted_ms\":%.3f,\"shed_cpu_per_pair_ns\":%.2f",
+        shed_predicted_ms, shed_cpu_per_pair_ns);
+  }
+  out += StrFormat(",\"slow\":%s}", slow ? "true" : "false");
   return out;
 }
 
@@ -108,12 +121,19 @@ RequestLog::RequestLog(RequestLogOptions options)
   emitted_ = registry.GetCounter("serve.requestlog.emitted");
   sampled_out_ = registry.GetCounter("serve.requestlog.sampled_out");
   slow_captured_ = registry.GetCounter("serve.requestlog.slow_captured");
+  rotations_ = registry.GetCounter("serve.requestlog.rotations");
   options_.recent_capacity = std::max<size_t>(options_.recent_capacity, 1);
   options_.slow_capacity = std::max<size_t>(options_.slow_capacity, 1);
   if (options_.enabled && !options_.path.empty()) {
     file_ = std::fopen(options_.path.c_str(), "a");
     if (file_ == nullptr) {
       TOPKDUP_LOG(Error) << "request log: cannot open " << options_.path;
+    } else {
+      // Appending to a pre-existing file: rotation thresholds count the
+      // bytes already there, not just this process's writes.
+      std::fseek(file_, 0, SEEK_END);
+      const long size = std::ftell(file_);
+      file_bytes_ = size > 0 ? static_cast<uint64_t>(size) : 0;
     }
   }
 }
@@ -145,12 +165,34 @@ bool RequestLog::Record(const RequestLogEvent& event) {
       std::fputs(line.c_str(), file_);
       std::fputc('\n', file_);
       std::fflush(file_);
+      file_bytes_ += line.size() + 1;
+      if (options_.max_bytes > 0 && file_bytes_ > options_.max_bytes) {
+        RotateLocked();
+      }
     }
     recent_.push_back(std::move(line));
     while (recent_.size() > options_.recent_capacity) recent_.pop_front();
   }
   emitted_->Increment();
   return true;
+}
+
+void RequestLog::RotateLocked() {
+  std::fclose(file_);
+  file_ = nullptr;
+  const std::string rotated = options_.path + ".1";
+  if (std::rename(options_.path.c_str(), rotated.c_str()) != 0) {
+    TOPKDUP_LOG(Error) << "request log: cannot rotate " << options_.path
+                       << " to " << rotated;
+  }
+  // Reopen regardless: losing rotation is survivable, losing the sink
+  // is not.
+  file_ = std::fopen(options_.path.c_str(), "a");
+  if (file_ == nullptr) {
+    TOPKDUP_LOG(Error) << "request log: cannot reopen " << options_.path;
+  }
+  file_bytes_ = 0;
+  rotations_->Increment();
 }
 
 void RequestLog::CaptureSlow(const RequestLogEvent& event,

@@ -54,6 +54,12 @@ struct RequestLogOptions {
   size_t recent_capacity = 256;
   /// Captured slow-query explain reports kept for /debug/queries.
   size_t slow_capacity = 32;
+  /// Rotation threshold for the JSONL sink: once the current file
+  /// exceeds this many bytes after a write, it is renamed to
+  /// "<path>.1" (replacing any previous rotation) and a fresh file is
+  /// opened, so the sink holds at most ~2x max_bytes on disk. 0 (the
+  /// default) never rotates. Counter: serve.requestlog.rotations.
+  uint64_t max_bytes = 0;
 };
 
 /// One terminal query event. The service fills this in FinishResponse —
@@ -82,6 +88,18 @@ struct RequestLogEvent {
   double latency_seconds = 0.0;
   /// Wall seconds of each execution attempt, in order.
   std::vector<double> attempt_seconds;
+  /// Total CPU milliseconds the query's attempts charged to its
+  /// ResourceMeter (0 for queries that never executed: sheds,
+  /// validation rejections).
+  double cpu_ms = 0.0;
+  /// Per-stage CPU milliseconds, sorted by stage name. The stage sum
+  /// reconciles with cpu_ms within print rounding (each value is
+  /// rendered at 1e-4 ms; see DESIGN.md §6i for the bound).
+  std::vector<std::pair<std::string, double>> cpu_stages_ms;
+  /// For predicted-miss sheds: the wall cost the model predicted and the
+  /// measured unit cost it was built on, so the refusal is auditable.
+  double shed_predicted_ms = 0.0;
+  double shed_cpu_per_pair_ns = 0.0;
   /// Per-stage work counters charged by this query (best-effort under
   /// concurrency — the registry is process-global, so overlapping queries
   /// can bleed into each other's deltas).
@@ -133,13 +151,19 @@ class RequestLog {
   uint64_t emitted() const { return emitted_->Value(); }
 
  private:
+  /// Renames the current file to "<path>.1" and reopens a fresh one.
+  /// mu_ must be held.
+  void RotateLocked();
+
   RequestLogOptions options_;
   metrics::Counter* emitted_;
   metrics::Counter* sampled_out_;
   metrics::Counter* slow_captured_;
+  metrics::Counter* rotations_;
 
   mutable std::mutex mu_;
   std::FILE* file_ = nullptr;
+  uint64_t file_bytes_ = 0;
   std::deque<std::string> recent_;
   struct SlowCapture {
     std::string event_json;

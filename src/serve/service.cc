@@ -8,6 +8,8 @@
 #include "common/faultpoint.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "common/resource_meter.h"
+#include "common/strings.h"
 #include "common/trace.h"
 #include "predicates/blocked_index.h"
 #include "predicates/index_cache.h"
@@ -107,10 +109,17 @@ struct QueryService::DatasetState {
   CircuitBreaker breaker;
   metrics::Gauge* breaker_gauge = nullptr;
 
-  // Rolling execution-cost samples (seconds) for the predicted-miss shed.
+  // Rolling execution-cost samples (seconds): the predicted-miss shed's
+  // fallback while the cost model below is empty, and the p50 health
+  // figure.
   mutable std::mutex stats_mu;
   std::vector<double> samples;
   size_t next_sample = 0;
+
+  /// Measured per-unit execution costs (EWMA over attributed CPU, wall,
+  /// and work counts of completed attempts) — the predicted-miss shed's
+  /// primary estimate.
+  CostModel cost_model;
 
   std::atomic<uint64_t> served{0};
   std::atomic<uint64_t> errors{0};
@@ -158,6 +167,14 @@ struct QueryService::Pending {
   /// Wall seconds of each execution attempt, in submission order; feeds
   /// the wide-event request-log line.
   std::vector<double> attempt_seconds;
+  /// Per-query resource attribution: attached to the executing thread
+  /// for each attempt, delegated into pool workers by parallel-region
+  /// launch, read out once in FinishResponse.
+  resource::ResourceMeter meter;
+  /// For predicted-miss sheds: what the model predicted and the unit
+  /// cost it used, surfaced on the request-log line.
+  double shed_predicted_ms = 0.0;
+  double shed_cpu_per_pair_ns = 0.0;
   std::promise<QueryResponse> promise;
 };
 
@@ -342,12 +359,38 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
   }
 
   if (options_.shed_on_predicted_miss && req.work_budget == 0) {
-    const double p50 = ds->P50Seconds();
-    if (p50 * 1000.0 > static_cast<double>(pending->budget_ms)) {
+    // Primary estimate: the dataset's measured cost model (EWMA CPU and
+    // work units from attributed attempts). Wall p50 only until the
+    // model's first observation lands.
+    const CostModel::Prediction predicted = ds->cost_model.Predict();
+    const double predicted_ms = predicted.valid
+                                    ? predicted.wall_seconds * 1000.0
+                                    : ds->P50Seconds() * 1000.0;
+    if (predicted_ms > static_cast<double>(pending->budget_ms)) {
       ds->breaker.OnAbandon(pending->decision);
-      FinishResponse(*pending,
-                     ShedResponse(ds, "predicted_miss",
-                                  "Submit: budget below observed p50 cost"));
+      pending->shed_predicted_ms = predicted_ms;
+      pending->shed_cpu_per_pair_ns = predicted.cpu_per_pair_ns;
+      std::string message;
+      if (predicted.valid) {
+        const double wall_per_cpu =
+            predicted.cpu_seconds > 0.0
+                ? predicted.wall_seconds / predicted.cpu_seconds
+                : 0.0;
+        message = StrFormat(
+            "Submit: predicted cost %.1fms exceeds budget %lldms "
+            "(measured cpu/pair=%.1fns x %.0f pairs, cpu/posting=%.1fns "
+            "x %.0f postings, wall/cpu=%.2f)",
+            predicted_ms, static_cast<long long>(pending->budget_ms),
+            predicted.cpu_per_pair_ns, predicted.pairs,
+            predicted.cpu_per_posting_ns, predicted.postings,
+            wall_per_cpu);
+      } else {
+        message = "Submit: budget below observed p50 cost";
+      }
+      TOPKDUP_LOG(Debug) << "predicted-miss shed for dataset '" << ds->name
+                         << "': " << message;
+      FinishResponse(*pending, ShedResponse(ds, "predicted_miss",
+                                            std::move(message)));
       return future;
     }
   }
@@ -473,15 +516,41 @@ void QueryService::RunAttempts(DatasetState& ds, Pending& pending,
     if (pending.request.cancel != nullptr) {
       deadline.set_cancel_token(pending.request.cancel);
     }
+    const double cpu_before = pending.meter.CpuSeconds();
     const Clock::time_point start = Clock::now();
-    StatusOr<QueryResponse> attempt_or =
-        RunOnce(ds, pending.request, deadline, pending.id);
+    StatusOr<QueryResponse> attempt_or = Status::Internal("attempt not run");
+    {
+      // Attribute this attempt's CPU — on this worker and on every pool
+      // worker its regions fan out to — to the request's meter.
+      resource::ScopedMeterAttach meter_attach(&pending.meter);
+      attempt_or = RunOnce(ds, pending.request, deadline, pending.id);
+    }
     const double exec_seconds = SecondsSince(start);
+    const double attempt_cpu = pending.meter.CpuSeconds() - cpu_before;
     pending.attempt_seconds.push_back(exec_seconds);
     attempts_run = attempt + 1;
     if (attempt_or.ok()) {
       *response = std::move(attempt_or).value();
       response->attempts = attempt + 1;
+      // Fold the attempt into the dataset's cost model: attributed CPU,
+      // wall time, and the work units its result metrics carried.
+      const metrics::MetricsSnapshot* attempt_work =
+          pending.request.kind == QueryKind::kTopKRank
+              ? (response->rank.has_value() ? &response->rank->pruning.metrics
+                                            : nullptr)
+              : &response->result.metrics;
+      CostModel::Observation cost;
+      cost.cpu_seconds = attempt_cpu;
+      cost.wall_seconds = exec_seconds;
+      if (attempt_work != nullptr) {
+        cost.candidate_pairs =
+            attempt_work->CounterValue("predicates.blocked_index.candidates");
+        cost.postings_decoded = attempt_work->CounterValue(
+            "predicates.blocked_index.postings_decoded");
+        pending.meter.ChargeWork("candidate_pairs", cost.candidate_pairs);
+        pending.meter.ChargeWork("postings_decoded", cost.postings_decoded);
+      }
+      ds.cost_model.Observe(cost);
       ds.RecordSample(exec_seconds);
       ds.served.fetch_add(1, std::memory_order_relaxed);
       ds.breaker.OnSuccess(decision);
@@ -679,6 +748,14 @@ void QueryService::FinishResponse(Pending& pending, QueryResponse response) {
   response.query_id = pending.id;
   response.queue_seconds = pending.queue_seconds;
   response.latency_seconds = SecondsSince(pending.admitted_at);
+  response.cpu_seconds = pending.meter.CpuSeconds();
+  response.stage_cpu_seconds = pending.meter.StageBreakdown();
+  if (response.cpu_seconds > 0.0) {
+    cpu_by_dataset_.Add(pending.request.dataset, response.cpu_seconds);
+    for (const auto& [stage, cpu] : response.stage_cpu_seconds) {
+      cpu_by_stage_.Add(stage, cpu);
+    }
+  }
   metrics::Registry::Global()
       .GetHistogram(std::string("serve.latency_seconds.") +
                         ServedOutcomeName(response.outcome),
@@ -736,12 +813,27 @@ void QueryService::FinishResponse(Pending& pending, QueryResponse response) {
     event.queue_seconds = response.queue_seconds;
     event.latency_seconds = response.latency_seconds;
     event.attempt_seconds = pending.attempt_seconds;
+    event.cpu_ms = response.cpu_seconds * 1000.0;
+    event.cpu_stages_ms.reserve(response.stage_cpu_seconds.size());
+    for (const auto& [stage, cpu] : response.stage_cpu_seconds) {
+      event.cpu_stages_ms.emplace_back(stage, cpu * 1000.0);
+    }
+    event.shed_predicted_ms = pending.shed_predicted_ms;
+    event.shed_cpu_per_pair_ns = pending.shed_cpu_per_pair_ns;
     event.slow = request_log_->slow_ms() > 0 &&
                  response.latency_seconds * 1000.0 >=
                      static_cast<double>(request_log_->slow_ms());
     request_log_->Record(event);
     if (event.slow && response.result.explain != nullptr) {
-      request_log_->CaptureSlow(event, response.result.explain);
+      // Stamp the query's measured resources onto a copy of the report:
+      // the shared report must stay byte-stable for anyone else holding
+      // it.
+      auto annotated =
+          std::make_shared<obs::ExplainReport>(*response.result.explain);
+      annotated->has_resources = true;
+      annotated->resources.cpu_ms = event.cpu_ms;
+      annotated->resources.stages_ms = event.cpu_stages_ms;
+      request_log_->CaptureSlow(event, std::move(annotated));
     }
   }
   pending.promise.set_value(std::move(response));
@@ -812,11 +904,27 @@ void QueryService::Calibrate(DatasetState& ds) {
   request.k = 5;
   request.r = 1;
   Deadline deadline = Deadline::AfterMillis(options_.default_deadline_ms);
+  resource::ResourceMeter meter;
   const Clock::time_point start = Clock::now();
-  StatusOr<QueryResponse> response =
-      RunOnce(ds, request, deadline, /*query_id=*/0);
+  StatusOr<QueryResponse> response = Status::Internal("calibration not run");
+  {
+    resource::ScopedMeterAttach meter_attach(&meter);
+    response = RunOnce(ds, request, deadline, /*query_id=*/0);
+  }
   if (response.ok()) {
-    ds.RecordSample(SecondsSince(start));
+    const double wall = SecondsSince(start);
+    ds.RecordSample(wall);
+    // Seed the cost model too, so the very first admission decision can
+    // already cite a measured unit cost.
+    const metrics::MetricsSnapshot& work = response.value().result.metrics;
+    CostModel::Observation cost;
+    cost.cpu_seconds = meter.CpuSeconds();
+    cost.wall_seconds = wall;
+    cost.candidate_pairs =
+        work.CounterValue("predicates.blocked_index.candidates");
+    cost.postings_decoded =
+        work.CounterValue("predicates.blocked_index.postings_decoded");
+    ds.cost_model.Observe(cost);
   } else {
     TOPKDUP_LOG(Warning) << "calibration query for dataset '" << ds.name
                          << "' failed: "
@@ -858,6 +966,7 @@ HealthSnapshot QueryService::Health() const {
       ds.index_bytes = state->index_cache.TotalSerializedBytes();
       ds.breaker = state->breaker.state();
       ds.p50_seconds = state->P50Seconds();
+      ds.cost_model_json = state->cost_model.DebugJson();
       ds.served = state->served.load(std::memory_order_relaxed);
       ds.errors = state->errors.load(std::memory_order_relaxed);
       ds.shed = state->shed.load(std::memory_order_relaxed);

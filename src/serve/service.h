@@ -17,12 +17,14 @@
 
 #include "common/deadline.h"
 #include "common/metrics.h"
+#include "common/resource_meter.h"
 #include "common/status.h"
 #include "dedup/pruned_dedup.h"
 #include "predicates/corpus.h"
 #include "predicates/pair_predicate.h"
 #include "record/record.h"
 #include "serve/breaker.h"
+#include "serve/cost_model.h"
 #include "serve/request_log.h"
 #include "serve/retry.h"
 #include "topk/online.h"
@@ -100,6 +102,15 @@ struct QueryResponse {
   double queue_seconds = 0.0;
   /// Admission-to-response wall seconds (queue + attempts + backoffs).
   double latency_seconds = 0.0;
+  /// CPU seconds the query's execution attempts charged to its
+  /// ResourceMeter, across every pool worker the work fanned out to (0
+  /// for requests that never executed). Identically the sum of
+  /// stage_cpu_seconds.
+  double cpu_seconds = 0.0;
+  /// Per-stage CPU breakdown, sorted by stage name ("collapse",
+  /// "lower_bound", "prune", "pair_scoring", "segment_dp", "embedding",
+  /// "other").
+  std::vector<std::pair<std::string, double>> stage_cpu_seconds;
 };
 
 /// Everything the service must own for a resident static dataset. The
@@ -132,7 +143,11 @@ struct ServiceOptions {
   /// Upper clamp on any caller-requested budget.
   int64_t max_deadline_ms = 10000;
   /// Reject a request up front (ResourceExhausted) when its budget cannot
-  /// cover the dataset's observed p50 execution cost.
+  /// cover the dataset's measured execution cost. The prediction comes
+  /// from the dataset's CostModel (EWMA of attributed CPU, wall time, and
+  /// work units, expressed as CPU per candidate pair / per posting
+  /// decoded); until the model has a sample the observed wall p50 is the
+  /// fallback. The refusal message cites the measured unit costs used.
   bool shed_on_predicted_miss = true;
   /// Retry/backoff schedule for transient (Internal) failures.
   RetryPolicy retry;
@@ -168,6 +183,9 @@ struct DatasetHealth {
   BreakerState breaker = BreakerState::kClosed;
   /// Observed p50 execution seconds (0 until a sample lands).
   double p50_seconds = 0.0;
+  /// The dataset's measured cost model as one JSON object (unit CPU
+  /// costs, EWMA work counts, predicted cost) for /statusz.
+  std::string cost_model_json;
   uint64_t served = 0;
   uint64_t errors = 0;
   uint64_t shed = 0;
@@ -262,6 +280,19 @@ class QueryService {
   /// empty snapshots. The admin server reads /debug/queries through this.
   const RequestLog& request_log() const { return *request_log_; }
 
+  /// Top CPU consumers over the sliding attribution window (the /statusz
+  /// top-consumers table): by dataset and by pipeline stage.
+  std::vector<std::pair<std::string, double>> TopCpuByDataset(
+      size_t n) const {
+    return cpu_by_dataset_.Top(n);
+  }
+  std::vector<std::pair<std::string, double>> TopCpuByStage(size_t n) const {
+    return cpu_by_stage_.Top(n);
+  }
+  double cpu_window_seconds() const {
+    return cpu_by_dataset_.window_seconds();
+  }
+
  private:
   struct DatasetState;
   struct Pending;
@@ -307,6 +338,11 @@ class QueryService {
   size_t inflight_ = 0;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  /// Sliding-window CPU attribution feeding the /statusz top-consumers
+  /// table; charged once per finished query from its meter.
+  resource::CpuWindow cpu_by_dataset_;
+  resource::CpuWindow cpu_by_stage_;
 
   std::atomic<uint64_t> next_request_id_{0};
   std::atomic<uint64_t> admitted_total_{0};

@@ -16,12 +16,14 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -71,8 +73,18 @@ class Watchdog {
 
 struct HttpReply {
   int status = 0;
+  std::string headers;  // Raw header block (status line included).
   std::string body;
   bool complete = false;  // Body length matched Content-Length.
+
+  /// The value of header `name`, or "" when absent.
+  std::string Header(const std::string& name) const {
+    const std::string needle = "\r\n" + name + ": ";
+    const size_t pos = headers.find(needle);
+    if (pos == std::string::npos) return "";
+    const size_t start = pos + needle.size();
+    return headers.substr(start, headers.find("\r\n", start) - start);
+  }
 };
 
 /// Minimal blocking HTTP/1.1 client: one request, reads to EOF (the
@@ -115,6 +127,7 @@ HttpReply HttpGet(int port, const std::string& path,
   reply.status = std::atoi(raw.c_str() + 9);
   const size_t head_end = raw.find("\r\n\r\n");
   if (head_end == std::string::npos) return reply;
+  reply.headers = raw.substr(0, head_end);
   reply.body = raw.substr(head_end + 4);
   const size_t cl = raw.find("Content-Length: ");
   if (cl != std::string::npos && cl < head_end) {
@@ -232,6 +245,21 @@ TEST_F(AdminTest, EndpointsServeValidPayloadsAndTypedRejections) {
   EXPECT_NE(statusz.body.find("\"breaker\":\"closed\""), std::string::npos);
   EXPECT_NE(statusz.body.find("\"index_bytes\":"), std::string::npos);
   EXPECT_NE(statusz.body.find("\"hit_rate\":"), std::string::npos);
+  // Process self-stats: a live process has nonzero RSS and at least the
+  // listen socket plus stdio open.
+  const size_t rss_at = statusz.body.find("\"rss_bytes\":");
+  ASSERT_NE(rss_at, std::string::npos);
+  EXPECT_GT(std::atoll(statusz.body.c_str() + rss_at + 12), 0);
+  const size_t fds_at = statusz.body.find("\"open_fds\":");
+  ASSERT_NE(fds_at, std::string::npos);
+  EXPECT_GT(std::atoll(statusz.body.c_str() + fds_at + 11), 2);
+  // Top-CPU tables and the per-dataset measured cost model: the queries
+  // above charged CPU, so the window is non-empty and the model seeded.
+  EXPECT_NE(statusz.body.find("\"top_cpu\":{\"window_seconds\":"),
+            std::string::npos);
+  EXPECT_NE(statusz.body.find("\"cost_model\":{\"samples\":"),
+            std::string::npos);
+  EXPECT_NE(statusz.body.find("\"cpu_per_pair_ns\":"), std::string::npos);
 
   const HttpReply tracez = HttpGet(admin.port(), "/tracez");
   EXPECT_EQ(tracez.status, 200);
@@ -260,6 +288,140 @@ TEST_F(AdminTest, EndpointsServeValidPayloadsAndTypedRejections) {
   admin.Stop();
   EXPECT_FALSE(admin.running());
   // Stop is idempotent and restart-after-stop works on a fresh port.
+  admin.Stop();
+}
+
+TEST_F(AdminTest, HeadAnswersLikeGetWithoutABody) {
+  Watchdog watchdog(60);
+  obs::AdminServer admin;
+  admin.Handle("/healthz", [] {
+    return obs::AdminResponse{200, "text/plain; charset=utf-8", "ok\n", {}};
+  });
+  ASSERT_TRUE(admin.Start().ok());
+
+  const HttpReply get = HttpGet(admin.port(), "/healthz");
+  ASSERT_EQ(get.status, 200);
+  ASSERT_EQ(get.body, "ok\n");
+
+  // HEAD runs the same handler: identical status, Content-Type, and
+  // Content-Length (measuring the body it would have sent), body elided.
+  const HttpReply head = HttpGet(admin.port(), "/healthz", "HEAD");
+  EXPECT_EQ(head.status, 200);
+  EXPECT_TRUE(head.body.empty());
+  EXPECT_EQ(head.Header("Content-Length"),
+            std::to_string(get.body.size()));
+  EXPECT_EQ(head.Header("Content-Type"), get.Header("Content-Type"));
+
+  // HEAD on an unknown path is still a 404 — routed, not special-cased.
+  EXPECT_EQ(HttpGet(admin.port(), "/nope", "HEAD").status, 404);
+  admin.Stop();
+}
+
+TEST_F(AdminTest, MethodNotAllowedCarriesAllowHeader) {
+  Watchdog watchdog(60);
+  obs::AdminServer admin;
+  admin.Handle("/healthz", [] {
+    return obs::AdminResponse{200, "text/plain; charset=utf-8", "ok\n", {}};
+  });
+  ASSERT_TRUE(admin.Start().ok());
+  for (const char* method : {"POST", "PUT", "DELETE"}) {
+    const HttpReply reply = HttpGet(admin.port(), "/healthz", method);
+    EXPECT_EQ(reply.status, 405) << method;
+    EXPECT_EQ(reply.Header("Allow"), "GET, HEAD") << method;
+    EXPECT_TRUE(reply.complete) << method;
+  }
+  admin.Stop();
+}
+
+TEST_F(AdminTest, StalledClientIsDroppedWithoutStarvingOthers) {
+  Watchdog watchdog(60);
+  obs::AdminServerOptions options;
+  options.io_timeout_ms = 300;
+  obs::AdminServer admin(options);
+  admin.Handle("/healthz", [] {
+    return obs::AdminResponse{200, "text/plain; charset=utf-8", "ok\n", {}};
+  });
+  ASSERT_TRUE(admin.Start().ok());
+
+  // A client that connects, sends half a request line, and stalls. The
+  // serial accept loop picks it up first; io_timeout_ms bounds how long
+  // it can hold the loop hostage.
+  const int stalled = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stalled, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(admin.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(stalled, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ASSERT_GT(::send(stalled, "GET /heal", 9, 0), 0);
+  // Let the loop accept the stalled connection before the good one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  const auto before = std::chrono::steady_clock::now();
+  const HttpReply healthz = HttpGet(admin.port(), "/healthz");
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    before)
+          .count();
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_EQ(healthz.body, "ok\n");
+  // Bounded by the stalled client's receive timeout plus scheduling
+  // slack — NOT by the watchdog. 2s of slack absorbs a loaded CI box.
+  EXPECT_LT(waited, 0.3 + 2.0);
+
+  // The server dropped the stalled connection when its read timed out:
+  // our end sees EOF (or a reset) promptly instead of hanging forever.
+  char buf[64];
+  const ssize_t n = ::recv(stalled, buf, sizeof(buf), 0);
+  EXPECT_LE(n, 0);
+  ::close(stalled);
+  admin.Stop();
+}
+
+TEST_F(AdminTest, ProfileEndpointReturnsCollapsedStacksUnderLoad) {
+  Watchdog watchdog(120);
+  serve::ServiceOptions options;
+  options.workers = 2;
+  serve::QueryService service(options);
+  ASSERT_TRUE(service.RegisterDataset("cites", MakeBundle(data_)).ok());
+  obs::AdminServer admin;
+  serve::RegisterAdminEndpoints(admin, service);
+  ASSERT_TRUE(admin.Start().ok());
+
+  // Real queries running while the profile window is open, so SIGPROF
+  // has CPU to sample.
+  std::atomic<bool> done{false};
+  std::thread load([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)service.Execute(CountRequest());
+    }
+  });
+  const HttpReply profile =
+      HttpGet(admin.port(), "/debug/profile?seconds=0.3");
+  done.store(true, std::memory_order_release);
+  load.join();
+
+  ASSERT_EQ(profile.status, 200) << profile.body;
+  ASSERT_FALSE(profile.body.empty());
+  // Collapsed-stack shape: every line is "frame;frame count", and the
+  // workload's library frames are symbolized (CMAKE_ENABLE_EXPORTS).
+  std::istringstream lines(profile.body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::atoll(line.c_str() + space + 1), 0) << line;
+  }
+  EXPECT_NE(profile.body.find("topkdup"), std::string::npos)
+      << profile.body.substr(0, 1000);
+
+  // Bad parameter: typed rejection, profiler left disarmed.
+  EXPECT_EQ(HttpGet(admin.port(), "/debug/profile?seconds=bogus").status,
+            400);
   admin.Stop();
 }
 

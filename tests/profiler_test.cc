@@ -1,0 +1,135 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "sim/similarity.h"
+
+namespace topkdup {
+namespace {
+
+using obs::Profiler;
+using obs::ProfilerOptions;
+
+/// Burns CPU through a real library function so collapsed stacks contain
+/// a recognizable topkdup:: frame (the library is linked with
+/// CMAKE_ENABLE_EXPORTS, so extern symbols survive to backtrace).
+double BurnThroughLibrary(int iterations) {
+  double sink = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    sink += sim::JaroWinkler("instance-based learning algorithms revisited",
+                             "instance based learning algorithm revisited");
+    sink += sim::LevenshteinSimilarity("efficient top-k count queries",
+                                       "efficient topk count query");
+  }
+  return sink;
+}
+
+/// Every line of collapsed output is "frame;frame;frame count".
+void ExpectCollapsedFormat(const std::string& collapsed) {
+  std::istringstream lines(collapsed);
+  std::string line;
+  int checked = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string count = line.substr(space + 1);
+    ASSERT_FALSE(count.empty()) << line;
+    for (char c : count) EXPECT_TRUE(c >= '0' && c <= '9') << line;
+    EXPECT_GT(std::stoull(count), 0u) << line;
+    // Frames must not contain spaces (they'd corrupt the flamegraph
+    // count field) — the symbolizer replaces them.
+    EXPECT_EQ(line.substr(0, space).find(' '), std::string::npos) << line;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(ProfilerTest, DisarmedTakesNoSamples) {
+  Profiler& profiler = Profiler::Global();
+  ASSERT_FALSE(profiler.armed());
+  const uint64_t taken_before = profiler.SamplesTaken();
+  // Burn real CPU while disarmed: with no handler installed and no
+  // ITIMER_PROF running, nothing can fire.
+  volatile double sink = BurnThroughLibrary(2000);
+  (void)sink;
+  EXPECT_FALSE(profiler.armed());
+  EXPECT_EQ(profiler.SamplesTaken(), taken_before);
+}
+
+TEST(ProfilerTest, CollectUnderLoadProducesCollapsedStacks) {
+  Profiler& profiler = Profiler::Global();
+  ASSERT_FALSE(profiler.armed());
+  // Drive the load from a second thread so the Collect() sleep doesn't
+  // starve the process CPU clock the profiling timer ticks on.
+  std::atomic<bool> stop{false};
+  std::thread burner([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) BurnThroughLibrary(50);
+  });
+  StatusOr<std::string> collapsed = profiler.Collect(0.5);
+  stop.store(true, std::memory_order_relaxed);
+  burner.join();
+  ASSERT_TRUE(collapsed.ok()) << collapsed.status().ToString();
+  ASSERT_FALSE(collapsed.value().empty());
+  EXPECT_GT(profiler.SamplesTaken(), 0u);
+  ExpectCollapsedFormat(collapsed.value());
+  // The burner spends its time inside the library; with -rdynamic the
+  // mangled names demangle to topkdup::sim frames.
+  EXPECT_NE(collapsed.value().find("topkdup"), std::string::npos)
+      << collapsed.value().substr(0, 2000);
+  EXPECT_FALSE(profiler.armed());
+}
+
+TEST(ProfilerTest, DoubleStartFailsPrecondition) {
+  Profiler& profiler = Profiler::Global();
+  ASSERT_TRUE(profiler.Start().ok());
+  const Status again = profiler.Start();
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  // A concurrent Collect must refuse rather than hijack the session.
+  EXPECT_EQ(profiler.Collect(0.1).status().code(),
+            StatusCode::kFailedPrecondition);
+  (void)profiler.Stop();
+  EXPECT_FALSE(profiler.armed());
+}
+
+TEST(ProfilerTest, RestartAfterStopWorks) {
+  Profiler& profiler = Profiler::Global();
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(profiler.Start().ok()) << "round " << round;
+    volatile double sink = BurnThroughLibrary(500);
+    (void)sink;
+    const std::string collapsed = profiler.Stop();
+    EXPECT_FALSE(profiler.armed()) << "round " << round;
+    // Samples are plausible but not guaranteed on a loaded CI machine;
+    // the invariant is that Stop() always disarms and never crashes.
+    if (!collapsed.empty()) ExpectCollapsedFormat(collapsed);
+  }
+}
+
+TEST(ProfilerTest, CollectRejectsBadWindows) {
+  Profiler& profiler = Profiler::Global();
+  // Clamped, not rejected: tiny and huge windows both succeed.
+  StatusOr<std::string> tiny = profiler.Collect(0.001);
+  EXPECT_TRUE(tiny.ok());
+  EXPECT_FALSE(profiler.armed());
+}
+
+TEST(ProfilerTest, StopWithoutSamplesReturnsEmpty) {
+  Profiler& profiler = Profiler::Global();
+  ProfilerOptions options;
+  options.hz = 1;  // Slowest rate: an immediate stop takes no samples.
+  ASSERT_TRUE(profiler.Start(options).ok());
+  const std::string collapsed = profiler.Stop();
+  EXPECT_TRUE(collapsed.empty());
+  EXPECT_EQ(profiler.SamplesTaken(), 0u);
+}
+
+}  // namespace
+}  // namespace topkdup

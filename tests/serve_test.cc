@@ -823,6 +823,152 @@ TEST_F(ServeTest, QueryIdJoinsSpansRequestLogAndExplainCapture) {
   EXPECT_NE(debug.find("\"explain\":{"), std::string::npos);
   const size_t explain_pos = debug.find("\"explain\":{");
   EXPECT_NE(debug.find(id_key, explain_pos), std::string::npos);
+  // The captured report is annotated with the query's measured CPU and
+  // per-stage breakdown (ExplainReport::resources).
+  EXPECT_NE(debug.find("\"resources\":{\"cpu_ms\":", explain_pos),
+            std::string::npos);
+  EXPECT_NE(debug.find("\"stages_ms\":{", explain_pos), std::string::npos);
+}
+
+/// Pulls "key":<number> out of a JSON line (flat keys only — good enough
+/// for the request log's own output).
+double JsonNumber(const std::string& line, const std::string& key) {
+  const size_t at = line.find("\"" + key + "\":");
+  if (at == std::string::npos) return -1.0;
+  return std::atof(line.c_str() + at + key.size() + 3);
+}
+
+TEST_F(ServeTest, CpuAttributionFlowsToResponseAndRequestLog) {
+  Watchdog watchdog(120);
+  ServiceOptions options = QuietOptions();
+  options.request_log.ok_sample_every = 1;  // Emit the healthy line too.
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+
+  QueryResponse response = service.Execute(CountRequest("cites"));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_EQ(response.outcome, ServedOutcome::kExact);
+
+  // The response carries measured CPU and a per-stage breakdown whose sum
+  // IS the total (exclusive-interval charging; DESIGN.md §6i).
+  EXPECT_GT(response.cpu_seconds, 0.0);
+  ASSERT_FALSE(response.stage_cpu_seconds.empty());
+  double stage_sum = 0.0;
+  for (const auto& [stage, seconds] : response.stage_cpu_seconds) {
+    EXPECT_FALSE(stage.empty());
+    EXPECT_GE(seconds, 0.0);
+    stage_sum += seconds;
+  }
+  EXPECT_NEAR(stage_sum, response.cpu_seconds,
+              1e-9 * std::max(1.0, response.cpu_seconds));
+
+  // The request-log line reconciles too, within print rounding: every
+  // value renders at 1e-4 ms, so sum-vs-total divergence is bounded by
+  // (stages + 1) * 5e-5 ms — 0.01 ms is generous.
+  std::vector<std::string> lines = service.request_log().RecentLines();
+  ASSERT_FALSE(lines.empty());
+  std::string line;
+  for (const std::string& candidate : lines) {
+    if (candidate.find("\"query_id\":" +
+                       std::to_string(response.query_id)) !=
+        std::string::npos) {
+      line = candidate;
+    }
+  }
+  ASSERT_FALSE(line.empty());
+  const double cpu_ms = JsonNumber(line, "cpu_ms");
+  EXPECT_GT(cpu_ms, 0.0);
+  const size_t stages_at = line.find("\"cpu_stages\":{");
+  ASSERT_NE(stages_at, std::string::npos);
+  const size_t stages_end = line.find('}', stages_at);
+  double logged_sum = 0.0;
+  size_t colon = line.find("\":", stages_at + 14);
+  while (colon != std::string::npos && colon < stages_end) {
+    logged_sum += std::atof(line.c_str() + colon + 2);
+    colon = line.find("\":", colon + 2);
+  }
+  EXPECT_NEAR(logged_sum, cpu_ms, 0.01);
+
+  // The sliding-window top-consumer tables saw the query.
+  const auto by_dataset = service.TopCpuByDataset(5);
+  ASSERT_FALSE(by_dataset.empty());
+  EXPECT_EQ(by_dataset[0].first, "cites");
+  EXPECT_GT(by_dataset[0].second, 0.0);
+  EXPECT_FALSE(service.TopCpuByStage(5).empty());
+  EXPECT_GT(service.cpu_window_seconds(), 0.0);
+}
+
+TEST_F(ServeTest, PredictedMissShedCitesMeasuredUnitCost) {
+  Watchdog watchdog(120);
+  ServiceOptions options = QuietOptions();
+  options.request_log.ok_sample_every = 0;  // Sheds always emit anyway.
+  QueryService service(options);
+  // Registration calibrates, seeding both p50 and the measured cost
+  // model (CPU per candidate pair / per posting decoded).
+  ASSERT_TRUE(
+      service.RegisterDataset("cites", MakeCitationBundle(data_)).ok());
+  HealthSnapshot health = service.Health();
+  ASSERT_EQ(health.datasets.size(), 1u);
+  EXPECT_GE(JsonNumber(health.datasets[0].cost_model_json, "samples"), 1.0);
+
+  // A 1 ms budget is far below the measured cost of an exact query over
+  // 800 records: the shedder must refuse up front, citing the model.
+  QueryRequest starved = CountRequest("cites");
+  starved.deadline_ms = 1;
+  QueryResponse shed = service.Execute(starved);
+  ASSERT_EQ(shed.outcome, ServedOutcome::kShed);
+  EXPECT_EQ(shed.shed_reason, "predicted_miss");
+  EXPECT_DOUBLE_EQ(shed.cpu_seconds, 0.0);  // Never executed.
+
+  std::vector<std::string> lines = service.request_log().RecentLines();
+  ASSERT_FALSE(lines.empty());
+  const std::string& line = lines.back();
+  EXPECT_NE(line.find("\"shed_reason\":\"predicted_miss\""),
+            std::string::npos);
+  // The refusal is auditable: the line records the predicted wall cost
+  // and the unit cost the prediction was built from.
+  EXPECT_GT(JsonNumber(line, "shed_predicted_ms"), 1.0);
+  EXPECT_NE(line.find("\"shed_cpu_per_pair_ns\""), std::string::npos);
+  EXPECT_GT(JsonNumber(line, "shed_cpu_per_pair_ns"), 0.0);
+}
+
+TEST_F(ServeTest, RequestLogRotatesAtMaxBytes) {
+  const std::string path = ::testing::TempDir() + "/reqlog_rot_" +
+                           std::to_string(::getpid()) + ".jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  metrics::Counter* rotations =
+      metrics::Registry::Global().GetCounter("serve.requestlog.rotations");
+  const uint64_t rotations_before = rotations->Value();
+
+  RequestLogOptions options;
+  options.path = path;
+  options.ok_sample_every = 1;
+  options.max_bytes = 512;
+  {
+    RequestLog log(options);
+    RequestLogEvent event;
+    event.dataset = "cites";
+    event.kind = "topk_count";
+    event.status = "Internal";  // Unusual: always emitted.
+    event.outcome = "error";
+    for (int i = 0; i < 32; ++i) {
+      event.query_id = static_cast<uint64_t>(i + 1);
+      EXPECT_TRUE(log.Record(event));
+    }
+  }
+  EXPECT_GT(rotations->Value(), rotations_before);
+  // Rotation leaves the previous generation at "<path>.1" and keeps the
+  // live file under the threshold (each line is ~300 bytes < max_bytes).
+  struct ::stat rotated_stat;
+  ASSERT_EQ(::stat((path + ".1").c_str(), &rotated_stat), 0);
+  EXPECT_GT(rotated_stat.st_size, 0);
+  struct ::stat live_stat;
+  ASSERT_EQ(::stat(path.c_str(), &live_stat), 0);
+  EXPECT_LE(live_stat.st_size, 512 + 400);
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
 }
 
 }  // namespace
