@@ -23,7 +23,9 @@
 //       --fault-prob=0.25 --json=BENCH_serve.json
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <future>
@@ -47,11 +49,25 @@
 #include "serve/service.h"
 #include "sim/similarity.h"
 #include "text/tokenize.h"
+#include "topk/online.h"
 
 namespace topkdup {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Set by SIGTERM/SIGINT: the loops stop, the service shuts down cleanly
+/// (WAL synced, checkpoint written, request log flushed), and the run
+/// prints `clean_shutdown=1` — the marker the chaos harness uses to tell a
+/// clean exit from a kill -9.
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void InstallStopHandlers() {
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+}
 
 serve::DatasetBundle MakeCitationBundle(int records, uint64_t seed) {
   datagen::CitationGenOptions gen;
@@ -84,6 +100,64 @@ serve::DatasetBundle MakeCitationBundle(int records, uint64_t seed) {
            10.0;
   };
   return bundle;
+}
+
+/// Exact-key online stream for the durable-ingest workload (same shape as
+/// the serve_test stream: collapse on field 0 equality, trivial scorer).
+std::unique_ptr<topk::OnlineTopK> MakeKeyStream() {
+  topk::OnlineTopK::Config config;
+  config.sufficient_signature = [](const record::Record& r) {
+    return std::vector<std::string>{r.field(0)};
+  };
+  config.sufficient_match = [](const record::Record& a,
+                               const record::Record& b) {
+    return a.field(0) == b.field(0);
+  };
+  config.necessary_factory = [](const predicates::Corpus& corpus) {
+    return std::make_unique<predicates::CommonWordsPredicate>(
+        &corpus, std::vector<int>{0}, 1);
+  };
+  config.scorer_factory = [](const record::Dataset&) {
+    return [](size_t, size_t) { return -1.0; };
+  };
+  return std::make_unique<topk::OnlineTopK>(record::Schema({"key", "note"}),
+                                            std::move(config));
+}
+
+/// The i-th mention of the canonical ingest sequence — a pure function of
+/// i, so after a crash the harness can verify that the recovered stream is
+/// exactly the prefix [0, acked).
+record::Record CanonicalMention(int64_t i, int64_t keys) {
+  record::Record r;
+  r.fields = {"key-" + std::to_string(i % keys),
+              "note-" + std::to_string(i)};
+  r.weight = 1.0 + static_cast<double>(i % 7) * 0.5;
+  r.entity_id = i % keys;
+  return r;
+}
+
+/// Canonical dump of a count-query answer for bit-identical comparison
+/// between a recovered stream and an uncrashed in-memory reference.
+std::string DumpResult(const topk::TopKCountResult& result) {
+  std::string out;
+  char buf[160];
+  for (const topk::TopKAnswerSet& answer : result.answers) {
+    std::snprintf(buf, sizeof(buf), "answer score=%.17g\n", answer.score);
+    out += buf;
+    for (const topk::AnswerGroup& group : answer.groups) {
+      std::snprintf(buf, sizeof(buf), " group w=%.17g lo=%.17g hi=%.17g m=",
+                    group.weight, group.count_lower, group.count_upper);
+      out += buf;
+      std::vector<size_t> members = group.members;
+      std::sort(members.begin(), members.end());
+      for (size_t m : members) {
+        out += std::to_string(m);
+        out += ",";
+      }
+      out += "\n";
+    }
+  }
+  return out;
 }
 
 struct PhaseStats {
@@ -173,6 +247,7 @@ PhaseStats RunClosedLoop(serve::QueryService& service,
     const int share = requests / clients + (c < requests % clients ? 1 : 0);
     threads.emplace_back([&service, &flags, &per_client, c, share] {
       for (int i = 0; i < share; ++i) {
+        if (g_stop.load(std::memory_order_relaxed)) break;
         per_client[c].push_back(service.Execute(MakeRequest(flags)));
       }
     });
@@ -199,6 +274,7 @@ PhaseStats RunOpenLoop(serve::QueryService& service,
   futures.reserve(requests);
   const Clock::time_point start = Clock::now();
   for (int i = 0; i < requests; ++i) {
+    if (g_stop.load(std::memory_order_relaxed)) break;
     std::this_thread::sleep_until(
         start + std::chrono::duration_cast<Clock::duration>(
                     std::chrono::duration<double>(
@@ -213,6 +289,7 @@ PhaseStats RunOpenLoop(serve::QueryService& service,
 }
 
 int Main(int argc, char** argv) {
+  InstallStopHandlers();
   bench::Flags flags(argc, argv);
   const int records = static_cast<int>(flags.GetInt("records", 600));
   const int requests = static_cast<int>(flags.GetInt("requests", 100));
@@ -221,6 +298,21 @@ int Main(int argc, char** argv) {
   const int64_t fault_seed = flags.GetInt("fault-seed", 20090324);
   std::vector<int> rates = {50, 400};
   rates = flags.GetIntList("rates", rates);
+  // Durable-ingest knobs (all default-off; the pinned query workload is
+  // byte-identical without them). --wal-dir turns on the durability layer
+  // for the online "stream" dataset; --ingest drives the canonical
+  // mention sequence into it; --ack-log appends one line per acknowledged
+  // mention (the chaos harness's loss oracle); --verify recovers, checks
+  // the stream against the canonical prefix, and compares query answers
+  // bit-identically to an uncrashed in-memory reference.
+  const std::string wal_dir = flags.GetString("wal-dir", "");
+  const std::string wal_fsync = flags.GetString("wal-fsync", "always");
+  const int64_t ingest_n = flags.GetInt("ingest", 0);
+  const int64_t ingest_keys = std::max<int64_t>(1, flags.GetInt("ingest-keys", 50));
+  const int64_t ingest_sleep_us = flags.GetInt("ingest-sleep-us", 0);
+  const std::string ack_log = flags.GetString("ack-log", "");
+  const bool verify = flags.GetInt("verify", 0) != 0;
+  const bool want_stream = !wal_dir.empty() || ingest_n > 0 || verify;
   bench::Observability obs = bench::ApplyObservabilityFlags(flags);
 
   serve::ServiceOptions options;
@@ -238,17 +330,56 @@ int Main(int argc, char** argv) {
   options.request_log.slow_ms = flags.GetInt("slow-ms", 0);
   options.request_log.max_bytes = static_cast<uint64_t>(
       flags.GetInt("request-log-max-bytes", 0));
-  serve::QueryService service(options);
+  options.wal_dir = wal_dir;
+  {
+    auto policy_or = serve::ParseWalFsyncPolicy(wal_fsync);
+    if (!policy_or.ok()) {
+      std::fprintf(stderr, "--wal-fsync: %s\n",
+                   policy_or.status().ToString().c_str());
+      return 1;
+    }
+    options.wal.fsync = policy_or.value();
+  }
+  options.wal.every_n =
+      static_cast<uint64_t>(flags.GetInt("wal-every-n", 32));
+  options.wal.interval_ms = flags.GetInt("wal-interval-ms", 50);
+  options.checkpoint_bytes = static_cast<uint64_t>(
+      flags.GetInt("checkpoint-bytes", 1 << 20));
+  // Heap-owned so the run can destroy the service — the clean-shutdown
+  // path (Drain, WAL sync, final checkpoint, worker join) — *before*
+  // printing the clean_shutdown marker the chaos harness trusts.
+  auto service = std::make_unique<serve::QueryService>(options);
   // Register (and calibrate) before arming programmatic faults so the
   // cost estimate and the breaker's degraded-answer cache start clean.
   // Env-armed faults (TOPKDUP_FAULTS) hit calibration too — that is the
-  // smoke configuration, and the service must survive it.
-  Status registered =
-      service.RegisterDataset("cites", MakeCitationBundle(records, 7));
-  if (!registered.ok()) {
-    std::fprintf(stderr, "RegisterDataset: %s\n",
-                 registered.ToString().c_str());
-    return 1;
+  // smoke configuration, and the service must survive it. With
+  // --requests=0 (the crash-harness ingest rounds) the query dataset is
+  // skipped entirely — registration and calibration cost would only slow
+  // the crash loop down.
+  if (requests > 0) {
+    Status registered =
+        service->RegisterDataset("cites", MakeCitationBundle(records, 7));
+    if (!registered.ok()) {
+      std::fprintf(stderr, "RegisterDataset: %s\n",
+                   registered.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // The durable online stream. Registration runs crash recovery when
+  // persisted state exists; a typed recovery failure (mid-file WAL
+  // corruption) exits 2 with the status on stderr so the harness can
+  // assert the error class.
+  topk::OnlineTopK* stream_raw = nullptr;
+  if (want_stream) {
+    auto stream = MakeKeyStream();
+    stream_raw = stream.get();
+    Status registered = service->RegisterOnline("stream", std::move(stream));
+    if (!registered.ok()) {
+      std::fprintf(stderr, "RegisterOnline: %s\n",
+                   registered.ToString().c_str());
+      return 2;
+    }
   }
   // --admin-port=-1 (default) keeps the admin plane entirely off;
   // --admin-port=0 binds an ephemeral port and prints it, which is how
@@ -256,7 +387,7 @@ int Main(int argc, char** argv) {
   const int admin_port = static_cast<int>(flags.GetInt("admin-port", -1));
   obs::AdminServer admin({admin_port < 0 ? 0 : admin_port});
   if (admin_port >= 0) {
-    serve::RegisterAdminEndpoints(admin, service);
+    serve::RegisterAdminEndpoints(admin, *service);
     Status started = admin.Start();
     if (!started.ok()) {
       std::fprintf(stderr, "admin server: %s\n", started.ToString().c_str());
@@ -265,20 +396,135 @@ int Main(int argc, char** argv) {
     std::printf("admin.port=%d\n", admin.port());
     std::fflush(stdout);
   }
+
+  // Recovery verification: the recovered stream must be exactly the
+  // canonical prefix, and its query answers bit-identical to a reference
+  // stream rebuilt in memory from that prefix.
+  if (verify && stream_raw != nullptr) {
+    const size_t recovered = stream_raw->mention_count();
+    for (size_t i = 0; i < recovered; ++i) {
+      const record::Record& got = stream_raw->mention(i);
+      const record::Record want =
+          CanonicalMention(static_cast<int64_t>(i), ingest_keys);
+      if (got.fields != want.fields || got.weight != want.weight ||
+          got.entity_id != want.entity_id) {
+        std::fprintf(stderr,
+                     "FAIL: recovered mention %zu diverges from the "
+                     "canonical sequence\n",
+                     i);
+        return 3;
+      }
+    }
+    auto reference = MakeKeyStream();
+    for (size_t i = 0; i < recovered; ++i) {
+      Status added = reference->AddMention(
+          CanonicalMention(static_cast<int64_t>(i), ingest_keys));
+      TOPKDUP_CHECK(added.ok());
+    }
+    topk::TopKCountOptions qopts;
+    qopts.k = static_cast<int>(flags.GetInt("k", 5));
+    qopts.r = 1;
+    std::string got_dump;
+    std::string want_dump;
+    if (recovered > 0) {
+      auto got_or = stream_raw->Query(qopts);
+      auto want_or = reference->Query(qopts);
+      if (!got_or.ok() || !want_or.ok()) {
+        std::fprintf(stderr, "FAIL: verify query failed: %s / %s\n",
+                     got_or.status().ToString().c_str(),
+                     want_or.status().ToString().c_str());
+        return 3;
+      }
+      got_dump = DumpResult(got_or.value());
+      want_dump = DumpResult(want_or.value());
+    }
+    if (got_dump != want_dump) {
+      std::fprintf(stderr,
+                   "FAIL: recovered query answer differs from the "
+                   "in-memory reference\n got:\n%s want:\n%s",
+                   got_dump.c_str(), want_dump.c_str());
+      return 3;
+    }
+    std::printf("verify.recovered=%zu verify.match=1\n", recovered);
+    std::fflush(stdout);
+  }
+
   if (fault_prob > 0.0) {
     fault::ArmForTest("serve.query", fault_prob,
                       static_cast<uint64_t>(fault_seed));
   }
+  // Independent of the query-path faults: the chaos harness arms only the
+  // durability sites so crash rounds exercise the WAL rollback + retry
+  // path without perturbing the pinned query workload.
+  const double wal_fault_prob = flags.GetDouble("wal-fault-prob", 0.0);
+  if (wal_fault_prob > 0.0) {
+    fault::ArmForTest("wal.append", wal_fault_prob,
+                      static_cast<uint64_t>(fault_seed) + 1);
+    fault::ArmForTest("wal.fsync", wal_fault_prob,
+                      static_cast<uint64_t>(fault_seed) + 2);
+  }
+
+  // Ingest phase: drive the canonical mention sequence, one writer,
+  // unbounded retry on transient failures — an index is acknowledged (and
+  // appended to --ack-log) only after Ingest returned OK, so the ack log
+  // is always a sound lower bound on what must survive a crash.
+  int64_t acked = 0;
+  if (ingest_n > 0 && stream_raw != nullptr) {
+    std::FILE* ack_file =
+        ack_log.empty() ? nullptr : std::fopen(ack_log.c_str(), "a");
+    if (!ack_log.empty() && ack_file == nullptr) {
+      std::fprintf(stderr, "cannot open --ack-log=%s\n", ack_log.c_str());
+      return 1;
+    }
+    const int64_t base = static_cast<int64_t>(stream_raw->mention_count());
+    const Clock::time_point ingest_start = Clock::now();
+    for (int64_t i = base; i < base + ingest_n; ++i) {
+      if (g_stop.load(std::memory_order_relaxed)) break;
+      bool fatal = false;
+      for (;;) {
+        Status s = service->Ingest("stream",
+                                   CanonicalMention(i, ingest_keys));
+        if (s.ok()) break;
+        if (s.code() != StatusCode::kInternal &&
+            s.code() != StatusCode::kIOError) {
+          std::fprintf(stderr, "FAIL: ingest %lld: %s\n",
+                       static_cast<long long>(i), s.ToString().c_str());
+          fatal = true;
+          break;
+        }
+        if (g_stop.load(std::memory_order_relaxed)) break;
+      }
+      if (fatal) return 1;
+      if (g_stop.load(std::memory_order_relaxed) &&
+          static_cast<int64_t>(stream_raw->mention_count()) == i) {
+        break;  // Stopped before this mention was acknowledged.
+      }
+      ++acked;
+      if (ack_file != nullptr) {
+        std::fprintf(ack_file, "%lld\n", static_cast<long long>(i + 1));
+        std::fflush(ack_file);
+      }
+      if (ingest_sleep_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(ingest_sleep_us));
+      }
+    }
+    if (ack_file != nullptr) std::fclose(ack_file);
+    const double ingest_seconds =
+        std::chrono::duration<double>(Clock::now() - ingest_start).count();
+    std::printf("ingest.acked=%lld ingest.seconds=%.3f\n",
+                static_cast<long long>(acked), ingest_seconds);
+    std::fflush(stdout);
+  }
 
   std::vector<PhaseStats> phases;
-  const uint64_t log_emitted_before = service.request_log().emitted();
-  phases.push_back(RunClosedLoop(service, flags, requests, clients));
+  const uint64_t log_emitted_before = service->request_log().emitted();
+  phases.push_back(RunClosedLoop(*service, flags, requests, clients));
   const uint64_t closed_log_emitted =
-      service.request_log().emitted() - log_emitted_before;
+      service->request_log().emitted() - log_emitted_before;
   for (int rate : rates) {
-    phases.push_back(RunOpenLoop(service, flags, requests, rate));
+    phases.push_back(RunOpenLoop(*service, flags, requests, rate));
   }
-  service.Drain();
+  service->Drain();
   fault::DisarmAllForTest();
   // Keep the admin endpoints answering after the workload drains so an
   // external prober (the CI smoke) can finish scraping a quiesced,
@@ -304,11 +550,28 @@ int Main(int argc, char** argv) {
                     bench::Num(1e3 * Percentile(p.latencies, 0.99), 1)});
   }
 
-  const serve::HealthSnapshot health = service.Health();
+  const serve::HealthSnapshot health = service->Health();
   std::printf("serve.retries=%llu serve.admitted=%llu serve.shed=%llu\n",
               static_cast<unsigned long long>(health.retries),
               static_cast<unsigned long long>(health.admitted),
               static_cast<unsigned long long>(health.shed));
+  if (want_stream) {
+    const metrics::MetricsSnapshot ms = metrics::Registry::Global().Snapshot();
+    std::printf(
+        "wal.appends=%llu wal.fsyncs=%llu wal.bytes=%llu "
+        "wal.recovered_mentions=%llu wal.truncated_tail_bytes=%llu "
+        "wal.checkpoints=%llu\n",
+        static_cast<unsigned long long>(ms.CounterValue("serve.wal.appends")),
+        static_cast<unsigned long long>(ms.CounterValue("serve.wal.fsyncs")),
+        static_cast<unsigned long long>(ms.CounterValue("serve.wal.bytes")),
+        static_cast<unsigned long long>(
+            ms.CounterValue("serve.wal.recovered_mentions")),
+        static_cast<unsigned long long>(
+            ms.CounterValue("serve.wal.truncated_tail_bytes")),
+        static_cast<unsigned long long>(
+            ms.CounterValue("serve.wal.checkpoints")));
+    std::fflush(stdout);
+  }
 
   std::vector<std::pair<std::string, double>> params = {
       {"records", static_cast<double>(records)},
@@ -375,6 +638,12 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf("OK: every response was an answer or a typed rejection\n");
+  // Destroy the service before claiming a clean shutdown: the destructor
+  // drains, syncs every WAL, and writes final checkpoints — only once it
+  // has returned is everything acknowledged actually durable.
+  service.reset();
+  std::printf("clean_shutdown=1\n");
+  std::fflush(stdout);
   return 0;
 }
 

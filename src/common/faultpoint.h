@@ -14,8 +14,11 @@ namespace topkdup::fault {
 ///
 /// Production code plants sites at error-path boundaries (the CSV reader,
 /// the thread pool, each pipeline stage, the rank query, streaming
-/// ingestion — `online.ingest` — and the resident query service —
-/// `serve.query`) with TOPKDUP_FAULT_RETURN_IF; when
+/// ingestion — `online.ingest` — the resident query service —
+/// `serve.query` — and the durability layer — `wal.append` fires before a
+/// WAL frame is written, `wal.fsync` wherever a sync would be issued, so
+/// chaos runs exercise the ingest rollback and breaker paths) with
+/// TOPKDUP_FAULT_RETURN_IF; when
 /// a site fires it returns an Internal Status naming the site, so tests and
 /// CI can prove every error path propagates instead of crashing or hanging.
 ///

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/crc32.h"
 #include "common/metrics.h"
 
 namespace topkdup::predicates {
@@ -78,25 +79,6 @@ struct IndexHeader {
   uint32_t header_crc32;
 };
 static_assert(sizeof(IndexHeader) == kHeaderSize, "serialized layout");
-
-uint32_t Crc32(const uint8_t* data, size_t size) {
-  static const auto table = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 uint64_t Fnv1a(std::string_view s) {
   uint64_t h = 1469598103934665603ull;

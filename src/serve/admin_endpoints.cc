@@ -101,6 +101,21 @@ std::string StatuszJson(const QueryService& service,
           snapshot.CounterValue("serve.requestlog.sampled_out")),
       static_cast<unsigned long long>(
           snapshot.CounterValue("serve.requestlog.slow_captured")));
+  out += StrFormat(
+      ",\"wal\":{\"appends\":%llu,\"fsyncs\":%llu,\"bytes\":%llu,"
+      "\"recovered_mentions\":%llu,\"truncated_tail_bytes\":%llu,"
+      "\"checkpoints\":%llu}",
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.wal.appends")),
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.wal.fsyncs")),
+      static_cast<unsigned long long>(snapshot.CounterValue("serve.wal.bytes")),
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.wal.recovered_mentions")),
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.wal.truncated_tail_bytes")),
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.wal.checkpoints")));
   out += StrFormat(",\"trace\":{\"ring_capacity\":%zu,\"ring_total\":%llu}",
                    trace::RingCapacity(),
                    static_cast<unsigned long long>(trace::RingTotal()));

@@ -66,6 +66,15 @@ bool CoversIdentityItems(const predicates::BlockedIndex& index, size_t n) {
   return true;
 }
 
+metrics::Counter* RecoveredMentionsCounter() {
+  return metrics::Registry::Global().GetCounter(
+      "serve.wal.recovered_mentions");
+}
+
+metrics::Counter* CheckpointsCounter() {
+  return metrics::Registry::Global().GetCounter("serve.wal.checkpoints");
+}
+
 }  // namespace
 
 const char* ServedOutcomeName(ServedOutcome outcome) {
@@ -99,6 +108,16 @@ struct QueryService::DatasetState {
   /// Reader side: total_weight() peeks. Queries hold it only for the
   /// snapshot, never for execution.
   mutable std::shared_mutex stream_mu;
+
+  /// Durability state (online datasets with ServiceOptions::wal_dir).
+  /// All three are guarded by the stream writer lock, like the stream
+  /// itself — WAL append and in-memory apply are one critical section.
+  std::unique_ptr<WriteAheadLog> wal;
+  /// Newest persisted checkpoint generation (0 = none yet).
+  uint64_t ckpt_seq = 0;
+  /// WAL bytes accumulated since that checkpoint; crossing
+  /// ServiceOptions::checkpoint_bytes triggers the next one.
+  uint64_t wal_bytes_since_ckpt = 0;
 
   /// Per-dataset blocking-index cache: every stage of every query on this
   /// dataset resolves its index here, so each (predicate, item-set) pair
@@ -190,6 +209,15 @@ QueryService::QueryService(ServiceOptions options)
   inflight_gauge_ = registry.GetGauge("serve.inflight");
   queue_seconds_ = registry.GetHistogram("serve.queue_seconds",
                                          metrics::LatencySecondsBounds());
+  // Resolve the durability counters eagerly so /statusz and the
+  // Prometheus exposition carry the whole serve.wal.* family (at zero)
+  // from boot, before any WAL traffic.
+  registry.GetCounter("serve.wal.appends");
+  registry.GetCounter("serve.wal.fsyncs");
+  registry.GetCounter("serve.wal.bytes");
+  registry.GetCounter("serve.wal.recovered_mentions");
+  registry.GetCounter("serve.wal.truncated_tail_bytes");
+  registry.GetCounter("serve.wal.checkpoints");
   request_log_ = std::make_unique<RequestLog>(options_.request_log);
 
   if (options_.workers <= 0) {
@@ -207,6 +235,11 @@ QueryService::QueryService(ServiceOptions options)
 }
 
 QueryService::~QueryService() {
+  // Durability-preserving order: finish admitted work and persist every
+  // online stream (Drain syncs WALs and writes final checkpoints) before
+  // any worker stops. Only requests racing in *during* this drain are
+  // shed below.
+  Drain();
   std::vector<std::unique_ptr<Pending>> orphans;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -280,6 +313,13 @@ Status QueryService::RegisterOnline(std::string name,
   state->stream = std::move(stream);
   state->breaker_gauge = metrics::Registry::Global().GetGauge(
       "serve.breaker_state." + name);
+  if (!options_.wal_dir.empty()) {
+    // Recover before publishing: the dataset (and through it /readyz)
+    // must not become visible until every acknowledged mention from the
+    // previous life is back. A failed recovery aborts registration.
+    Status recovered = RecoverOnline(*state);
+    if (!recovered.ok()) return recovered;
+  }
   DatasetState* raw = state.get();
   {
     std::unique_lock<std::shared_mutex> lock(datasets_mu_);
@@ -299,6 +339,105 @@ Status QueryService::RegisterOnline(std::string name,
   return Status::OK();
 }
 
+Status QueryService::RecoverOnline(DatasetState& ds) {
+  TOPKDUP_RETURN_IF_ERROR(EnsureDirectory(options_.wal_dir));
+  const size_t preexisting = ds.stream->mention_count();
+
+  WalReplay replay;
+  auto wal_or = WriteAheadLog::Open(options_.wal_dir + "/" + ds.name + ".wal",
+                                    options_.wal, &replay);
+  TOPKDUP_RETURN_IF_ERROR(wal_or.status());
+  ds.wal = std::move(wal_or).value();
+
+  std::vector<CheckpointRef> checkpoints =
+      ListCheckpoints(options_.wal_dir, ds.name);
+  if (preexisting > 0 && (!checkpoints.empty() || !replay.records.empty())) {
+    return Status::FailedPrecondition(
+        "RegisterOnline: stream '" + ds.name + "' already holds " +
+        std::to_string(preexisting) +
+        " mentions but persisted WAL/checkpoint state exists — the two "
+        "histories cannot be merged; register with an empty stream or a "
+        "fresh wal_dir");
+  }
+
+  // Newest valid checkpoint wins; a corrupt one falls back to the next
+  // generation (the WAL seq gap check below still catches a fallback that
+  // cannot be made consistent).
+  size_t restored = 0;
+  for (const CheckpointRef& ref : checkpoints) {
+    auto image_or = ReadFileToString(ref.path);
+    if (!image_or.ok()) {
+      TOPKDUP_LOG(Warning) << "checkpoint " << ref.path
+                           << " unreadable: " << image_or.status().ToString();
+      continue;
+    }
+    Status s = ds.stream->RestoreFromCheckpoint(image_or.value());
+    if (s.ok()) {
+      restored = ds.stream->mention_count();
+      ds.ckpt_seq = ref.seq_no;
+      break;
+    }
+    TOPKDUP_LOG(Warning) << "checkpoint " << ref.path
+                         << " rejected: " << s.ToString();
+  }
+
+  // Replay the WAL tail. Frames below the restored count are already in
+  // the checkpoint (a crash between checkpoint rename and WAL trim leaves
+  // exactly this overlap); a frame above it means a hole in the history.
+  size_t replayed = 0;
+  for (const auto& [seq, payload] : replay.records) {
+    const uint64_t count = ds.stream->mention_count();
+    if (seq < count) continue;
+    if (seq > count) {
+      return Status::InvalidArgument(
+          "wal replay for '" + ds.name + "': frame seq " +
+          std::to_string(seq) + " leaves a gap after mention " +
+          std::to_string(count) + " (missing history)");
+    }
+    auto mention_or = topk::DecodeMention(payload);
+    TOPKDUP_RETURN_IF_ERROR(mention_or.status());
+    TOPKDUP_RETURN_IF_ERROR(
+        ds.stream->AddMention(std::move(mention_or).value()));
+    ++replayed;
+  }
+  if (restored + replayed > 0) {
+    RecoveredMentionsCounter()->Add(restored + replayed);
+    TOPKDUP_LOG(Info) << "dataset '" << ds.name << "': recovered "
+                      << restored << " checkpointed + " << replayed
+                      << " replayed mentions ("
+                      << replay.truncated_tail_bytes
+                      << " torn tail bytes truncated)";
+  }
+
+  // Make the recovered (or preexisting in-memory) state durable now, so
+  // the WAL restarts empty and the next recovery is checkpoint-only.
+  if (ds.stream->mention_count() > restored || replay.truncated_tail_bytes > 0) {
+    std::unique_lock<std::shared_mutex> lock(ds.stream_mu);
+    TOPKDUP_RETURN_IF_ERROR(CheckpointLocked(ds));
+  } else if (!replay.records.empty()) {
+    // Everything in the WAL was already covered by the checkpoint: trim.
+    TOPKDUP_RETURN_IF_ERROR(ds.wal->Reset());
+  }
+  return Status::OK();
+}
+
+Status QueryService::CheckpointLocked(DatasetState& ds) {
+  std::string image = ds.stream->SerializeCheckpoint();
+  const uint64_t seq = ds.ckpt_seq + 1;
+  TOPKDUP_RETURN_IF_ERROR(AtomicWriteFile(
+      CheckpointPath(options_.wal_dir, ds.name, seq), image));
+  ds.ckpt_seq = seq;
+  // The checkpoint is durable (fsynced file + dir): the WAL's history is
+  // now redundant and can be trimmed. A crash in between only leaves a
+  // WAL whose frames all sit below the checkpoint count — replay skips
+  // them.
+  TOPKDUP_RETURN_IF_ERROR(ds.wal->Reset());
+  ds.wal_bytes_since_ckpt = 0;
+  if (seq > 2) DeleteCheckpointsBefore(options_.wal_dir, ds.name, seq - 1);
+  CheckpointsCounter()->Add(1);
+  return Status::OK();
+}
+
 Status QueryService::Ingest(std::string_view dataset, record::Record mention) {
   DatasetState* ds = FindDataset(dataset);
   if (ds == nullptr) {
@@ -310,7 +449,48 @@ Status QueryService::Ingest(std::string_view dataset, record::Record mention) {
                                       "' is not an online stream");
   }
   std::unique_lock<std::shared_mutex> lock(ds->stream_mu);
-  return ds->stream->AddMention(std::move(mention));
+  if (ds->wal == nullptr) {
+    // Memory-only mode (no wal_dir): the pre-durability behavior.
+    return ds->stream->AddMention(std::move(mention));
+  }
+
+  // WAL-first: the frame must be on the log (and per policy on disk)
+  // before the in-memory apply, so an OK return is an honest durability
+  // acknowledgement. Any failure rolls the log back to `pre` — the log
+  // and the stream always agree, and a caller retry appends a fresh
+  // frame at the same seq instead of a duplicate.
+  const uint64_t seq = ds->stream->mention_count();
+  const uint64_t pre = ds->wal->end_offset();
+  const std::string payload = topk::EncodeMention(mention);
+  Status status = ds->wal->Append(seq, payload);
+  if (status.ok()) {
+    status = ds->stream->AddMention(std::move(mention));
+    if (!status.ok()) {
+      Status rollback = ds->wal->TruncateTo(pre);
+      if (!rollback.ok()) status = rollback;
+    }
+  }
+  if (!status.ok()) {
+    // Feed the dataset's breaker: sustained WAL failures (disk full,
+    // injected faults) trip it just like query failures, shifting reads
+    // to degraded answers while writes are broken.
+    ds->breaker.OnFailure(CircuitBreaker::Decision::kProceed);
+    UpdateBreakerGauge(*ds);
+    return status;
+  }
+  ds->wal_bytes_since_ckpt = ds->wal->appended_bytes();
+  if (options_.checkpoint_bytes > 0 &&
+      ds->wal_bytes_since_ckpt >= options_.checkpoint_bytes) {
+    Status ckpt = CheckpointLocked(*ds);
+    if (!ckpt.ok()) {
+      // The ingest itself is acknowledged and durable (it is on the WAL);
+      // a failed checkpoint only postpones the trim. Warn and move on —
+      // the next threshold crossing or Drain() retries.
+      TOPKDUP_LOG(Warning) << "checkpoint for dataset '" << ds->name
+                           << "' failed: " << ckpt.ToString();
+    }
+  }
+  return Status::OK();
 }
 
 std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
@@ -436,8 +616,36 @@ QueryResponse QueryService::Execute(QueryRequest request) {
 }
 
 void QueryService::Drain() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  drain_cv_.wait(lock, [&] { return queue_.empty() && inflight_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drain_cv_.wait(lock, [&] { return queue_.empty() && inflight_ == 0; });
+  }
+  FlushDurableState();
+}
+
+void QueryService::FlushDurableState() {
+  std::vector<DatasetState*> online;
+  {
+    std::shared_lock<std::shared_mutex> lock(datasets_mu_);
+    for (auto& [name, state] : datasets_) {
+      if (state->online && state->wal != nullptr) online.push_back(state.get());
+    }
+  }
+  for (DatasetState* ds : online) {
+    std::unique_lock<std::shared_mutex> lock(ds->stream_mu);
+    Status s = ds->wal->Sync();
+    if (!s.ok()) {
+      TOPKDUP_LOG(Warning) << "wal sync for dataset '" << ds->name
+                           << "' failed: " << s.ToString();
+    }
+    if (ds->wal_bytes_since_ckpt == 0) continue;
+    s = CheckpointLocked(*ds);
+    if (!s.ok()) {
+      TOPKDUP_LOG(Warning) << "final checkpoint for dataset '" << ds->name
+                           << "' failed: " << s.ToString()
+                           << " (the synced WAL still covers the state)";
+    }
+  }
 }
 
 void QueryService::WorkerLoop() {

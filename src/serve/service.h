@@ -27,6 +27,7 @@
 #include "serve/cost_model.h"
 #include "serve/request_log.h"
 #include "serve/retry.h"
+#include "serve/wal.h"
 #include "topk/online.h"
 #include "topk/rank_query.h"
 #include "topk/topk_query.h"
@@ -173,6 +174,23 @@ struct ServiceOptions {
   /// (serve.index_built), so later process starts skip the builds
   /// entirely. Empty keeps indexes purely in-memory.
   std::string index_dir;
+  /// Directory for online-dataset durability state. When set, every online
+  /// dataset gets a write-ahead log (`<wal_dir>/<dataset>.wal`) and
+  /// checksummed checkpoints (`<wal_dir>/<dataset>.<seq>.ckpt`):
+  /// RegisterOnline recovers the newest valid checkpoint, replays the WAL
+  /// tail, and only then publishes the dataset (so /readyz never flips
+  /// before recovery completes); Ingest appends to the WAL before applying
+  /// to memory. Empty keeps online streams purely in-memory (a crash loses
+  /// them — the pre-durability behavior).
+  std::string wal_dir;
+  /// Fsync policy for the per-dataset WALs (see WalFsyncPolicy: acked
+  /// ingests always survive process death; the policy bounds loss under
+  /// machine failure).
+  WalOptions wal;
+  /// Checkpoint an online dataset after this many WAL bytes accumulate
+  /// (the checkpoint then trims the WAL). Clean shutdown and Drain()
+  /// always checkpoint regardless.
+  uint64_t checkpoint_bytes = 4ull << 20;
 };
 
 /// Health snapshot suitable for a readiness probe.
@@ -241,8 +259,12 @@ struct HealthSnapshot {
 class QueryService {
  public:
   explicit QueryService(ServiceOptions options = {});
-  /// Sheds every queued request (reason "shutdown") and joins the
-  /// workers. In-flight queries run to completion.
+  /// Clean shutdown in a fixed, durability-preserving order: Drain() —
+  /// which finishes every in-flight and queued query, then syncs each
+  /// online dataset's WAL and writes a final checkpoint — runs *before*
+  /// workers stop, so an acknowledged ingest can never be lost by
+  /// destruction. Requests racing in during shutdown are shed (reason
+  /// "shutdown") and the workers joined last.
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -254,11 +276,24 @@ class QueryService {
   Status RegisterDataset(std::string name, DatasetBundle bundle);
 
   /// Registers an online (streaming) dataset. `stream` may already hold
-  /// mentions.
+  /// mentions (only when no persisted state exists for the name —
+  /// FailedPrecondition otherwise, the two histories cannot be merged).
+  /// With ServiceOptions::wal_dir set this performs crash recovery before
+  /// the dataset becomes visible: newest valid checkpoint restored, WAL
+  /// tail replayed (torn tail truncated; mid-file corruption surfaces as
+  /// InvalidArgument and the dataset is not registered).
   Status RegisterOnline(std::string name,
                         std::unique_ptr<topk::OnlineTopK> stream);
 
-  /// Ingests one mention into an online dataset (writer-locked).
+  /// Ingests one mention into an online dataset (writer-locked). With a
+  /// WAL the mention is appended and (per the fsync policy) synced
+  /// *before* it is applied in memory; OK therefore means the mention
+  /// survives kill -9. Failures are real and typed — IOError/Internal
+  /// from the WAL layer (retryable; they feed the dataset's circuit
+  /// breaker), InvalidArgument for a schema-mismatched mention — and
+  /// always leave the log and the in-memory stream consistent with each
+  /// other: a failed ingest is rolled back from the WAL, never half
+  /// applied. Callers must check the Status, not TOPKDUP_CHECK it.
   Status Ingest(std::string_view dataset, record::Record mention);
 
   /// Admits a query; the future resolves when it is served, shed, or
@@ -269,7 +304,10 @@ class QueryService {
   /// Submit + wait.
   QueryResponse Execute(QueryRequest request);
 
-  /// Blocks until the queue is empty and no query is in flight.
+  /// Blocks until the queue is empty and no query is in flight, then
+  /// syncs every online dataset's WAL and writes a checkpoint (when
+  /// anything accumulated since the last one) — after Drain() returns,
+  /// all acknowledged state is durable.
   void Drain();
 
   HealthSnapshot Health() const;
@@ -323,6 +361,18 @@ class QueryService {
   void WarmIndexes(DatasetState& ds);
   void Calibrate(DatasetState& ds);
   void UpdateBreakerGauge(DatasetState& ds);
+  /// Crash recovery for one online dataset (wal_dir set): restore the
+  /// newest valid checkpoint, replay the WAL tail, open the live WAL.
+  /// Runs before the dataset is published; returns the typed error that
+  /// blocked recovery otherwise.
+  Status RecoverOnline(DatasetState& ds);
+  /// Serializes the stream, writes checkpoint generation ds.ckpt_seq + 1
+  /// atomically, trims the WAL, prunes old generations. Caller holds the
+  /// dataset's stream writer lock.
+  Status CheckpointLocked(DatasetState& ds);
+  /// Sync + checkpoint every online dataset that accumulated WAL bytes
+  /// (Drain, destructor).
+  void FlushDurableState();
 
   ServiceOptions options_;
   std::unique_ptr<RequestLog> request_log_;

@@ -1,12 +1,49 @@
 #include "topk/online.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "common/check.h"
+#include "common/crc32.h"
 #include "common/faultpoint.h"
 
 namespace topkdup::topk {
+namespace {
+
+// Checkpoint image header, 48 bytes little-endian:
+// [u64 magic][u32 version][u32 header_size][u64 field_count]
+// [u64 mention_count][u64 body_size][u32 body_crc32][u32 header_crc32]
+// where header_crc32 covers the first 44 bytes. Same conventions as the
+// blocked-index image (PR 6): magic first, CRC last, body checksummed
+// separately so header validation never reads unverified lengths.
+constexpr uint64_t kCkptMagic = 0x31'4B'43'4F'50'44'4B'54ull;  // "TKDPOCK1"
+constexpr uint32_t kCkptVersion = 1;
+constexpr uint32_t kCkptHeaderBytes = 48;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
 
 OnlineTopK::OnlineTopK(record::Schema schema, Config config)
     : schema_(schema), config_(std::move(config)), mentions_(schema) {
@@ -22,12 +59,182 @@ OnlineTopK::OnlineTopK(record::Schema schema, Config config)
 
 Status OnlineTopK::AddMention(record::Record mention) {
   TOPKDUP_FAULT_RETURN_IF("online.ingest");
+  return AddMentionInternal(std::move(mention));
+}
+
+Status OnlineTopK::AddMentionInternal(record::Record mention) {
+  if (mention.fields.size() != schema_.field_count()) {
+    return Status::InvalidArgument(
+        "mention has " + std::to_string(mention.fields.size()) +
+        " fields, stream schema has " +
+        std::to_string(schema_.field_count()));
+  }
   const std::vector<std::string> signature =
       config_.sufficient_signature(mention);
   const double weight = mention.weight;
   mentions_.Add(std::move(mention));
   total_weight_ += weight;
   collapse_->Insert(signature, weight);
+  return Status::OK();
+}
+
+std::string EncodeMention(const record::Record& mention) {
+  std::string out;
+  size_t bytes = 8 + 8 + 4;
+  for (const std::string& f : mention.fields) bytes += 4 + f.size();
+  out.reserve(bytes);
+  PutF64(&out, mention.weight);
+  PutU64(&out, static_cast<uint64_t>(mention.entity_id));
+  PutU32(&out, static_cast<uint32_t>(mention.fields.size()));
+  for (const std::string& f : mention.fields) {
+    PutU32(&out, static_cast<uint32_t>(f.size()));
+    out.append(f);
+  }
+  return out;
+}
+
+StatusOr<record::Record> DecodeMention(std::string_view payload) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(payload.data());
+  size_t pos = 0;
+  auto need = [&](size_t n) {
+    return pos + n <= payload.size();
+  };
+  if (!need(20)) {
+    return Status::InvalidArgument("mention payload too short for header");
+  }
+  record::Record rec;
+  uint64_t wbits = GetU64(p + pos);
+  std::memcpy(&rec.weight, &wbits, sizeof(rec.weight));
+  pos += 8;
+  rec.entity_id = static_cast<int64_t>(GetU64(p + pos));
+  pos += 8;
+  uint32_t nfields = GetU32(p + pos);
+  pos += 4;
+  // Each field costs at least its 4-byte length prefix; an nfields that
+  // cannot fit is rejected before any allocation sized from it.
+  if (nfields > (payload.size() - pos) / 4) {
+    return Status::InvalidArgument("mention payload field count " +
+                                   std::to_string(nfields) +
+                                   " exceeds payload capacity");
+  }
+  rec.fields.reserve(nfields);
+  for (uint32_t i = 0; i < nfields; ++i) {
+    if (!need(4)) {
+      return Status::InvalidArgument("mention payload truncated field length");
+    }
+    uint32_t len = GetU32(p + pos);
+    pos += 4;
+    if (!need(len)) {
+      return Status::InvalidArgument("mention payload truncated field body");
+    }
+    rec.fields.emplace_back(payload.substr(pos, len));
+    pos += len;
+  }
+  if (pos != payload.size()) {
+    return Status::InvalidArgument("mention payload has " +
+                                   std::to_string(payload.size() - pos) +
+                                   " trailing bytes");
+  }
+  return rec;
+}
+
+std::string OnlineTopK::SerializeCheckpoint() const {
+  std::string body;
+  for (size_t i = 0; i < mentions_.size(); ++i) {
+    std::string enc = EncodeMention(mentions_[i]);
+    PutU32(&body, static_cast<uint32_t>(enc.size()));
+    body.append(enc);
+  }
+  std::string out;
+  out.reserve(kCkptHeaderBytes + body.size());
+  PutU64(&out, kCkptMagic);
+  PutU32(&out, kCkptVersion);
+  PutU32(&out, kCkptHeaderBytes);
+  PutU64(&out, static_cast<uint64_t>(schema_.field_count()));
+  PutU64(&out, static_cast<uint64_t>(mentions_.size()));
+  PutU64(&out, static_cast<uint64_t>(body.size()));
+  PutU32(&out, Crc32(body));
+  PutU32(&out, Crc32(reinterpret_cast<const uint8_t*>(out.data()), 44));
+  out.append(body);
+  return out;
+}
+
+Status OnlineTopK::RestoreFromCheckpoint(std::string_view image) {
+  if (mentions_.size() != 0) {
+    return Status::FailedPrecondition(
+        "RestoreFromCheckpoint requires an empty stream (have " +
+        std::to_string(mentions_.size()) + " mentions)");
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(image.data());
+  if (image.size() < kCkptHeaderBytes) {
+    return Status::InvalidArgument("checkpoint image too short for header");
+  }
+  if (GetU64(p) != kCkptMagic) {
+    return Status::InvalidArgument("checkpoint image has bad magic");
+  }
+  uint32_t version = GetU32(p + 8);
+  if (version != kCkptVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  if (GetU32(p + 12) != kCkptHeaderBytes) {
+    return Status::InvalidArgument("checkpoint header size mismatch");
+  }
+  if (GetU32(p + 44) != Crc32(p, 44)) {
+    return Status::InvalidArgument("checkpoint header CRC mismatch");
+  }
+  uint64_t field_count = GetU64(p + 16);
+  uint64_t mention_count = GetU64(p + 24);
+  uint64_t body_size = GetU64(p + 32);
+  uint32_t body_crc = GetU32(p + 40);
+  if (field_count != schema_.field_count()) {
+    return Status::InvalidArgument(
+        "checkpoint field count " + std::to_string(field_count) +
+        " does not match stream schema (" +
+        std::to_string(schema_.field_count()) + ")");
+  }
+  if (image.size() - kCkptHeaderBytes != body_size) {
+    return Status::InvalidArgument(
+        "checkpoint body size mismatch: header says " +
+        std::to_string(body_size) + ", image has " +
+        std::to_string(image.size() - kCkptHeaderBytes));
+  }
+  std::string_view body = image.substr(kCkptHeaderBytes);
+  if (Crc32(body) != body_crc) {
+    return Status::InvalidArgument("checkpoint body CRC mismatch");
+  }
+
+  // Decode every mention before touching stream state, so a structurally
+  // broken body cannot leave a half-restored stream behind.
+  std::vector<record::Record> decoded;
+  decoded.reserve(mention_count);
+  size_t pos = 0;
+  const uint8_t* b = reinterpret_cast<const uint8_t*>(body.data());
+  while (pos < body.size()) {
+    if (body.size() - pos < 4) {
+      return Status::InvalidArgument("checkpoint body truncated record length");
+    }
+    uint32_t len = GetU32(b + pos);
+    pos += 4;
+    if (body.size() - pos < len) {
+      return Status::InvalidArgument("checkpoint body truncated record");
+    }
+    auto rec_or = DecodeMention(body.substr(pos, len));
+    TOPKDUP_RETURN_IF_ERROR(rec_or.status());
+    if (rec_or.value().fields.size() != schema_.field_count()) {
+      return Status::InvalidArgument("checkpoint record field count mismatch");
+    }
+    decoded.push_back(std::move(rec_or).value());
+    pos += len;
+  }
+  if (decoded.size() != mention_count) {
+    return Status::InvalidArgument(
+        "checkpoint holds " + std::to_string(decoded.size()) +
+        " records, header says " + std::to_string(mention_count));
+  }
+  for (record::Record& rec : decoded) {
+    TOPKDUP_RETURN_IF_ERROR(AddMentionInternal(std::move(rec)));
+  }
   return Status::OK();
 }
 

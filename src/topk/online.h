@@ -53,13 +53,16 @@ class OnlineTopK {
 
   OnlineTopK(record::Schema schema, Config config);
 
-  /// Ingests one mention. O(signature-postings) amortized. The only error
-  /// path is the `online.ingest` fault-injection site — ingestion itself
-  /// cannot fail — so production callers may TOPKDUP_CHECK the result
-  /// while the fault harness proves the path propagates.
+  /// Ingests one mention. O(signature-postings) amortized. In-memory
+  /// ingestion can fail two ways: the `online.ingest` fault-injection site
+  /// fires (tests/chaos), or a mention does not match the stream schema.
+  /// Callers that persist the stream (serve::QueryService with a WAL) add
+  /// their own IO error paths *around* this call — treat a non-OK result as
+  /// a real, retryable failure, never TOPKDUP_CHECK it.
   Status AddMention(record::Record mention);
 
   size_t mention_count() const { return mentions_.size(); }
+  const record::Schema& schema() const { return schema_; }
   size_t group_count() const { return collapse_->group_count(); }
   /// Total weight ingested so far.
   double total_weight() const { return total_weight_; }
@@ -96,13 +99,40 @@ class OnlineTopK {
   /// TakeSnapshot + QuerySnapshot in one call (single-threaded use).
   StatusOr<TopKCountResult> Query(const TopKCountOptions& options);
 
+  /// Serializes the full ingested stream into a self-validating checkpoint
+  /// image: a versioned, CRC-checked header (same conventions as the
+  /// blocked-index image) plus every mention in ingestion order. Replaying
+  /// the image rebuilds bit-identical query state, because the collapse is
+  /// a pure function of the mention sequence.
+  std::string SerializeCheckpoint() const;
+
+  /// Replaces this stream's state with the checkpoint image. The stream
+  /// must be empty (FailedPrecondition otherwise — a checkpoint is a
+  /// starting point, not a merge). Any header/CRC/structure mismatch is
+  /// InvalidArgument and leaves the stream untouched.
+  Status RestoreFromCheckpoint(std::string_view image);
+
  private:
+  /// Ingest without the fault site: checkpoint restore and WAL replay
+  /// re-apply already-acknowledged mentions and must not re-roll the dice.
+  Status AddMentionInternal(record::Record mention);
+
+
   record::Schema schema_;
   Config config_;
   record::Dataset mentions_;
   double total_weight_ = 0.0;
   std::unique_ptr<dedup::StreamingCollapse> collapse_;
 };
+
+/// Wire encoding of one mention, shared by WAL frames and checkpoint
+/// bodies: [f64 weight][i64 entity_id][u32 nfields][(u32 len, bytes)...],
+/// all little-endian.
+std::string EncodeMention(const record::Record& mention);
+
+/// Inverse of EncodeMention. Truncated or internally inconsistent payloads
+/// (lengths running past the end, trailing bytes) are InvalidArgument.
+StatusOr<record::Record> DecodeMention(std::string_view payload);
 
 }  // namespace topkdup::topk
 

@@ -21,6 +21,8 @@
 #include "predicates/corpus.h"
 #include "predicates/generic.h"
 #include "record/csv.h"
+#include "serve/service.h"
+#include "serve/wal.h"
 #include "sim/similarity.h"
 #include "text/tokenize.h"
 #include "topk/online.h"
@@ -252,6 +254,121 @@ TEST(OnlineFaultTest, IngestSiteYieldsStatusNotAbort) {
   fault::DisarmAllForTest();
   EXPECT_TRUE(stream.AddMention(second).ok());
   EXPECT_EQ(stream.mention_count(), 2u);
+}
+
+TEST(WalFaultTest, AppendSiteYieldsStatusAndCleanRerunSucceeds) {
+  ScopedDisarm disarm;
+  Watchdog watchdog(60);
+  const std::string dir = ::testing::TempDir() + "/fault_wal_append_" +
+                          std::to_string(::getpid());
+  std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+  ASSERT_TRUE(serve::EnsureDirectory(dir).ok());
+
+  auto wal_or =
+      serve::WriteAheadLog::Open(dir + "/log.wal", serve::WalOptions{},
+                                 nullptr);
+  ASSERT_TRUE(wal_or.ok());
+  serve::WriteAheadLog* wal = wal_or.value().get();
+
+  fault::ArmForTest("wal.append", 1.0, 21);
+  Status status = wal->Append(0, "payload");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("wal.append"), std::string::npos);
+  // The failed append left nothing behind: same offset, and the clean
+  // rerun lands the frame.
+  EXPECT_EQ(wal->appended_bytes(), 0u);
+  fault::DisarmAllForTest();
+  EXPECT_TRUE(wal->Append(0, "payload").ok());
+}
+
+TEST(WalFaultTest, FsyncSiteWithdrawsTheFrameUnderAlwaysPolicy) {
+  ScopedDisarm disarm;
+  Watchdog watchdog(60);
+  const std::string dir = ::testing::TempDir() + "/fault_wal_fsync_" +
+                          std::to_string(::getpid());
+  std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+  ASSERT_TRUE(serve::EnsureDirectory(dir).ok());
+
+  serve::WalOptions options;
+  options.fsync = serve::WalFsyncPolicy::kAlways;
+  auto wal_or =
+      serve::WriteAheadLog::Open(dir + "/log.wal", options, nullptr);
+  ASSERT_TRUE(wal_or.ok());
+  serve::WriteAheadLog* wal = wal_or.value().get();
+
+  fault::ArmForTest("wal.fsync", 1.0, 22);
+  Status status = wal->Append(0, "payload");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("wal.fsync"), std::string::npos);
+  // An append whose durability barrier failed must not survive: the frame
+  // was written but withdrawn, so nothing unacknowledged is left durable.
+  EXPECT_EQ(wal->appended_bytes(), 0u);
+  fault::DisarmAllForTest();
+  EXPECT_TRUE(wal->Append(0, "payload").ok());
+}
+
+TEST(WalFaultTest, IngestFaultsFeedAndTripTheBreaker) {
+  ScopedDisarm disarm;
+  Watchdog watchdog(120);
+  const std::string dir = ::testing::TempDir() + "/fault_wal_breaker_" +
+                          std::to_string(::getpid());
+  std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+  ASSERT_TRUE(serve::EnsureDirectory(dir).ok());
+
+  serve::ServiceOptions options;
+  options.workers = 1;
+  options.calibrate_on_register = false;
+  options.wal_dir = dir;
+  options.breaker.window = 8;
+  options.breaker.min_samples = 4;
+  options.breaker.trip_ratio = 0.5;
+  options.breaker.cooldown_ms = 60000;  // Stays open for the assertion.
+  serve::QueryService service(options);
+
+  topk::OnlineTopK::Config config;
+  config.sufficient_signature = [](const record::Record& r) {
+    return std::vector<std::string>{r.field(0)};
+  };
+  config.sufficient_match = [](const record::Record& a,
+                               const record::Record& b) {
+    return a.field(0) == b.field(0);
+  };
+  config.necessary_factory = [](const predicates::Corpus& corpus) {
+    return std::make_unique<predicates::CommonWordsPredicate>(
+        &corpus, std::vector<int>{0}, 1);
+  };
+  config.scorer_factory = [](const record::Dataset&) {
+    return [](size_t, size_t) { return -1.0; };
+  };
+  ASSERT_TRUE(service
+                  .RegisterOnline("stream",
+                                  std::make_unique<topk::OnlineTopK>(
+                                      record::Schema({"name"}),
+                                      std::move(config)))
+                  .ok());
+  record::Record mention;
+  mention.fields = {"alpha"};
+  ASSERT_TRUE(service.Ingest("stream", mention).ok());
+  EXPECT_EQ(service.Health().datasets[0].breaker,
+            serve::BreakerState::kClosed);
+
+  // A burst of durable-ingest failures is a real dataset pathology; it
+  // must count toward the breaker exactly like query failures do.
+  fault::ArmForTest("wal.append", 1.0, 23);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(service.Ingest("stream", mention).code(),
+              StatusCode::kInternal);
+  }
+  EXPECT_EQ(service.Health().datasets[0].breaker, serve::BreakerState::kOpen);
+  fault::DisarmAllForTest();
+
+  // Ingest itself is not gated by the breaker (the caller decides how to
+  // back off); once the faults clear the stream keeps accepting.
+  EXPECT_TRUE(service.Ingest("stream", mention).ok());
+  EXPECT_EQ(service.Health().datasets[0].records, 2u);
 }
 
 TEST(CsvFaultTest, CsvReadSiteYieldsStatus) {

@@ -646,6 +646,56 @@ TEST_F(ServeTest, OnlineIngestRacesQueriesAndEndsConsistent) {
   EXPECT_DOUBLE_EQ(final_response.result.answers[0].groups[5].weight, 1.0);
 }
 
+/// Destruction ordering: ~QueryService must Drain(), sync the WAL, and
+/// write a final checkpoint *before* stopping the workers — a restart over
+/// the same wal_dir then rebuilds bit-identical state. The trimmed WAL and
+/// the on-disk checkpoint are the observable proof of each step.
+TEST_F(ServeTest, DestructorFlushesDurableStateBeforeStoppingWorkers) {
+  Watchdog watchdog(120);
+  const std::string dir = ::testing::TempDir() + "/serve_dtor_" +
+                          std::to_string(::getpid());
+  std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  ServiceOptions options = QuietOptions();
+  options.calibrate_on_register = false;
+  options.wal_dir = dir;
+
+  std::vector<double> want_weights;
+  {
+    QueryService service(options);
+    ASSERT_TRUE(service.RegisterOnline("stream", MakeExactKeyStream()).ok());
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(
+          service.Ingest("stream", KeyMention("key" + std::to_string(i % 4)))
+              .ok());
+    }
+    QueryResponse response = service.Execute(CountRequest("stream", 4));
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    for (const auto& group : response.result.answers[0].groups) {
+      want_weights.push_back(group.weight);
+    }
+    // Destructor runs here: Drain → WAL sync → final checkpoint → stop.
+  }
+  // The final checkpoint absorbed every mention and trimmed the log back
+  // to its 16-byte file header; a crash after this point loses nothing.
+  struct ::stat st {};
+  ASSERT_EQ(::stat((dir + "/stream.wal").c_str(), &st), 0);
+  EXPECT_EQ(st.st_size, 16);
+  EXPECT_FALSE(ListCheckpoints(dir, "stream").empty());
+
+  QueryService service(options);
+  ASSERT_TRUE(service.RegisterOnline("stream", MakeExactKeyStream()).ok());
+  EXPECT_EQ(service.Health().datasets[0].records, 40u);
+  QueryResponse response = service.Execute(CountRequest("stream", 4));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_EQ(response.result.answers[0].groups.size(), want_weights.size());
+  for (size_t g = 0; g < want_weights.size(); ++g) {
+    EXPECT_DOUBLE_EQ(response.result.answers[0].groups[g].weight,
+                     want_weights[g]);
+  }
+}
+
 TEST_F(ServeTest, SaturatingLoadAnsweredWithinBudgetShedAbsorbsRest) {
   Watchdog watchdog(120);
   ServiceOptions options = QuietOptions();
