@@ -28,6 +28,7 @@
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <memory>
 #include <string>
@@ -232,6 +233,149 @@ serve::QueryRequest MakeRequest(const bench::Flags& flags) {
   return request;
 }
 
+serve::QueryRequest MakeStreamRequest(const bench::Flags& flags,
+                                      bool allow_stale) {
+  serve::QueryRequest request;
+  request.dataset = "stream";
+  request.kind = serve::QueryKind::kTopKCount;
+  request.k = static_cast<int>(flags.GetInt("k", 5));
+  request.deadline_ms = flags.GetInt("deadline-ms", 1000);
+  request.allow_stale = allow_stale;
+  return request;
+}
+
+/// One schedule query as parseable marker lines: the pinned epoch, the
+/// stream prefix the answer self-describes (mentions=N), the cache
+/// disposition, and every answer group — everything the epoch harness's
+/// serial oracle needs to recompute the truth at prefix N.
+void PrintScheduleQuery(const serve::QueryResponse& response) {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "schedule.q epoch=%llu mentions=%llu cache=%s "
+                "staleness=%.17g outcome=%s\n",
+                static_cast<unsigned long long>(response.epoch),
+                static_cast<unsigned long long>(response.epoch_mentions),
+                response.cache.empty() ? "none" : response.cache.c_str(),
+                response.staleness_weight,
+                serve::ServedOutcomeName(response.outcome));
+  out += buf;
+  if (!response.result.answers.empty()) {
+    const topk::TopKAnswerSet& answer = response.result.answers.front();
+    for (const topk::AnswerGroup& group : answer.groups) {
+      std::snprintf(buf, sizeof(buf),
+                    "schedule.group rep=%zu w=%.17g lo=%.17g hi=%.17g n=%zu\n",
+                    group.representative, group.weight, group.count_lower,
+                    group.count_upper, group.members.size());
+      out += buf;
+    }
+  }
+  // One fputs so concurrent marker lines never interleave mid-line.
+  std::fputs(out.c_str(), stdout);
+  std::fflush(stdout);
+}
+
+/// Deterministic ingest/query interleaving driver for the epoch harness.
+/// Comma-separated tokens:
+///   iN      ingest N canonical mentions (continuing the sequence)
+///   q       one count query (allow_stale=false), printed as schedule.q
+///   s       one count query with allow_stale=true
+///   xA:B:C  race B reader threads x C queries each against the main
+///           thread ingesting A mentions (responses printed after join)
+///   d       Drain() — forces pending batched epochs + durability
+///   halt    simulated crash: _Exit(7), no destructors, no Drain
+int RunEpochSchedule(serve::QueryService& service, topk::OnlineTopK& stream,
+                     const bench::Flags& flags, const std::string& schedule,
+                     int64_t keys) {
+  int64_t next = static_cast<int64_t>(stream.mention_count());
+  size_t pos = 0;
+  while (pos <= schedule.size()) {
+    const size_t comma = schedule.find(',', pos);
+    const std::string tok =
+        schedule.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+    pos = comma == std::string::npos ? schedule.size() + 1 : comma + 1;
+    if (tok.empty()) continue;
+    if (tok == "halt") {
+      std::fflush(stdout);
+      std::_Exit(7);
+    } else if (tok == "d") {
+      service.Drain();
+      std::printf("schedule.drained=1\n");
+      std::fflush(stdout);
+    } else if (tok == "q" || tok == "s") {
+      serve::QueryResponse response =
+          service.Execute(MakeStreamRequest(flags, tok == "s"));
+      if (!response.status.ok()) {
+        std::fprintf(stderr, "FAIL: schedule query: %s\n",
+                     response.status.ToString().c_str());
+        return 4;
+      }
+      PrintScheduleQuery(response);
+    } else if (tok[0] == 'i') {
+      const int64_t n = std::atoll(tok.c_str() + 1);
+      for (int64_t j = 0; j < n; ++j) {
+        Status s = service.Ingest("stream", CanonicalMention(next, keys));
+        if (!s.ok()) {
+          std::fprintf(stderr, "FAIL: schedule ingest %lld: %s\n",
+                       static_cast<long long>(next), s.ToString().c_str());
+          return 4;
+        }
+        ++next;
+      }
+      std::printf("schedule.ingested=%lld\n", static_cast<long long>(next));
+      std::fflush(stdout);
+    } else if (tok[0] == 'x') {
+      long long ingest_n = 0, readers_n = 0, queries_n = 0;
+      if (std::sscanf(tok.c_str() + 1, "%lld:%lld:%lld", &ingest_n,
+                      &readers_n, &queries_n) != 3 ||
+          readers_n < 1 || queries_n < 1 || ingest_n < 0) {
+        std::fprintf(stderr, "FAIL: bad schedule token '%s'\n", tok.c_str());
+        return 4;
+      }
+      std::vector<std::vector<serve::QueryResponse>> per(
+          static_cast<size_t>(readers_n));
+      std::vector<std::thread> readers;
+      for (long long t = 0; t < readers_n; ++t) {
+        readers.emplace_back([&service, &flags, &per, t, queries_n] {
+          for (long long i = 0; i < queries_n; ++i) {
+            per[static_cast<size_t>(t)].push_back(
+                service.Execute(MakeStreamRequest(flags, false)));
+          }
+        });
+      }
+      for (long long j = 0; j < ingest_n; ++j) {
+        Status s = service.Ingest("stream", CanonicalMention(next, keys));
+        if (!s.ok()) {
+          std::fprintf(stderr, "FAIL: schedule race ingest %lld: %s\n",
+                       static_cast<long long>(next), s.ToString().c_str());
+          for (auto& thread : readers) thread.join();
+          return 4;
+        }
+        ++next;
+      }
+      for (auto& thread : readers) thread.join();
+      for (const auto& responses : per) {
+        for (const serve::QueryResponse& response : responses) {
+          if (!response.status.ok()) {
+            std::fprintf(stderr, "FAIL: schedule race query: %s\n",
+                         response.status.ToString().c_str());
+            return 4;
+          }
+          PrintScheduleQuery(response);
+        }
+      }
+      std::printf("schedule.ingested=%lld\n", static_cast<long long>(next));
+      std::fflush(stdout);
+    } else {
+      std::fprintf(stderr, "FAIL: unknown schedule token '%s'\n",
+                   tok.c_str());
+      return 4;
+    }
+  }
+  return 0;
+}
+
 /// Closed loop: each client issues its share back-to-back.
 PhaseStats RunClosedLoop(serve::QueryService& service,
                          const bench::Flags& flags, int requests,
@@ -312,7 +456,18 @@ int Main(int argc, char** argv) {
   const int64_t ingest_sleep_us = flags.GetInt("ingest-sleep-us", 0);
   const std::string ack_log = flags.GetString("ack-log", "");
   const bool verify = flags.GetInt("verify", 0) != 0;
-  const bool want_stream = !wal_dir.empty() || ingest_n > 0 || verify;
+  // Snapshot-isolation knobs. --cache=off disables serving from the
+  // answer cache (it is still populated, so the breaker fallback works);
+  // --epoch-batch-ms>0 batches epoch publication; --cache-phase runs a
+  // deterministic repeated-query mix whose hit/stale/miss counts the CI
+  // gate pins; --epoch-schedule hands control to the interleaving driver
+  // used by tools/epoch_harness.py.
+  const std::string cache_flag = flags.GetString("cache", "on");
+  const int64_t epoch_batch_ms = flags.GetInt("epoch-batch-ms", 0);
+  const int64_t cache_phase = flags.GetInt("cache-phase", 0);
+  const std::string epoch_schedule = flags.GetString("epoch-schedule", "");
+  const bool want_stream = !wal_dir.empty() || ingest_n > 0 || verify ||
+                           cache_phase > 0 || !epoch_schedule.empty();
   bench::Observability obs = bench::ApplyObservabilityFlags(flags);
 
   serve::ServiceOptions options;
@@ -320,6 +475,8 @@ int Main(int argc, char** argv) {
   options.queue_capacity =
       static_cast<size_t>(flags.GetInt("queue-capacity", 16));
   options.default_deadline_ms = flags.GetInt("deadline-ms", 1000);
+  options.cache.enabled = cache_flag != "off";
+  options.epoch_batch_ms = epoch_batch_ms;
   // Introspection-plane knobs. None of these enter the exported params:
   // they must not invalidate pinned baselines, and with the defaults
   // (admin off, memory-only log, slow detection off) the workload and its
@@ -516,6 +673,16 @@ int Main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
+  // Deterministic ingest/query interleaving driver (tools/epoch_harness.py).
+  // Falls through to the normal tail — with --requests=0 the phases below
+  // are empty, but the stream markers and the clean-shutdown protocol
+  // (or the in-schedule `halt` crash) still apply.
+  if (!epoch_schedule.empty() && stream_raw != nullptr) {
+    const int rc = RunEpochSchedule(*service, *stream_raw, flags,
+                                    epoch_schedule, ingest_keys);
+    if (rc != 0) return rc;
+  }
+
   std::vector<PhaseStats> phases;
   const uint64_t log_emitted_before = service->request_log().emitted();
   phases.push_back(RunClosedLoop(*service, flags, requests, clients));
@@ -526,6 +693,63 @@ int Main(int argc, char** argv) {
   }
   service->Drain();
   fault::DisarmAllForTest();
+  // Repeated-query mix against the online stream: a deterministic serial
+  // schedule whose steady state is 1 miss / 2 hits / 2 stale hits per 5
+  // queries (ingest at i%5==3 invalidates the entry; the two queries that
+  // follow it allow stale service), so the cache-path scalars the CI gate
+  // pins are exact. Runs after Drain + fault disarm so the fault RNG
+  // sequence consumed by the pinned phases is untouched.
+  int64_t cache_phase_hits = 0;
+  int64_t cache_phase_stale = 0;
+  int64_t cache_phase_miss = 0;
+  if (cache_phase > 0 && stream_raw != nullptr) {
+    int64_t next = static_cast<int64_t>(stream_raw->mention_count());
+    if (next == 0) {
+      Status seeded =
+          service->Ingest("stream", CanonicalMention(next, ingest_keys));
+      if (!seeded.ok()) {
+        std::fprintf(stderr, "FAIL: cache-phase seed ingest: %s\n",
+                     seeded.ToString().c_str());
+        return 1;
+      }
+      ++next;
+    }
+    for (int64_t i = 0; i < cache_phase; ++i) {
+      if (i % 5 == 3) {
+        Status s =
+            service->Ingest("stream", CanonicalMention(next, ingest_keys));
+        if (!s.ok()) {
+          std::fprintf(stderr, "FAIL: cache-phase ingest: %s\n",
+                       s.ToString().c_str());
+          return 1;
+        }
+        ++next;
+      }
+      serve::QueryResponse response = service->Execute(
+          MakeStreamRequest(flags, i % 5 == 3 || i % 5 == 4));
+      if (!response.status.ok()) {
+        std::fprintf(stderr, "FAIL: cache-phase query %lld: %s\n",
+                     static_cast<long long>(i),
+                     response.status.ToString().c_str());
+        return 1;
+      }
+      if (response.cache == "hit") {
+        ++cache_phase_hits;
+      } else if (response.cache == "stale_hit") {
+        ++cache_phase_stale;
+      } else {
+        ++cache_phase_miss;
+      }
+    }
+    std::printf(
+        "cache_phase.requests=%lld cache_phase.hits=%lld "
+        "cache_phase.stale_hits=%lld cache_phase.misses=%lld\n",
+        static_cast<long long>(cache_phase),
+        static_cast<long long>(cache_phase_hits),
+        static_cast<long long>(cache_phase_stale),
+        static_cast<long long>(cache_phase_miss));
+    std::fflush(stdout);
+  }
   // Keep the admin endpoints answering after the workload drains so an
   // external prober (the CI smoke) can finish scraping a quiesced,
   // self-consistent state.
@@ -570,6 +794,14 @@ int Main(int argc, char** argv) {
             ms.CounterValue("serve.wal.truncated_tail_bytes")),
         static_cast<unsigned long long>(
             ms.CounterValue("serve.wal.checkpoints")));
+    std::printf(
+        "online.epochs_published=%llu online.reader_blocked=%llu "
+        "online.epoch=%llu\n",
+        static_cast<unsigned long long>(
+            ms.CounterValue("online.epochs_published")),
+        static_cast<unsigned long long>(
+            ms.CounterValue("online.reader_blocked")),
+        static_cast<unsigned long long>(stream_raw->current_epoch()));
     std::fflush(stdout);
   }
 
@@ -627,6 +859,24 @@ int Main(int argc, char** argv) {
       "admin.requests",
       static_cast<double>(metrics::Registry::Global().Snapshot().CounterValue(
           "obs.admin.requests")));
+  // Answer-cache and epoch-publication counters: with --cache-phase the
+  // serial mix makes these exact; with --cache=off the hits stay 0. Both
+  // configurations are pinned by the gate's --exact-scalars list.
+  {
+    const metrics::MetricsSnapshot ms = metrics::Registry::Global().Snapshot();
+    scalars.emplace_back(
+        "serve.cache.hits",
+        static_cast<double>(ms.CounterValue("serve.cache.hits")));
+    scalars.emplace_back(
+        "serve.cache.stale_hits",
+        static_cast<double>(ms.CounterValue("serve.cache.stale_hits")));
+    scalars.emplace_back(
+        "serve.cache.misses",
+        static_cast<double>(ms.CounterValue("serve.cache.misses")));
+    scalars.emplace_back(
+        "online.epochs_published",
+        static_cast<double>(ms.CounterValue("online.epochs_published")));
+  }
   bench::ExportBenchArtifacts(flags.GetString("json", ""), obs,
                               "serve_load", params, scalars, runs);
 

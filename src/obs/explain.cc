@@ -88,6 +88,10 @@ std::string ExplainReport::ToJson() const {
     out += StrFormat(",\"query_id\":%llu",
                      static_cast<unsigned long long>(query_id));
   }
+  if (epoch != 0) {
+    out += StrFormat(",\"epoch\":%llu",
+                     static_cast<unsigned long long>(epoch));
+  }
   out += StrFormat(",\"sample_rate\":%s", JsonNumber(sample_rate).c_str());
   out += ",\"levels\":[";
   for (size_t l = 0; l < levels.size(); ++l) {
@@ -230,6 +234,10 @@ std::string ExplainReport::ToText() const {
   if (query_id != 0) {
     out += StrFormat("query_id %llu\n",
                      static_cast<unsigned long long>(query_id));
+  }
+  if (epoch != 0) {
+    out += StrFormat("epoch %llu\n",
+                     static_cast<unsigned long long>(epoch));
   }
   for (const LevelExplain& lv : levels) {
     out += StrFormat("level %d\n", lv.level);

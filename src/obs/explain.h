@@ -193,6 +193,10 @@ struct ExplainReport {
   /// non-serve paths — renders nothing, keeping standalone reports
   /// byte-identical to pre-serve builds.
   uint64_t query_id = 0;
+  /// Ingest epoch the query's pinned snapshot was published at (online
+  /// datasets via the serve layer; 0 — static/standalone — renders
+  /// nothing, like query_id).
+  uint64_t epoch = 0;
   double sample_rate = 1.0;
   std::vector<LevelExplain> levels;
   bool has_embedding = false;

@@ -116,6 +116,20 @@ std::string StatuszJson(const QueryService& service,
           snapshot.CounterValue("serve.wal.truncated_tail_bytes")),
       static_cast<unsigned long long>(
           snapshot.CounterValue("serve.wal.checkpoints")));
+  out += StrFormat(
+      ",\"epochs\":{\"published\":%llu,\"reader_blocked\":%llu}",
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("online.epochs_published")),
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("online.reader_blocked")));
+  out += StrFormat(
+      ",\"cache\":{\"hits\":%llu,\"stale_hits\":%llu,\"misses\":%llu}",
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.cache.hits")),
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.cache.stale_hits")),
+      static_cast<unsigned long long>(
+          snapshot.CounterValue("serve.cache.misses")));
   out += StrFormat(",\"trace\":{\"ring_capacity\":%zu,\"ring_total\":%llu}",
                    trace::RingCapacity(),
                    static_cast<unsigned long long>(trace::RingTotal()));
@@ -154,6 +168,10 @@ std::string StatuszJson(const QueryService& service,
         static_cast<unsigned long long>(ds.errors),
         static_cast<unsigned long long>(ds.shed),
         static_cast<unsigned long long>(ds.index_bytes));
+    if (ds.online) {
+      out += StrFormat(",\"epoch\":%llu",
+                       static_cast<unsigned long long>(ds.epoch));
+    }
     // cost_model_json is already a JSON object — splice, don't escape.
     out += ",\"cost_model\":";
     out += ds.cost_model_json.empty() ? "null" : ds.cost_model_json;

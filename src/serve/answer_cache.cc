@@ -1,0 +1,64 @@
+#include "serve/answer_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace topkdup::serve {
+
+AnswerCache::AnswerCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  slots_.reserve(capacity_);
+}
+
+std::optional<AnswerCache::Entry> AnswerCache::Lookup(int k, int r) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& slot : slots_) {
+    if (slot.k == k && slot.r == r) {
+      slot.lru_tick = ++tick_;
+      return slot.entry;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<AnswerCache::Entry> AnswerCache::MostRecent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Slot* best = nullptr;
+  for (const Slot& slot : slots_) {
+    if (best == nullptr || slot.insert_tick > best->insert_tick) {
+      best = &slot;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->entry;
+}
+
+void AnswerCache::Insert(int k, int r, Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t now = ++tick_;
+  for (Slot& slot : slots_) {
+    if (slot.k == k && slot.r == r) {
+      slot.entry = std::move(entry);
+      slot.lru_tick = now;
+      slot.insert_tick = now;
+      return;
+    }
+  }
+  if (slots_.size() < capacity_) {
+    slots_.push_back(Slot{k, r, now, now, std::move(entry)});
+    return;
+  }
+  // Evict the least recently used shape.
+  Slot* victim = &slots_.front();
+  for (Slot& slot : slots_) {
+    if (slot.lru_tick < victim->lru_tick) victim = &slot;
+  }
+  *victim = Slot{k, r, now, now, std::move(entry)};
+}
+
+size_t AnswerCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace topkdup::serve

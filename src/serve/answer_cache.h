@@ -1,0 +1,78 @@
+#ifndef TOPKDUP_SERVE_ANSWER_CACHE_H_
+#define TOPKDUP_SERVE_ANSWER_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "topk/topk_query.h"
+
+namespace topkdup::serve {
+
+/// Per-dataset cache of exact TopK count answers keyed by query shape
+/// (k, r) and stamped with the epoch they were computed at. The service
+/// consults it on two paths:
+///
+///  - Normal serving: a hit at the *current* epoch is returned verbatim —
+///    bit-identical to recomputing, because a published epoch is immutable.
+///    A hit at an older epoch may be served as a degraded bounds-only
+///    answer with `count_upper` widened by the weight published since the
+///    entry's epoch (sound for an append-only stream with non-negative
+///    weights: counts only grow, by at most the ingested weight).
+///  - Breaker-open fallback: MostRecent() replaces the old single-slot
+///    "last good answer" — same widening argument, any shape.
+///
+/// Epochs (not wall time) are the staleness basis: an entry records the
+/// published total weight of its epoch, and the widening is the published
+/// weight delta, which survives recovery replay and service restarts
+/// because epoch ids and their weights are reconstructed from the WAL.
+///
+/// Small fixed capacity with LRU eviction; thread-safe (one mutex — the
+/// service touches it once per request, never inside query execution).
+class AnswerCache {
+ public:
+  struct Entry {
+    topk::TopKCountResult result;
+    /// Epoch the result was computed at.
+    uint64_t epoch = 0;
+    /// Published total stream weight at that epoch (widening basis).
+    double epoch_total_weight = 0.0;
+    /// Published mention count at that epoch (observability only).
+    uint64_t epoch_mentions = 0;
+  };
+
+  explicit AnswerCache(size_t capacity = 32);
+
+  /// The entry cached for shape (k, r), if any; bumps its LRU recency.
+  std::optional<Entry> Lookup(int k, int r) const;
+
+  /// The most recently *inserted* entry, any shape — the breaker-open
+  /// fallback (freshest answer beats shape match when degraded).
+  std::optional<Entry> MostRecent() const;
+
+  /// Caches `entry` for shape (k, r), replacing any existing entry for
+  /// that shape and evicting the least recently used slot when full.
+  void Insert(int k, int r, Entry entry);
+
+  size_t size() const;
+
+ private:
+  struct Slot {
+    int k = 0;
+    int r = 0;
+    uint64_t lru_tick = 0;
+    uint64_t insert_tick = 0;
+    Entry entry;
+  };
+
+  mutable std::mutex mu_;
+  mutable uint64_t tick_ = 0;
+  size_t capacity_;
+  // Mutable so a const Lookup can bump LRU recency under mu_.
+  mutable std::vector<Slot> slots_;
+};
+
+}  // namespace topkdup::serve
+
+#endif  // TOPKDUP_SERVE_ANSWER_CACHE_H_

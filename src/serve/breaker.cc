@@ -50,6 +50,12 @@ void CircuitBreaker::TripLocked() {
   probe_successes_ = 0;
 }
 
+// A kReject is not a refusal to answer: the service turns it into a
+// bounds-only response from the dataset's AnswerCache (DegradedFromCache),
+// widening the cached upper bounds by the weight *published* since the
+// entry's epoch. Epoch-based widening — not capture-time wall state — is
+// what keeps the degraded answer sound across recovery replay and
+// restarts; see serve/answer_cache.h.
 CircuitBreaker::Decision CircuitBreaker::Admit() {
   std::lock_guard<std::mutex> lock(mu_);
   if (state_ == BreakerState::kOpen) {

@@ -106,6 +106,17 @@ std::string RequestLogEvent::ToJsonLine() const {
     out += StrFormat("\":%.4f", cpu_stages_ms[i].second);
   }
   out += "}";
+  if (epoch != 0) {
+    out += StrFormat(",\"epoch\":%llu",
+                     static_cast<unsigned long long>(epoch));
+  }
+  if (!cache.empty()) {
+    out += ",\"cache\":";
+    AppendJsonString(out, cache);
+    if (staleness_weight > 0.0) {
+      out += StrFormat(",\"staleness_weight\":%.6f", staleness_weight);
+    }
+  }
   if (shed_predicted_ms > 0.0) {
     out += StrFormat(
         ",\"shed_predicted_ms\":%.3f,\"shed_cpu_per_pair_ns\":%.2f",

@@ -104,6 +104,16 @@ struct RequestLogEvent {
   /// concurrency — the registry is process-global, so overlapping queries
   /// can bleed into each other's deltas).
   std::vector<std::pair<const char*, uint64_t>> work;
+  /// Epoch the answer was computed at (0 = static dataset / unanswered);
+  /// the same id appears on the response and any captured explain report,
+  /// so one query id joins its pinned epoch across all three planes.
+  uint64_t epoch = 0;
+  /// Answer-cache disposition: "hit", "stale_hit", "miss", or empty when
+  /// the cache was not consulted.
+  std::string cache;
+  /// Published weight the stale serve widened count_upper by (0 for
+  /// fresh answers).
+  double staleness_weight = 0.0;
   bool slow = false;
 
   /// The event as one JSON object (no trailing newline).

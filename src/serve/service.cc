@@ -97,8 +97,11 @@ const char* ServedOutcomeName(ServedOutcome outcome) {
 /// and never removed, so raw pointers into the map stay valid for the
 /// service lifetime.
 struct QueryService::DatasetState {
-  DatasetState(std::string name_in, const BreakerOptions& breaker_options)
-      : name(std::move(name_in)), breaker(breaker_options) {}
+  DatasetState(std::string name_in, const BreakerOptions& breaker_options,
+               size_t cache_capacity)
+      : name(std::move(name_in)),
+        breaker(breaker_options),
+        answer_cache(cache_capacity) {}
 
   std::string name;
   bool online = false;
@@ -144,14 +147,18 @@ struct QueryService::DatasetState {
   std::atomic<uint64_t> errors{0};
   std::atomic<uint64_t> shed{0};
 
-  // Last exact answer, served bounds-only while the breaker is open.
-  mutable std::mutex cache_mu;
-  bool has_cache = false;
-  topk::TopKCountResult last_good;
-  /// Stream weight when `last_good` was captured (0 for static): the
-  /// ingested-since-capture delta is the sound widening of every cached
-  /// upper bound.
-  double cached_total_weight = 0.0;
+  /// Exact answers cached by query shape and stamped with their epoch.
+  /// Serves current-epoch hits verbatim, stale hits as widened bounds,
+  /// and (via MostRecent) the breaker's bounds-only fallback — the
+  /// widening basis is the *published* weight delta since the entry's
+  /// epoch, which survives recovery because epochs ride the WAL.
+  AnswerCache answer_cache;
+
+  /// Epoch publication batching state (epoch_batch_ms > 0). Guarded by
+  /// the stream writer lock like the stream itself.
+  Clock::time_point last_publish{};
+  bool ever_published = false;
+  bool pending_publish = false;
 
   static constexpr size_t kMaxSamples = 64;
 
@@ -194,6 +201,9 @@ struct QueryService::Pending {
   /// cost it used, surfaced on the request-log line.
   double shed_predicted_ms = 0.0;
   double shed_cpu_per_pair_ns = 0.0;
+  /// Answer-cache disposition decided at admission ("miss" when the
+  /// request proceeds to execution); stamped onto the response.
+  std::string cache_disposition;
   std::promise<QueryResponse> promise;
 };
 
@@ -205,6 +215,10 @@ QueryService::QueryService(ServiceOptions options)
   completed_counter_ = registry.GetCounter("serve.completed");
   errors_counter_ = registry.GetCounter("serve.errors");
   breaker_degraded_counter_ = registry.GetCounter("serve.breaker_degraded");
+  cache_hits_counter_ = registry.GetCounter("serve.cache.hits");
+  cache_stale_hits_counter_ = registry.GetCounter("serve.cache.stale_hits");
+  cache_misses_counter_ = registry.GetCounter("serve.cache.misses");
+  reader_blocked_counter_ = registry.GetCounter("online.reader_blocked");
   queue_depth_gauge_ = registry.GetGauge("serve.queue_depth");
   inflight_gauge_ = registry.GetGauge("serve.inflight");
   queue_seconds_ = registry.GetHistogram("serve.queue_seconds",
@@ -218,6 +232,7 @@ QueryService::QueryService(ServiceOptions options)
   registry.GetCounter("serve.wal.recovered_mentions");
   registry.GetCounter("serve.wal.truncated_tail_bytes");
   registry.GetCounter("serve.wal.checkpoints");
+  registry.GetCounter("online.epochs_published");
   request_log_ = std::make_unique<RequestLog>(options_.request_log);
 
   if (options_.workers <= 0) {
@@ -280,7 +295,8 @@ Status QueryService::RegisterDataset(std::string name, DatasetBundle bundle) {
   if (!bundle.scorer) {
     return Status::InvalidArgument("RegisterDataset: scorer must be set");
   }
-  auto state = std::make_unique<DatasetState>(name, options_.breaker);
+  auto state = std::make_unique<DatasetState>(name, options_.breaker,
+                                              options_.cache.capacity);
   state->bundle = std::move(bundle);
   state->breaker_gauge = metrics::Registry::Global().GetGauge(
       "serve.breaker_state." + name);
@@ -308,7 +324,8 @@ Status QueryService::RegisterOnline(std::string name,
   if (stream == nullptr) {
     return Status::InvalidArgument("RegisterOnline: stream must be set");
   }
-  auto state = std::make_unique<DatasetState>(name, options_.breaker);
+  auto state = std::make_unique<DatasetState>(name, options_.breaker,
+                                              options_.cache.capacity);
   state->online = true;
   state->stream = std::move(stream);
   state->breaker_gauge = metrics::Registry::Global().GetGauge(
@@ -319,6 +336,17 @@ Status QueryService::RegisterOnline(std::string name,
     // previous life is back. A failed recovery aborts registration.
     Status recovered = RecoverOnline(*state);
     if (!recovered.ok()) return recovered;
+  }
+  if (state->stream->mention_count() > 0) {
+    // Publish the initial epoch (recovered or preexisting in-memory
+    // state) before the dataset is visible, so the very first query can
+    // pin it without ever touching the writer lock. The id advances past
+    // whatever the WAL/checkpoint restored, keeping epochs monotone
+    // across restarts.
+    std::unique_lock<std::shared_mutex> lock(state->stream_mu);
+    state->stream->PublishEpoch();
+    state->last_publish = Clock::now();
+    state->ever_published = true;
   }
   DatasetState* raw = state.get();
   {
@@ -400,6 +428,10 @@ Status QueryService::RecoverOnline(DatasetState& ds) {
         ds.stream->AddMention(std::move(mention_or).value()));
     ++replayed;
   }
+  // Re-establish the epoch counter: the max of what the checkpoint image
+  // restored (inside RestoreFromCheckpoint) and what the replayed WAL
+  // frames were stamped with.
+  ds.stream->RestoreEpochCounter(replay.max_epoch);
   if (restored + replayed > 0) {
     RecoveredMentionsCounter()->Add(restored + replayed);
     TOPKDUP_LOG(Info) << "dataset '" << ds.name << "': recovered "
@@ -450,8 +482,11 @@ Status QueryService::Ingest(std::string_view dataset, record::Record mention) {
   }
   std::unique_lock<std::shared_mutex> lock(ds->stream_mu);
   if (ds->wal == nullptr) {
-    // Memory-only mode (no wal_dir): the pre-durability behavior.
-    return ds->stream->AddMention(std::move(mention));
+    // Memory-only mode (no wal_dir): the pre-durability behavior, plus
+    // the epoch publish that makes the mention visible to readers.
+    Status status = ds->stream->AddMention(std::move(mention));
+    if (status.ok()) MaybePublishEpoch(*ds);
+    return status;
   }
 
   // WAL-first: the frame must be on the log (and per policy on disk)
@@ -462,7 +497,10 @@ Status QueryService::Ingest(std::string_view dataset, record::Record mention) {
   const uint64_t seq = ds->stream->mention_count();
   const uint64_t pre = ds->wal->end_offset();
   const std::string payload = topk::EncodeMention(mention);
-  Status status = ds->wal->Append(seq, payload);
+  // Stamp the frame with the epoch this mention will publish under, so
+  // recovery replay restores the counter to where publication left off.
+  Status status =
+      ds->wal->Append(seq, payload, ds->stream->current_epoch() + 1);
   if (status.ok()) {
     status = ds->stream->AddMention(std::move(mention));
     if (!status.ok()) {
@@ -478,6 +516,11 @@ Status QueryService::Ingest(std::string_view dataset, record::Record mention) {
     UpdateBreakerGauge(*ds);
     return status;
   }
+  // The mention is acknowledged (on the WAL) and applied; publish the
+  // epoch that makes it visible to readers. A failed/rolled-back ingest
+  // never reaches this point, so it can never leak into a published
+  // epoch.
+  MaybePublishEpoch(*ds);
   ds->wal_bytes_since_ckpt = ds->wal->appended_bytes();
   if (options_.checkpoint_bytes > 0 &&
       ds->wal_bytes_since_ckpt >= options_.checkpoint_bytes) {
@@ -536,6 +579,58 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
   if (pending->decision == CircuitBreaker::Decision::kReject) {
     FinishResponse(*pending, DegradedFromCache(*ds, req));
     return future;
+  }
+
+  // Answer cache: a hit at the current epoch is bit-identical to
+  // executing (published epochs are immutable), so serve it synchronously
+  // — zero queue time, zero execution cost. A stale entry is served only
+  // when the caller opted in (allow_stale), as a widened bounds-only
+  // answer. Probes skip the cache: their purpose is to test the dataset.
+  if (options_.cache.enabled && req.kind == QueryKind::kTopKCount &&
+      pending->decision == CircuitBreaker::Decision::kProceed) {
+    std::optional<AnswerCache::Entry> entry =
+        ds->answer_cache.Lookup(req.k, req.r);
+    if (entry.has_value()) {
+      const uint64_t now_epoch =
+          ds->online ? ds->stream->current_epoch() : 0;
+      if (entry->epoch == now_epoch) {
+        ds->breaker.OnAbandon(pending->decision);  // No-op for kProceed.
+        cache_hits_counter_->Increment();
+        // A hit is a served request: it enters the admitted/completed
+        // ledger even though it never touches the queue.
+        admitted_counter_->Increment();
+        admitted_total_.fetch_add(1, std::memory_order_relaxed);
+        completed_counter_->Increment();
+        completed_total_.fetch_add(1, std::memory_order_relaxed);
+        ds->served.fetch_add(1, std::memory_order_relaxed);
+        pending->cache_disposition = "hit";
+        QueryResponse response;
+        response.status = Status::OK();
+        response.outcome = ServedOutcome::kExact;
+        response.result = entry->result;
+        response.epoch = entry->epoch;
+        response.epoch_mentions = entry->epoch_mentions;
+        FinishResponse(*pending, std::move(response));
+        return future;
+      }
+      if (req.allow_stale) {
+        ds->breaker.OnAbandon(pending->decision);
+        cache_stale_hits_counter_->Increment();
+        admitted_counter_->Increment();
+        admitted_total_.fetch_add(1, std::memory_order_relaxed);
+        completed_counter_->Increment();
+        completed_total_.fetch_add(1, std::memory_order_relaxed);
+        ds->served.fetch_add(1, std::memory_order_relaxed);
+        pending->cache_disposition = "stale_hit";
+        QueryResponse response = BoundsOnlyFromEntry(*ds, req, *entry);
+        response.result.degradation.stage = "serve_cache_stale";
+        response.outcome = ServedOutcome::kDegraded;
+        FinishResponse(*pending, std::move(response));
+        return future;
+      }
+    }
+    cache_misses_counter_->Increment();
+    pending->cache_disposition = "miss";
   }
 
   if (options_.shed_on_predicted_miss && req.work_budget == 0) {
@@ -628,11 +723,19 @@ void QueryService::FlushDurableState() {
   {
     std::shared_lock<std::shared_mutex> lock(datasets_mu_);
     for (auto& [name, state] : datasets_) {
-      if (state->online && state->wal != nullptr) online.push_back(state.get());
+      if (state->online) online.push_back(state.get());
     }
   }
   for (DatasetState* ds : online) {
     std::unique_lock<std::shared_mutex> lock(ds->stream_mu);
+    // Force any batched epoch out: after a Drain, everything acked must
+    // be visible to readers, not just durable.
+    if (ds->pending_publish) {
+      ds->stream->PublishEpoch();
+      ds->last_publish = Clock::now();
+      ds->pending_publish = false;
+    }
+    if (ds->wal == nullptr) continue;
     Status s = ds->wal->Sync();
     if (!s.ok()) {
       TOPKDUP_LOG(Warning) << "wal sync for dataset '" << ds->name
@@ -646,6 +749,23 @@ void QueryService::FlushDurableState() {
                            << " (the synced WAL still covers the state)";
     }
   }
+}
+
+void QueryService::MaybePublishEpoch(DatasetState& ds) {
+  if (options_.epoch_batch_ms > 0 && ds.ever_published) {
+    const Clock::time_point now = Clock::now();
+    if (now - ds.last_publish <
+        std::chrono::milliseconds(options_.epoch_batch_ms)) {
+      // Batched: readers keep the previous epoch until the window
+      // elapses, Drain() forces it, or shutdown flushes it.
+      ds.pending_publish = true;
+      return;
+    }
+  }
+  ds.stream->PublishEpoch();
+  ds.last_publish = Clock::now();
+  ds.ever_published = true;
+  ds.pending_publish = false;
 }
 
 void QueryService::WorkerLoop() {
@@ -838,22 +958,47 @@ StatusOr<QueryResponse> QueryService::RunOnce(DatasetState& ds,
   // global level alone.
   query_options.threads = 0;
   double snapshot_weight = 0.0;
+  uint64_t snapshot_epoch = 0;
+  uint64_t snapshot_mentions = 0;
   if (ds.online) {
-    topk::OnlineTopK::Snapshot snapshot;
-    {
+    // Read-never-blocks: pin the published epoch (a shared_ptr copy under
+    // a pointer-swap mutex) instead of taking the stream writer lock, so
+    // reader latency is independent of ingest — even a WAL fsync in
+    // flight cannot stall this query.
+    std::shared_ptr<const topk::OnlineTopK::EpochSnapshot> pinned =
+        ds.stream->PinEpoch();
+    const topk::OnlineTopK::Snapshot* snapshot = nullptr;
+    topk::OnlineTopK::Snapshot fallback;
+    if (pinned != nullptr) {
+      snapshot = &pinned->snapshot;
+      snapshot_epoch = pinned->epoch;
+    } else if (ds.stream->mention_count() > 0) {
+      // Defensive only: the publish discipline (first ingest publishes,
+      // RegisterOnline publishes recovered state) means a non-empty
+      // stream always has a published epoch. Counted so the TSan stress
+      // test can pin online.reader_blocked at zero.
+      reader_blocked_counter_->Increment();
       std::unique_lock<std::shared_mutex> lock(ds.stream_mu);
-      snapshot = ds.stream->TakeSnapshot();
-    }
-    snapshot_weight = snapshot.total_weight;
-    if (snapshot.reps.size() == 0) {
+      fallback = ds.stream->TakeSnapshot();
+      snapshot = &fallback;
+      snapshot_epoch = ds.stream->current_epoch();
+    } else {
       return Status::FailedPrecondition("RunOnce: stream '" + ds.name +
                                         "' has no mentions yet");
     }
+    snapshot_weight = snapshot->total_weight;
+    snapshot_mentions = snapshot->mention_count;
+    if (snapshot->reps.size() == 0) {
+      return Status::FailedPrecondition("RunOnce: stream '" + ds.name +
+                                        "' has no mentions yet");
+    }
+    response.epoch = snapshot_epoch;
+    response.epoch_mentions = snapshot_mentions;
     query_options.k = static_cast<int>(std::min<size_t>(
-        static_cast<size_t>(request.k), snapshot.reps.size()));
+        static_cast<size_t>(request.k), snapshot->reps.size()));
     TOPKDUP_ASSIGN_OR_RETURN(
         response.result,
-        ds.stream->QuerySnapshot(snapshot, query_options));
+        ds.stream->QuerySnapshot(*snapshot, query_options));
   } else {
     query_options.k = static_cast<int>(std::min<size_t>(
         static_cast<size_t>(request.k), ds.bundle.data->size()));
@@ -870,47 +1015,46 @@ StatusOr<QueryResponse> QueryService::RunOnce(DatasetState& ds,
                          ? ServedOutcome::kExact
                          : ServedOutcome::kDegraded;
   if (response.result.quality == topk::AnswerQuality::kExact) {
-    std::lock_guard<std::mutex> lock(ds.cache_mu);
-    ds.last_good = response.result;
-    ds.cached_total_weight = snapshot_weight;
-    ds.has_cache = true;
+    // Always populate (even with serving disabled): the cache is also the
+    // breaker's bounds-only fallback. The entry's epoch weight — the
+    // *published* weight of its snapshot, not the live stream weight — is
+    // the sound widening basis for every later stale serve.
+    AnswerCache::Entry entry;
+    entry.result = response.result;
+    entry.epoch = snapshot_epoch;
+    entry.epoch_total_weight = snapshot_weight;
+    entry.epoch_mentions = snapshot_mentions;
+    ds.answer_cache.Insert(request.k, request.r, std::move(entry));
   }
   return response;
 }
 
-QueryResponse QueryService::DegradedFromCache(DatasetState& ds,
-                                              const QueryRequest& request) {
+QueryResponse QueryService::BoundsOnlyFromEntry(
+    DatasetState& ds, const QueryRequest& request,
+    const AnswerCache::Entry& entry) {
   QueryResponse response;
-  if (request.kind != QueryKind::kTopKCount || !request.allow_degraded) {
-    response.status = Status::FailedPrecondition(
-        "circuit breaker open for dataset '" + ds.name + "'");
-    return response;
-  }
-  // Read the live stream weight before touching the cache so the two
-  // mutexes never nest (lock-order freedom).
-  double current_weight = 0.0;
-  if (ds.online) {
-    std::shared_lock<std::shared_mutex> lock(ds.stream_mu);
-    current_weight = ds.stream->total_weight();
-  }
-  topk::TopKCountResult cached;
+  topk::TopKCountResult cached = entry.result;
   double widen = 0.0;
-  {
-    std::lock_guard<std::mutex> lock(ds.cache_mu);
-    if (!ds.has_cache) {
-      response.status = Status::FailedPrecondition(
-          "circuit breaker open for dataset '" + ds.name +
-          "' and no cached answer is available");
-      return response;
-    }
-    cached = ds.last_good;
-    if (ds.online) {
-      widen = std::max(0.0, current_weight - ds.cached_total_weight);
+  uint64_t now_epoch = entry.epoch;
+  if (ds.online) {
+    // Epoch-based widening: the delta between the current *published*
+    // weight and the entry's epoch weight. Both sides come from published
+    // (immutable) epochs — never the live stream under the writer lock —
+    // so the figure is stable, and because epochs ride WAL frames and
+    // checkpoint images it survives recovery replay and restarts, unlike
+    // the old capture-time wall snapshot.
+    std::shared_ptr<const topk::OnlineTopK::EpochSnapshot> pinned =
+        ds.stream->PinEpoch();
+    if (pinned != nullptr) {
+      now_epoch = pinned->epoch;
+      widen =
+          std::max(0.0, pinned->snapshot.total_weight -
+                            entry.epoch_total_weight);
     }
   }
   // The stream is append-only with non-negative weights, so a captured
-  // group can only have grown, and by at most the weight ingested since
-  // capture: [captured, captured + widen] contains the true count.
+  // group can only have grown, and by at most the weight published since
+  // its epoch: [captured, captured + widen] contains the true count.
   for (topk::TopKAnswerSet& answer : cached.answers) {
     if (answer.groups.size() > static_cast<size_t>(request.k)) {
       answer.groups.resize(static_cast<size_t>(request.k));
@@ -922,11 +1066,43 @@ QueryResponse QueryService::DegradedFromCache(DatasetState& ds,
   cached.quality = topk::AnswerQuality::kBoundsOnly;
   cached.exact_from_pruning = false;
   cached.degradation.degraded = true;
-  cached.degradation.stage = "serve_breaker";
   cached.degradation.partial_stage = false;
   response.result = std::move(cached);
   response.status = Status::OK();
+  response.epoch = entry.epoch;
+  response.epoch_mentions = entry.epoch_mentions;
+  response.staleness_weight = widen;
+  response.cache = entry.epoch == now_epoch ? "hit" : "stale_hit";
+  return response;
+}
+
+QueryResponse QueryService::DegradedFromCache(DatasetState& ds,
+                                              const QueryRequest& request) {
+  QueryResponse response;
+  if (request.kind != QueryKind::kTopKCount || !request.allow_degraded) {
+    response.status = Status::FailedPrecondition(
+        "circuit breaker open for dataset '" + ds.name + "'");
+    return response;
+  }
+  // Shape match first, freshest entry of any shape as the fallback — a
+  // degraded answer for a nearby shape beats no answer.
+  std::optional<AnswerCache::Entry> entry =
+      ds.answer_cache.Lookup(request.k, request.r);
+  if (!entry.has_value()) entry = ds.answer_cache.MostRecent();
+  if (!entry.has_value()) {
+    response.status = Status::FailedPrecondition(
+        "circuit breaker open for dataset '" + ds.name +
+        "' and no cached answer is available");
+    return response;
+  }
+  response = BoundsOnlyFromEntry(ds, request, *entry);
+  response.result.degradation.stage = "serve_breaker";
   response.outcome = ServedOutcome::kBreakerDegraded;
+  if (response.cache == "hit") {
+    cache_hits_counter_->Increment();
+  } else {
+    cache_stale_hits_counter_->Increment();
+  }
   breaker_degraded_counter_->Increment();
   return response;
 }
@@ -954,6 +1130,7 @@ QueryResponse QueryService::ShedResponse(DatasetState* ds,
 
 void QueryService::FinishResponse(Pending& pending, QueryResponse response) {
   response.query_id = pending.id;
+  if (response.cache.empty()) response.cache = pending.cache_disposition;
   response.queue_seconds = pending.queue_seconds;
   response.latency_seconds = SecondsSince(pending.admitted_at);
   response.cpu_seconds = pending.meter.CpuSeconds();
@@ -1015,6 +1192,9 @@ void QueryService::FinishResponse(Pending& pending, QueryResponse response) {
         if (value != 0) event.work.emplace_back(name, value);
       }
     }
+    event.epoch = response.epoch;
+    event.cache = response.cache;
+    event.staleness_weight = response.staleness_weight;
     event.shed_reason = response.shed_reason;
     event.attempts = response.attempts;
     event.retries = std::max(0, response.attempts - 1);
@@ -1038,6 +1218,7 @@ void QueryService::FinishResponse(Pending& pending, QueryResponse response) {
       // it.
       auto annotated =
           std::make_shared<obs::ExplainReport>(*response.result.explain);
+      annotated->epoch = response.epoch;
       annotated->has_resources = true;
       annotated->resources.cpu_ms = event.cpu_ms;
       annotated->resources.stages_ms = event.cpu_stages_ms;
@@ -1166,8 +1347,11 @@ HealthSnapshot QueryService::Health() const {
       ds.name = name;
       ds.online = state->online;
       if (state->online) {
-        std::shared_lock<std::shared_mutex> stream_lock(state->stream_mu);
+        // Lock-free: mention_count() reads an atomic and the epoch is an
+        // atomic load, so a health probe never queues behind an ingest's
+        // fsync.
         ds.records = state->stream->mention_count();
+        ds.epoch = state->stream->current_epoch();
       } else {
         ds.records = state->bundle.data->size();
       }

@@ -23,6 +23,7 @@
 #include "predicates/corpus.h"
 #include "predicates/pair_predicate.h"
 #include "record/record.h"
+#include "serve/answer_cache.h"
 #include "serve/breaker.h"
 #include "serve/cost_model.h"
 #include "serve/request_log.h"
@@ -63,6 +64,11 @@ struct QueryRequest {
   /// Accept a bounds-only cached answer when the dataset's breaker is
   /// open. When false an open breaker yields FailedPrecondition instead.
   bool allow_degraded = true;
+  /// Accept a cached answer computed at an *older* epoch, served as a
+  /// degraded bounds-only result with count_upper widened by the weight
+  /// published since that epoch (always sound — see AnswerCache). When
+  /// false only a current-epoch cache hit short-circuits execution.
+  bool allow_stale = false;
 };
 
 /// How the service disposed of a request.
@@ -112,6 +118,22 @@ struct QueryResponse {
   /// "lower_bound", "prune", "pair_scoring", "segment_dp", "embedding",
   /// "other").
   std::vector<std::pair<std::string, double>> stage_cpu_seconds;
+  /// Epoch the answer was computed at (online datasets; 0 for static
+  /// datasets and unanswered requests). An exact answer's epoch is the
+  /// epoch its snapshot was pinned at; a cached answer's is the epoch the
+  /// cache entry was computed at.
+  uint64_t epoch = 0;
+  /// Mention count of the pinned epoch's snapshot (self-describes the
+  /// stream prefix the answer covers; online datasets only).
+  uint64_t epoch_mentions = 0;
+  /// Answer-cache disposition: "hit" (current-epoch, bit-identical to
+  /// recomputing), "stale_hit" (older epoch, bounds widened), "miss"
+  /// (executed), or empty when the cache was not consulted (static
+  /// datasets, rank queries, cache disabled).
+  std::string cache;
+  /// Published weight ingested since the cached epoch — the amount
+  /// count_upper was widened by (nonzero only for stale serves).
+  double staleness_weight = 0.0;
 };
 
 /// Everything the service must own for a resident static dataset. The
@@ -191,6 +213,24 @@ struct ServiceOptions {
   /// (the checkpoint then trims the WAL). Clean shutdown and Drain()
   /// always checkpoint regardless.
   uint64_t checkpoint_bytes = 4ull << 20;
+  /// Answer-cache behavior (serve/answer_cache.h). The cache is always
+  /// *populated* by exact count answers (it is also the breaker's
+  /// bounds-only fallback); `enabled` gates only whether the normal
+  /// serving path consults it before executing.
+  struct CacheOptions {
+    bool enabled = true;
+    /// Cached query shapes per dataset (LRU beyond this).
+    size_t capacity = 32;
+  };
+  CacheOptions cache;
+  /// Epoch publication batching for online ingest. 0 publishes a fresh
+  /// epoch after every successful ingest (every acked mention is
+  /// immediately visible to queries). > 0 publishes at most once per
+  /// interval — amortizes the O(mentions) snapshot build under ingest
+  /// bursts; queries meanwhile keep reading the previous epoch, and
+  /// Drain()/shutdown force-publish anything pending. The *first* ingest
+  /// always publishes so an empty pin means an empty stream.
+  int64_t epoch_batch_ms = 0;
 };
 
 /// Health snapshot suitable for a readiness probe.
@@ -210,6 +250,9 @@ struct DatasetHealth {
   /// Serialized size of the dataset's warmed blocking indexes (0 for
   /// online streams, which build per-snapshot).
   uint64_t index_bytes = 0;
+  /// Current published epoch (online datasets; 0 before the first
+  /// publish and for static datasets).
+  uint64_t epoch = 0;
 };
 
 struct HealthSnapshot {
@@ -252,10 +295,12 @@ struct HealthSnapshot {
 /// serve.breaker_state.<dataset>, serve.queue_depth, per-outcome latency
 /// histograms).
 ///
-/// Ingestion: online datasets take a writer lock per mention; queries
-/// snapshot under the same lock and execute lock-free on the snapshot
-/// (topk::OnlineTopK::QuerySnapshot), so ingest stalls are bounded by
-/// snapshot cost, never query cost.
+/// Ingestion: online datasets take a writer lock per mention; after a
+/// successful apply the ingest publishes (or batches, see epoch_batch_ms)
+/// an immutable epoch snapshot. Queries never take the writer lock: they
+/// pin the published epoch (a shared_ptr copy) and execute lock-free on
+/// it (topk::OnlineTopK::QuerySnapshot), so reader tail latency is
+/// independent of ingest latency — even with fsync=always WAL appends.
 class QueryService {
  public:
   explicit QueryService(ServiceOptions options = {});
@@ -370,9 +415,19 @@ class QueryService {
   /// atomically, trims the WAL, prunes old generations. Caller holds the
   /// dataset's stream writer lock.
   Status CheckpointLocked(DatasetState& ds);
-  /// Sync + checkpoint every online dataset that accumulated WAL bytes
-  /// (Drain, destructor).
+  /// Sync + checkpoint every online dataset that accumulated WAL bytes,
+  /// and force-publish any pending batched epoch (Drain, destructor).
   void FlushDurableState();
+  /// Publishes a fresh epoch for the dataset, or defers it under the
+  /// epoch_batch_ms policy. Caller holds the dataset's stream writer lock.
+  void MaybePublishEpoch(DatasetState& ds);
+  /// Shared widening: turns a cache entry into a degraded bounds-only
+  /// response at the dataset's current published epoch (groups truncated
+  /// to k, count_upper widened by the published weight delta). Used by
+  /// both the stale-serve path and the breaker-open fallback.
+  QueryResponse BoundsOnlyFromEntry(DatasetState& ds,
+                                    const QueryRequest& request,
+                                    const AnswerCache::Entry& entry);
 
   ServiceOptions options_;
   std::unique_ptr<RequestLog> request_log_;
@@ -406,6 +461,10 @@ class QueryService {
   metrics::Counter* completed_counter_;
   metrics::Counter* errors_counter_;
   metrics::Counter* breaker_degraded_counter_;
+  metrics::Counter* cache_hits_counter_;
+  metrics::Counter* cache_stale_hits_counter_;
+  metrics::Counter* cache_misses_counter_;
+  metrics::Counter* reader_blocked_counter_;
   metrics::Gauge* queue_depth_gauge_;
   metrics::Gauge* inflight_gauge_;
   metrics::Histogram* queue_seconds_;

@@ -21,7 +21,7 @@ namespace {
 
 // File header: [u64 magic][u32 version][u32 crc32 over the first 12 bytes].
 constexpr uint64_t kWalMagic = 0x31'4C'41'57'50'44'4B'54ull;  // "TKDPWAL1"
-constexpr uint32_t kWalVersion = 1;
+constexpr uint32_t kWalVersion = 2;
 constexpr size_t kFileHeaderBytes = 16;
 
 metrics::Counter& AppendCounter() {
@@ -247,11 +247,12 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     uint32_t payload_len = GetU32(base + pos);
     uint32_t crc = GetU32(base + pos + 4);
     uint64_t seq = GetU64(base + pos + 8);
+    uint64_t epoch = GetU64(base + pos + 16);
     uint64_t frame_bytes = kFrameHeaderBytes + payload_len;
     if (frame_bytes > remaining) break;  // Frame extends past EOF: torn.
-    // CRC covers the seq field plus the payload, so a frame whose length
-    // field was itself corrupted still fails verification.
-    uint32_t actual = Crc32(base + pos + 8, 8 + payload_len);
+    // CRC covers the seq + epoch fields plus the payload, so a frame whose
+    // length field was itself corrupted still fails verification.
+    uint32_t actual = Crc32(base + pos + 8, 16 + payload_len);
     if (actual != crc) {
       if (pos + frame_bytes == contents.size()) break;  // Torn last frame.
       return fail(Status::InvalidArgument(
@@ -263,6 +264,7 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     if (replay != nullptr) {
       replay->records.emplace_back(
           seq, contents.substr(pos + kFrameHeaderBytes, payload_len));
+      replay->max_epoch = std::max(replay->max_epoch, epoch);
     }
     pos += frame_bytes;
     valid_end = pos;
@@ -287,7 +289,8 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
       new WriteAheadLog(path, options, fd, valid_end));
 }
 
-Status WriteAheadLog::Append(uint64_t seq, std::string_view payload) {
+Status WriteAheadLog::Append(uint64_t seq, std::string_view payload,
+                             uint64_t epoch) {
   if (poisoned_) {
     return Status::IOError("wal " + path_ +
                            " is poisoned after a failed rollback");
@@ -300,8 +303,9 @@ Status WriteAheadLog::Append(uint64_t seq, std::string_view payload) {
   frame.reserve(kFrameHeaderBytes + payload.size());
   PutU32(&frame, static_cast<uint32_t>(payload.size()));
   std::string body;
-  body.reserve(8 + payload.size());
+  body.reserve(16 + payload.size());
   PutU64(&body, seq);
+  PutU64(&body, epoch);
   body.append(payload);
   PutU32(&frame, Crc32(body));
   frame.append(body);

@@ -48,6 +48,9 @@ struct WalReplay {
   /// Bytes of torn tail discarded (the file was truncated back to the end
   /// of the last intact frame before Open returned).
   uint64_t truncated_tail_bytes = 0;
+  /// Largest epoch id stamped on any intact frame (0 if none carried one).
+  /// Recovery uses this to re-establish the stream's epoch counter.
+  uint64_t max_epoch = 0;
 };
 
 /// A per-dataset write-ahead log of CRC32-framed, length-prefixed records.
@@ -55,9 +58,9 @@ struct WalReplay {
 /// File layout: a 16-byte checksummed file header (magic, format version,
 /// header CRC) followed by frames of
 ///
-///   [u32 payload_len][u32 crc32][u64 seq][payload_len bytes]
+///   [u32 payload_len][u32 crc32][u64 seq][u64 epoch][payload_len bytes]
 ///
-/// where the CRC covers seq + payload. Append writes one frame with a
+/// where the CRC covers seq + epoch + payload. Append writes one frame with a
 /// single write() call and applies the fsync policy; a frame is therefore
 /// either wholly present or a recognizable torn tail.
 ///
@@ -91,7 +94,9 @@ class WriteAheadLog {
   /// file is rolled back to its pre-append size, so a failed Append leaves
   /// no partial frame behind (IOError if even the rollback failed — the
   /// log is then poisoned and every later call fails fast).
-  Status Append(uint64_t seq, std::string_view payload);
+  /// `epoch` is the ingest epoch the record will publish under; it rides
+  /// in the frame header so recovery can restore the epoch counter.
+  Status Append(uint64_t seq, std::string_view payload, uint64_t epoch = 0);
 
   /// Forces everything appended so far to stable storage.
   Status Sync();
@@ -113,7 +118,7 @@ class WriteAheadLog {
   const std::string& path() const { return path_; }
 
   /// Frame overhead per record, for sizing checkpoint thresholds.
-  static constexpr size_t kFrameHeaderBytes = 16;
+  static constexpr size_t kFrameHeaderBytes = 24;
 
  private:
   WriteAheadLog(std::string path, WalOptions options, int fd,

@@ -7,19 +7,27 @@
 #include "common/check.h"
 #include "common/crc32.h"
 #include "common/faultpoint.h"
+#include "common/metrics.h"
 
 namespace topkdup::topk {
 namespace {
 
-// Checkpoint image header, 48 bytes little-endian:
+// Checkpoint image header, 56 bytes little-endian (v2 adds the epoch):
 // [u64 magic][u32 version][u32 header_size][u64 field_count]
-// [u64 mention_count][u64 body_size][u32 body_crc32][u32 header_crc32]
-// where header_crc32 covers the first 44 bytes. Same conventions as the
+// [u64 mention_count][u64 epoch][u64 body_size][u32 body_crc32]
+// [u32 header_crc32]
+// where header_crc32 covers the first 52 bytes. Same conventions as the
 // blocked-index image (PR 6): magic first, CRC last, body checksummed
 // separately so header validation never reads unverified lengths.
 constexpr uint64_t kCkptMagic = 0x31'4B'43'4F'50'44'4B'54ull;  // "TKDPOCK1"
-constexpr uint32_t kCkptVersion = 1;
-constexpr uint32_t kCkptHeaderBytes = 48;
+constexpr uint32_t kCkptVersion = 2;
+constexpr uint32_t kCkptHeaderBytes = 56;
+
+metrics::Counter& EpochsPublishedCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("online.epochs_published");
+  return *c;
+}
 
 void PutU32(std::string* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
@@ -75,7 +83,39 @@ Status OnlineTopK::AddMentionInternal(record::Record mention) {
   mentions_.Add(std::move(mention));
   total_weight_ += weight;
   collapse_->Insert(signature, weight);
+  mention_count_.store(mentions_.size(), std::memory_order_release);
   return Status::OK();
+}
+
+uint64_t OnlineTopK::PublishEpoch() {
+  // Build the frozen snapshot outside the publish mutex: pinning readers
+  // only ever wait for the pointer swap below, never the O(mentions) copy.
+  auto next = std::make_shared<EpochSnapshot>();
+  next->snapshot = TakeSnapshot();
+  const uint64_t id = epoch_.load(std::memory_order_relaxed) + 1;
+  next->epoch = id;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    published_ = std::move(next);
+    epoch_.store(id, std::memory_order_release);
+  }
+  EpochsPublishedCounter().Add(1);
+  return id;
+}
+
+std::shared_ptr<const OnlineTopK::EpochSnapshot> OnlineTopK::PinEpoch()
+    const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return published_;
+}
+
+void OnlineTopK::RestoreEpochCounter(uint64_t epoch) {
+  uint64_t cur = epoch_.load(std::memory_order_relaxed);
+  while (epoch > cur &&
+         !epoch_.compare_exchange_weak(cur, epoch,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+  }
 }
 
 std::string EncodeMention(const record::Record& mention) {
@@ -152,9 +192,10 @@ std::string OnlineTopK::SerializeCheckpoint() const {
   PutU32(&out, kCkptHeaderBytes);
   PutU64(&out, static_cast<uint64_t>(schema_.field_count()));
   PutU64(&out, static_cast<uint64_t>(mentions_.size()));
+  PutU64(&out, current_epoch());
   PutU64(&out, static_cast<uint64_t>(body.size()));
   PutU32(&out, Crc32(body));
-  PutU32(&out, Crc32(reinterpret_cast<const uint8_t*>(out.data()), 44));
+  PutU32(&out, Crc32(reinterpret_cast<const uint8_t*>(out.data()), 52));
   out.append(body);
   return out;
 }
@@ -180,13 +221,14 @@ Status OnlineTopK::RestoreFromCheckpoint(std::string_view image) {
   if (GetU32(p + 12) != kCkptHeaderBytes) {
     return Status::InvalidArgument("checkpoint header size mismatch");
   }
-  if (GetU32(p + 44) != Crc32(p, 44)) {
+  if (GetU32(p + 52) != Crc32(p, 52)) {
     return Status::InvalidArgument("checkpoint header CRC mismatch");
   }
   uint64_t field_count = GetU64(p + 16);
   uint64_t mention_count = GetU64(p + 24);
-  uint64_t body_size = GetU64(p + 32);
-  uint32_t body_crc = GetU32(p + 40);
+  uint64_t epoch = GetU64(p + 32);
+  uint64_t body_size = GetU64(p + 40);
+  uint32_t body_crc = GetU32(p + 48);
   if (field_count != schema_.field_count()) {
     return Status::InvalidArgument(
         "checkpoint field count " + std::to_string(field_count) +
@@ -235,6 +277,9 @@ Status OnlineTopK::RestoreFromCheckpoint(std::string_view image) {
   for (record::Record& rec : decoded) {
     TOPKDUP_RETURN_IF_ERROR(AddMentionInternal(std::move(rec)));
   }
+  // Re-establish the epoch counter the image was serialized under, so
+  // post-recovery publications keep the id sequence monotone.
+  RestoreEpochCounter(epoch);
   return Status::OK();
 }
 

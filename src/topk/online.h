@@ -1,8 +1,11 @@
 #ifndef TOPKDUP_TOPK_ONLINE_H_
 #define TOPKDUP_TOPK_ONLINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,7 +64,9 @@ class OnlineTopK {
   /// a real, retryable failure, never TOPKDUP_CHECK it.
   Status AddMention(record::Record mention);
 
-  size_t mention_count() const { return mentions_.size(); }
+  size_t mention_count() const {
+    return mention_count_.load(std::memory_order_acquire);
+  }
   const record::Schema& schema() const { return schema_; }
   size_t group_count() const { return collapse_->group_count(); }
   /// Total weight ingested so far.
@@ -88,6 +93,40 @@ class OnlineTopK {
   /// (path compression): serialize with AddMention under the same writer
   /// lock. Cost is O(mentions), far below a query over the groups.
   Snapshot TakeSnapshot();
+
+  /// An immutable published epoch: a frozen Snapshot stamped with the
+  /// monotonically increasing epoch id it was published under. Shared
+  /// read-only between all pinned readers; never mutated after publish.
+  struct EpochSnapshot {
+    uint64_t epoch = 0;
+    Snapshot snapshot;
+  };
+
+  /// Builds a fresh snapshot of the current stream state and publishes it
+  /// as epoch `current_epoch() + 1` via a pointer swap. Must be serialized
+  /// with AddMention/TakeSnapshot under the caller's writer lock (it calls
+  /// TakeSnapshot). The swap itself holds only the tiny publish mutex —
+  /// readers pinning concurrently see either the old or the new epoch,
+  /// never partial state. Returns the published epoch id.
+  uint64_t PublishEpoch();
+
+  /// Pins the most recently published epoch: a shared_ptr copy under the
+  /// publish mutex (nanoseconds — never held across snapshot builds or
+  /// IO), so readers never contend with the writer lock. The refcount is
+  /// the retire protocol: the epoch's memory lives until the last pinned
+  /// reader drops its reference. Returns nullptr if nothing has been
+  /// published yet.
+  std::shared_ptr<const EpochSnapshot> PinEpoch() const;
+
+  /// The most recently published epoch id (0 before the first publish).
+  uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Fast-forwards the epoch counter to max(current, epoch) without
+  /// publishing. Recovery uses this to re-establish the counter from WAL
+  /// frames / checkpoint images so post-restart epochs stay monotone.
+  void RestoreEpochCounter(uint64_t epoch);
 
   /// Answers the TopK count query over a snapshot. Member ids in the
   /// result refer to ingestion order at capture. Const and safe to run
@@ -123,6 +162,16 @@ class OnlineTopK {
   record::Dataset mentions_;
   double total_weight_ = 0.0;
   std::unique_ptr<dedup::StreamingCollapse> collapse_;
+
+  /// Lock-free mirror of mentions_.size() so health probes and readers
+  /// never need the writer lock just to ask "is there anything here".
+  std::atomic<size_t> mention_count_{0};
+
+  /// Epoch publication state. publish_mu_ guards only the published_
+  /// pointer swap/copy; epoch_ is the acquire-visible id of published_.
+  std::atomic<uint64_t> epoch_{0};
+  mutable std::mutex publish_mu_;
+  std::shared_ptr<const EpochSnapshot> published_;
 };
 
 /// Wire encoding of one mention, shared by WAL frames and checkpoint

@@ -130,6 +130,64 @@ TEST_F(OnlineTopKTest, QueryTracksTheStream) {
   }
 }
 
+TEST_F(OnlineTopKTest, EpochPublishPinAndRestore) {
+  topk::OnlineTopK stream = MakeStream();
+  EXPECT_EQ(stream.current_epoch(), 0u);
+  EXPECT_EQ(stream.PinEpoch(), nullptr);  // Nothing published yet.
+
+  for (const char* name :
+       {"maria gonzalez", "maria gonzalez", "wei zhang", "otto becker"}) {
+    stream.AddMention(Mention(name));
+  }
+  EXPECT_EQ(stream.PublishEpoch(), 1u);
+  auto pinned = stream.PinEpoch();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->epoch, 1u);
+  EXPECT_EQ(pinned->snapshot.mention_weights.size(), 4u);
+
+  // A pinned epoch is immutable: later ingest + publication do not touch
+  // it, and queries against it replay the state it froze.
+  for (int i = 0; i < 3; ++i) stream.AddMention(Mention("wei zhang"));
+  EXPECT_EQ(stream.PublishEpoch(), 2u);
+  EXPECT_EQ(pinned->snapshot.mention_weights.size(), 4u);
+  topk::TopKCountOptions options;
+  options.k = 1;
+  auto old_result = stream.QuerySnapshot(pinned->snapshot, options);
+  ASSERT_TRUE(old_result.ok());
+  EXPECT_DOUBLE_EQ(old_result.value().answers[0].groups[0].weight, 2.0);
+  auto new_pin = stream.PinEpoch();
+  ASSERT_NE(new_pin, nullptr);
+  EXPECT_EQ(new_pin->epoch, 2u);
+  auto new_result = stream.QuerySnapshot(new_pin->snapshot, options);
+  ASSERT_TRUE(new_result.ok());
+  EXPECT_DOUBLE_EQ(new_result.value().answers[0].groups[0].weight, 4.0);
+
+  // RestoreEpochCounter is max-only: recovery can never move time
+  // backwards under a published epoch.
+  stream.RestoreEpochCounter(1);
+  EXPECT_EQ(stream.current_epoch(), 2u);
+  stream.RestoreEpochCounter(9);
+  EXPECT_EQ(stream.current_epoch(), 9u);
+  EXPECT_EQ(stream.PublishEpoch(), 10u);
+}
+
+TEST_F(OnlineTopKTest, CheckpointRoundTripsEpochCounter) {
+  topk::OnlineTopK stream = MakeStream();
+  stream.AddMention(Mention("maria gonzalez"));
+  stream.AddMention(Mention("wei zhang"));
+  stream.PublishEpoch();
+  stream.PublishEpoch();
+  stream.PublishEpoch();
+  ASSERT_EQ(stream.current_epoch(), 3u);
+  const std::string image = stream.SerializeCheckpoint();
+
+  topk::OnlineTopK restored = MakeStream();
+  ASSERT_TRUE(restored.RestoreFromCheckpoint(image).ok());
+  EXPECT_EQ(restored.mention_count(), 2u);
+  EXPECT_EQ(restored.current_epoch(), 3u);
+  EXPECT_EQ(restored.PublishEpoch(), 4u);
+}
+
 TEST_F(OnlineTopKTest, GroupCountStaysBelowMentions) {
   topk::OnlineTopK stream = MakeStream();
   for (int i = 0; i < 60; ++i) {

@@ -17,6 +17,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/check.h"
@@ -148,7 +149,11 @@ class ServeTest : public ::testing::Test {
   void TearDown() override { fault::DisarmAllForTest(); }
 
   /// Test-friendly defaults: tiny backoffs, a breaker that will not trip
-  /// unless a test configures it to, and generous budgets.
+  /// unless a test configures it to, and generous budgets. The answer
+  /// cache is *populated* but not served from (cache.enabled=false), so
+  /// tests that rely on repeated identical queries actually executing —
+  /// fault injection, breaker trips, latency shaping — keep their
+  /// semantics; cache-path tests opt back in explicitly.
   ServiceOptions QuietOptions() {
     ServiceOptions options;
     options.workers = 2;
@@ -159,6 +164,7 @@ class ServeTest : public ::testing::Test {
     options.retry.max_backoff_ms = 4;
     options.breaker.window = 64;
     options.breaker.min_samples = 10000;  // Effectively never trips.
+    options.cache.enabled = false;
     return options;
   }
 
@@ -1019,6 +1025,316 @@ TEST_F(ServeTest, RequestLogRotatesAtMaxBytes) {
   EXPECT_LE(live_stat.st_size, 512 + 400);
   std::remove(path.c_str());
   std::remove((path + ".1").c_str());
+}
+
+record::Record WeightedMention(const std::string& key, double weight) {
+  record::Record r;
+  r.fields = {key};
+  r.weight = weight;
+  return r;
+}
+
+TEST_F(ServeTest, AnswerCacheLruEvictionAndMostRecent) {
+  AnswerCache cache(2);
+  AnswerCache::Entry entry;
+  entry.epoch = 1;
+  cache.Insert(5, 1, entry);
+  entry.epoch = 2;
+  cache.Insert(3, 1, entry);
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch (5,1) so (3,1) becomes the LRU victim.
+  ASSERT_TRUE(cache.Lookup(5, 1).has_value());
+  entry.epoch = 3;
+  cache.Insert(7, 2, entry);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(3, 1).has_value());  // Evicted.
+  ASSERT_TRUE(cache.Lookup(5, 1).has_value());
+  EXPECT_EQ(cache.Lookup(5, 1)->epoch, 1u);
+  // MostRecent is insertion recency, not lookup recency.
+  ASSERT_TRUE(cache.MostRecent().has_value());
+  EXPECT_EQ(cache.MostRecent()->epoch, 3u);
+  // Same-shape insert replaces in place.
+  entry.epoch = 9;
+  cache.Insert(5, 1, entry);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(5, 1)->epoch, 9u);
+}
+
+TEST_F(ServeTest, CacheHitIsBitIdenticalAndEpochInvalidated) {
+  Watchdog watchdog(120);
+  ServiceOptions options = QuietOptions();
+  options.cache.enabled = true;
+  options.request_log.ok_sample_every = 1;
+  QueryService service(options);
+  ASSERT_TRUE(service.RegisterOnline("stream", MakeExactKeyStream()).ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        service.Ingest("stream", KeyMention("k" + std::to_string(i % 3)))
+            .ok());
+  }
+
+  QueryResponse miss = service.Execute(CountRequest("stream", 3));
+  ASSERT_TRUE(miss.status.ok()) << miss.status.ToString();
+  EXPECT_EQ(miss.outcome, ServedOutcome::kExact);
+  EXPECT_EQ(miss.cache, "miss");
+  EXPECT_GT(miss.epoch, 0u);
+  EXPECT_EQ(miss.epoch_mentions, 12u);
+
+  // Same shape at the same epoch: a hit, bit-identical to executing.
+  QueryResponse hit = service.Execute(CountRequest("stream", 3));
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_EQ(hit.cache, "hit");
+  EXPECT_EQ(hit.outcome, ServedOutcome::kExact);
+  EXPECT_EQ(hit.epoch, miss.epoch);
+  ASSERT_EQ(hit.result.answers.size(), miss.result.answers.size());
+  const auto& got = hit.result.answers[0].groups;
+  const auto& want = miss.result.answers[0].groups;
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t g = 0; g < got.size(); ++g) {
+    EXPECT_EQ(got[g].representative, want[g].representative);
+    EXPECT_EQ(got[g].weight, want[g].weight);  // Bit-identical, not NEAR.
+    EXPECT_EQ(got[g].count_lower, want[g].count_lower);
+    EXPECT_EQ(got[g].count_upper, want[g].count_upper);
+  }
+
+  // Publication invalidates: the next query misses and re-caches.
+  ASSERT_TRUE(service.Ingest("stream", KeyMention("k0")).ok());
+  QueryResponse fresh = service.Execute(CountRequest("stream", 3));
+  ASSERT_TRUE(fresh.status.ok());
+  EXPECT_EQ(fresh.cache, "miss");
+  EXPECT_GT(fresh.epoch, miss.epoch);
+  EXPECT_EQ(fresh.epoch_mentions, 13u);
+
+  // A stale entry is served only to callers that opted in, as a widened
+  // degraded answer that still brackets the truth.
+  ASSERT_TRUE(service.Ingest("stream", KeyMention("k1")).ok());
+  QueryRequest stale_req = CountRequest("stream", 3);
+  stale_req.allow_stale = true;
+  QueryResponse stale = service.Execute(stale_req);
+  ASSERT_TRUE(stale.status.ok());
+  EXPECT_EQ(stale.cache, "stale_hit");
+  EXPECT_EQ(stale.outcome, ServedOutcome::kDegraded);
+  EXPECT_EQ(stale.result.quality, topk::AnswerQuality::kBoundsOnly);
+  EXPECT_EQ(stale.result.degradation.stage, "serve_cache_stale");
+  EXPECT_EQ(stale.epoch, fresh.epoch);  // The epoch it was computed at.
+  EXPECT_DOUBLE_EQ(stale.staleness_weight, 1.0);  // One mention since.
+  // k0 truly has 6 now; the stale interval [5, 5+1] contains it.
+  const auto& top = stale.result.answers[0].groups[0];
+  EXPECT_LE(top.count_lower, 6.0);
+  EXPECT_GE(top.count_upper, 6.0);
+
+  // Satellite: the request-log lines join the pinned epoch and the cache
+  // disposition to the query id.
+  bool hit_line = false;
+  bool stale_line = false;
+  for (const std::string& line : service.request_log().RecentLines()) {
+    if (line.find("\"query_id\":" + std::to_string(hit.query_id)) !=
+        std::string::npos) {
+      hit_line = true;
+      EXPECT_NE(line.find("\"cache\":\"hit\""), std::string::npos);
+      EXPECT_NE(line.find("\"epoch\":" + std::to_string(hit.epoch)),
+                std::string::npos);
+    }
+    if (line.find("\"query_id\":" + std::to_string(stale.query_id)) !=
+        std::string::npos) {
+      stale_line = true;
+      EXPECT_NE(line.find("\"cache\":\"stale_hit\""), std::string::npos);
+      EXPECT_NE(line.find("\"staleness_weight\":"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(hit_line);
+  EXPECT_TRUE(stale_line);
+}
+
+/// Satellite regression: the widened upper bound is derived from weight
+/// *published since the cached epoch* — never from wall time or live
+/// unpublished state — and stays correct across a service restart over
+/// the same WAL (recovery re-establishes the epoch counter).
+TEST_F(ServeTest, StaleWideningIsEpochBasedAndSurvivesRestart) {
+  ScopedDisarm disarm;
+  Watchdog watchdog(120);
+  const std::string dir = ::testing::TempDir() + "/serve_epoch_widen_" +
+                          std::to_string(::getpid());
+  std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  ServiceOptions options = QuietOptions();
+  options.cache.enabled = true;
+  options.calibrate_on_register = false;
+  options.wal_dir = dir;
+  options.epoch_batch_ms = 3600 * 1000;  // Publication only via Drain.
+  options.retry.max_retries = 0;
+  options.breaker.window = 8;
+  options.breaker.min_samples = 2;
+  options.breaker.trip_ratio = 0.5;
+  options.breaker.cooldown_ms = 3600 * 1000;  // Stays open once tripped.
+
+  double first_epoch_staleness = -1.0;
+  {
+    QueryService service(options);
+    ASSERT_TRUE(service.RegisterOnline("stream", MakeExactKeyStream()).ok());
+    // m1 publishes (first ingest always does); m2+m3 stay pending.
+    ASSERT_TRUE(service.Ingest("stream", WeightedMention("a", 1.0)).ok());
+    QueryResponse cached = service.Execute(CountRequest("stream", 2));
+    ASSERT_TRUE(cached.status.ok()) << cached.status.ToString();
+    EXPECT_EQ(cached.cache, "miss");
+    ASSERT_TRUE(service.Ingest("stream", WeightedMention("a", 2.0)).ok());
+    ASSERT_TRUE(service.Ingest("stream", WeightedMention("b", 4.0)).ok());
+    service.Drain();  // Publishes the batch: published delta is now 6.0.
+    // m4 is ingested but NOT published: it must not widen anything.
+    ASSERT_TRUE(service.Ingest("stream", WeightedMention("b", 8.0)).ok());
+
+    // Trip the breaker with forced failures (the entry is stale and the
+    // queries do not allow_stale, so they execute and fault).
+    fault::ArmForTest("serve.query", 1.0, 5);
+    for (int i = 0; i < 6; ++i) {
+      QueryResponse failed = service.Execute(CountRequest("stream", 2));
+      if (service.Health().datasets[0].breaker == BreakerState::kOpen) break;
+      EXPECT_FALSE(failed.status.ok());
+    }
+    ASSERT_EQ(service.Health().datasets[0].breaker, BreakerState::kOpen);
+    fault::DisarmAllForTest();
+
+    QueryResponse degraded = service.Execute(CountRequest("stream", 2));
+    ASSERT_TRUE(degraded.status.ok()) << degraded.status.ToString();
+    EXPECT_EQ(degraded.outcome, ServedOutcome::kBreakerDegraded);
+    // Widened by the *published* delta (2.0 + 4.0), not the live total
+    // (which would add the unpublished 8.0) and not anything wall-time.
+    EXPECT_DOUBLE_EQ(degraded.staleness_weight, 6.0);
+    first_epoch_staleness = degraded.staleness_weight;
+    // Destructor drains: the pending publish and checkpoint land here.
+  }
+
+  // Restart over the same WAL: recovery replays 4 mentions and restores
+  // the epoch counter; the same protocol must hold on the recovered state.
+  QueryService service(options);
+  ASSERT_TRUE(service.RegisterOnline("stream", MakeExactKeyStream()).ok());
+  EXPECT_EQ(service.Health().datasets[0].records, 4u);
+  EXPECT_GT(service.Health().datasets[0].epoch, 0u);
+  QueryResponse cached = service.Execute(CountRequest("stream", 2));
+  ASSERT_TRUE(cached.status.ok()) << cached.status.ToString();
+  EXPECT_EQ(cached.cache, "miss");
+  ASSERT_TRUE(service.Ingest("stream", WeightedMention("a", 16.0)).ok());
+  service.Drain();
+  ASSERT_TRUE(service.Ingest("stream", WeightedMention("b", 32.0)).ok());
+
+  fault::ArmForTest("serve.query", 1.0, 6);
+  for (int i = 0; i < 6; ++i) {
+    QueryResponse failed = service.Execute(CountRequest("stream", 2));
+    if (service.Health().datasets[0].breaker == BreakerState::kOpen) break;
+    EXPECT_FALSE(failed.status.ok());
+  }
+  ASSERT_EQ(service.Health().datasets[0].breaker, BreakerState::kOpen);
+  fault::DisarmAllForTest();
+  QueryResponse degraded = service.Execute(CountRequest("stream", 2));
+  ASSERT_TRUE(degraded.status.ok()) << degraded.status.ToString();
+  EXPECT_EQ(degraded.outcome, ServedOutcome::kBreakerDegraded);
+  EXPECT_DOUBLE_EQ(degraded.staleness_weight, 16.0);
+  EXPECT_EQ(first_epoch_staleness, 6.0);
+}
+
+/// Tentpole acceptance: readers pin epochs and never wait on the writer
+/// lock while ingest publishes continuously; every answer is bit-identical
+/// to a post-hoc serial replay of the canonical prefix it self-describes.
+TEST_F(ServeTest, EpochPinningNeverBlocksReadersAndRepliesReplayExactly) {
+  Watchdog watchdog(300);
+  ServiceOptions options = QuietOptions();
+  options.workers = 4;
+  options.queue_capacity = 256;
+  options.cache.enabled = false;  // Every query must pin + execute.
+  QueryService service(options);
+  ASSERT_TRUE(service.RegisterOnline("stream", MakeExactKeyStream()).ok());
+  ASSERT_TRUE(service.Ingest("stream", KeyMention("k0")).ok());
+
+  metrics::Counter* blocked =
+      metrics::Registry::Global().GetCounter("online.reader_blocked");
+  const uint64_t blocked_before = blocked->Value();
+
+  constexpr int kReaders = 8;
+  constexpr int kQueriesPerReader = 10;
+  constexpr int kIngest = 400;
+  struct Observed {
+    uint64_t mentions;
+    std::vector<std::tuple<size_t, double, double, double>> groups;
+  };
+  std::vector<std::vector<Observed>> per_reader(kReaders);
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&service, &per_reader, t] {
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        QueryRequest request;
+        request.dataset = "stream";
+        request.kind = QueryKind::kTopKCount;
+        request.k = 5;
+        QueryResponse response = service.Execute(request);
+        // Only exact answers replay bit-identically; a (rare, slow-run)
+        // deadline degradation is sound but not byte-comparable.
+        if (!response.status.ok() ||
+            response.outcome != ServedOutcome::kExact) {
+          continue;
+        }
+        Observed seen;
+        seen.mentions = response.epoch_mentions;
+        for (const auto& group : response.result.answers[0].groups) {
+          seen.groups.emplace_back(group.representative, group.weight,
+                                   group.count_lower, group.count_upper);
+        }
+        per_reader[t].push_back(std::move(seen));
+      }
+    });
+  }
+  for (int i = 1; i <= kIngest; ++i) {
+    ASSERT_TRUE(
+        service.Ingest("stream", KeyMention("k" + std::to_string(i % 5)))
+            .ok());
+  }
+  for (auto& thread : readers) thread.join();
+  service.Drain();
+
+  // Readers never fell back to the writer lock.
+  EXPECT_EQ(blocked->Value() - blocked_before, 0u);
+
+  // Post-hoc serial replay: answers at prefix N must equal a fresh stream
+  // fed the same first N mentions — bit-identical, not approximately.
+  std::vector<Observed> all;
+  size_t answered = 0;
+  for (const auto& observed : per_reader) {
+    for (const Observed& seen : observed) {
+      all.push_back(seen);
+      ++answered;
+    }
+  }
+  ASSERT_GE(answered, 1u);
+  std::vector<std::string> replay_keys = {"k0"};
+  for (int i = 1; i <= kIngest; ++i) {
+    replay_keys.push_back("k" + std::to_string(i % 5));
+  }
+  for (const Observed& seen : all) {
+    ASSERT_GE(seen.mentions, 1u);
+    ASSERT_LE(seen.mentions, replay_keys.size());
+    auto reference = MakeExactKeyStream();
+    for (uint64_t m = 0; m < seen.mentions; ++m) {
+      ASSERT_TRUE(reference->AddMention(KeyMention(replay_keys[m])).ok());
+    }
+    topk::TopKCountOptions qopts;
+    // Same clamp the service applies: k never exceeds the snapshot's
+    // group count (early prefixes have fewer than 5 distinct keys).
+    qopts.k = static_cast<int>(
+        std::min<size_t>(5, reference->group_count()));
+    qopts.r = 1;
+    auto want_or = reference->Query(qopts);
+    ASSERT_TRUE(want_or.ok())
+        << "prefix " << seen.mentions << ": " << want_or.status().message();
+    const auto& want = want_or.value().answers[0].groups;
+    ASSERT_EQ(seen.groups.size(), want.size())
+        << "prefix " << seen.mentions;
+    for (size_t g = 0; g < want.size(); ++g) {
+      EXPECT_EQ(std::get<0>(seen.groups[g]), want[g].representative);
+      EXPECT_EQ(std::get<1>(seen.groups[g]), want[g].weight);
+      EXPECT_EQ(std::get<2>(seen.groups[g]), want[g].count_lower);
+      EXPECT_EQ(std::get<3>(seen.groups[g]), want[g].count_upper);
+    }
+  }
 }
 
 }  // namespace

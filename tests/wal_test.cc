@@ -157,6 +157,29 @@ TEST(WalTest, AppendReplayRoundtrip) {
   EXPECT_EQ(replay.truncated_tail_bytes, 0u);
 }
 
+TEST(WalTest, EpochStampsRoundTripAndMaxEpochSurfaces) {
+  const std::string dir = TestDir("epoch");
+  const std::string path = dir + "/log.wal";
+  {
+    auto wal = WriteAheadLog::Open(path, WalOptions{}, nullptr);
+    ASSERT_TRUE(wal.ok());
+    // Mixed epochs, deliberately non-monotone (batched publication can
+    // stamp several frames with the same upcoming epoch id); the default
+    // epoch argument is 0.
+    ASSERT_TRUE(wal.value()->Append(0, "a", 3).ok());
+    ASSERT_TRUE(wal.value()->Append(1, "b", 7).ok());
+    ASSERT_TRUE(wal.value()->Append(2, "c", 7).ok());
+    ASSERT_TRUE(wal.value()->Append(3, "d").ok());
+  }
+  WalReplay replay;
+  auto wal = WriteAheadLog::Open(path, WalOptions{}, &replay);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_EQ(replay.records.size(), 4u);
+  EXPECT_EQ(replay.records[3].second, "d");
+  // Recovery only needs the high-water mark to re-establish the counter.
+  EXPECT_EQ(replay.max_epoch, 7u);
+}
+
 TEST(WalTest, TornTailTruncatedAtEveryByteBoundary) {
   const std::string dir = TestDir("torn");
   const std::string path = dir + "/log.wal";

@@ -83,6 +83,11 @@ class Round:
             "--ack-log=%s" % self.ack_log,
             "--checkpoint-bytes=%d" % CHECKPOINT_BYTES,
             "--wal-fsync=%s" % self.args.fsync,
+            # Publishing an epoch snapshots the whole stream (O(mentions));
+            # per-ingest publication would make a 500k-mention round
+            # quadratic. Batching keeps the ingest loop linear while still
+            # exercising epoch persistence across the kill.
+            "--epoch-batch-ms=50",
         ]
         if self.args.wal_fault_prob > 0:
             cmd += ["--wal-fault-prob=%g" % self.args.wal_fault_prob]
@@ -186,9 +191,19 @@ def kill9_round(args, rng, base, index):
             "kill9 round %d: wal.recovered_mentions=%s != recovered=%d\n%s"
             % (index, counter, recovered, vout)
         )
+    # Recovery must re-establish the epoch counter: a recovered non-empty
+    # stream republishes at an epoch strictly above zero (WAL frames and
+    # checkpoints both persist epoch ids).
+    epoch = parse_marker(vout, "online.epoch")
+    if recovered > 0 and not epoch:
+        raise AssertionError(
+            "kill9 round %d: recovered %d mentions but online.epoch=%s — "
+            "epoch counter lost across the crash\n%s"
+            % (index, recovered, epoch, vout)
+        )
     print(
-        "round kill9-%d: killed after %.2fs, acked=%d recovered=%d OK"
-        % (index, delay, acked, recovered)
+        "round kill9-%d: killed after %.2fs, acked=%d recovered=%d "
+        "epoch=%s OK" % (index, delay, acked, recovered, epoch)
     )
 
 
